@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks of the protocol core (Section 3.2 claims):
+//! a relocation costs at most three messages and little processing; op
+//! dispatch and queue draining are cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lapse_net::{Key, NodeId};
+use lapse_proto::testkit::TestCluster;
+use lapse_proto::{Layout, ProtoConfig};
+
+fn cfg() -> ProtoConfig {
+    let mut c = ProtoConfig::new(4, 1024, Layout::Uniform(16));
+    c.latches = 64;
+    c
+}
+
+fn bench_relocation(c: &mut Criterion) {
+    c.bench_function("relocation_round_trip", |b| {
+        let mut cluster = TestCluster::new(cfg(), 1);
+        let mut flip = false;
+        b.iter(|| {
+            // Bounce one key between n0 and n1 (home n2 stays fixed).
+            let k = [Key(600)];
+            let node = if flip { NodeId(0) } else { NodeId(1) };
+            flip = !flip;
+            cluster.localize_now(node, 0, &k);
+        });
+    });
+}
+
+fn bench_remote_pull(c: &mut Criterion) {
+    c.bench_function("remote_pull_forwarded", |b| {
+        let mut cluster = TestCluster::new(cfg(), 1);
+        b.iter(|| {
+            // Key homed (and owned) at n2, pulled from n0: 2 messages.
+            let v = cluster.pull_now(NodeId(0), 0, &[Key(700)]);
+            criterion::black_box(v);
+        });
+    });
+}
+
+fn bench_local_fast_path(c: &mut Criterion) {
+    c.bench_function("local_fast_path_pull", |b| {
+        let cluster = TestCluster::new(cfg(), 1);
+        // Key 0 is homed at n0.
+        let mut out = vec![0.0f32; 16];
+        b.iter(|| {
+            let mut sink = Vec::new();
+            let h = cluster.nodes[0].clients[0].pull(&[Key(0)], Some(&mut out), &mut sink);
+            assert!(sink.is_empty());
+            criterion::black_box(&h);
+        });
+    });
+}
+
+fn bench_grouped_push(c: &mut Criterion) {
+    c.bench_function("grouped_push_64keys", |b| {
+        let mut cluster = TestCluster::new(cfg(), 1);
+        let keys: Vec<Key> = (0..64).map(|i| Key(i * 16)).collect();
+        let vals = vec![0.01f32; 64 * 16];
+        b.iter(|| {
+            cluster.push_now(NodeId(0), 0, &keys, &vals);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_relocation, bench_remote_pull, bench_local_fast_path, bench_grouped_push
+}
+criterion_main!(benches);

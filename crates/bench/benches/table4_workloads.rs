@@ -1,0 +1,110 @@
+//! Table 4: workload characteristics — model and dataset sizes plus the
+//! measured single-thread parameter-access rate (key accesses per second
+//! and MB/s of read parameter values), the paper's proxy for each task's
+//! communication-to-computation ratio.
+
+use lapse_bench::*;
+use lapse_core::Variant;
+use lapse_ml::kge::{KgeModel, KgePal};
+use lapse_utils::table::Table;
+
+struct Row {
+    task: &'static str,
+    params: u64,
+    param_mb: f64,
+    data_points: u64,
+    accesses_per_s: f64,
+    mb_per_s: f64,
+}
+
+fn access_rate(m: &Measured, bytes_per_key: f64) -> (f64, f64) {
+    let keys = (m.stats.pull_total() + m.stats.push_local + m.stats.push_queued
+        + m.stats.push_remote) as f64;
+    let secs = m.epoch_secs.max(1e-9) * epochs().max(1) as f64;
+    let rate = keys / secs;
+    (rate, rate * bytes_per_key / 1e6)
+}
+
+fn main() {
+    banner("table4_workloads", "workload sizes and single-thread access rates");
+    let single = Parallelism { nodes: 1, workers: 1 };
+    let mut rows = Vec::new();
+
+    // Matrix factorization.
+    {
+        let data = mf_data_10to1();
+        let m = measure_mf(data.clone(), 16, single, Variant::Lapse);
+        let params = (data.cfg.rows + data.cfg.cols) as u64;
+        let (rate, mbps) = access_rate(&m, 16.0 * 4.0);
+        rows.push(Row {
+            task: "Matrix factorization (rank 16)",
+            params,
+            param_mb: params as f64 * 16.0 * 4.0 / 1e6,
+            data_points: data.nnz() as u64,
+            accesses_per_s: rate,
+            mb_per_s: mbps,
+        });
+    }
+    // KGE: ComplEx and RESCAL.
+    {
+        let kg = kg_data();
+        for (name, model, dim, vdim) in [
+            ("KGE ComplEx (dim 16)", KgeModel::ComplEx, 16usize, 100usize),
+            ("KGE ComplEx (dim 64)", KgeModel::ComplEx, 64, 4000),
+            ("KGE RESCAL (dim 16/256)", KgeModel::Rescal, 16, 100),
+        ] {
+            let m = measure_kge(kg.clone(), model, dim, vdim, KgePal::Full, single, Variant::Lapse);
+            let ent = kg.cfg.entities as u64;
+            let rel = kg.cfg.relations as u64;
+            let rel_len = match model {
+                KgeModel::Rescal => dim * dim,
+                KgeModel::ComplEx => dim,
+            } as u64;
+            // ×2 for the AdaGrad accumulators stored in the PS.
+            let floats = 2 * (ent * dim as u64 + rel * rel_len);
+            let avg_bytes = floats as f64 * 4.0 / (ent + rel) as f64;
+            let (rate, mbps) = access_rate(&m, avg_bytes);
+            rows.push(Row {
+                task: name,
+                params: ent + rel,
+                param_mb: floats as f64 * 4.0 / 1e6,
+                data_points: kg.train.len() as u64,
+                accesses_per_s: rate,
+                mb_per_s: mbps,
+            });
+        }
+    }
+    // Word vectors.
+    {
+        let corpus = corpus_data();
+        let m = measure_w2v(corpus.clone(), true, single, Variant::Lapse);
+        let params = 2 * corpus.cfg.vocab as u64;
+        let (rate, mbps) = access_rate(&m, 16.0 * 4.0);
+        rows.push(Row {
+            task: "Word2Vec (dim 16)",
+            params,
+            param_mb: params as f64 * 16.0 * 4.0 / 1e6,
+            data_points: corpus.tokens(),
+            accesses_per_s: rate,
+            mb_per_s: mbps,
+        });
+    }
+
+    let mut table = Table::new(
+        "Table 4 — workloads (single worker, virtual time)",
+        &["task", "#params", "size MB", "#data", "keys/s", "MB/s"],
+    );
+    for r in rows {
+        table.row(vec![
+            r.task.to_string(),
+            format!("{}", r.params),
+            format!("{:.1}", r.param_mb),
+            format!("{}", r.data_points),
+            format!("{:.0} k", r.accesses_per_s / 1e3),
+            format!("{:.0}", r.mb_per_s),
+        ]);
+    }
+    table.print();
+    println!("paper: MF 414k keys/s / 315 MB/s; ComplEx-small 312k / 476; ComplEx-large 11k / 643;");
+    println!("       RESCAL 12k / 614; Word2Vec 17k / 65 (per thread; absolute values scale with dims)");
+}

@@ -1,0 +1,149 @@
+//! The worker-side programming model (the paper's Table 2).
+
+use lapse_net::{Key, NodeId};
+
+/// Handle of an asynchronous operation, to be passed to
+/// [`PsWorker::wait`] or [`PsWorker::wait_pull`].
+///
+/// Tokens are affine: each must be waited exactly once (dropping one
+/// without waiting leaks a tracker entry for pending operations).
+#[derive(Debug)]
+pub struct OpToken {
+    pub(crate) kind: TokenKind,
+    pub(crate) state: TokenState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    Pull,
+    Push,
+    Localize,
+}
+
+#[derive(Debug)]
+pub(crate) enum TokenState {
+    /// Completed at issue; pulls carry their values.
+    Ready(Option<Vec<f32>>),
+    /// In flight under this tracker sequence number.
+    Pending(u64),
+}
+
+impl OpToken {
+    /// Whether the operation had already completed when issued.
+    pub fn completed_at_issue(&self) -> bool {
+        matches!(self.state, TokenState::Ready(_))
+    }
+}
+
+/// Token constructors for [`PsWorker`] implementations living outside
+/// this crate (e.g. the SSP baseline).
+#[doc(hidden)]
+pub mod api_internals {
+    use super::{OpToken, TokenKind, TokenState};
+
+    /// An already-completed pull carrying its values.
+    pub fn ready_pull(vals: Vec<f32>) -> OpToken {
+        OpToken {
+            kind: TokenKind::Pull,
+            state: TokenState::Ready(Some(vals)),
+        }
+    }
+
+    /// An already-completed push.
+    pub fn ready_push() -> OpToken {
+        OpToken {
+            kind: TokenKind::Push,
+            state: TokenState::Ready(None),
+        }
+    }
+
+    /// An already-completed localize.
+    pub fn ready_localize() -> OpToken {
+        OpToken {
+            kind: TokenKind::Localize,
+            state: TokenState::Ready(None),
+        }
+    }
+
+    /// Extracts the values of a ready pull token.
+    ///
+    /// # Panics
+    /// Panics if the token is not a completed pull.
+    pub fn take_ready_pull(token: OpToken) -> Vec<f32> {
+        match token.state {
+            TokenState::Ready(Some(vals)) => vals,
+            _ => panic!("token is not a completed pull"),
+        }
+    }
+}
+
+/// The worker-side interface of the parameter server.
+///
+/// All value buffers are concatenations of per-key values in key order;
+/// per-key lengths come from the configured
+/// [`Layout`](lapse_proto::Layout) (see [`PsWorker::value_len`]).
+pub trait PsWorker {
+    /// The node this worker runs on.
+    fn node(&self) -> NodeId;
+    /// Worker slot on this node (0-based).
+    fn slot(&self) -> usize;
+    /// Number of nodes in the cluster.
+    fn num_nodes(&self) -> usize;
+    /// Workers per node.
+    fn workers_per_node(&self) -> usize;
+    /// Globally unique worker index in `0..num_nodes()*workers_per_node()`.
+    fn global_id(&self) -> usize {
+        self.node().idx() * self.workers_per_node() + self.slot()
+    }
+    /// Total worker count.
+    fn num_workers(&self) -> usize {
+        self.num_nodes() * self.workers_per_node()
+    }
+
+    /// Value length of `key`.
+    fn value_len(&self, key: Key) -> usize;
+
+    /// Synchronous pull: blocks until `out` holds the current values.
+    fn pull(&mut self, keys: &[Key], out: &mut [f32]);
+    /// Synchronous cumulative push: blocks until the updates are applied.
+    fn push(&mut self, keys: &[Key], vals: &[f32]);
+    /// Synchronous localize: blocks until the keys reside on this node
+    /// (no-op under classic variants).
+    fn localize(&mut self, keys: &[Key]);
+
+    /// Asynchronous pull; values are returned by [`PsWorker::wait_pull`].
+    fn pull_async(&mut self, keys: &[Key]) -> OpToken;
+    /// Asynchronous cumulative push.
+    fn push_async(&mut self, keys: &[Key], vals: &[f32]) -> OpToken;
+    /// Asynchronous localize.
+    fn localize_async(&mut self, keys: &[Key]) -> OpToken;
+
+    /// Waits for an async pull and returns its values (in key order).
+    fn wait_pull(&mut self, token: OpToken) -> Vec<f32>;
+    /// Waits for an async push/localize acknowledgement.
+    fn wait(&mut self, token: OpToken);
+
+    /// Reads `key` only if it currently resides on this node; returns
+    /// whether `out` was filled. Used for latency-hiding negative
+    /// sampling (Appendix A of the paper).
+    fn pull_if_local(&mut self, key: Key, out: &mut [f32]) -> bool;
+
+    /// Global barrier across every worker of the cluster.
+    fn barrier(&mut self);
+
+    /// Accounts `ns` of computation on the worker's clock. A no-op on the
+    /// threaded backend (where real time passes); on the simulator it
+    /// advances virtual time.
+    fn charge(&mut self, ns: u64);
+
+    /// Advances this worker's logical clock (the stale-synchronous-
+    /// parallel "clock" primitive, Section 2.1 of the paper). A no-op for
+    /// classic and Lapse parameter servers, which have no staleness
+    /// mechanism; the SSP baseline flushes buffered updates here.
+    fn advance_clock(&mut self) {}
+
+    /// The worker's current clock in nanoseconds: virtual time on the
+    /// simulator, wall time since cluster start on the threaded backend.
+    /// Workloads use it to measure epoch run times uniformly.
+    fn now_ns(&self) -> u64;
+}

@@ -1,0 +1,237 @@
+//! Cluster entry points for both backends.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use lapse_net::{Key, NodeId, ThreadedNet};
+use lapse_proto::client::ClientCore;
+use lapse_proto::server::ServerCore;
+use lapse_proto::shard::NodeShared;
+use lapse_proto::tracker::ClockFn;
+use lapse_proto::{HomePartition, Layout, ProtoConfig, Variant};
+use lapse_sim::{CostModel, SimCluster};
+use lapse_utils::metrics::Metrics;
+
+use crate::api::PsWorker;
+use crate::sim_backend::{LapseProto, SimPsWorker};
+use crate::stats::ClusterStats;
+use crate::threaded::{spawn_server, ThreadedPsWorker, WakeCell};
+
+/// Parameter-server configuration (builder style).
+#[derive(Debug, Clone)]
+pub struct PsConfig {
+    /// The underlying protocol configuration.
+    pub proto: ProtoConfig,
+}
+
+impl PsConfig {
+    /// `nodes` nodes, keys `0..keys`, `value_len` floats per key, Lapse
+    /// variant, caches off — the paper's default experimental setup.
+    pub fn new(nodes: u16, keys: u64, value_len: u32) -> Self {
+        PsConfig {
+            proto: ProtoConfig::new(nodes, keys, Layout::Uniform(value_len)),
+        }
+    }
+
+    /// Replaces the value layout.
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.proto.layout = layout;
+        self
+    }
+
+    /// Selects the PS architecture variant.
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.proto.variant = variant;
+        self
+    }
+
+    /// Enables/disables location caches (Section 3.3).
+    pub fn location_caches(mut self, on: bool) -> Self {
+        self.proto.location_caches = on;
+        self
+    }
+
+    /// Sets the latch count (Section 3.7; default 1000).
+    pub fn latches(mut self, n: usize) -> Self {
+        self.proto.latches = n;
+        self
+    }
+
+    /// Chooses dense or sparse local stores.
+    pub fn dense(mut self, dense: bool) -> Self {
+        self.proto.dense = dense;
+        self
+    }
+
+    /// Chooses the home partitioning scheme.
+    pub fn partition(mut self, p: HomePartition) -> Self {
+        self.proto.partition = p;
+        self
+    }
+
+    /// Enables/disables the ordered-async guard.
+    pub fn ordered_async_guard(mut self, on: bool) -> Self {
+        self.proto.ordered_async_guard = on;
+        self
+    }
+}
+
+fn build_shareds(
+    cfg: &Arc<ProtoConfig>,
+    clock: ClockFn,
+    mut init: impl FnMut(Key) -> Option<Vec<f32>>,
+) -> Vec<Arc<NodeShared>> {
+    (0..cfg.nodes)
+        .map(|n| NodeShared::with_init(cfg.clone(), NodeId(n), clock.clone(), &mut init))
+        .collect()
+}
+
+/// Runs `body` on every worker of a simulated cluster (virtual time).
+///
+/// Returns per-worker results (ordered by global worker id) and the
+/// aggregated statistics, including the virtual run time.
+pub fn run_sim<R, F>(
+    cfg: PsConfig,
+    workers_per_node: usize,
+    cost: CostModel,
+    init: impl FnMut(Key) -> Option<Vec<f32>>,
+    body: F,
+) -> (Vec<R>, ClusterStats)
+where
+    R: Send + 'static,
+    F: Fn(&mut dyn PsWorker) -> R + Send + Sync + 'static,
+{
+    let proto = Arc::new(cfg.proto);
+    let clock_cell = Arc::new(AtomicU64::new(0));
+    let clock: ClockFn = {
+        let c = clock_cell.clone();
+        Arc::new(move || c.load(Ordering::Relaxed))
+    };
+    let shareds = build_shareds(&proto, clock, init);
+    let servers: Vec<ServerCore> = shareds.iter().map(|s| ServerCore::new(s.clone())).collect();
+    let sim: SimCluster<LapseProto> =
+        SimCluster::with_clock(cost, servers, workers_per_node, clock_cell);
+
+    // Completion notifications wake the right simulator task.
+    for (n, sh) in shareds.iter().enumerate() {
+        let sim_shared = sim.shared().clone();
+        let base = n * workers_per_node;
+        sh.tracker.set_waker(Arc::new(move |slot, _seq| {
+            sim_shared.notify_task(base + slot as usize);
+        }));
+    }
+
+    let nodes = proto.nodes as usize;
+    let worker_shareds = shareds.clone();
+    let (report, results, _servers) = sim.run(move |ctx, node, slot| {
+        let client = ClientCore::new(worker_shareds[node.idx()].clone(), slot as u16);
+        let mut worker = SimPsWorker::new(client, ctx, slot, nodes, workers_per_node);
+        body(&mut worker)
+    });
+
+    let mut stats = ClusterStats::collect(&shareds);
+    stats.messages = report.messages;
+    stats.bytes = report.bytes;
+    stats.self_messages = report.self_messages;
+    stats.virtual_time_ns = Some(report.virtual_time_ns);
+    (results, stats)
+}
+
+/// Runs `body` on every worker of an in-process threaded cluster (real
+/// time): one server thread and `workers_per_node` worker threads per
+/// node.
+pub fn run_threaded<R, F>(
+    cfg: PsConfig,
+    workers_per_node: usize,
+    init: impl FnMut(Key) -> Option<Vec<f32>>,
+    body: F,
+) -> (Vec<R>, ClusterStats)
+where
+    R: Send + 'static,
+    F: Fn(&mut dyn PsWorker) -> R + Send + Sync + 'static,
+{
+    let proto = Arc::new(cfg.proto);
+    let start = Instant::now();
+    let clock: ClockFn = Arc::new(move || start.elapsed().as_nanos() as u64);
+    let shareds = build_shareds(&proto, clock, init);
+
+    let nodes = proto.nodes as usize;
+    let metrics = Metrics::new();
+    let net = ThreadedNet::new(nodes, metrics.clone());
+
+    // Per-worker wake cells, wired into each node's tracker.
+    let wakes: Vec<Vec<Arc<WakeCell>>> = (0..nodes)
+        .map(|_| {
+            (0..workers_per_node)
+                .map(|_| Arc::new(WakeCell::default()))
+                .collect()
+        })
+        .collect();
+    for (n, sh) in shareds.iter().enumerate() {
+        let node_wakes: Vec<Arc<WakeCell>> = wakes[n].clone();
+        sh.tracker.set_waker(Arc::new(move |slot, _seq| {
+            node_wakes[slot as usize].notify();
+        }));
+    }
+
+    let server_joins: Vec<_> = shareds
+        .iter()
+        .map(|sh| spawn_server(sh.clone(), net.clone()))
+        .collect();
+
+    let barrier = Arc::new(std::sync::Barrier::new(nodes * workers_per_node));
+    let body = Arc::new(body);
+    let mut worker_joins = Vec::new();
+    for n in 0..nodes {
+        for slot in 0..workers_per_node {
+            let shared = shareds[n].clone();
+            let net = net.clone();
+            let wake = wakes[n][slot].clone();
+            let barrier = barrier.clone();
+            let body = body.clone();
+            worker_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("lapse-worker-n{n}w{slot}"))
+                    .spawn(move || {
+                        let client = ClientCore::new(shared, slot as u16);
+                        let mut worker = ThreadedPsWorker::new(
+                            client,
+                            net,
+                            wake,
+                            barrier,
+                            slot,
+                            nodes,
+                            workers_per_node,
+                            start,
+                        );
+                        body(&mut worker)
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+    }
+
+    let results: Vec<R> = worker_joins
+        .into_iter()
+        .map(|j| j.join().expect("worker thread panicked"))
+        .collect();
+
+    // Stop the servers.
+    for n in 0..nodes {
+        net.send(
+            NodeId(0),
+            NodeId(n as u16),
+            lapse_proto::messages::Msg::Shutdown,
+        );
+    }
+    for j in server_joins {
+        j.join().expect("server thread panicked");
+    }
+
+    let mut stats = ClusterStats::collect(&shareds);
+    stats.messages = metrics.get("net.messages");
+    stats.bytes = metrics.get("net.bytes");
+    stats.self_messages = metrics.get("net.self_messages");
+    (results, stats)
+}

@@ -1,0 +1,99 @@
+//! Aggregated run statistics.
+
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+use lapse_proto::NodeShared;
+use lapse_utils::stats::LogHistogram;
+
+/// Cluster-wide statistics collected after a run, feeding the paper's
+/// Table 5 (reads local/non-local, relocations, relocation times) and the
+/// communication analyses.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Pull keys served via the shared-memory fast path.
+    pub pull_local: u64,
+    /// Pull keys parked locally during an inbound relocation.
+    pub pull_queued: u64,
+    /// Pull keys routed over the network.
+    pub pull_remote: u64,
+    /// Push keys served via the shared-memory fast path.
+    pub push_local: u64,
+    /// Push keys parked locally during an inbound relocation.
+    pub push_queued: u64,
+    /// Push keys routed over the network.
+    pub push_remote: u64,
+    /// Localize keys that produced a relocation request.
+    pub localize_sent: u64,
+    /// Key relocations performed (counted at the home nodes).
+    pub relocations: u64,
+    /// Keys received via hand-over.
+    pub handovers: u64,
+    /// Stale-location-cache double-forwards.
+    pub stale_cache_forwards: u64,
+    /// Protocol-invariant violations (must be 0).
+    pub unexpected_relocates: u64,
+    /// Distribution of relocation times (ns), the paper's Section 3.2
+    /// definition.
+    pub reloc_time: LogHistogram,
+    /// Messages sent (both backends).
+    pub messages: u64,
+    /// Bytes sent (envelope included).
+    pub bytes: u64,
+    /// Node-local (IPC) messages.
+    pub self_messages: u64,
+    /// Virtual run time (simulator backend only).
+    pub virtual_time_ns: Option<u64>,
+}
+
+impl ClusterStats {
+    /// Gathers protocol counters from every node's shared state.
+    pub fn collect(nodes: &[Arc<NodeShared>]) -> Self {
+        let mut reloc_time = LogHistogram::new(1_000.0, 1.05, 360);
+        let mut s = ClusterStats {
+            pull_local: 0,
+            pull_queued: 0,
+            pull_remote: 0,
+            push_local: 0,
+            push_queued: 0,
+            push_remote: 0,
+            localize_sent: 0,
+            relocations: 0,
+            handovers: 0,
+            stale_cache_forwards: 0,
+            unexpected_relocates: 0,
+            reloc_time: reloc_time.clone(),
+            messages: 0,
+            bytes: 0,
+            self_messages: 0,
+            virtual_time_ns: None,
+        };
+        for n in nodes {
+            let a = &n.stats;
+            s.pull_local += a.pull_local.load(Relaxed);
+            s.pull_queued += a.pull_queued.load(Relaxed);
+            s.pull_remote += a.pull_remote.load(Relaxed);
+            s.push_local += a.push_local.load(Relaxed);
+            s.push_queued += a.push_queued.load(Relaxed);
+            s.push_remote += a.push_remote.load(Relaxed);
+            s.localize_sent += a.localize_sent.load(Relaxed);
+            s.relocations += a.relocations.load(Relaxed);
+            s.handovers += a.handovers_in.load(Relaxed);
+            s.stale_cache_forwards += a.stale_cache_forwards.load(Relaxed);
+            s.unexpected_relocates += a.unexpected_relocates.load(Relaxed);
+            reloc_time.merge(&n.tracker.reloc_time_stats());
+        }
+        s.reloc_time = reloc_time;
+        s
+    }
+
+    /// Total pull keys.
+    pub fn pull_total(&self) -> u64 {
+        self.pull_local + self.pull_queued + self.pull_remote
+    }
+
+    /// Pull keys that never crossed the network.
+    pub fn pull_local_total(&self) -> u64 {
+        self.pull_local + self.pull_queued
+    }
+}

@@ -1,0 +1,255 @@
+//! Threaded runtime: the real in-process parameter server.
+//!
+//! One server thread plus `w` worker threads per node, all in this
+//! process, connected by the FIFO transport of `lapse-net` (Figure 2 of
+//! the paper). Workers access local parameters directly through the
+//! latched shared state; remote operations travel as messages and block
+//! the worker on a per-worker condvar until the tracker completes them.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use lapse_net::{Key, NodeId, ThreadedNet};
+use lapse_proto::client::{ClientCore, IssueHandle};
+use lapse_proto::messages::Msg;
+use lapse_proto::server::ServerCore;
+use lapse_proto::shard::NodeShared;
+
+use crate::api::{OpToken, PsWorker, TokenKind, TokenState};
+
+/// Missed-wakeup-safe wake cell: the waker bumps the generation under the
+/// lock before notifying, the waiter re-checks its condition under the
+/// same lock before parking.
+#[derive(Default)]
+pub(crate) struct WakeCell {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl WakeCell {
+    pub(crate) fn notify(&self) {
+        let mut g = self.gen.lock();
+        *g += 1;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn wait_until(&self, mut done: impl FnMut() -> bool) {
+        if done() {
+            return;
+        }
+        let mut g = self.gen.lock();
+        loop {
+            if done() {
+                return;
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+/// Worker handle on the threaded backend.
+pub struct ThreadedPsWorker {
+    client: ClientCore,
+    net: Arc<ThreadedNet<Msg>>,
+    wake: Arc<WakeCell>,
+    barrier: Arc<std::sync::Barrier>,
+    slot: usize,
+    nodes: usize,
+    workers_per_node: usize,
+    start: std::time::Instant,
+}
+
+impl ThreadedPsWorker {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        client: ClientCore,
+        net: Arc<ThreadedNet<Msg>>,
+        wake: Arc<WakeCell>,
+        barrier: Arc<std::sync::Barrier>,
+        slot: usize,
+        nodes: usize,
+        workers_per_node: usize,
+        start: std::time::Instant,
+    ) -> Self {
+        ThreadedPsWorker {
+            client,
+            net,
+            wake,
+            barrier,
+            slot,
+            nodes,
+            workers_per_node,
+            start,
+        }
+    }
+
+    fn send_sink(&self, sink: Vec<(NodeId, Msg)>) {
+        let src = self.client.node();
+        for (dst, msg) in sink {
+            self.net.send(src, dst, msg);
+        }
+    }
+
+    fn wait_done(&self, seq: u64) {
+        let tracker = &self.client.shared().tracker;
+        self.wake.wait_until(|| tracker.is_done(seq));
+    }
+}
+
+impl PsWorker for ThreadedPsWorker {
+    fn node(&self) -> NodeId {
+        self.client.node()
+    }
+
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn workers_per_node(&self) -> usize {
+        self.workers_per_node
+    }
+
+    fn value_len(&self, key: Key) -> usize {
+        self.client.shared().cfg.layout.len(key)
+    }
+
+    fn pull(&mut self, keys: &[Key], out: &mut [f32]) {
+        let mut sink = Vec::new();
+        let handle = self.client.pull(keys, Some(out), &mut sink);
+        self.send_sink(sink);
+        if let IssueHandle::Pending(seq) = handle {
+            self.wait_done(seq);
+            self.client.finish_pull(seq, out);
+        }
+    }
+
+    fn push(&mut self, keys: &[Key], vals: &[f32]) {
+        let mut sink = Vec::new();
+        let handle = self.client.push(keys, vals, &mut sink);
+        self.send_sink(sink);
+        if let IssueHandle::Pending(seq) = handle {
+            self.wait_done(seq);
+            self.client.finish_ack(seq);
+        }
+    }
+
+    fn localize(&mut self, keys: &[Key]) {
+        let mut sink = Vec::new();
+        let handle = self.client.localize(keys, &mut sink);
+        self.send_sink(sink);
+        if let IssueHandle::Pending(seq) = handle {
+            self.wait_done(seq);
+            self.client.finish_ack(seq);
+        }
+    }
+
+    fn pull_async(&mut self, keys: &[Key]) -> OpToken {
+        let mut sink = Vec::new();
+        let handle = self.client.pull(keys, None, &mut sink);
+        self.send_sink(sink);
+        match handle {
+            IssueHandle::Ready(vals) => OpToken {
+                kind: TokenKind::Pull,
+                state: TokenState::Ready(vals),
+            },
+            IssueHandle::Pending(seq) => OpToken {
+                kind: TokenKind::Pull,
+                state: TokenState::Pending(seq),
+            },
+        }
+    }
+
+    fn push_async(&mut self, keys: &[Key], vals: &[f32]) -> OpToken {
+        let mut sink = Vec::new();
+        let handle = self.client.push(keys, vals, &mut sink);
+        self.send_sink(sink);
+        OpToken {
+            kind: TokenKind::Push,
+            state: match handle {
+                IssueHandle::Ready(_) => TokenState::Ready(None),
+                IssueHandle::Pending(seq) => TokenState::Pending(seq),
+            },
+        }
+    }
+
+    fn localize_async(&mut self, keys: &[Key]) -> OpToken {
+        let mut sink = Vec::new();
+        let handle = self.client.localize(keys, &mut sink);
+        self.send_sink(sink);
+        OpToken {
+            kind: TokenKind::Localize,
+            state: match handle {
+                IssueHandle::Ready(_) => TokenState::Ready(None),
+                IssueHandle::Pending(seq) => TokenState::Pending(seq),
+            },
+        }
+    }
+
+    fn wait_pull(&mut self, token: OpToken) -> Vec<f32> {
+        assert_eq!(token.kind, TokenKind::Pull, "wait_pull on non-pull token");
+        match token.state {
+            TokenState::Ready(vals) => vals.expect("async pull carries values"),
+            TokenState::Pending(seq) => {
+                self.wait_done(seq);
+                self.client.take_pull(seq)
+            }
+        }
+    }
+
+    fn wait(&mut self, token: OpToken) {
+        assert_ne!(token.kind, TokenKind::Pull, "use wait_pull for pulls");
+        match token.state {
+            TokenState::Ready(_) => {}
+            TokenState::Pending(seq) => {
+                self.wait_done(seq);
+                self.client.finish_ack(seq);
+            }
+        }
+    }
+
+    fn pull_if_local(&mut self, key: Key, out: &mut [f32]) -> bool {
+        self.client.pull_if_local(key, out)
+    }
+
+    fn barrier(&mut self) {
+        self.barrier.wait();
+    }
+
+    fn charge(&mut self, _ns: u64) {
+        // Real time passes on the threaded backend.
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+/// Spawns the server thread of one node.
+pub(crate) fn spawn_server(
+    shared: Arc<NodeShared>,
+    net: Arc<ThreadedNet<Msg>>,
+) -> JoinHandle<()> {
+    let node = shared.node;
+    let endpoint = net.take_endpoint(node);
+    std::thread::Builder::new()
+        .name(format!("lapse-server-{node}"))
+        .spawn(move || {
+            let mut server = ServerCore::new(shared);
+            let mut sink = Vec::new();
+            while let Some(incoming) = endpoint.recv() {
+                if matches!(incoming.msg, Msg::Shutdown) {
+                    return;
+                }
+                server.handle(incoming.msg, &mut sink);
+                for (dst, msg) in sink.drain(..) {
+                    net.send(node, dst, msg);
+                }
+            }
+        })
+        .expect("spawn server thread")
+}

@@ -1,0 +1,215 @@
+//! Hand-tuned low-level matrix-factorization baseline.
+//!
+//! The paper's Section 4.4 compares Lapse against a specialized DSGD
+//! implementation (DSGDpp) that manages parameters manually with MPI
+//! primitives. This crate is that comparator, rebuilt on the simulator's
+//! message substrate:
+//!
+//! * row factors live in **worker-private memory** — no key–value
+//!   abstraction, no copy-in/copy-out, no latching;
+//! * the column-factor block lives in **node-shared memory** and is
+//!   transferred **directly from node to node** between subepochs as one
+//!   block message (no server indirection, no per-key bookkeeping);
+//! * the only synchronization is the subepoch barrier plus the block
+//!   hand-off.
+//!
+//! The code is intentionally task-specific: it exploits exactly the
+//! properties the paper lists (each node works on a disjoint model part
+//! at a time, communication is block-granular) and is unusable for any
+//! other workload — which is the trade-off Lapse generalizes away at a
+//! 2–2.6× cost (Figure 9).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use lapse_ml::data::matrix::Entry;
+use lapse_ml::metrics::EpochStats;
+use lapse_ml::mf::MfTask;
+use lapse_net::{NodeId, WireSize};
+use lapse_sim::{CostModel, SimCluster, SimProtocol, SimReport};
+use lapse_utils::rng::derive_rng;
+use rand::seq::SliceRandom;
+
+/// The only message: a column-factor block travelling to the next node.
+#[derive(Debug)]
+pub struct BlockMsg {
+    /// Block index.
+    pub block: u32,
+    /// Column factors, `(c1-c0) × rank` floats.
+    pub data: Vec<f32>,
+}
+
+impl WireSize for BlockMsg {
+    fn wire_bytes(&self) -> usize {
+        4 + 4 + self.data.len() * 4
+    }
+}
+
+/// Node-shared state: the block slot and the notification hook.
+pub struct LlNodeShared {
+    /// The currently-held block, if any.
+    slot: Mutex<Option<(u32, Vec<f32>)>>,
+    /// Wakes the node's workers when a block arrives (installed before
+    /// the run).
+    notify: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl LlNodeShared {
+    fn new() -> Arc<Self> {
+        Arc::new(LlNodeShared {
+            slot: Mutex::new(None),
+            notify: Mutex::new(None),
+        })
+    }
+
+    fn has_block(&self, block: u32) -> bool {
+        self.slot.lock().as_ref().map(|(b, _)| *b) == Some(block)
+    }
+}
+
+/// Per-node server: receives block messages.
+pub struct LlServer {
+    shared: Arc<LlNodeShared>,
+}
+
+/// The block-passing protocol.
+pub struct LlProto;
+
+impl SimProtocol for LlProto {
+    type Msg = BlockMsg;
+    type Server = LlServer;
+
+    fn handle(server: &mut LlServer, msg: BlockMsg, _out: &mut Vec<(NodeId, BlockMsg)>) {
+        *server.shared.slot.lock() = Some((msg.block, msg.data));
+        if let Some(n) = &*server.shared.notify.lock() {
+            n();
+        }
+    }
+
+    fn msg_load(msg: &BlockMsg) -> (u64, u64) {
+        // One "key" (the block) plus its payload.
+        (1, msg.data.len() as u64)
+    }
+}
+
+/// Runs the low-level DSGD implementation on the simulator with the same
+/// dataset, schedule, and hyper-parameters as [`MfTask`]; returns the
+/// per-worker epoch stats and the simulation report.
+pub fn run_lowlevel_mf(task: Arc<MfTask>, cost: CostModel) -> (Vec<Vec<EpochStats>>, SimReport) {
+    let (nodes, workers_per_node) = task.shape();
+    let rank = task.cfg.rank;
+    let init = task.initializer();
+
+    let shareds: Vec<Arc<LlNodeShared>> = (0..nodes).map(|_| LlNodeShared::new()).collect();
+    // Node i starts owning block i, initialized like the PS variant.
+    for (i, sh) in shareds.iter().enumerate() {
+        let (c0, c1) = task.block_cols(i);
+        let mut data = Vec::with_capacity((c1 - c0) as usize * rank);
+        for c in c0..c1 {
+            data.extend(init(task.col_key(c)).expect("initializer yields values"));
+        }
+        *sh.slot.lock() = Some((i as u32, data));
+    }
+    let servers: Vec<LlServer> = shareds
+        .iter()
+        .map(|sh| LlServer { shared: sh.clone() })
+        .collect();
+
+    let sim: SimCluster<LlProto> = SimCluster::new(cost, servers, workers_per_node);
+    for (n, sh) in shareds.iter().enumerate() {
+        let sim_shared = sim.shared().clone();
+        let base = n * workers_per_node;
+        *sh.notify.lock() = Some(Box::new(move || {
+            for t in 0..workers_per_node {
+                sim_shared.notify_task(base + t);
+            }
+        }));
+    }
+
+    let task2 = task.clone();
+    let shareds2 = shareds.clone();
+    let (report, results, _servers) = sim.run(move |ctx, node, slot| {
+        let task = &task2;
+        let shared = &shareds2[node.idx()];
+        let gid = node.idx() * workers_per_node + slot;
+        let (nodes, _) = task.shape();
+        let rank = task.cfg.rank;
+        let lr = task.cfg.lr;
+        let reg = task.cfg.reg;
+        let step_ns = task.cfg.compute.example_ns((12 * rank) as u64);
+        let init = task.initializer();
+
+        // Worker-private row factors: no KV store, no locks, no copies.
+        let (r0, r1) = task.row_range(gid);
+        let mut w_rows: Vec<f32> = Vec::with_capacity((r1 - r0) as usize * rank);
+        for r in r0..r1 {
+            w_rows.extend(init(task.row_key(r)).expect("initializer yields values"));
+        }
+
+        let mut stats = Vec::with_capacity(task.cfg.epochs);
+        for epoch in 0..task.cfg.epochs {
+            ctx.barrier();
+            let start_ns = ctx.now();
+            let mut loss = 0.0f64;
+            let mut examples = 0u64;
+            let mut rng = derive_rng(task.cfg.seed, (gid as u64) << 16 | epoch as u64);
+
+            for sub in 0..nodes {
+                let block = ((node.idx() + sub) % nodes) as u32;
+                // Wait for the block to arrive (first subepoch: already
+                // resident).
+                ctx.wait_until(|| shared.has_block(block));
+                let (c0, _c1) = task.block_cols(block as usize);
+
+                let mut order: Vec<u32> = task.bucket(gid, block as usize).to_vec();
+                order.shuffle(&mut rng);
+                for &ei in &order {
+                    let e: Entry = task.data.entries[ei as usize];
+                    // Direct in-place access: row factors private, column
+                    // factors under the node's block lock (uncontended in
+                    // virtual time; the real DSGDpp avoids even this by
+                    // nested blocking).
+                    let woff = (e.row - r0) as usize * rank;
+                    let mut slot_guard = shared.slot.lock();
+                    let (_, h) = slot_guard.as_mut().expect("block resident");
+                    let hoff = (e.col - c0) as usize * rank;
+                    let wi = &mut w_rows[woff..woff + rank];
+                    let hj = &mut h[hoff..hoff + rank];
+                    let dot: f32 = wi.iter().zip(hj.iter()).map(|(a, b)| a * b).sum();
+                    let err = e.val - dot;
+                    loss += (err as f64) * (err as f64);
+                    examples += 1;
+                    for k in 0..rank {
+                        let wv = wi[k];
+                        let hv = hj[k];
+                        wi[k] += lr * 2.0 * (err * hv - reg * wv);
+                        hj[k] += lr * 2.0 * (err * wv - reg * hv);
+                    }
+                    drop(slot_guard);
+                    ctx.charge(step_ns);
+                }
+
+                // All workers of all nodes finish the subepoch, then the
+                // first worker of each node ships the block onward.
+                ctx.barrier();
+                if slot == 0 && nodes > 1 {
+                    let (b, data) = shared.slot.lock().take().expect("block resident");
+                    let next = NodeId(((node.idx() + nodes - 1) % nodes) as u16);
+                    ctx.send(next, BlockMsg { block: b, data });
+                }
+                ctx.barrier();
+            }
+            let end_ns = ctx.now();
+            stats.push(EpochStats {
+                epoch,
+                start_ns,
+                end_ns,
+                loss,
+                examples,
+                eval: None,
+            });
+        }
+        stats
+    });
+    (results, report)
+}

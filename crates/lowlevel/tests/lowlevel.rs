@@ -1,0 +1,93 @@
+//! Low-level MF baseline tests: it must converge like the PS version and
+//! be faster than Lapse by roughly the paper's generalization-overhead
+//! factor (2.0–2.6× at rank 100; somewhat more at small ranks, where the
+//! per-operation overhead amortizes over fewer floats).
+
+use std::sync::Arc;
+
+use lapse_core::{run_sim, CostModel, PsConfig, Variant};
+use lapse_lowlevel::run_lowlevel_mf;
+use lapse_ml::data::matrix::{MatrixConfig, SparseMatrix};
+use lapse_ml::metrics::combine_runs;
+use lapse_ml::mf::{MfConfig, MfTask};
+
+fn task(nodes: usize, wpn: usize, epochs: usize, rank: usize) -> Arc<MfTask> {
+    let mut mcfg = MatrixConfig::small();
+    mcfg.rank = rank;
+    let data = Arc::new(SparseMatrix::generate(mcfg));
+    let mut cfg = MfConfig::small();
+    cfg.rank = rank;
+    cfg.epochs = epochs;
+    MfTask::new(data, cfg, nodes, wpn)
+}
+
+#[test]
+fn lowlevel_converges() {
+    let t = task(2, 2, 3, 8);
+    let (results, _report) = run_lowlevel_mf(t.clone(), CostModel::default());
+    let epochs = combine_runs(&results);
+    assert!(
+        epochs.last().unwrap().loss < 0.7 * epochs[0].loss,
+        "losses {:?}",
+        epochs.iter().map(|e| e.loss).collect::<Vec<_>>()
+    );
+    let total: u64 = epochs.iter().map(|e| e.examples).sum();
+    assert_eq!(total, 3 * t.data.nnz() as u64, "every entry every epoch");
+}
+
+#[test]
+fn lowlevel_faster_than_lapse_by_modest_factor() {
+    // Rank 32 so per-op overhead vs compute resembles the paper's setup.
+    let epochs = 1;
+    let ll_task = task(2, 2, epochs, 32);
+    let (_, report) = run_lowlevel_mf(ll_task.clone(), CostModel::default());
+    let ll_time = report.virtual_time_ns;
+
+    let ps_task = task(2, 2, epochs, 32);
+    let init = ps_task.initializer();
+    let t2 = ps_task.clone();
+    let (_, stats) = run_sim(
+        PsConfig::new(2, ps_task.num_keys(), 32).variant(Variant::Lapse).latches(64),
+        2,
+        CostModel::default(),
+        init,
+        move |w| t2.run(w),
+    );
+    let lapse_time = stats.virtual_time_ns.unwrap();
+
+    let ratio = lapse_time as f64 / ll_time as f64;
+    assert!(
+        (1.2..8.0).contains(&ratio),
+        "generalization overhead {ratio} (lapse {lapse_time} vs low-level {ll_time})"
+    );
+}
+
+#[test]
+fn lowlevel_single_node_needs_no_messages() {
+    let t = task(1, 2, 1, 8);
+    let (_, report) = run_lowlevel_mf(t, CostModel::default());
+    assert_eq!(report.messages, 0);
+}
+
+#[test]
+fn lowlevel_block_transfer_counts() {
+    let nodes = 3;
+    let epochs = 2;
+    let t = task(nodes, 1, epochs, 8);
+    let (_, report) = run_lowlevel_mf(t, CostModel::default());
+    // One block message per node per subepoch: nodes × nodes × epochs.
+    assert_eq!(report.messages, (nodes * nodes * epochs) as u64);
+}
+
+#[test]
+fn lowlevel_deterministic() {
+    let run = || {
+        let t = task(2, 2, 2, 8);
+        let (results, report) = run_lowlevel_mf(t, CostModel::default());
+        (combine_runs(&results), report.virtual_time_ns)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+}

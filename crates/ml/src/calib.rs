@@ -1,0 +1,85 @@
+//! Compute-cost calibration.
+//!
+//! The simulator charges virtual time for workload computation via the
+//! [`ComputeModel`](crate::ComputeModel). For deterministic tests the
+//! default model is used; the benchmark harness can instead calibrate
+//! `flops_per_ns` against the actual machine with a short measurement.
+
+use std::time::Instant;
+
+/// Measures the sustained f32 FLOP rate of a scalar multiply-add loop
+/// (the inner loop shape of all three trainers) and returns FLOPs per
+/// nanosecond.
+pub fn calibrate_flops() -> f64 {
+    // 64-element dot products, repeated; 2 FLOPs per element.
+    const N: usize = 64;
+    const REPS: u64 = 200_000;
+    let a: Vec<f32> = (0..N).map(|i| 1.0 + (i as f32) * 0.001).collect();
+    let b: Vec<f32> = (0..N).map(|i| 0.5 + (i as f32) * 0.002).collect();
+    let mut acc = 0.0f32;
+    let start = Instant::now();
+    for r in 0..REPS {
+        let mut dot = 0.0f32;
+        for i in 0..N {
+            dot += a[i] * b[i];
+        }
+        // Entangle the result so the loop cannot be optimized away.
+        acc += dot * ((r & 1) as f32 + 1.0);
+    }
+    let elapsed = start.elapsed().as_nanos().max(1) as f64;
+    std::hint::black_box(acc);
+    let flops = (REPS as f64) * (N as f64) * 2.0;
+    flops / elapsed
+}
+
+/// Measures the median per-call duration of `f` in nanoseconds.
+pub fn measure_ns(mut f: impl FnMut(), iters: u32) -> u64 {
+    assert!(iters > 0);
+    // Warm up.
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let mut samples: Vec<u64> = Vec::with_capacity(16);
+    for _ in 0..16 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as u64 / iters as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_plausible() {
+        let f = calibrate_flops();
+        // Anything from an emulated core to a vectorizing monster.
+        assert!((0.05..200.0).contains(&f), "flops/ns = {f}");
+    }
+
+    #[test]
+    fn measure_ns_orders_costs() {
+        let cheap = measure_ns(
+            || {
+                std::hint::black_box(1 + 1);
+            },
+            10_000,
+        );
+        let costly = measure_ns(
+            || {
+                let mut x = 0u64;
+                for i in 0..2000 {
+                    x = x.wrapping_add(std::hint::black_box(i));
+                }
+                std::hint::black_box(x);
+            },
+            1_000,
+        );
+        assert!(costly > cheap, "cheap={cheap} costly={costly}");
+    }
+}

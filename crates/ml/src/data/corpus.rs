@@ -1,0 +1,183 @@
+//! Synthetic text corpus for word-vector training.
+//!
+//! A stand-in for the One Billion Word benchmark with the property the
+//! paper's analysis hinges on: **word frequencies follow a Zipf law**, so
+//! a few hot parameters are accessed constantly (causing the localization
+//! conflicts that limit the latency-hiding technique, Section 4.3). A
+//! planted topic-mixture structure makes co-occurrences learnable, so the
+//! held-out error curves (Figure 8) have a signal.
+
+use rand::Rng;
+
+use lapse_utils::rng::derive_rng;
+use lapse_utils::zipf::Zipf;
+
+/// Configuration of a synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Total token count (across all sentences).
+    pub tokens: u64,
+    /// Mean sentence length.
+    pub sentence_len: usize,
+    /// Number of planted topics.
+    pub topics: u32,
+    /// Probability that a word is drawn from the sentence topic rather
+    /// than the global unigram distribution.
+    pub topic_strength: f64,
+    /// Zipf exponent of the unigram distribution.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// A small default corpus for tests.
+    pub fn small() -> Self {
+        CorpusConfig {
+            vocab: 300,
+            tokens: 20_000,
+            sentence_len: 12,
+            topics: 6,
+            topic_strength: 0.7,
+            skew: 1.0,
+            seed: 23,
+        }
+    }
+}
+
+/// A generated corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Generating configuration.
+    pub cfg: CorpusConfig,
+    /// Sentences of word ids.
+    pub sentences: Vec<Vec<u32>>,
+    /// Word frequencies (unigram counts over the generated text).
+    pub counts: Vec<u64>,
+}
+
+impl Corpus {
+    /// Generates the corpus.
+    pub fn generate(cfg: CorpusConfig) -> Self {
+        assert!(cfg.vocab >= cfg.topics, "need at least one word per topic");
+        let mut rng = derive_rng(cfg.seed, 0xC0_2B);
+        let unigram = Zipf::new(cfg.vocab as u64, cfg.skew);
+        let mut sentences = Vec::new();
+        let mut counts = vec![0u64; cfg.vocab as usize];
+        let mut produced = 0u64;
+        while produced < cfg.tokens {
+            // Sentence length ~ uniform around the mean.
+            let len = rng.gen_range(cfg.sentence_len / 2..=cfg.sentence_len * 3 / 2).max(2);
+            let topic = rng.gen_range(0..cfg.topics);
+            let mut sentence = Vec::with_capacity(len);
+            for _ in 0..len {
+                let base = (unigram.sample(&mut rng) - 1) as u32;
+                let word = if rng.gen::<f64>() < cfg.topic_strength {
+                    // Snap onto the sentence topic, preserving frequency
+                    // rank: words ≡ topic (mod topics) belong to it.
+                    ((base / cfg.topics) * cfg.topics + topic).min(cfg.vocab - 1)
+                } else {
+                    base
+                };
+                counts[word as usize] += 1;
+                sentence.push(word);
+            }
+            produced += sentence.len() as u64;
+            sentences.push(sentence);
+        }
+        Corpus {
+            cfg,
+            sentences,
+            counts,
+        }
+    }
+
+    /// Total tokens.
+    pub fn tokens(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The negative-sampling weights `count^{3/4}` of Mikolov et al.
+    pub fn neg_sampling_weights(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| (c as f64).powf(0.75))
+            .collect()
+    }
+
+    /// Subsampling keep-probability for frequent words (threshold `t`,
+    /// the paper uses 1e-5... scaled to corpus size): a word with
+    /// frequency share `f` is kept with probability `min(1, √(t/f))`.
+    pub fn keep_probabilities(&self, t: f64) -> Vec<f64> {
+        let total = self.tokens().max(1) as f64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    1.0
+                } else {
+                    (t / (c as f64 / total)).sqrt().min(1.0)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_tokens() {
+        let c = Corpus::generate(CorpusConfig::small());
+        assert!(c.tokens() >= 20_000);
+        assert!(c.sentences.iter().all(|s| s.len() >= 2));
+        assert!(c.sentences.iter().flatten().all(|&w| w < 300));
+    }
+
+    #[test]
+    fn frequencies_are_zipfian() {
+        let c = Corpus::generate(CorpusConfig::small());
+        let mut sorted = c.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        // Head dominance: top 10% of words cover > 40% of tokens.
+        let head: u64 = sorted.iter().take(30).sum();
+        assert!(
+            head as f64 / c.tokens() as f64 > 0.4,
+            "head share {}",
+            head as f64 / c.tokens() as f64
+        );
+    }
+
+    #[test]
+    fn keep_probabilities_penalize_frequent_words() {
+        let c = Corpus::generate(CorpusConfig::small());
+        let keep = c.keep_probabilities(1e-3);
+        let hottest = c
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .unwrap()
+            .0;
+        let rare = c
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .min_by_key(|&(_, &c)| c)
+            .unwrap()
+            .0;
+        assert!(keep[hottest] < keep[rare]);
+        assert!(keep.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Corpus::generate(CorpusConfig::small());
+        let b = Corpus::generate(CorpusConfig::small());
+        assert_eq!(a.sentences, b.sentences);
+    }
+}

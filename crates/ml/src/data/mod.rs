@@ -1,0 +1,17 @@
+//! Synthetic dataset generators.
+//!
+//! The paper's datasets are either synthetic themselves (the two matrix-
+//! factorization matrices of Makari et al.), not redistributable at this
+//! scale (the One Billion Word corpus), or simply large (DBpedia-500k).
+//! These generators reproduce the property that matters for a parameter-
+//! server evaluation — the **parameter access pattern** — plus enough
+//! planted structure that training losses actually decrease (so the
+//! error-over-time experiments have a signal to show).
+
+pub mod corpus;
+pub mod kg;
+pub mod matrix;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use kg::{KnowledgeGraph, KgConfig, Triple};
+pub use matrix::{MatrixConfig, SparseMatrix};

@@ -1,0 +1,602 @@
+//! Knowledge-graph embeddings: RESCAL and ComplEx.
+//!
+//! Training follows the paper's setup (Appendix A): SGD with AdaGrad
+//! (accumulators live in the PS next to the parameters), negative
+//! sampling by perturbing subject and object, and two PAL techniques:
+//!
+//! * **data clustering** for relation parameters — triples are
+//!   partitioned by relation over nodes, and each node localizes its
+//!   relations once, so relation access is always local;
+//! * **latency hiding** for entity parameters — while a data point is
+//!   processed, the parameters of the *next* data point (including its
+//!   negative samples) are pre-localized asynchronously.
+//!
+//! Models (entity dimension `d`):
+//!
+//! * **RESCAL** — `score(s,r,o) = eₛᵀ R e_o` with a `d×d` relation matrix
+//!   (`d²` floats): relation parameters are much larger than entity
+//!   parameters, which is why data clustering alone already helps RESCAL
+//!   more than ComplEx (Figure 7c vs 7a/b).
+//! * **ComplEx** — `score = Re⟨eₛ, w_r, ē_o⟩` with `d/2` complex entries
+//!   for entities and relations alike (`d` floats each).
+
+use std::sync::Arc;
+
+use lapse_core::{OpToken, PsWorker};
+use lapse_net::Key;
+use lapse_utils::rng::derive_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::data::kg::{KnowledgeGraph, Triple};
+use crate::metrics::EpochStats;
+use crate::mf::localize_chunked;
+use crate::opt::{sigmoid, softplus, AdaGrad};
+use crate::ComputeModel;
+
+/// Which embedding model to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KgeModel {
+    /// Bilinear model with d×d relation matrices.
+    Rescal,
+    /// Complex bilinear-diagonal model.
+    ComplEx,
+}
+
+/// Parameter-access-locality mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KgePal {
+    /// Data clustering for relations + latency hiding for entities (the
+    /// paper's full Lapse setup).
+    Full,
+    /// Data clustering only ("Lapse, only data clustering" in Figure 7).
+    ClusteringOnly,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct KgeConfig {
+    /// Model choice.
+    pub model: KgeModel,
+    /// Entity embedding size in floats (must be even for ComplEx).
+    pub dim: usize,
+    /// Negatives per side (the paper perturbs subject and object 10×).
+    pub negatives: usize,
+    /// AdaGrad base learning rate (paper: 0.1).
+    pub lr: f32,
+    /// AdaGrad epsilon.
+    pub eps: f32,
+    /// Epochs.
+    pub epochs: usize,
+    /// PAL technique selection.
+    pub pal: KgePal,
+    /// Seed.
+    pub seed: u64,
+    /// Compute-cost model.
+    pub compute: ComputeModel,
+    /// Charge virtual compute as if the entity dimension were this value
+    /// (e.g. 100 for the paper's RESCAL setup, 4000 for ComplEx-Large).
+    /// Keeps the paper's compute-to-communication ratio while training a
+    /// scaled-down model; see DESIGN.md.
+    pub virtual_dim: Option<usize>,
+}
+
+impl KgeConfig {
+    /// Small ComplEx defaults for tests.
+    pub fn small(model: KgeModel) -> Self {
+        KgeConfig {
+            model,
+            dim: 8,
+            negatives: 2,
+            lr: 0.1,
+            eps: 1e-8,
+            epochs: 2,
+            pal: KgePal::Full,
+            seed: 5,
+            compute: ComputeModel::default(),
+            virtual_dim: None,
+        }
+    }
+}
+
+/// A KGE training task, pre-partitioned for a fixed cluster shape.
+pub struct KgeTask {
+    /// The knowledge graph.
+    pub kg: Arc<KnowledgeGraph>,
+    /// Hyper-parameters.
+    pub cfg: KgeConfig,
+    /// Cluster shape the task was partitioned for.
+    pub nodes: usize,
+    /// Workers per node the task was partitioned for.
+    pub workers_per_node: usize,
+    /// Relation → node assignment (data clustering).
+    pub relation_node: Vec<u16>,
+    /// Triple indices per global worker.
+    worker_triples: Vec<Vec<u32>>,
+}
+
+impl KgeTask {
+    /// Builds the task: triples are assigned to the node owning their
+    /// relation and split round-robin over that node's workers.
+    pub fn new(
+        kg: Arc<KnowledgeGraph>,
+        cfg: KgeConfig,
+        nodes: usize,
+        workers_per_node: usize,
+    ) -> Arc<Self> {
+        if cfg.model == KgeModel::ComplEx {
+            assert!(cfg.dim % 2 == 0, "ComplEx needs an even dimension");
+        }
+        let relation_node = kg.partition_relations(nodes);
+        let mut per_node_counter = vec![0usize; nodes];
+        let mut worker_triples = vec![Vec::new(); nodes * workers_per_node];
+        for (i, t) in kg.train.iter().enumerate() {
+            let node = relation_node[t.r as usize] as usize;
+            let slot = per_node_counter[node] % workers_per_node;
+            per_node_counter[node] += 1;
+            worker_triples[node * workers_per_node + slot].push(i as u32);
+        }
+        Arc::new(KgeTask {
+            kg,
+            cfg,
+            nodes,
+            workers_per_node,
+            relation_node,
+            worker_triples,
+        })
+    }
+
+    /// Entity key.
+    pub fn entity_key(&self, e: u32) -> Key {
+        Key(e as u64)
+    }
+
+    /// Relation key.
+    pub fn relation_key(&self, r: u32) -> Key {
+        Key(self.kg.cfg.entities as u64 + r as u64)
+    }
+
+    /// Entity value length in floats (parameters only).
+    pub fn ent_len(&self) -> usize {
+        self.cfg.dim
+    }
+
+    /// Relation value length in floats (parameters only).
+    pub fn rel_len(&self) -> usize {
+        match self.cfg.model {
+            KgeModel::Rescal => self.cfg.dim * self.cfg.dim,
+            KgeModel::ComplEx => self.cfg.dim,
+        }
+    }
+
+    /// The PS layout: entities then relations, each doubled for the
+    /// AdaGrad accumulator.
+    pub fn layout(&self) -> lapse_proto::Layout {
+        lapse_proto::Layout::TwoTier {
+            split: self.kg.cfg.entities as u64,
+            first: (2 * self.ent_len()) as u32,
+            rest: (2 * self.rel_len()) as u32,
+        }
+    }
+
+    /// Total key count.
+    pub fn num_keys(&self) -> u64 {
+        self.kg.cfg.entities as u64 + self.kg.cfg.relations as u64
+    }
+
+    /// Deterministic initializer (uniform ±0.5/√dim; accumulators zero).
+    pub fn initializer(&self) -> impl Fn(Key) -> Option<Vec<f32>> + Send + Sync {
+        let seed = self.cfg.seed;
+        let entities = self.kg.cfg.entities as u64;
+        let ent_len = self.ent_len();
+        let rel_len = self.rel_len();
+        let dim = self.cfg.dim;
+        move |key: Key| {
+            let len = if key.0 < entities { ent_len } else { rel_len };
+            let mut rng = derive_rng(seed, 0x4E ^ key.0);
+            let scale = 0.5 / (dim as f32).sqrt();
+            let mut v = vec![0.0f32; 2 * len];
+            for x in v.iter_mut().take(len) {
+                *x = (rng.gen::<f32>() - 0.5) * 2.0 * scale;
+            }
+            Some(v)
+        }
+    }
+
+    /// FLOPs per (positive or negative) scored example, including the
+    /// gradient computation. Uses the virtual dimension when configured.
+    fn example_flops(&self) -> u64 {
+        let d = self.cfg.virtual_dim.unwrap_or(self.cfg.dim);
+        match self.cfg.model {
+            // two mat-vecs + outer product + updates ≈ 6d².
+            KgeModel::Rescal => (6 * d * d) as u64,
+            // ~12 FLOPs per complex coordinate for score+grads.
+            KgeModel::ComplEx => (12 * d) as u64,
+        }
+    }
+
+    /// Runs training on one worker.
+    pub fn run(&self, w: &mut dyn PsWorker) -> Vec<EpochStats> {
+        let gid = w.global_id();
+        let triples = &self.worker_triples[gid];
+        let ada = AdaGrad { lr: self.cfg.lr, eps: self.cfg.eps };
+        let example_ns = self.cfg.compute.example_ns(self.example_flops());
+
+        // Data clustering: localize the relations this worker trains.
+        let mut my_relations: Vec<u32> = triples
+            .iter()
+            .map(|&i| self.kg.train[i as usize].r)
+            .collect();
+        my_relations.sort_unstable();
+        my_relations.dedup();
+        let rel_keys: Vec<Key> = my_relations.iter().map(|&r| self.relation_key(r)).collect();
+        localize_chunked(w, &rel_keys);
+
+        let mut stats = Vec::with_capacity(self.cfg.epochs);
+        let mut scratch = Scratch::new(self);
+
+        for epoch in 0..self.cfg.epochs {
+            w.barrier();
+            let start_ns = w.now_ns();
+            let mut loss = 0.0f64;
+            let mut examples = 0u64;
+            let mut rng = derive_rng(self.cfg.seed, 0xE9 ^ ((gid as u64) << 20 | epoch as u64));
+
+            let mut order: Vec<u32> = triples.clone();
+            order.shuffle(&mut rng);
+
+            // Latency hiding: one-step-ahead pre-localization pipeline.
+            let mut pending: Option<(OpToken, Vec<u32>)> = None; // (token, negs of next)
+            let mut negs_for_current: Vec<u32> = self.sample_negs(&mut rng);
+            if self.cfg.pal == KgePal::Full {
+                if let Some(&first) = order.first() {
+                    let t = self.kg.train[first as usize];
+                    let token = self.prelocalize(w, t, &negs_for_current);
+                    w.wait(token);
+                }
+            }
+
+            for (pos, &ti) in order.iter().enumerate() {
+                let t = self.kg.train[ti as usize];
+                // Kick off pre-localization of the NEXT data point before
+                // computing on the current one (Appendix A: the transfer
+                // overlaps the computation for the current point).
+                if self.cfg.pal == KgePal::Full {
+                    if let Some(&ni) = order.get(pos + 1) {
+                        let nt = self.kg.train[ni as usize];
+                        let next_negs = self.sample_negs(&mut rng);
+                        let token = self.prelocalize(w, nt, &next_negs);
+                        pending = Some((token, next_negs));
+                    }
+                }
+
+                loss += self.train_one(w, t, &negs_for_current, &ada, &mut scratch);
+                examples += 1;
+                w.charge(example_ns * (1 + 2 * self.cfg.negatives as u64));
+
+                match pending.take() {
+                    Some((token, negs)) => {
+                        w.wait(token);
+                        negs_for_current = negs;
+                    }
+                    None => {
+                        negs_for_current = self.sample_negs(&mut rng);
+                    }
+                }
+            }
+            w.barrier();
+            let end_ns = w.now_ns();
+            stats.push(EpochStats {
+                epoch,
+                start_ns,
+                end_ns,
+                loss,
+                examples,
+                eval: None,
+            });
+        }
+        stats
+    }
+
+    fn sample_negs(&self, rng: &mut lapse_utils::rng::Rng) -> Vec<u32> {
+        (0..2 * self.cfg.negatives)
+            .map(|_| rng.gen_range(0..self.kg.cfg.entities))
+            .collect()
+    }
+
+    /// Pre-localizes the entity parameters of a data point: subject,
+    /// object, and the entities of its negative samples.
+    fn prelocalize(&self, w: &mut dyn PsWorker, t: Triple, negs: &[u32]) -> OpToken {
+        let mut keys = Vec::with_capacity(2 + negs.len());
+        keys.push(self.entity_key(t.s));
+        keys.push(self.entity_key(t.o));
+        keys.extend(negs.iter().map(|&e| self.entity_key(e)));
+        w.localize_async(&keys)
+    }
+
+    /// Trains on one positive triple plus its negatives; returns the
+    /// logistic loss.
+    ///
+    /// Each (positive or negative) example is processed **individually**:
+    /// pull its three parameters, compute, push the AdaGrad deltas. This
+    /// is how the paper's implementations access the PS (negatives are
+    /// scored one after another), and it is precisely the access pattern
+    /// that makes classic PSs pay one synchronous round trip per example
+    /// while Lapse serves the pre-localized parameters from shared
+    /// memory.
+    fn train_one(
+        &self,
+        w: &mut dyn PsWorker,
+        t: Triple,
+        negs: &[u32],
+        ada: &AdaGrad,
+        s: &mut Scratch,
+    ) -> f64 {
+        let half = self.cfg.negatives;
+        let mut loss = 0.0f64;
+        // Positive example, then perturbed-subject and perturbed-object
+        // negatives (the first `half` negatives replace the subject, the
+        // rest the object).
+        loss += self.train_example(w, t.s, t.r, t.o, 1.0, ada, s);
+        for k in 0..half {
+            loss += self.train_example(w, negs[k], t.r, t.o, 0.0, ada, s);
+            loss += self.train_example(w, t.s, t.r, negs[half + k], 0.0, ada, s);
+        }
+        loss
+    }
+
+    /// One SGD example: pull `[relation, subject, object]`, compute the
+    /// logistic loss and gradients, push AdaGrad deltas.
+    fn train_example(
+        &self,
+        w: &mut dyn PsWorker,
+        subj: u32,
+        rel: u32,
+        obj: u32,
+        label: f32,
+        ada: &AdaGrad,
+        s: &mut Scratch,
+    ) -> f64 {
+        let dim = self.cfg.dim;
+        let rel_len = self.rel_len();
+        s.keys.clear();
+        s.keys.push(self.relation_key(rel));
+        s.keys.push(self.entity_key(subj));
+        s.keys.push(self.entity_key(obj));
+        let total = 2 * rel_len + 2 * 2 * dim;
+        s.pulled.resize(total, 0.0);
+        w.pull(&s.keys, &mut s.pulled);
+
+        s.grads.clear();
+        s.grads.resize(rel_len + 2 * dim, 0.0);
+        let rel_off = 0;
+        let subj_off = 2 * rel_len;
+        let obj_off = 2 * rel_len + 2 * dim;
+        let (score, _) =
+            self.score_and_grads(s, rel_off, subj_off, obj_off, 0, 1, label);
+        let loss = if label > 0.5 {
+            softplus(-score) as f64
+        } else {
+            softplus(score) as f64
+        };
+
+        // AdaGrad deltas per key, pushed in one grouped (3-key) op.
+        s.deltas.resize(total, 0.0);
+        let mut goff = 0usize;
+        let mut poff = 0usize;
+        for i in 0..3 {
+            let len = if i == 0 { rel_len } else { dim };
+            let pulled = &s.pulled[poff..poff + 2 * len];
+            let grad = &s.grads[goff..goff + len];
+            ada.delta(pulled, grad, &mut s.deltas[poff..poff + 2 * len]);
+            goff += len;
+            poff += 2 * len;
+        }
+        w.push(&s.keys, &s.deltas);
+        loss
+    }
+
+    /// Computes the score of one example and accumulates gradients into
+    /// `s.grads` (scaled by `σ(score) − label`).
+    #[allow(clippy::too_many_arguments)]
+    fn score_and_grads(
+        &self,
+        s: &mut Scratch,
+        rel_off: usize,
+        subj_off: usize,
+        obj_off: usize,
+        subj_slot: usize,
+        obj_slot: usize,
+        label: f32,
+    ) -> (f32, ()) {
+        let dim = self.cfg.dim;
+        let rel_len = self.rel_len();
+        // Parameter halves (pulled buffers are [param | accum]).
+        let rel = &s.pulled[rel_off..rel_off + rel_len];
+        let es = &s.pulled[subj_off..subj_off + dim];
+        let eo = &s.pulled[obj_off..obj_off + dim];
+        // Gradient slot offsets (grads hold parameter halves only,
+        // in key order: relation first, then entities).
+        let g_rel = 0;
+        let g_of = |slot: usize| rel_len + slot * dim;
+
+        match self.cfg.model {
+            KgeModel::Rescal => {
+                // score = esᵀ R eo; R row-major d×d.
+                let mut ro = vec![0.0f32; dim]; // R · eo
+                let mut rts = vec![0.0f32; dim]; // Rᵀ · es
+                let mut score = 0.0f32;
+                for i in 0..dim {
+                    let row = &rel[i * dim..(i + 1) * dim];
+                    let mut acc = 0.0f32;
+                    for j in 0..dim {
+                        acc += row[j] * eo[j];
+                        rts[j] += row[j] * es[i];
+                    }
+                    ro[i] = acc;
+                    score += es[i] * acc;
+                }
+                let g = sigmoid(score) - label;
+                let (gs_off, go_off) = (g_of(subj_slot), g_of(obj_slot));
+                for i in 0..dim {
+                    s.grads[gs_off + i] += g * ro[i];
+                    s.grads[go_off + i] += g * rts[i];
+                    for j in 0..dim {
+                        s.grads[g_rel + i * dim + j] += g * es[i] * eo[j];
+                    }
+                }
+                (score, ())
+            }
+            KgeModel::ComplEx => {
+                // Halves: first dim/2 real, last dim/2 imaginary.
+                let h = dim / 2;
+                let (sr, si) = (&es[..h], &es[h..]);
+                let (or_, oi) = (&eo[..h], &eo[h..]);
+                let (rr, ri) = (&rel[..h], &rel[h..]);
+                let mut score = 0.0f32;
+                for i in 0..h {
+                    score += rr[i] * (sr[i] * or_[i] + si[i] * oi[i])
+                        + ri[i] * (sr[i] * oi[i] - si[i] * or_[i]);
+                }
+                let g = sigmoid(score) - label;
+                let (gs, go) = (g_of(subj_slot), g_of(obj_slot));
+                for i in 0..h {
+                    // d/d sr, d/d si
+                    s.grads[gs + i] += g * (rr[i] * or_[i] + ri[i] * oi[i]);
+                    s.grads[gs + h + i] += g * (rr[i] * oi[i] - ri[i] * or_[i]);
+                    // d/d or, d/d oi
+                    s.grads[go + i] += g * (rr[i] * sr[i] - ri[i] * si[i]);
+                    s.grads[go + h + i] += g * (rr[i] * si[i] + ri[i] * sr[i]);
+                    // d/d rr, d/d ri
+                    s.grads[g_rel + i] += g * (sr[i] * or_[i] + si[i] * oi[i]);
+                    s.grads[g_rel + h + i] += g * (sr[i] * oi[i] - si[i] * or_[i]);
+                }
+                (score, ())
+            }
+        }
+    }
+}
+
+/// Reusable per-worker buffers.
+struct Scratch {
+    keys: Vec<Key>,
+    pulled: Vec<f32>,
+    grads: Vec<f32>,
+    deltas: Vec<f32>,
+}
+
+impl Scratch {
+    fn new(_task: &KgeTask) -> Self {
+        Scratch {
+            keys: Vec::new(),
+            pulled: Vec::new(),
+            grads: Vec::new(),
+            deltas: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::kg::KgConfig;
+
+    fn task(model: KgeModel) -> Arc<KgeTask> {
+        let kg = Arc::new(KnowledgeGraph::generate(KgConfig::small()));
+        KgeTask::new(kg, KgeConfig::small(model), 2, 2)
+    }
+
+    #[test]
+    fn triples_assigned_to_relation_owner() {
+        let t = task(KgeModel::ComplEx);
+        for (g, triples) in t.worker_triples.iter().enumerate() {
+            let node = g / t.workers_per_node;
+            for &ti in triples {
+                let r = t.kg.train[ti as usize].r;
+                assert_eq!(
+                    t.relation_node[r as usize] as usize, node,
+                    "triple of relation {r} on wrong node"
+                );
+            }
+        }
+        let total: usize = t.worker_triples.iter().map(|v| v.len()).sum();
+        assert_eq!(total, t.kg.train.len());
+    }
+
+    #[test]
+    fn layout_matches_model() {
+        let t = task(KgeModel::Rescal);
+        let l = t.layout();
+        assert_eq!(l.len(lapse_net::Key(0)), 2 * 8); // entity: 2·d
+        assert_eq!(l.len(lapse_net::Key(500)), 2 * 64); // relation: 2·d²
+        let t = task(KgeModel::ComplEx);
+        let l = t.layout();
+        assert_eq!(l.len(lapse_net::Key(500)), 2 * 8); // relation: 2·d
+    }
+
+    #[test]
+    fn rescal_gradients_match_finite_differences() {
+        let t = task(KgeModel::Rescal);
+        check_grads(&t);
+    }
+
+    #[test]
+    fn complex_gradients_match_finite_differences() {
+        let t = task(KgeModel::ComplEx);
+        check_grads(&t);
+    }
+
+    /// Numerical gradient check of `score_and_grads` through the loss.
+    fn check_grads(t: &KgeTask) {
+        let dim = t.cfg.dim;
+        let rel_len = t.rel_len();
+        let total = 2 * rel_len + 2 * (2 * dim); // rel + subject + object
+        let mut s = Scratch {
+            keys: vec![],
+            pulled: vec![0.0; total],
+            grads: vec![0.0; rel_len + 2 * dim],
+            deltas: vec![],
+        };
+        let mut rng = derive_rng(1, 2);
+        for v in s.pulled.iter_mut() {
+            *v = (rng.gen::<f32>() - 0.5) * 0.6;
+        }
+        let label = 1.0;
+        let rel_off = 0;
+        let s_off = 2 * rel_len;
+        let o_off = 2 * rel_len + 2 * dim;
+
+        let loss_of = |pulled: &[f32]| -> f64 {
+            let mut tmp = Scratch {
+                keys: vec![],
+                pulled: pulled.to_vec(),
+                grads: vec![0.0; rel_len + 2 * dim],
+                deltas: vec![],
+            };
+            let (score, _) = t.score_and_grads(&mut tmp, rel_off, s_off, o_off, 0, 1, label);
+            softplus(-score) as f64
+        };
+
+        let (_score, _) = t.score_and_grads(&mut s, rel_off, s_off, o_off, 0, 1, label);
+        // Check a sample of coordinates: relation[0], subject[1], object
+        // [dim-1].
+        let checks = [
+            (rel_off, 0usize, 0usize),        // pulled idx, grads idx base, coord
+            (s_off + 1, rel_len + 1, 0),
+            (o_off + dim - 1, rel_len + dim + (dim - 1), 0),
+        ];
+        let eps = 1e-3f32;
+        for &(p_idx, g_idx, _) in &checks {
+            let mut plus = s.pulled.clone();
+            plus[p_idx] += eps;
+            let mut minus = s.pulled.clone();
+            minus[p_idx] -= eps;
+            let num = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps as f64);
+            let ana = s.grads[g_idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "grad mismatch at {p_idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+}

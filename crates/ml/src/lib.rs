@@ -1,0 +1,68 @@
+//! ML workloads for the Lapse reproduction.
+//!
+//! The paper evaluates three training tasks (Section 4.1, Table 4), each
+//! exercising a different parameter-access-locality technique:
+//!
+//! * [`mf`] — low-rank **matrix factorization** with the DSGD *parameter
+//!   blocking* schedule of Gemulla et al.: within a subepoch each node
+//!   works on one column block, and blocks rotate between subepochs.
+//! * [`kge`] — **knowledge-graph embeddings** (RESCAL and ComplEx) with
+//!   *data clustering* for relation parameters (training triples are
+//!   partitioned by relation) and *latency hiding* for entity parameters
+//!   (the next data point's parameters are pre-localized while the
+//!   current one is processed).
+//! * [`w2v`] — **word vectors** (skip-gram with negative sampling) with
+//!   *latency hiding* for all parameters: sentences are pre-localized on
+//!   read, negatives are pre-sampled in batches and only locally
+//!   available negatives are used.
+//!
+//! All trainers are written against the backend-agnostic
+//! [`PsWorker`](lapse_core::PsWorker) trait, so the identical training
+//! code runs on the threaded runtime, the simulator, and the SSP
+//! baseline. The datasets the paper uses are not redistributable (or too
+//! large); [`data`] provides synthetic generators that reproduce the
+//! relevant access patterns (see DESIGN.md for the substitution
+//! rationale).
+
+pub mod calib;
+pub mod data;
+pub mod kge;
+pub mod metrics;
+pub mod mf;
+pub mod opt;
+pub mod w2v;
+
+pub use metrics::EpochStats;
+
+/// Converts floating-point operation counts into virtual nanoseconds for
+/// the simulator's compute accounting.
+///
+/// The default assumes ~4 f32 FLOPs per nanosecond per core (a
+/// conservative figure for the paper's 2013-era Xeon E5-2640 v2 on
+/// non-vectorized SGD inner loops), plus a fixed per-example overhead for
+/// bookkeeping. [`calib::calibrate_flops`] measures the real machine
+/// instead when realism matters more than determinism.
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeModel {
+    /// f32 operations per nanosecond.
+    pub flops_per_ns: f64,
+    /// Fixed overhead per training example (ns).
+    pub example_overhead_ns: u64,
+}
+
+impl Default for ComputeModel {
+    fn default() -> Self {
+        ComputeModel {
+            flops_per_ns: 4.0,
+            example_overhead_ns: 60,
+        }
+    }
+}
+
+impl ComputeModel {
+    /// Virtual nanoseconds for `flops` floating-point operations plus the
+    /// per-example overhead.
+    pub fn example_ns(&self, flops: u64) -> u64 {
+        (flops as f64 / self.flops_per_ns) as u64 + self.example_overhead_ns
+    }
+}

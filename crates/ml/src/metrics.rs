@@ -1,0 +1,101 @@
+//! Per-epoch training metrics.
+
+/// Statistics of one training epoch, as observed by one worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Worker clock at epoch start (ns; virtual on the simulator).
+    pub start_ns: u64,
+    /// Worker clock at epoch end, after the closing barrier.
+    pub end_ns: u64,
+    /// Sum of the training loss over the worker's examples (pre-update).
+    pub loss: f64,
+    /// Examples processed by this worker.
+    pub examples: u64,
+    /// Optional evaluation metric (task-specific; e.g. held-out error).
+    pub eval: Option<f64>,
+}
+
+impl EpochStats {
+    /// Epoch duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Combines the per-worker views of one epoch into cluster-level numbers:
+/// epoch time is the latest end minus the earliest start; losses and
+/// example counts add up; the eval metric is averaged.
+pub fn combine_epoch(worker_stats: &[&EpochStats]) -> EpochStats {
+    assert!(!worker_stats.is_empty());
+    let epoch = worker_stats[0].epoch;
+    debug_assert!(worker_stats.iter().all(|s| s.epoch == epoch));
+    let start_ns = worker_stats.iter().map(|s| s.start_ns).min().expect("nonempty");
+    let end_ns = worker_stats.iter().map(|s| s.end_ns).max().expect("nonempty");
+    let loss = worker_stats.iter().map(|s| s.loss).sum();
+    let examples = worker_stats.iter().map(|s| s.examples).sum();
+    let evals: Vec<f64> = worker_stats.iter().filter_map(|s| s.eval).collect();
+    let eval = if evals.is_empty() {
+        None
+    } else {
+        Some(evals.iter().sum::<f64>() / evals.len() as f64)
+    };
+    EpochStats {
+        epoch,
+        start_ns,
+        end_ns,
+        loss,
+        examples,
+        eval,
+    }
+}
+
+/// Combines per-worker epoch traces (`results[worker][epoch]`) into one
+/// cluster-level trace.
+pub fn combine_runs(results: &[Vec<EpochStats>]) -> Vec<EpochStats> {
+    assert!(!results.is_empty());
+    let epochs = results[0].len();
+    assert!(results.iter().all(|r| r.len() == epochs), "ragged epoch traces");
+    (0..epochs)
+        .map(|e| combine_epoch(&results.iter().map(|r| &r[e]).collect::<Vec<_>>()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(epoch: usize, start: u64, end: u64, loss: f64) -> EpochStats {
+        EpochStats {
+            epoch,
+            start_ns: start,
+            end_ns: end,
+            loss,
+            examples: 10,
+            eval: None,
+        }
+    }
+
+    #[test]
+    fn combine_takes_span_and_sums() {
+        let a = s(0, 100, 900, 1.5);
+        let b = s(0, 120, 1000, 2.5);
+        let c = combine_epoch(&[&a, &b]);
+        assert_eq!(c.start_ns, 100);
+        assert_eq!(c.end_ns, 1000);
+        assert_eq!(c.loss, 4.0);
+        assert_eq!(c.examples, 20);
+        assert_eq!(c.duration_ns(), 900);
+    }
+
+    #[test]
+    fn combine_runs_per_epoch() {
+        let w0 = vec![s(0, 0, 10, 1.0), s(1, 10, 20, 0.5)];
+        let w1 = vec![s(0, 0, 12, 1.0), s(1, 12, 19, 0.5)];
+        let combined = combine_runs(&[w0, w1]);
+        assert_eq!(combined.len(), 2);
+        assert_eq!(combined[0].end_ns, 12);
+        assert_eq!(combined[1].loss, 1.0);
+    }
+}

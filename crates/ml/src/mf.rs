@@ -1,0 +1,321 @@
+//! Matrix factorization with the DSGD parameter-blocking schedule.
+//!
+//! The model factorizes a sparse `m×n` matrix into rank-`r` factors `W`
+//! (one row vector per matrix row) and `H` (one column vector per matrix
+//! column), minimizing L2-regularized squared error by SGD over observed
+//! entries.
+//!
+//! **Parameter blocking** (Gemulla et al., Section 2.2.2 / Figure 3b of
+//! the paper): the columns are split into one block per node; an epoch
+//! consists of `N` subepochs, and in subepoch `t` node `i` trains only on
+//! entries whose column lies in block `(i+t) mod N`. Row factors are
+//! *data-clustered*: rows are partitioned over workers, and each worker
+//! localizes its rows once. Column blocks are localized at every
+//! subepoch start. With Lapse this makes **every** parameter access
+//! during a subepoch local; with a classic PS the same code pays a
+//! network round trip per access; with SSP the `advance_clock` call after
+//! each subepoch emulates blocking through replica refreshes (staleness
+//! 1, as in the paper's Appendix A).
+
+use std::sync::Arc;
+
+use lapse_core::PsWorker;
+use lapse_net::Key;
+use lapse_utils::rng::derive_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::data::matrix::SparseMatrix;
+use crate::metrics::EpochStats;
+use crate::ComputeModel;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct MfConfig {
+    /// Factorization rank (the paper uses 100; scaled runs use less).
+    pub rank: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// L2 regularization strength.
+    pub reg: f32,
+    /// Epochs to train.
+    pub epochs: usize,
+    /// Seed for initialization and shuffling.
+    pub seed: u64,
+    /// Compute-cost model for the simulator.
+    pub compute: ComputeModel,
+    /// Charge virtual compute as if the rank were this value (the
+    /// experiment harness trains a scaled-down model but accounts the
+    /// paper's rank-100 step cost, preserving the paper's compute-to-
+    /// communication ratio; see DESIGN.md).
+    pub virtual_rank: Option<usize>,
+}
+
+impl MfConfig {
+    /// Small defaults for tests.
+    pub fn small() -> Self {
+        MfConfig {
+            rank: 8,
+            lr: 0.05,
+            reg: 0.01,
+            epochs: 2,
+            seed: 3,
+            compute: ComputeModel::default(),
+            virtual_rank: None,
+        }
+    }
+}
+
+/// A matrix-factorization training task, pre-partitioned for a fixed
+/// cluster shape.
+pub struct MfTask {
+    /// The dataset.
+    pub data: Arc<SparseMatrix>,
+    /// Hyper-parameters.
+    pub cfg: MfConfig,
+    nodes: usize,
+    workers_per_node: usize,
+    /// `buckets[global_worker][block]` → indices into `data.entries`.
+    buckets: Vec<Vec<Vec<u32>>>,
+    /// Row range per global worker.
+    row_ranges: Vec<(u32, u32)>,
+}
+
+impl MfTask {
+    /// Builds the task for a cluster of `nodes × workers_per_node`
+    /// workers.
+    ///
+    /// Rows are range-partitioned over *nodes* and then over each node's
+    /// workers; columns are range-partitioned into `nodes` blocks.
+    pub fn new(
+        data: Arc<SparseMatrix>,
+        cfg: MfConfig,
+        nodes: usize,
+        workers_per_node: usize,
+    ) -> Arc<Self> {
+        let total_workers = nodes * workers_per_node;
+        let rows = data.cfg.rows;
+        let cols = data.cfg.cols;
+        let row_ranges: Vec<(u32, u32)> = (0..total_workers)
+            .map(|g| {
+                let per = rows.div_ceil(total_workers as u32);
+                let start = (g as u32) * per;
+                (start.min(rows), ((g as u32 + 1) * per).min(rows))
+            })
+            .collect();
+        let col_block = |c: u32| -> usize {
+            let per = cols.div_ceil(nodes as u32);
+            ((c / per) as usize).min(nodes - 1)
+        };
+        let worker_of_row = |r: u32| -> usize {
+            let per = rows.div_ceil(total_workers as u32);
+            ((r / per) as usize).min(total_workers - 1)
+        };
+        let mut buckets = vec![vec![Vec::new(); nodes]; total_workers];
+        for (i, e) in data.entries.iter().enumerate() {
+            buckets[worker_of_row(e.row)][col_block(e.col)].push(i as u32);
+        }
+        Arc::new(MfTask {
+            data,
+            cfg,
+            nodes,
+            workers_per_node,
+            buckets,
+            row_ranges,
+        })
+    }
+
+    /// Key of row factor `r`.
+    pub fn row_key(&self, r: u32) -> Key {
+        Key(r as u64)
+    }
+
+    /// Key of column factor `c`.
+    pub fn col_key(&self, c: u32) -> Key {
+        Key(self.data.cfg.rows as u64 + c as u64)
+    }
+
+    /// Total key count (`rows + cols`).
+    pub fn num_keys(&self) -> u64 {
+        self.data.cfg.rows as u64 + self.data.cfg.cols as u64
+    }
+
+    /// Column range `[start, end)` of block `b` (one block per node).
+    pub fn block_cols(&self, b: usize) -> (u32, u32) {
+        let per = self.data.cfg.cols.div_ceil(self.nodes as u32);
+        let start = (b as u32) * per;
+        (
+            start.min(self.data.cfg.cols),
+            ((b as u32 + 1) * per).min(self.data.cfg.cols),
+        )
+    }
+
+    /// Row range `[start, end)` assigned to global worker `gid`.
+    pub fn row_range(&self, gid: usize) -> (u32, u32) {
+        self.row_ranges[gid]
+    }
+
+    /// Entry indices of global worker `gid` within block `b`.
+    pub fn bucket(&self, gid: usize, block: usize) -> &[u32] {
+        &self.buckets[gid][block]
+    }
+
+    /// The cluster shape this task was partitioned for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nodes, self.workers_per_node)
+    }
+
+    /// Deterministic initializer for the parameter server: factors are
+    /// uniform in `±0.5/√rank`, derived from the seed and key.
+    pub fn initializer(&self) -> impl Fn(Key) -> Option<Vec<f32>> + Send + Sync {
+        let rank = self.cfg.rank;
+        let seed = self.cfg.seed;
+        move |key: Key| {
+            let mut rng = derive_rng(seed, 0xB00 ^ key.0);
+            let scale = 0.5 / (rank as f32).sqrt();
+            Some((0..rank).map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale).collect())
+        }
+    }
+
+    /// Runs the training loop on one worker; returns per-epoch stats.
+    pub fn run(&self, w: &mut dyn PsWorker) -> Vec<EpochStats> {
+        let rank = self.cfg.rank;
+        let gid = w.global_id();
+        let node = w.node().idx();
+        let slot = w.slot();
+
+        // Data clustering: localize this worker's row factors once.
+        let (r0, r1) = self.row_ranges[gid];
+        let row_keys: Vec<Key> = (r0..r1).map(|r| self.row_key(r)).collect();
+        localize_chunked(w, &row_keys);
+
+        let mut pulled = vec![0.0f32; 2 * rank];
+        let mut delta = vec![0.0f32; 2 * rank];
+        let mut stats = Vec::with_capacity(self.cfg.epochs);
+        // FLOPs per SGD step: dot (2r) + two scaled updates (4r each)
+        // plus regularization (2r). Charged at the virtual rank if set.
+        let cost_rank = self.cfg.virtual_rank.unwrap_or(rank);
+        let step_ns = self.cfg.compute.example_ns((12 * cost_rank) as u64);
+
+        for epoch in 0..self.cfg.epochs {
+            w.barrier();
+            let start_ns = w.now_ns();
+            let mut loss = 0.0f64;
+            let mut examples = 0u64;
+            let mut rng = derive_rng(self.cfg.seed, (gid as u64) << 16 | epoch as u64);
+
+            for sub in 0..self.nodes {
+                let block = (node + sub) % self.nodes;
+                // Localize this worker's slice of the block's columns
+                // (the node's workers split the block).
+                let (c0, c1) = self.block_cols(block);
+                let span = c1.saturating_sub(c0);
+                let per = span.div_ceil(self.workers_per_node as u32).max(1);
+                let my0 = c0 + (slot as u32) * per;
+                let my1 = (my0 + per).min(c1);
+                if my0 < c1 {
+                    let col_keys: Vec<Key> =
+                        (my0..my1).map(|c| self.col_key(c)).collect();
+                    localize_chunked(w, &col_keys);
+                }
+
+                // Train on this worker's entries of the block.
+                let mut order: Vec<u32> = self.buckets[gid][block].clone();
+                order.shuffle(&mut rng);
+                for &ei in &order {
+                    let e = self.data.entries[ei as usize];
+                    let keys = [self.row_key(e.row), self.col_key(e.col)];
+                    w.pull(&keys, &mut pulled);
+                    let (wi, hj) = pulled.split_at(rank);
+                    let dot: f32 = wi.iter().zip(hj).map(|(a, b)| a * b).sum();
+                    let err = e.val - dot;
+                    loss += (err as f64) * (err as f64);
+                    examples += 1;
+                    // delta = lr·(2·err·other − 2·reg·own)
+                    let (dw, dh) = delta.split_at_mut(rank);
+                    for k in 0..rank {
+                        dw[k] = self.cfg.lr * 2.0 * (err * hj[k] - self.cfg.reg * wi[k]);
+                        dh[k] = self.cfg.lr * 2.0 * (err * wi[k] - self.cfg.reg * hj[k]);
+                    }
+                    w.push(&keys, &delta);
+                    w.charge(step_ns);
+                }
+
+                // Subepoch boundary: flush (SSP) and synchronize.
+                w.advance_clock();
+                w.barrier();
+            }
+            let end_ns = w.now_ns();
+            stats.push(EpochStats {
+                epoch,
+                start_ns,
+                end_ns,
+                loss,
+                examples,
+                eval: None,
+            });
+        }
+        stats
+    }
+}
+
+/// Localizes keys in bounded chunks so single messages stay reasonable.
+pub(crate) fn localize_chunked(w: &mut dyn PsWorker, keys: &[Key]) {
+    for chunk in keys.chunks(4096) {
+        w.localize(chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::matrix::MatrixConfig;
+
+    #[test]
+    fn buckets_cover_all_entries_exactly_once() {
+        let data = Arc::new(SparseMatrix::generate(MatrixConfig::small()));
+        let task = MfTask::new(data.clone(), MfConfig::small(), 3, 2);
+        let mut seen = vec![false; data.nnz()];
+        for g in 0..6 {
+            for b in 0..3 {
+                for &ei in &task.buckets[g][b] {
+                    assert!(!seen[ei as usize], "entry {ei} in two buckets");
+                    seen[ei as usize] = true;
+                    let e = data.entries[ei as usize];
+                    // Row belongs to worker g, column to block b.
+                    let (r0, r1) = task.row_ranges[g];
+                    assert!((r0..r1).contains(&e.row));
+                    let (c0, c1) = task.block_cols(b);
+                    assert!((c0..c1).contains(&e.col));
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "entries missing from buckets");
+    }
+
+    #[test]
+    fn initializer_is_deterministic_and_scaled() {
+        let data = Arc::new(SparseMatrix::generate(MatrixConfig::small()));
+        let task = MfTask::new(data, MfConfig::small(), 2, 1);
+        let init = task.initializer();
+        let a = init(Key(5)).unwrap();
+        let b = init(Key(5)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let bound = 0.5 / (8.0f32).sqrt();
+        assert!(a.iter().all(|v| v.abs() <= bound));
+        assert_ne!(init(Key(6)).unwrap(), a);
+    }
+
+    #[test]
+    fn block_cols_partition_columns() {
+        let data = Arc::new(SparseMatrix::generate(MatrixConfig::small()));
+        let task = MfTask::new(data, MfConfig::small(), 3, 1);
+        let mut covered = 0;
+        for b in 0..3 {
+            let (c0, c1) = task.block_cols(b);
+            covered += c1 - c0;
+        }
+        assert_eq!(covered, 100);
+    }
+}

@@ -1,0 +1,136 @@
+//! Optimizers.
+//!
+//! Parameter-server training pushes *cumulative deltas*: the worker pulls
+//! the current value, computes the update locally, and pushes the
+//! difference. Plain SGD needs no extra state; AdaGrad keeps its
+//! accumulator **inside the parameter server** next to the value (the
+//! paper stores the AdaGrad metadata in the PS, Appendix A), so a value
+//! of logical dimension `d` occupies `2d` floats: `[param | accum]`.
+
+/// Plain SGD with a fixed learning rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Writes the push-delta for gradient `grad` into `delta`
+    /// (`delta = -lr·grad`).
+    pub fn delta(&self, grad: &[f32], delta: &mut [f32]) {
+        for (d, &g) in delta.iter_mut().zip(grad) {
+            *d = -self.lr * g;
+        }
+    }
+}
+
+/// AdaGrad with PS-resident accumulators.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaGrad {
+    /// Base learning rate (the paper uses 0.1 for KGE).
+    pub lr: f32,
+    /// Numerical floor inside the square root.
+    pub eps: f32,
+}
+
+impl AdaGrad {
+    /// Given the pulled `[param | accum]` buffer of logical dimension `d`
+    /// and the gradient, writes the push-delta `[Δparam | Δaccum]`:
+    /// `Δaccum = g²` and `Δparam = -lr·g/√(accum + g² + eps)`.
+    ///
+    /// The accumulator update is itself cumulative, so concurrent workers
+    /// compose correctly (their `g²` terms add up server-side).
+    pub fn delta(&self, pulled: &[f32], grad: &[f32], delta: &mut [f32]) {
+        let d = grad.len();
+        debug_assert_eq!(pulled.len(), 2 * d, "value must be [param | accum]");
+        debug_assert_eq!(delta.len(), 2 * d);
+        let accum = &pulled[d..];
+        for i in 0..d {
+            let g = grad[i];
+            let g2 = g * g;
+            let a = accum[i] + g2;
+            delta[i] = -self.lr * g / (a + self.eps).sqrt();
+            delta[d + i] = g2;
+        }
+    }
+
+    /// The parameter half of a pulled `[param | accum]` buffer.
+    pub fn param(pulled: &[f32]) -> &[f32] {
+        &pulled[..pulled.len() / 2]
+    }
+}
+
+/// Numerically stable `log(1 + e^x)` (softplus), the per-example logistic
+/// loss building block used by the KGE and word-vector trainers.
+pub fn softplus(x: f32) -> f32 {
+    if x > 15.0 {
+        x
+    } else if x < -15.0 {
+        0.0
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+/// The logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_delta_is_negative_gradient() {
+        let sgd = Sgd { lr: 0.5 };
+        let mut delta = [0.0f32; 2];
+        sgd.delta(&[2.0, -4.0], &mut delta);
+        assert_eq!(delta, [-1.0, 2.0]);
+    }
+
+    #[test]
+    fn adagrad_shrinks_step_over_time() {
+        let ada = AdaGrad { lr: 0.1, eps: 1e-8 };
+        let mut pulled = vec![0.0f32; 4]; // d = 2: [p0 p1 | a0 a1]
+        let grad = [1.0f32, 1.0];
+        let mut delta = vec![0.0f32; 4];
+        ada.delta(&pulled, &grad, &mut delta);
+        let first_step = delta[0].abs();
+        // Apply the delta (as the server would) and repeat.
+        for i in 0..4 {
+            pulled[i] += delta[i];
+        }
+        ada.delta(&pulled, &grad, &mut delta);
+        let second_step = delta[0].abs();
+        assert!(second_step < first_step, "{second_step} !< {first_step}");
+        // Accumulator received g² twice.
+        assert_eq!(pulled[2] + delta[2], 2.0);
+    }
+
+    #[test]
+    fn adagrad_first_step_magnitude() {
+        let ada = AdaGrad { lr: 0.1, eps: 1e-8 };
+        let pulled = vec![0.0f32; 2];
+        let mut delta = vec![0.0f32; 2];
+        ada.delta(&pulled, &[3.0], &mut delta);
+        // -lr·g/√(g²) = -lr·sign(g).
+        assert!((delta[0] + 0.1).abs() < 1e-4);
+        assert_eq!(delta[1], 9.0);
+    }
+
+    #[test]
+    fn softplus_and_sigmoid_are_stable() {
+        assert_eq!(softplus(100.0), 100.0);
+        assert_eq!(softplus(-100.0), 0.0);
+        assert!((softplus(0.0) - 0.6931).abs() < 1e-3);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(-40.0) >= 0.0 && sigmoid(40.0) <= 1.0);
+        assert!((sigmoid(40.0) - 1.0).abs() < 1e-6);
+    }
+}

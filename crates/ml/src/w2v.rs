@@ -1,0 +1,466 @@
+//! Word vectors: skip-gram with negative sampling (Word2Vec).
+//!
+//! Follows the paper's Appendix A setup: latency hiding for *all*
+//! parameters. A worker pre-localizes the parameters of a whole sentence
+//! when it reads it, pre-samples negatives in large batches (4000, with a
+//! refresh at 3900) and pre-localizes them, and during training uses
+//! **only negatives that are currently local** (`pull_if_local`),
+//! resampling on a localization conflict — which slightly changes the
+//! negative-sampling distribution, the trade-off the paper discusses.
+//!
+//! Held-out evaluation replaces the (data-dependent) analogy task of the
+//! paper with a ranking error on held-out co-occurrence pairs: the
+//! fraction of random words that score higher than the true context word
+//! (0.5 = untrained, lower is better). Like the analogy error, it
+//! decreases as embeddings improve.
+
+use std::sync::Arc;
+
+use lapse_core::{OpToken, PsWorker};
+use lapse_net::Key;
+use lapse_utils::alias::AliasTable;
+use lapse_utils::rng::derive_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::data::corpus::Corpus;
+use crate::metrics::EpochStats;
+use crate::opt::sigmoid;
+use crate::ComputeModel;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct W2vConfig {
+    /// Embedding size (the paper uses 1000; scaled runs use less).
+    pub dim: usize,
+    /// Context window (paper: 5).
+    pub window: usize,
+    /// Negative samples per position (paper: 25).
+    pub negatives: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Epochs.
+    pub epochs: usize,
+    /// Negative pre-sampling batch (paper: 4000).
+    pub neg_buffer: usize,
+    /// Refresh threshold within the batch (paper: 3900).
+    pub neg_refresh: usize,
+    /// Frequent-word subsampling threshold (paper: 1e-5; scale to corpus
+    /// size).
+    pub subsample_t: f64,
+    /// Enable latency hiding (sentence + negative pre-localization).
+    pub latency_hiding: bool,
+    /// Held-out sentences used for evaluation.
+    pub eval_sentences: usize,
+    /// Random comparison words per evaluation pair.
+    pub eval_negatives: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Compute-cost model.
+    pub compute: ComputeModel,
+    /// Charge virtual compute as if the embedding size were this value
+    /// (the paper uses 1000); see DESIGN.md.
+    pub virtual_dim: Option<usize>,
+}
+
+impl W2vConfig {
+    /// Small defaults for tests.
+    pub fn small() -> Self {
+        W2vConfig {
+            dim: 8,
+            window: 3,
+            negatives: 4,
+            lr: 0.05,
+            epochs: 2,
+            neg_buffer: 200,
+            neg_refresh: 180,
+            subsample_t: 1e-3,
+            latency_hiding: true,
+            eval_sentences: 20,
+            eval_negatives: 10,
+            seed: 77,
+            compute: ComputeModel::default(),
+            virtual_dim: None,
+        }
+    }
+}
+
+/// A word-vector training task for a fixed cluster shape.
+pub struct W2vTask {
+    /// The corpus.
+    pub corpus: Arc<Corpus>,
+    /// Hyper-parameters.
+    pub cfg: W2vConfig,
+    /// Total worker count the task was partitioned for.
+    pub total_workers: usize,
+    /// Training sentence indices per global worker.
+    worker_sentences: Vec<Vec<u32>>,
+    /// Held-out evaluation pairs `(center, context)`.
+    eval_pairs: Vec<(u32, u32)>,
+    /// Unigram^(3/4) negative-sampling table.
+    neg_table: AliasTable,
+    /// Subsampling keep-probabilities.
+    keep: Vec<f64>,
+}
+
+impl W2vTask {
+    /// Builds the task: the last `eval_sentences` sentences are held out,
+    /// the rest are split round-robin over workers.
+    pub fn new(
+        corpus: Arc<Corpus>,
+        cfg: W2vConfig,
+        nodes: usize,
+        workers_per_node: usize,
+    ) -> Arc<Self> {
+        let total_workers = nodes * workers_per_node;
+        let held_out = cfg.eval_sentences.min(corpus.sentences.len() / 4);
+        let train_count = corpus.sentences.len() - held_out;
+        let mut worker_sentences = vec![Vec::new(); total_workers];
+        for i in 0..train_count {
+            worker_sentences[i % total_workers].push(i as u32);
+        }
+        let mut eval_pairs = Vec::new();
+        for s in &corpus.sentences[train_count..] {
+            for (i, &c) in s.iter().enumerate() {
+                let j = i + 1;
+                if j < s.len() {
+                    eval_pairs.push((c, s[j]));
+                }
+            }
+        }
+        let neg_table = AliasTable::new(&corpus.neg_sampling_weights());
+        let keep = corpus.keep_probabilities(cfg.subsample_t);
+        Arc::new(W2vTask {
+            corpus,
+            cfg,
+            total_workers,
+            worker_sentences,
+            eval_pairs,
+            neg_table,
+            keep,
+        })
+    }
+
+    /// Input-vector key of a word.
+    pub fn input_key(&self, w: u32) -> Key {
+        Key(w as u64)
+    }
+
+    /// Output-vector key of a word.
+    pub fn output_key(&self, w: u32) -> Key {
+        Key(self.corpus.cfg.vocab as u64 + w as u64)
+    }
+
+    /// Total key count (`2·vocab`).
+    pub fn num_keys(&self) -> u64 {
+        2 * self.corpus.cfg.vocab as u64
+    }
+
+    /// Deterministic initializer: input vectors uniform ±0.5/dim, output
+    /// vectors zero (the standard Word2Vec initialization).
+    pub fn initializer(&self) -> impl Fn(Key) -> Option<Vec<f32>> + Send + Sync {
+        let vocab = self.corpus.cfg.vocab as u64;
+        let dim = self.cfg.dim;
+        let seed = self.cfg.seed;
+        move |key: Key| {
+            if key.0 < vocab {
+                let mut rng = derive_rng(seed, 0x17 ^ key.0);
+                Some(
+                    (0..dim)
+                        .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
+                        .collect(),
+                )
+            } else {
+                Some(vec![0.0; dim])
+            }
+        }
+    }
+
+    /// Runs training on one worker.
+    pub fn run(&self, w: &mut dyn PsWorker) -> Vec<EpochStats> {
+        let gid = w.global_id();
+        let dim = self.cfg.dim;
+        let sentences = &self.worker_sentences[gid];
+        // FLOPs per (center, target) pair: dot + two axpys ≈ 6·dim,
+        // charged at the virtual dimension if set.
+        let cost_dim = self.cfg.virtual_dim.unwrap_or(dim);
+        let pair_ns = self.cfg.compute.example_ns((6 * cost_dim) as u64);
+
+        let mut stats = Vec::with_capacity(self.cfg.epochs);
+        let mut negbuf = NegBuffer::new();
+        let mut center = vec![0.0f32; dim];
+        let mut target = vec![0.0f32; dim];
+        let mut center_delta = vec![0.0f32; dim];
+        let mut target_delta = vec![0.0f32; dim];
+
+        for epoch in 0..self.cfg.epochs {
+            w.barrier();
+            let start_ns = w.now_ns();
+            let mut loss = 0.0f64;
+            let mut examples = 0u64;
+            let mut rng = derive_rng(self.cfg.seed, 0x57E ^ ((gid as u64) << 18 | epoch as u64));
+            negbuf.fill(self, w, &mut rng);
+
+            let mut order: Vec<u32> = sentences.clone();
+            order.shuffle(&mut rng);
+
+            for &si in &order {
+                let sentence = &self.corpus.sentences[si as usize];
+                // Pre-localize the whole sentence on read (Appendix A).
+                let token = if self.cfg.latency_hiding {
+                    let mut keys = Vec::with_capacity(2 * sentence.len());
+                    for &word in sentence {
+                        keys.push(self.input_key(word));
+                        keys.push(self.output_key(word));
+                    }
+                    Some(w.localize_async(&keys))
+                } else {
+                    None
+                };
+
+                for (i, &c) in sentence.iter().enumerate() {
+                    // Subsample frequent center words.
+                    if rng.gen::<f64>() >= self.keep[c as usize] {
+                        continue;
+                    }
+                    let win = rng.gen_range(1..=self.cfg.window);
+                    let lo = i.saturating_sub(win);
+                    let hi = (i + win).min(sentence.len() - 1);
+                    for j in lo..=hi {
+                        if i == j {
+                            continue;
+                        }
+                        let ctx = sentence[j];
+                        loss += self.train_pair(
+                            w,
+                            c,
+                            ctx,
+                            &mut negbuf,
+                            &mut rng,
+                            (&mut center, &mut target, &mut center_delta, &mut target_delta),
+                        );
+                        examples += 1;
+                        w.charge(pair_ns * (1 + self.cfg.negatives as u64));
+                    }
+                }
+                if let Some(t) = token {
+                    w.wait(t);
+                }
+            }
+            negbuf.drain(w);
+            w.barrier();
+            let end_ns = w.now_ns();
+
+            // Held-out ranking error, computed by the first worker while
+            // the others proceed (they synchronize at the next epoch's
+            // barrier).
+            let eval = if gid == 0 {
+                Some(self.evaluate(w, &mut rng))
+            } else {
+                None
+            };
+            stats.push(EpochStats {
+                epoch,
+                start_ns,
+                end_ns,
+                loss,
+                examples,
+                eval,
+            });
+        }
+        stats
+    }
+
+    /// One skip-gram step: center word `c` against the true context `ctx`
+    /// (label 1) and locally-available negatives (label 0). Returns the
+    /// logistic loss.
+    fn train_pair(
+        &self,
+        w: &mut dyn PsWorker,
+        c: u32,
+        ctx: u32,
+        negbuf: &mut NegBuffer,
+        rng: &mut lapse_utils::rng::Rng,
+        buffers: (&mut Vec<f32>, &mut Vec<f32>, &mut Vec<f32>, &mut Vec<f32>),
+    ) -> f64 {
+        let (center, target, center_delta, target_delta) = buffers;
+        let dim = self.cfg.dim;
+        let ck = self.input_key(c);
+        w.pull(&[ck], center);
+        center_delta.iter_mut().for_each(|x| *x = 0.0);
+        let mut loss = 0.0f64;
+
+        // Targets: the true context plus negatives.
+        let process =
+            |w: &mut dyn PsWorker, target_word: u32, label: f32, target: &mut Vec<f32>,
+             center_delta: &mut Vec<f32>, target_delta: &mut Vec<f32>, loss: &mut f64| {
+                let tk = self.output_key(target_word);
+                let score: f32 = {
+                    let mut dot = 0.0f32;
+                    for i in 0..dim {
+                        dot += center[i] * target[i];
+                    }
+                    dot
+                };
+                let pred = sigmoid(score);
+                *loss += if label > 0.5 {
+                    -(pred.max(1e-7).ln()) as f64
+                } else {
+                    -((1.0 - pred).max(1e-7).ln()) as f64
+                };
+                let g = self.cfg.lr * (label - pred);
+                for i in 0..dim {
+                    center_delta[i] += g * target[i];
+                    target_delta[i] = g * center[i];
+                }
+                w.push(&[tk], target_delta);
+            };
+
+        // True context (always fetched, local after sentence localize).
+        w.pull(&[self.output_key(ctx)], target);
+        process(w, ctx, 1.0, target, center_delta, target_delta, &mut loss);
+
+        // Negatives: local-only sampling with resampling on conflicts.
+        let mut got = 0usize;
+        let mut attempts = 0usize;
+        let max_attempts = self.cfg.negatives * 4;
+        while got < self.cfg.negatives && attempts < max_attempts {
+            attempts += 1;
+            let neg = negbuf.next_neg(self, w, rng);
+            if neg == ctx || neg == c {
+                continue;
+            }
+            if self.cfg.latency_hiding {
+                // Only use negatives whose parameters are local (the
+                // paper's distribution-shifting trade-off).
+                if !w.pull_if_local(self.output_key(neg), target) {
+                    continue;
+                }
+            } else {
+                w.pull(&[self.output_key(neg)], target);
+            }
+            process(w, neg, 0.0, target, center_delta, target_delta, &mut loss);
+            got += 1;
+        }
+
+        w.push(&[ck], center_delta);
+        loss
+    }
+
+    /// Held-out ranking error in `[0, 1]`: for each held-out (center,
+    /// context) pair, the fraction of random comparison words whose score
+    /// exceeds the true context's score. 0.5 ≈ chance.
+    pub fn evaluate(&self, w: &mut dyn PsWorker, rng: &mut lapse_utils::rng::Rng) -> f64 {
+        let dim = self.cfg.dim;
+        let mut center = vec![0.0f32; dim];
+        let mut other = vec![0.0f32; dim];
+        let mut worse = 0u64;
+        let mut total = 0u64;
+        for &(c, ctx) in &self.eval_pairs {
+            w.pull(&[self.input_key(c)], &mut center);
+            w.pull(&[self.output_key(ctx)], &mut other);
+            let true_score: f32 = center.iter().zip(&other).map(|(a, b)| a * b).sum();
+            for _ in 0..self.cfg.eval_negatives {
+                let r = rng.gen_range(0..self.corpus.cfg.vocab);
+                w.pull(&[self.output_key(r)], &mut other);
+                let s: f32 = center.iter().zip(&other).map(|(a, b)| a * b).sum();
+                if s >= true_score {
+                    worse += 1;
+                }
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return 0.5;
+        }
+        worse as f64 / total as f64
+    }
+}
+
+/// The pre-sampled negative buffer with double buffering: the next batch
+/// is sampled (and its parameters pre-localized) when the refresh mark is
+/// reached, and swapped in when the current batch is exhausted — exactly
+/// the paper's 4000/3900 scheme.
+struct NegBuffer {
+    current: Vec<u32>,
+    /// Next batch with its in-flight localize, if already prepared.
+    next: Option<(Vec<u32>, Option<OpToken>)>,
+    pos: usize,
+}
+
+impl NegBuffer {
+    fn new() -> Self {
+        NegBuffer {
+            current: Vec::new(),
+            next: None,
+            pos: 0,
+        }
+    }
+
+    fn sample_batch(task: &W2vTask, rng: &mut lapse_utils::rng::Rng) -> Vec<u32> {
+        (0..task.cfg.neg_buffer)
+            .map(|_| task.neg_table.sample(rng) as u32)
+            .collect()
+    }
+
+    fn localize_batch(
+        task: &W2vTask,
+        w: &mut dyn PsWorker,
+        batch: &[u32],
+    ) -> Option<OpToken> {
+        if !task.cfg.latency_hiding {
+            return None;
+        }
+        let keys: Vec<Key> = batch.iter().map(|&n| task.output_key(n)).collect();
+        Some(w.localize_async(&keys))
+    }
+
+    /// Fills the initial batch synchronously (epoch start).
+    fn fill(&mut self, task: &W2vTask, w: &mut dyn PsWorker, rng: &mut lapse_utils::rng::Rng) {
+        let batch = Self::sample_batch(task, rng);
+        if let Some(t) = Self::localize_batch(task, w, &batch) {
+            w.wait(t);
+        }
+        self.current = batch;
+        self.pos = 0;
+        self.next = None;
+    }
+
+    /// Returns the next pre-sampled negative, maintaining the double
+    /// buffer.
+    fn next_neg(
+        &mut self,
+        task: &W2vTask,
+        w: &mut dyn PsWorker,
+        rng: &mut lapse_utils::rng::Rng,
+    ) -> u32 {
+        if self.pos >= task.cfg.neg_refresh.min(self.current.len()) && self.next.is_none() {
+            // Refresh mark: prepare the next batch while this one is
+            // still in use (its localize overlaps training).
+            let batch = Self::sample_batch(task, rng);
+            let token = Self::localize_batch(task, w, &batch);
+            self.next = Some((batch, token));
+        }
+        if self.pos >= self.current.len() {
+            let (batch, token) = self
+                .next
+                .take()
+                .expect("refresh mark precedes exhaustion");
+            if let Some(t) = token {
+                w.wait(t);
+            }
+            self.current = batch;
+            self.pos = 0;
+        }
+        let v = self.current[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Waits out any in-flight localize (epoch end).
+    fn drain(&mut self, w: &mut dyn PsWorker) {
+        if let Some((_, Some(token))) = self.next.take() {
+            w.wait(token);
+        }
+    }
+}

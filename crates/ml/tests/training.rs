@@ -1,0 +1,277 @@
+//! End-to-end training tests: every workload trains to a decreasing loss
+//! on the simulated cluster, on multiple PS variants, and (for MF) on the
+//! SSP baseline and the threaded runtime.
+
+use std::sync::Arc;
+
+use lapse_core::{run_sim, run_threaded, CostModel, PsConfig, PsWorker, Variant};
+use lapse_ml::data::corpus::{Corpus, CorpusConfig};
+use lapse_ml::data::kg::{KgConfig, KnowledgeGraph};
+use lapse_ml::data::matrix::{MatrixConfig, SparseMatrix};
+use lapse_ml::kge::{KgeConfig, KgeModel, KgePal, KgeTask};
+use lapse_ml::metrics::combine_runs;
+use lapse_ml::mf::{MfConfig, MfTask};
+use lapse_ml::w2v::{W2vConfig, W2vTask};
+use lapse_ssp::{run_ssp_sim, SspConfig, SspMode};
+
+// ---------------------------------------------------------------------------
+// matrix factorization
+// ---------------------------------------------------------------------------
+
+fn mf_task(nodes: usize, wpn: usize, epochs: usize) -> Arc<MfTask> {
+    let data = Arc::new(SparseMatrix::generate(MatrixConfig::small()));
+    let mut cfg = MfConfig::small();
+    cfg.epochs = epochs;
+    MfTask::new(data, cfg, nodes, wpn)
+}
+
+fn mf_ps_config(task: &MfTask, nodes: u16, variant: Variant) -> PsConfig {
+    PsConfig::new(nodes, task.num_keys(), task.cfg.rank as u32)
+        .variant(variant)
+        .latches(64)
+}
+
+#[test]
+fn mf_loss_decreases_on_sim_lapse() {
+    let task = mf_task(2, 2, 3);
+    let init = task.initializer();
+    let t2 = task.clone();
+    let (results, stats) = run_sim(
+        mf_ps_config(&task, 2, Variant::Lapse),
+        2,
+        CostModel::default(),
+        init,
+        move |w| t2.run(w),
+    );
+    let epochs = combine_runs(&results);
+    // After training, the model must clearly beat the zero model (whose
+    // squared error equals the data's mean square). The first epoch only
+    // roughly matches it, since its loss accumulates from random init.
+    let baseline = task.data.mean_square() * task.data.nnz() as f64;
+    assert!(
+        epochs.last().unwrap().loss < 0.7 * baseline,
+        "trained loss {} should clearly beat the zero model {baseline}",
+        epochs.last().unwrap().loss
+    );
+    assert!(
+        epochs.last().unwrap().loss < 0.7 * epochs[0].loss,
+        "no convergence: {:?}",
+        epochs.iter().map(|e| e.loss).collect::<Vec<_>>()
+    );
+    assert_eq!(stats.unexpected_relocates, 0);
+    // Parameter blocking: the vast majority of accesses stay local.
+    let local_share = stats.pull_local_total() as f64 / stats.pull_total() as f64;
+    assert!(local_share > 0.95, "local share {local_share}");
+}
+
+#[test]
+fn mf_identical_loss_across_variants() {
+    // With sync ops and identical schedules, all three variants compute
+    // the same result — they differ only in where parameters live.
+    let loss_of = |variant: Variant| {
+        let task = mf_task(2, 1, 1);
+        let init = task.initializer();
+        let t2 = task.clone();
+        let (results, _) = run_sim(
+            mf_ps_config(&task, 2, variant),
+            1,
+            CostModel::default(),
+            init,
+            move |w| t2.run(w),
+        );
+        combine_runs(&results)[0].loss
+    };
+    let lapse = loss_of(Variant::Lapse);
+    let classic = loss_of(Variant::Classic);
+    let fast = loss_of(Variant::ClassicFastLocal);
+    assert_eq!(lapse, classic);
+    assert_eq!(lapse, fast);
+}
+
+#[test]
+fn mf_trains_on_threaded_backend() {
+    let task = mf_task(2, 2, 2);
+    let init = task.initializer();
+    let t2 = task.clone();
+    let (results, _) = run_threaded(mf_ps_config(&task, 2, Variant::Lapse), 2, init, move |w| {
+        t2.run(w)
+    });
+    let epochs = combine_runs(&results);
+    assert!(epochs[1].loss < epochs[0].loss, "{epochs:?}");
+}
+
+#[test]
+fn mf_trains_on_ssp_baseline() {
+    let task = mf_task(2, 2, 3);
+    let init = task.initializer();
+    let t2 = task.clone();
+    let proto = mf_ps_config(&task, 2, Variant::Classic).proto;
+    let (results, _, _) = run_ssp_sim(
+        SspConfig::new(proto, 1, SspMode::ServerPush),
+        2,
+        CostModel::default(),
+        init,
+        move |w| t2.run(w),
+    );
+    let epochs = combine_runs(&results);
+    assert!(
+        epochs.last().unwrap().loss < epochs[0].loss,
+        "SSP did not converge: {:?}",
+        epochs.iter().map(|e| e.loss).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn mf_lapse_faster_than_classic_in_virtual_time() {
+    let time_of = |variant: Variant| {
+        let task = mf_task(2, 2, 1);
+        let init = task.initializer();
+        let t2 = task.clone();
+        let (_, stats) = run_sim(
+            mf_ps_config(&task, 2, variant),
+            2,
+            CostModel::default(),
+            init,
+            move |w| t2.run(w),
+        );
+        stats.virtual_time_ns.unwrap()
+    };
+    let lapse = time_of(Variant::Lapse);
+    let classic = time_of(Variant::Classic);
+    assert!(
+        classic > 5 * lapse,
+        "expected order-of-magnitude gap: classic={classic} lapse={lapse}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// knowledge-graph embeddings
+// ---------------------------------------------------------------------------
+
+fn kge_ps_config(task: &KgeTask, nodes: u16) -> PsConfig {
+    PsConfig::new(nodes, task.num_keys(), 1)
+        .layout(task.layout())
+        .latches(64)
+}
+
+fn kge_losses(model: KgeModel, pal: KgePal) -> Vec<f64> {
+    let kg = Arc::new(KnowledgeGraph::generate(KgConfig::small()));
+    let mut cfg = KgeConfig::small(model);
+    cfg.epochs = 3;
+    cfg.pal = pal;
+    let task = KgeTask::new(kg, cfg, 2, 2);
+    let init = task.initializer();
+    let t2 = task.clone();
+    let (results, stats) = run_sim(
+        kge_ps_config(&task, 2),
+        2,
+        CostModel::default(),
+        init,
+        move |w| t2.run(w),
+    );
+    assert_eq!(stats.unexpected_relocates, 0);
+    combine_runs(&results).iter().map(|e| e.loss).collect()
+}
+
+#[test]
+fn rescal_loss_decreases() {
+    let losses = kge_losses(KgeModel::Rescal, KgePal::Full);
+    assert!(
+        losses.last().unwrap() < &(0.9 * losses[0]),
+        "RESCAL: {losses:?}"
+    );
+}
+
+#[test]
+fn complex_loss_decreases() {
+    let losses = kge_losses(KgeModel::ComplEx, KgePal::Full);
+    assert!(
+        losses.last().unwrap() < &(0.9 * losses[0]),
+        "ComplEx: {losses:?}"
+    );
+}
+
+#[test]
+fn kge_clustering_only_also_trains() {
+    let losses = kge_losses(KgeModel::ComplEx, KgePal::ClusteringOnly);
+    assert!(
+        losses.last().unwrap() < &(0.9 * losses[0]),
+        "clustering-only: {losses:?}"
+    );
+}
+
+#[test]
+fn kge_relation_accesses_are_local_after_clustering() {
+    let kg = Arc::new(KnowledgeGraph::generate(KgConfig::small()));
+    let cfg = KgeConfig::small(KgeModel::ComplEx);
+    let task = KgeTask::new(kg, cfg, 2, 1);
+    let init = task.initializer();
+    let t2 = task.clone();
+    let (_, stats) = run_sim(
+        kge_ps_config(&task, 2),
+        1,
+        CostModel::default(),
+        init,
+        move |w| t2.run(w),
+    );
+    // With latency hiding, the overwhelming majority of pulls are local.
+    let share = stats.pull_local_total() as f64 / stats.pull_total() as f64;
+    assert!(share > 0.8, "local pull share {share}");
+    assert!(stats.relocations > 0, "latency hiding must relocate");
+}
+
+// ---------------------------------------------------------------------------
+// word vectors
+// ---------------------------------------------------------------------------
+
+#[test]
+fn w2v_error_decreases() {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig::small()));
+    let mut cfg = W2vConfig::small();
+    cfg.epochs = 3;
+    let task = W2vTask::new(corpus, cfg, 2, 2);
+    let init = task.initializer();
+    let t2 = task.clone();
+    let (results, stats) = run_sim(
+        PsConfig::new(2, task.num_keys(), task.cfg.dim as u32).latches(64),
+        2,
+        CostModel::default(),
+        init,
+        move |w| t2.run(w),
+    );
+    let epochs = combine_runs(&results);
+    let first = epochs[0].eval.expect("worker 0 evaluates");
+    let last = epochs.last().unwrap().eval.expect("worker 0 evaluates");
+    assert!(
+        last < first && last < 0.45,
+        "ranking error should fall below chance: first={first} last={last}"
+    );
+    assert!(
+        epochs.last().unwrap().loss < epochs[0].loss,
+        "training loss should decrease"
+    );
+    assert_eq!(stats.unexpected_relocates, 0);
+}
+
+#[test]
+fn w2v_trains_without_latency_hiding() {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig::small()));
+    let mut cfg = W2vConfig::small();
+    cfg.latency_hiding = false;
+    cfg.epochs = 2;
+    let task = W2vTask::new(corpus, cfg, 2, 1);
+    let init = task.initializer();
+    let t2 = task.clone();
+    let (results, stats) = run_sim(
+        PsConfig::new(2, task.num_keys(), task.cfg.dim as u32)
+            .variant(Variant::ClassicFastLocal)
+            .latches(64),
+        1,
+        CostModel::default(),
+        init,
+        move |w| t2.run(w),
+    );
+    let epochs = combine_runs(&results);
+    assert!(epochs[1].loss < epochs[0].loss);
+    assert_eq!(stats.relocations, 0, "classic PS never relocates");
+}

@@ -1,0 +1,285 @@
+//! Length-prefixed binary encoding.
+//!
+//! The original Lapse uses protocol buffers over ZeroMQ. This reproduction
+//! defines a compact fixed-layout encoding with the same role: every
+//! protocol message can be serialized to bytes and parsed back. The
+//! threaded transport passes messages by value for speed (it is an
+//! in-process "cluster"), but the codec keeps the wire format honest:
+//! round-trip tests in the protocol crate encode and decode every message
+//! kind, and [`crate::wire::WireSize`] implementations must agree with the
+//! encoded length.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::id::{Key, NodeId};
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A tag byte did not correspond to any known variant.
+    UnknownTag(u8),
+    /// A length field exceeded a sanity bound.
+    LengthOutOfRange(u64),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            CodecError::LengthOutOfRange(n) => write!(f, "length {n} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Sanity bound on decoded collection lengths (1 Gi entries).
+const MAX_LEN: u64 = 1 << 30;
+
+/// Types encodable to / decodable from the wire format.
+pub trait WireCodec: Sized {
+    /// Appends the serialized form to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Parses one value from the front of `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+}
+
+// ---- primitive helpers used by protocol crates ----
+
+/// Encodes a `u32` (little endian).
+pub fn put_u32(buf: &mut BytesMut, v: u32) {
+    buf.put_u32_le(v);
+}
+
+/// Decodes a `u32`.
+pub fn get_u32(buf: &mut Bytes) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Encodes a `u64` (little endian).
+pub fn put_u64(buf: &mut BytesMut, v: u64) {
+    buf.put_u64_le(v);
+}
+
+/// Decodes a `u64`.
+pub fn get_u64(buf: &mut Bytes) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Encodes a byte.
+pub fn put_u8(buf: &mut BytesMut, v: u8) {
+    buf.put_u8(v);
+}
+
+/// Decodes a byte.
+pub fn get_u8(buf: &mut Bytes) -> Result<u8, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(buf.get_u8())
+}
+
+/// Encodes a node id.
+pub fn put_node(buf: &mut BytesMut, n: NodeId) {
+    buf.put_u16_le(n.0);
+}
+
+/// Decodes a node id.
+pub fn get_node(buf: &mut Bytes) -> Result<NodeId, CodecError> {
+    if buf.remaining() < 2 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(NodeId(buf.get_u16_le()))
+}
+
+/// Encodes a key list with a `u32` length prefix.
+pub fn put_keys(buf: &mut BytesMut, keys: &[Key]) {
+    put_u32(buf, keys.len() as u32);
+    for k in keys {
+        buf.put_u64_le(k.0);
+    }
+}
+
+/// Decodes a key list.
+pub fn get_keys(buf: &mut Bytes) -> Result<Vec<Key>, CodecError> {
+    let n = get_u32(buf)? as u64;
+    if n > MAX_LEN {
+        return Err(CodecError::LengthOutOfRange(n));
+    }
+    let n = n as usize;
+    if buf.remaining() < n * 8 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        keys.push(Key(buf.get_u64_le()));
+    }
+    Ok(keys)
+}
+
+/// Encodes an `f32` slice with a `u32` length prefix.
+pub fn put_f32s(buf: &mut BytesMut, vals: &[f32]) {
+    put_u32(buf, vals.len() as u32);
+    for &v in vals {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Decodes an `f32` vector.
+pub fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, CodecError> {
+    let n = get_u32(buf)? as u64;
+    if n > MAX_LEN {
+        return Err(CodecError::LengthOutOfRange(n));
+    }
+    let n = n as usize;
+    if buf.remaining() < n * 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        vals.push(buf.get_f32_le());
+    }
+    Ok(vals)
+}
+
+/// Serialized size of a key list (must agree with [`put_keys`]).
+pub fn keys_wire_bytes(keys: &[Key]) -> usize {
+    4 + keys.len() * 8
+}
+
+/// Serialized size of an `f32` list (must agree with [`put_f32s`]).
+pub fn f32s_wire_bytes(vals: &[f32]) -> usize {
+    4 + vals.len() * 4
+}
+
+/// Encodes an envelope (src, dst, payload) into a framed buffer:
+/// `len(u32) | src(u16) | dst(u16) | payload…`.
+pub fn encode_framed<M: WireCodec>(src: NodeId, dst: NodeId, payload: &M) -> BytesMut {
+    let mut body = BytesMut::new();
+    put_node(&mut body, src);
+    put_node(&mut body, dst);
+    payload.encode(&mut body);
+    let mut framed = BytesMut::with_capacity(4 + body.len());
+    framed.put_u32_le(body.len() as u32);
+    framed.extend_from_slice(&body);
+    framed
+}
+
+/// Decodes one framed envelope, returning `(src, dst, payload)`.
+pub fn decode_framed<M: WireCodec>(buf: &mut Bytes) -> Result<(NodeId, NodeId, M), CodecError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut body = buf.split_to(len);
+    let src = get_node(&mut body)?;
+    let dst = get_node(&mut body)?;
+    let payload = M::decode(&mut body)?;
+    Ok((src, dst, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = BytesMut::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_u8(&mut buf, 0xAB);
+        put_node(&mut buf, NodeId(513));
+        put_keys(&mut buf, &[Key(1), Key(u64::MAX)]);
+        put_f32s(&mut buf, &[1.5, -2.25]);
+        let mut b = buf.freeze();
+        assert_eq!(get_u32(&mut b).unwrap(), 7);
+        assert_eq!(get_u64(&mut b).unwrap(), u64::MAX - 3);
+        assert_eq!(get_u8(&mut b).unwrap(), 0xAB);
+        assert_eq!(get_node(&mut b).unwrap(), NodeId(513));
+        assert_eq!(get_keys(&mut b).unwrap(), vec![Key(1), Key(u64::MAX)]);
+        assert_eq!(get_f32s(&mut b).unwrap(), vec![1.5, -2.25]);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = BytesMut::new();
+        put_keys(&mut buf, &[Key(1), Key(2)]);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut b = full.slice(..cut);
+            assert!(get_keys(&mut b).is_err(), "cut={cut} should fail");
+        }
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut buf = BytesMut::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut b = buf.freeze();
+        // Not enough bytes follow, and even the length itself is suspect.
+        assert!(get_keys(&mut b).is_err());
+    }
+
+    #[test]
+    fn wire_byte_helpers_match_encoding() {
+        let keys = [Key(3), Key(4), Key(5)];
+        let mut buf = BytesMut::new();
+        put_keys(&mut buf, &keys);
+        assert_eq!(buf.len(), keys_wire_bytes(&keys));
+
+        let vals = [0.5f32; 7];
+        let mut buf = BytesMut::new();
+        put_f32s(&mut buf, &vals);
+        assert_eq!(buf.len(), f32s_wire_bytes(&vals));
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u64);
+
+    impl WireCodec for Ping {
+        fn encode(&self, buf: &mut BytesMut) {
+            put_u8(buf, 1);
+            put_u64(buf, self.0);
+        }
+        fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+            match get_u8(buf)? {
+                1 => Ok(Ping(get_u64(buf)?)),
+                t => Err(CodecError::UnknownTag(t)),
+            }
+        }
+    }
+
+    #[test]
+    fn framed_round_trip() {
+        let framed = encode_framed(NodeId(1), NodeId(2), &Ping(42));
+        let mut bytes = framed.freeze();
+        let (src, dst, msg): (NodeId, NodeId, Ping) = decode_framed(&mut bytes).unwrap();
+        assert_eq!(src, NodeId(1));
+        assert_eq!(dst, NodeId(2));
+        assert_eq!(msg, Ping(42));
+    }
+
+    #[test]
+    fn framed_unknown_tag() {
+        let mut body = BytesMut::new();
+        put_node(&mut body, NodeId(0));
+        put_node(&mut body, NodeId(1));
+        put_u8(&mut body, 99);
+        let mut framed = BytesMut::new();
+        framed.put_u32_le(body.len() as u32);
+        framed.extend_from_slice(&body);
+        let mut bytes = framed.freeze();
+        let res: Result<(NodeId, NodeId, Ping), _> = decode_framed(&mut bytes);
+        assert_eq!(res.unwrap_err(), CodecError::UnknownTag(99));
+    }
+}

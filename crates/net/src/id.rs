@@ -1,0 +1,90 @@
+//! Identities shared across the workspace: nodes, workers, parameter keys.
+
+use std::fmt;
+
+/// Identifies one node (machine) of the cluster.
+///
+/// In the paper's architecture (Figure 2) each node runs one process with
+/// one server thread and several worker threads; both backends of this
+/// reproduction mirror that layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node index as a usize, for indexing per-node tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies one worker thread within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId {
+    /// The node this worker runs on.
+    pub node: NodeId,
+    /// Worker slot within the node (0-based).
+    pub slot: u16,
+}
+
+impl WorkerId {
+    /// Creates a worker id.
+    pub fn new(node: NodeId, slot: u16) -> Self {
+        WorkerId { node, slot }
+    }
+
+    /// A dense global index given a fixed per-node worker count.
+    pub fn global_idx(self, workers_per_node: usize) -> usize {
+        self.node.idx() * workers_per_node + self.slot as usize
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}w{}", self.node.0, self.slot)
+    }
+}
+
+/// A parameter key. Each key identifies one parameter *value* (a short
+/// `f32` vector, e.g. one embedding); the parameter server coordinates all
+/// reads and writes per key (Section 2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// The key as a usize, for indexing dense layouts.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(WorkerId::new(NodeId(1), 2).to_string(), "n1w2");
+        assert_eq!(Key(9).to_string(), "k9");
+    }
+
+    #[test]
+    fn global_index_is_dense() {
+        let w = WorkerId::new(NodeId(2), 3);
+        assert_eq!(w.global_idx(4), 11);
+    }
+}

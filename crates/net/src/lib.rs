@@ -1,0 +1,28 @@
+//! Network substrate for the Lapse reproduction.
+//!
+//! The paper's consistency results (Section 3.4) rest on one property of
+//! the network layer: **messages between a pair of nodes are delivered in
+//! the order they were sent** (PS-Lite and Lapse achieve this by sending a
+//! thread's operations over a single TCP connection). Everything in this
+//! crate preserves that per-link FIFO property.
+//!
+//! Contents:
+//!
+//! * [`id`] — node and worker identities, key type.
+//! * [`wire`] — the [`wire::WireSize`] trait and envelope overhead model
+//!   used by the simulator's bandwidth accounting.
+//! * [`codec`] — length-prefixed binary encoding helpers plus the
+//!   [`codec::WireCodec`] trait; protocol crates implement it for their
+//!   message types so the wire format is testable end to end.
+//! * [`transport`] — the threaded transport: per-destination channels with
+//!   per-link FIFO delivery and per-link statistics, plus an optional
+//!   delay-injection hook used by failure-injection tests.
+
+pub mod codec;
+pub mod id;
+pub mod transport;
+pub mod wire;
+
+pub use id::{Key, NodeId, WorkerId};
+pub use transport::{Endpoint, ThreadedNet};
+pub use wire::WireSize;

@@ -1,0 +1,46 @@
+//! Wire-size accounting.
+//!
+//! The simulator charges bandwidth per message. Rather than serializing
+//! every message (which would dominate simulation time), message types
+//! report the number of bytes their serialized form would occupy via
+//! [`WireSize`]. The reported sizes match the [`crate::codec`] encoding,
+//! which tests verify, so bandwidth accounting is faithful to the actual
+//! wire format.
+
+/// Fixed per-message overhead: framing length, source, destination, and
+/// message tag. Matches the codec's envelope encoding.
+pub const ENVELOPE_OVERHEAD_BYTES: usize = 4 + 2 + 2 + 1;
+
+/// Types that know the size of their serialized representation.
+pub trait WireSize {
+    /// Serialized payload size in bytes, excluding the envelope overhead.
+    fn wire_bytes(&self) -> usize;
+}
+
+/// Total size on the wire for a payload: envelope plus payload.
+pub fn message_bytes<M: WireSize>(payload: &M) -> usize {
+    ENVELOPE_OVERHEAD_BYTES + payload.wire_bytes()
+}
+
+impl WireSize for () {
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl WireSize for Vec<f32> {
+    fn wire_bytes(&self) -> usize {
+        4 + self.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_bytes_adds_overhead() {
+        let v: Vec<f32> = vec![1.0; 10];
+        assert_eq!(message_bytes(&v), ENVELOPE_OVERHEAD_BYTES + 44);
+    }
+}

@@ -1,0 +1,372 @@
+//! Operation issue paths.
+//!
+//! [`ClientCore`] implements the client half of the protocol for one
+//! worker thread: the shared-memory fast path for local parameters, local
+//! parking of operations on keys that are relocating to this node, and
+//! routing/grouping of remote operations (Sections 3.1–3.3). Both backends
+//! wrap a `ClientCore` in their worker handles; the core itself performs
+//! no I/O — outgoing messages are collected into a caller-provided sink.
+//!
+//! Routing per key:
+//!
+//! 1. **Fast local path** — if the node owns the key (and the variant
+//!    allows shared-memory access), serve under the key's latch.
+//! 2. **Local parking** — if the key is relocating *to* this node, park
+//!    the operation in the relocation queue (Section 3.2).
+//! 3. **Remote** — otherwise send to the key's home node (forward
+//!    strategy), or directly to the cached owner when location caches are
+//!    enabled (Section 3.3).
+//!
+//! The *ordered-async guard* (see
+//! [`ProtoConfig::ordered_async_guard`](crate::config::ProtoConfig::ordered_async_guard))
+//! forces path 3 whenever this worker still has an in-flight remote
+//! operation on the same key, which keeps per-worker program order intact
+//! (the routing model under which the paper proves Theorem 2).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+use lapse_net::{Key, NodeId};
+
+use crate::config::ProtoConfig;
+use crate::group::OrderedGroups;
+use crate::messages::{LocalizeReqMsg, Msg, OpId, OpKind, OpMsg};
+use crate::shard::{IncomingState, NodeShared, Queued, QueuedOp};
+use crate::tracker::{GuardMap, TrackedKind};
+
+/// Sink for outgoing messages produced while issuing an operation.
+pub type MsgSink = Vec<(NodeId, Msg)>;
+
+/// Result of issuing an operation.
+#[derive(Debug)]
+pub enum IssueHandle {
+    /// Completed at issue: sync pulls have filled the caller's buffer;
+    /// async pulls carry their values here.
+    Ready(Option<Vec<f32>>),
+    /// In flight; wait for the tracker op, then finish.
+    Pending(u64),
+}
+
+impl IssueHandle {
+    /// The tracker sequence number, if pending.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            IssueHandle::Ready(_) => None,
+            IssueHandle::Pending(seq) => Some(*seq),
+        }
+    }
+}
+
+/// Per-destination accumulator for one remote operation.
+#[derive(Default)]
+struct RemoteGroup {
+    keys: Vec<Key>,
+    vals: Vec<f32>,
+}
+
+/// The client half of the protocol for one worker.
+pub struct ClientCore {
+    shared: Arc<NodeShared>,
+    /// Worker slot on this node (wake routing).
+    slot: u16,
+    /// Keys with in-flight remote operations of this worker.
+    guard: GuardMap,
+}
+
+impl ClientCore {
+    /// Creates the client core for worker `slot` of the node.
+    pub fn new(shared: Arc<NodeShared>, slot: u16) -> Self {
+        ClientCore {
+            shared,
+            slot,
+            guard: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.shared.node
+    }
+
+    /// The shared node state.
+    pub fn shared(&self) -> &Arc<NodeShared> {
+        &self.shared
+    }
+
+    fn cfg(&self) -> &ProtoConfig {
+        &self.shared.cfg
+    }
+
+    /// Whether the ordered-async guard forces `key` onto the remote path.
+    fn guard_forces_remote(&self, key: Key) -> bool {
+        self.cfg().ordered_async_guard && self.guard.lock().get(&key).is_some_and(|&n| n > 0)
+    }
+
+    /// Remote destination for `key`: the home node, or the cached owner
+    /// when location caches are enabled. Guard-forced operations always
+    /// travel via the home node so they share one FIFO path with the
+    /// outstanding operation.
+    fn remote_dst(&self, key: Key, loc_cache: &HashMap<Key, NodeId>, forced: bool) -> NodeId {
+        if !forced && self.cfg().location_caches {
+            if let Some(&owner) = loc_cache.get(&key) {
+                return owner;
+            }
+        }
+        self.cfg().home(key)
+    }
+
+    /// Issues a pull of `keys`.
+    ///
+    /// Sync use: pass the output buffer (of total value length);
+    /// locally-served keys are written immediately, and after the handle
+    /// completes, [`ClientCore::finish_pull`] fills in the rest. Async
+    /// use: pass `None`; all values are delivered through the handle /
+    /// [`ClientCore::take_pull`].
+    pub fn pull(&self, keys: &[Key], mut out: Option<&mut [f32]>, sink: &mut MsgSink) -> IssueHandle {
+        let is_async = out.is_none();
+        let stats = &self.shared.stats;
+        // Async pulls register every key so the result buffer is in key
+        // order; sync pulls register lazily (a fully-local sync pull never
+        // touches the tracker).
+        let mut seq: Option<u64> = if is_async { Some(self.begin(TrackedKind::Pull)) } else { None };
+        let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
+        let mut out_off = 0u32;
+        for &k in keys {
+            let len = self.cfg().layout.len(k) as u32;
+            let forced = self.guard_forces_remote(k);
+            let mut shard = self.shared.shard_for(k).lock();
+            if !forced && self.cfg().variant.fast_local_access() && shard.store.contains(k) {
+                let v = shard.store.get(k).expect("contains implies get");
+                stats.pull_local.fetch_add(1, Relaxed);
+                match &mut out {
+                    Some(buf) => {
+                        buf[out_off as usize..(out_off + len) as usize].copy_from_slice(v)
+                    }
+                    None => {
+                        let s = seq.expect("async op registered");
+                        self.shared.tracker.add_key(s, k, len, out_off, false);
+                        self.shared.tracker.complete_key(s, k, Some(v));
+                    }
+                }
+            } else if !forced && self.cfg().variant.dpa_enabled() && shard.incoming.contains_key(&k)
+            {
+                let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Pull));
+                self.shared.tracker.add_key(s, k, len, out_off, false);
+                let inc = shard.incoming.get_mut(&k).expect("checked above");
+                inc.queue.push_back(Queued::Op(QueuedOp {
+                    op: OpId::new(self.shared.node, s),
+                    kind: OpKind::Pull,
+                    val: Vec::new(),
+                }));
+                stats.pull_queued.fetch_add(1, Relaxed);
+            } else {
+                let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Pull));
+                self.shared.tracker.add_key(s, k, len, out_off, true);
+                if self.cfg().ordered_async_guard {
+                    *self.guard.lock().entry(k).or_insert(0) += 1;
+                }
+                let dst = self.remote_dst(k, &shard.loc_cache, forced);
+                groups.entry(dst).keys.push(k);
+                stats.pull_remote.fetch_add(1, Relaxed);
+            }
+            drop(shard);
+            out_off += len;
+        }
+        self.flush(seq, OpKind::Pull, groups, sink)
+    }
+
+    /// Issues a push of `keys` with concatenated update terms `vals`.
+    /// Pushes are cumulative: the owner adds each term to the current
+    /// value (Section 2.1).
+    pub fn push(&self, keys: &[Key], vals: &[f32], sink: &mut MsgSink) -> IssueHandle {
+        debug_assert_eq!(
+            vals.len(),
+            self.cfg().layout.keys_len(keys),
+            "push value length mismatch"
+        );
+        let stats = &self.shared.stats;
+        let mut seq: Option<u64> = None;
+        let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
+        let mut off = 0usize;
+        for &k in keys {
+            let len = self.cfg().layout.len(k);
+            let val = &vals[off..off + len];
+            off += len;
+            let forced = self.guard_forces_remote(k);
+            let mut shard = self.shared.shard_for(k).lock();
+            if !forced && self.cfg().variant.fast_local_access() && shard.store.contains(k) {
+                let applied = shard.store.add(k, val);
+                debug_assert!(applied);
+                stats.push_local.fetch_add(1, Relaxed);
+            } else if !forced && self.cfg().variant.dpa_enabled() && shard.incoming.contains_key(&k)
+            {
+                let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Push));
+                self.shared.tracker.add_key(s, k, 0, 0, false);
+                let inc = shard.incoming.get_mut(&k).expect("checked above");
+                inc.queue.push_back(Queued::Op(QueuedOp {
+                    op: OpId::new(self.shared.node, s),
+                    kind: OpKind::Push,
+                    val: val.to_vec(),
+                }));
+                stats.push_queued.fetch_add(1, Relaxed);
+            } else {
+                let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Push));
+                self.shared.tracker.add_key(s, k, 0, 0, true);
+                if self.cfg().ordered_async_guard {
+                    *self.guard.lock().entry(k).or_insert(0) += 1;
+                }
+                let dst = self.remote_dst(k, &shard.loc_cache, forced);
+                let group = groups.entry(dst);
+                group.keys.push(k);
+                group.vals.extend_from_slice(val);
+                stats.push_remote.fetch_add(1, Relaxed);
+            }
+        }
+        self.flush(seq, OpKind::Push, groups, sink)
+    }
+
+    /// Issues a localize of `keys`: requests that all of them be relocated
+    /// to this node (Table 2). A no-op under the classic variants, which
+    /// allocate statically.
+    pub fn localize(&self, keys: &[Key], sink: &mut MsgSink) -> IssueHandle {
+        if !self.cfg().variant.dpa_enabled() {
+            return IssueHandle::Ready(None);
+        }
+        let stats = &self.shared.stats;
+        let mut seq: Option<u64> = None;
+        let mut groups: OrderedGroups<NodeId, Vec<Key>> = OrderedGroups::new();
+        for &k in keys {
+            let mut shard = self.shared.shard_for(k).lock();
+            if shard.store.contains(k) {
+                // Already local: nothing to do.
+                continue;
+            }
+            let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Localize));
+            self.shared.tracker.add_key(s, k, 0, 0, false);
+            let op = OpId::new(self.shared.node, s);
+            match shard.incoming.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    // A relocation towards this node is already in
+                    // flight; piggyback on it.
+                    e.get_mut().waiting_localize.push(op);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(IncomingState {
+                        waiting_localize: vec![op],
+                        ..Default::default()
+                    });
+                    groups.entry(self.cfg().home(k)).push(k);
+                    stats.localize_sent.fetch_add(1, Relaxed);
+                }
+            }
+        }
+        match seq {
+            None => IssueHandle::Ready(None),
+            Some(s) => {
+                for (home, keys) in groups.into_iter() {
+                    sink.push((
+                        home,
+                        Msg::LocalizeReq(LocalizeReqMsg {
+                            op: OpId::new(self.shared.node, s),
+                            keys,
+                        }),
+                    ));
+                }
+                if self.shared.tracker.seal(s) {
+                    self.shared.tracker.discard(s);
+                    IssueHandle::Ready(None)
+                } else {
+                    IssueHandle::Pending(s)
+                }
+            }
+        }
+    }
+
+    /// Reads `key` only if it is currently stored on this node; returns
+    /// whether `out` was filled. Used by the word-vector workload to
+    /// sample negatives without network traffic (Appendix A).
+    pub fn pull_if_local(&self, key: Key, out: &mut [f32]) -> bool {
+        if !self.cfg().variant.fast_local_access() {
+            return false;
+        }
+        let shard = self.shared.shard_for(key).lock();
+        match shard.store.get(key) {
+            Some(v) => {
+                out.copy_from_slice(v);
+                self.shared.stats.pull_local.fetch_add(1, Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Assembles a completed sync pull into the caller's buffer and
+    /// releases the tracker entry.
+    pub fn finish_pull(&self, seq: u64, out: &mut [f32]) {
+        let res = self.shared.tracker.take(seq);
+        for (out_off, res_off, len) in res.assembly {
+            out[out_off as usize..(out_off + len) as usize]
+                .copy_from_slice(&res.result[res_off as usize..(res_off + len) as usize]);
+        }
+    }
+
+    /// Takes the values of a completed async pull (in key order).
+    pub fn take_pull(&self, seq: u64) -> Vec<f32> {
+        self.shared.tracker.take(seq).result
+    }
+
+    /// Releases the tracker entry of a completed push/localize.
+    pub fn finish_ack(&self, seq: u64) {
+        self.shared.tracker.discard(seq);
+    }
+
+    fn begin(&self, kind: TrackedKind) -> u64 {
+        self.shared
+            .tracker
+            .begin(kind, self.slot, Some(self.guard.clone()))
+    }
+
+    fn flush(
+        &self,
+        seq: Option<u64>,
+        kind: OpKind,
+        groups: OrderedGroups<NodeId, RemoteGroup>,
+        sink: &mut MsgSink,
+    ) -> IssueHandle {
+        match seq {
+            None => {
+                debug_assert!(groups.is_empty());
+                IssueHandle::Ready(None)
+            }
+            Some(s) => {
+                for (dst, group) in groups.into_iter() {
+                    sink.push((
+                        dst,
+                        Msg::Op(OpMsg {
+                            op: OpId::new(self.shared.node, s),
+                            kind,
+                            keys: group.keys,
+                            vals: group.vals,
+                            routed_by_home: false,
+                        }),
+                    ));
+                }
+                if self.shared.tracker.seal(s) {
+                    // All keys completed during issue (e.g. a queued key
+                    // drained concurrently).
+                    match kind {
+                        OpKind::Pull => IssueHandle::Pending(s), // caller still assembles
+                        OpKind::Push => {
+                            self.shared.tracker.discard(s);
+                            IssueHandle::Ready(None)
+                        }
+                    }
+                } else {
+                    IssueHandle::Pending(s)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Protocol configuration.
+
+use lapse_net::{Key, NodeId};
+
+use crate::layout::Layout;
+
+/// Which parameter-server architecture a cluster runs (Section 4.6 of the
+/// paper compares all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Classic PS à la PS-Lite: static allocation, *all* parameter access
+    /// (even node-local) goes through the server via messages.
+    Classic,
+    /// Classic PS with fast local access: static allocation, but keys
+    /// homed on the worker's own node are accessed through shared memory.
+    ClassicFastLocal,
+    /// Lapse: dynamic parameter allocation plus fast local access.
+    Lapse,
+}
+
+impl Variant {
+    /// Whether `localize` actually relocates parameters.
+    pub fn dpa_enabled(self) -> bool {
+        matches!(self, Variant::Lapse)
+    }
+
+    /// Whether workers may access node-local parameters via shared memory.
+    pub fn fast_local_access(self) -> bool {
+        !matches!(self, Variant::Classic)
+    }
+
+    /// Short display name used by the experiment harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Classic => "Classic PS",
+            Variant::ClassicFastLocal => "Classic PS + fast local",
+            Variant::Lapse => "Lapse",
+        }
+    }
+}
+
+/// Static assignment of keys to home nodes.
+///
+/// The home node of a key never changes (Section 3.5); only ownership
+/// moves. Classic PSs use the same partitioning for the (static) owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomePartition {
+    /// Contiguous ranges: node `i` is home to keys
+    /// `[i·⌈K/N⌉, (i+1)·⌈K/N⌉)`.
+    Range,
+    /// Round-robin striping: key `k` is homed at `k mod N`.
+    Stripe,
+}
+
+/// Full protocol configuration shared by all nodes of one cluster.
+#[derive(Debug, Clone)]
+pub struct ProtoConfig {
+    /// Number of nodes.
+    pub nodes: u16,
+    /// Size of the key space; keys are `0..keys`.
+    pub keys: u64,
+    /// Value length per key.
+    pub layout: Layout,
+    /// PS architecture variant.
+    pub variant: Variant,
+    /// Enable per-node location caches (Section 3.3). Off by default, as
+    /// in the paper's experiments.
+    pub location_caches: bool,
+    /// Number of latches (= state shards) per node; the paper's default of
+    /// 1000 worked well in their experiments (Section 3.7).
+    pub latches: usize,
+    /// Home assignment scheme.
+    pub partition: HomePartition,
+    /// Use dense (preallocated) stores instead of sparse maps.
+    pub dense: bool,
+    /// Route a worker's operation via the home node whenever that worker
+    /// still has an outstanding remotely-routed operation on the same key.
+    ///
+    /// The paper's proof of Theorem 2 models *all* operations of a worker
+    /// on one parameter as routed "to the home node and from there to the
+    /// owner". A literal fast local path can violate that model: an async
+    /// operation may still be in flight towards the home node when the
+    /// parameter is relocated *to* the issuing worker's own node, and a
+    /// later local access would then overtake it. This guard enforces the
+    /// proof's routing model and thereby per-worker program order
+    /// (sequential consistency property 1). Enabled by default; disable to
+    /// observe the reordering in tests.
+    pub ordered_async_guard: bool,
+}
+
+impl ProtoConfig {
+    /// A small default configuration, convenient for tests.
+    pub fn new(nodes: u16, keys: u64, layout: Layout) -> Self {
+        ProtoConfig {
+            nodes,
+            keys,
+            layout,
+            variant: Variant::Lapse,
+            location_caches: false,
+            latches: 1000,
+            partition: HomePartition::Range,
+            dense: true,
+            ordered_async_guard: true,
+        }
+    }
+
+    /// Keys per home range under [`HomePartition::Range`].
+    #[inline]
+    pub fn range_width(&self) -> u64 {
+        self.keys.div_ceil(self.nodes as u64)
+    }
+
+    /// The (static) home node of `key`.
+    #[inline]
+    pub fn home(&self, key: Key) -> NodeId {
+        debug_assert!(key.0 < self.keys, "key {key} out of range");
+        match self.partition {
+            HomePartition::Range => {
+                NodeId(((key.0 / self.range_width()).min(self.nodes as u64 - 1)) as u16)
+            }
+            HomePartition::Stripe => NodeId((key.0 % self.nodes as u64) as u16),
+        }
+    }
+
+    /// Dense index of `key` within its home node's location table.
+    #[inline]
+    pub fn home_slot(&self, key: Key) -> usize {
+        match self.partition {
+            HomePartition::Range => (key.0 % self.range_width()) as usize,
+            HomePartition::Stripe => (key.0 / self.nodes as u64) as usize,
+        }
+    }
+
+    /// Number of location-table slots node `node` needs as a home.
+    pub fn home_slots(&self, node: NodeId) -> usize {
+        match self.partition {
+            HomePartition::Range => {
+                let w = self.range_width();
+                let start = node.idx() as u64 * w;
+                let end = ((node.idx() as u64 + 1) * w).min(self.keys);
+                end.saturating_sub(start) as usize
+            }
+            HomePartition::Stripe => {
+                let n = self.nodes as u64;
+                (self.keys / n + u64::from(self.keys % n > node.idx() as u64)) as usize
+            }
+        }
+    }
+
+    /// Keys homed at `node`, in increasing order.
+    pub fn home_keys(&self, node: NodeId) -> Vec<Key> {
+        (0..self.keys)
+            .map(Key)
+            .filter(|&k| self.home(k) == node)
+            .collect()
+    }
+
+    /// The latch/shard index for `key` on any node.
+    #[inline]
+    pub fn shard_of(&self, key: Key) -> usize {
+        // Range-based striping so that dense shards hold contiguous keys.
+        let per = self.keys.div_ceil(self.latches as u64).max(1);
+        ((key.0 / per) as usize).min(self.latches - 1)
+    }
+
+    /// Number of shards actually used (≤ `latches` when keys are few).
+    pub fn shard_count(&self) -> usize {
+        let per = self.keys.div_ceil(self.latches as u64).max(1);
+        self.keys.div_ceil(per).max(1) as usize
+    }
+
+    /// Key range `[start, end)` covered by shard `s`.
+    pub fn shard_range(&self, s: usize) -> (u64, u64) {
+        let per = self.keys.div_ceil(self.latches as u64).max(1);
+        let start = s as u64 * per;
+        let end = ((s as u64 + 1) * per).min(self.keys);
+        (start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nodes: u16, keys: u64) -> ProtoConfig {
+        ProtoConfig::new(nodes, keys, Layout::Uniform(2))
+    }
+
+    #[test]
+    fn range_home_covers_all_nodes() {
+        let c = cfg(4, 103);
+        let mut seen = vec![0u64; 4];
+        for k in 0..103 {
+            seen[c.home(Key(k)).idx()] += 1;
+        }
+        assert_eq!(seen.iter().sum::<u64>(), 103);
+        assert!(seen.iter().all(|&s| s > 0));
+        // Range partition: consecutive keys share homes.
+        assert_eq!(c.home(Key(0)), c.home(Key(1)));
+    }
+
+    #[test]
+    fn stripe_home_round_robins() {
+        let mut c = cfg(4, 100);
+        c.partition = HomePartition::Stripe;
+        assert_eq!(c.home(Key(0)), NodeId(0));
+        assert_eq!(c.home(Key(1)), NodeId(1));
+        assert_eq!(c.home(Key(5)), NodeId(1));
+    }
+
+    #[test]
+    fn home_slevery_key_unique_slot() {
+        for partition in [HomePartition::Range, HomePartition::Stripe] {
+            let mut c = cfg(3, 32);
+            c.partition = partition;
+            for node in 0..3u16 {
+                let keys = c.home_keys(NodeId(node));
+                let slots: Vec<usize> = keys.iter().map(|&k| c.home_slot(k)).collect();
+                let mut sorted = slots.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), slots.len(), "slot collision on node {node}");
+                assert!(
+                    slots.iter().all(|&s| s < c.home_slots(NodeId(node))),
+                    "slot out of bounds on node {node}: {slots:?} vs {}",
+                    c.home_slots(NodeId(node))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shards_partition_key_space() {
+        let mut c = cfg(2, 10_000);
+        c.latches = 16;
+        let mut count = 0;
+        for s in 0..c.shard_count() {
+            let (start, end) = c.shard_range(s);
+            for k in start..end {
+                assert_eq!(c.shard_of(Key(k)), s);
+                count += 1;
+            }
+        }
+        assert_eq!(count, 10_000);
+    }
+
+    #[test]
+    fn more_latches_than_keys() {
+        let c = ProtoConfig::new(2, 5, Layout::Uniform(1));
+        assert_eq!(c.shard_count(), 5);
+        for k in 0..5 {
+            assert!(c.shard_of(Key(k)) < c.shard_count());
+        }
+    }
+
+    #[test]
+    fn variant_flags() {
+        assert!(!Variant::Classic.fast_local_access());
+        assert!(Variant::ClassicFastLocal.fast_local_access());
+        assert!(!Variant::ClassicFastLocal.dpa_enabled());
+        assert!(Variant::Lapse.dpa_enabled());
+    }
+}

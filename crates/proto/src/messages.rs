@@ -1,0 +1,380 @@
+//! The wire protocol.
+//!
+//! Six message kinds implement the full protocol of Section 3:
+//!
+//! * [`OpMsg`] — a grouped pull or push request travelling from a client
+//!   to the home node (forward strategy), from the home node to the owner
+//!   (`routed_by_home`), or directly to a cached owner (location caches).
+//! * [`OpRespMsg`] — per-key responses from the answering owner back to
+//!   the origin; carries the owner id so clients can update location
+//!   caches without extra messages.
+//! * [`LocalizeReqMsg`] — message 1 of the relocation protocol (Figure 4):
+//!   requester → home.
+//! * [`RelocateMsg`] — message 2: home → old owner ("instruct
+//!   relocation").
+//! * [`HandOverMsg`] — message 3: old owner → new owner, carrying the
+//!   parameter values.
+//! * [`Msg::Shutdown`] — terminates a server loop (threaded backend only).
+//!
+//! Every message implements [`WireSize`] (used by the simulator's
+//! bandwidth accounting) and [`WireCodec`] (the actual byte encoding);
+//! tests assert that the two agree.
+
+use bytes::{Bytes, BytesMut};
+
+use lapse_net::codec::{
+    f32s_wire_bytes, get_f32s, get_keys, get_node, get_u64, get_u8, keys_wire_bytes, put_f32s,
+    put_keys, put_node, put_u64, put_u8, CodecError, WireCodec,
+};
+use lapse_net::{Key, NodeId, WireSize};
+
+/// Identifies one client operation. Unique per origin node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpId {
+    /// Node whose worker issued the operation (responses return here).
+    pub node: NodeId,
+    /// Sequence number within that node.
+    pub seq: u64,
+}
+
+impl OpId {
+    /// Creates an op id.
+    pub fn new(node: NodeId, seq: u64) -> Self {
+        OpId { node, seq }
+    }
+}
+
+/// Operation kind carried by [`OpMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Read parameter values.
+    Pull,
+    /// Add update terms to parameter values (cumulative, Section 2.1).
+    Push,
+}
+
+/// A grouped pull/push request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpMsg {
+    /// Operation identity; `op.node` is the origin the response goes to.
+    pub op: OpId,
+    /// Pull or push.
+    pub kind: OpKind,
+    /// Keys addressed by this message (grouped per destination).
+    pub keys: Vec<Key>,
+    /// For pushes: concatenated update vectors, in `keys` order. Empty for
+    /// pulls.
+    pub vals: Vec<f32>,
+    /// True once the key's home node has routed this message to the owner.
+    /// A receiver that cannot serve a key of a home-routed message knows a
+    /// protocol invariant broke (it should own the key or expect it);
+    /// a receiver of a *direct* message (location cache) that cannot serve
+    /// simply double-forwards to the home node.
+    pub routed_by_home: bool,
+}
+
+/// Per-key responses from the answering owner to the origin node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRespMsg {
+    /// The operation being answered (possibly partially).
+    pub op: OpId,
+    /// Kind of the answered operation.
+    pub kind: OpKind,
+    /// Keys answered by this message.
+    pub keys: Vec<Key>,
+    /// For pulls: concatenated values in `keys` order. Empty for pushes.
+    pub vals: Vec<f32>,
+    /// The node that answered — the key's owner at answer time. Clients
+    /// use it to refresh location caches (Section 3.3: caches are updated
+    /// only by piggybacking on existing messages).
+    pub owner: NodeId,
+}
+
+/// Relocation message 1: a worker requests local allocation of keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalizeReqMsg {
+    /// The localize operation; `op.node` is the requester (and future
+    /// owner).
+    pub op: OpId,
+    /// Keys to relocate, all homed at the destination node.
+    pub keys: Vec<Key>,
+}
+
+/// Relocation message 2: the home node instructs the old owner to stop
+/// serving and hand the parameters over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelocateMsg {
+    /// The localize operation that triggered the relocation.
+    pub op: OpId,
+    /// Keys to hand over (grouped per old owner).
+    pub keys: Vec<Key>,
+    /// The requester — destination of the ensuing [`HandOverMsg`].
+    pub new_owner: NodeId,
+}
+
+/// Relocation message 3: the old owner transfers the parameter values to
+/// the new owner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandOverMsg {
+    /// The localize operation being fulfilled.
+    pub op: OpId,
+    /// Relocated keys.
+    pub keys: Vec<Key>,
+    /// Concatenated parameter values in `keys` order.
+    pub vals: Vec<f32>,
+}
+
+/// All protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Pull/push request.
+    Op(OpMsg),
+    /// Pull/push response.
+    OpResp(OpRespMsg),
+    /// Relocation message 1 (requester → home).
+    LocalizeReq(LocalizeReqMsg),
+    /// Relocation message 2 (home → old owner).
+    Relocate(RelocateMsg),
+    /// Relocation message 3 (old owner → new owner).
+    HandOver(HandOverMsg),
+    /// Stop the receiving server loop.
+    Shutdown,
+}
+
+impl Msg {
+    /// Short label for metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Msg::Op(m) => match m.kind {
+                OpKind::Pull => "op.pull",
+                OpKind::Push => "op.push",
+            },
+            Msg::OpResp(_) => "op.resp",
+            Msg::LocalizeReq(_) => "reloc.localize",
+            Msg::Relocate(_) => "reloc.relocate",
+            Msg::HandOver(_) => "reloc.handover",
+            Msg::Shutdown => "shutdown",
+        }
+    }
+}
+
+const OP_ID_BYTES: usize = 2 + 8;
+
+fn put_op_id(buf: &mut BytesMut, op: OpId) {
+    put_node(buf, op.node);
+    put_u64(buf, op.seq);
+}
+
+fn get_op_id(buf: &mut Bytes) -> Result<OpId, CodecError> {
+    let node = get_node(buf)?;
+    let seq = get_u64(buf)?;
+    Ok(OpId { node, seq })
+}
+
+impl WireSize for Msg {
+    fn wire_bytes(&self) -> usize {
+        // 1 byte variant tag, matching the codec below.
+        1 + match self {
+            Msg::Op(m) => {
+                OP_ID_BYTES + 1 + 1 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals)
+            }
+            Msg::OpResp(m) => {
+                OP_ID_BYTES + 1 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals) + 2
+            }
+            Msg::LocalizeReq(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys),
+            Msg::Relocate(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys) + 2,
+            Msg::HandOver(m) => {
+                OP_ID_BYTES + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals)
+            }
+            Msg::Shutdown => 0,
+        }
+    }
+}
+
+impl WireCodec for Msg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Msg::Op(m) => {
+                put_u8(buf, 1);
+                put_op_id(buf, m.op);
+                put_u8(buf, matches!(m.kind, OpKind::Push) as u8);
+                put_u8(buf, m.routed_by_home as u8);
+                put_keys(buf, &m.keys);
+                put_f32s(buf, &m.vals);
+            }
+            Msg::OpResp(m) => {
+                put_u8(buf, 2);
+                put_op_id(buf, m.op);
+                put_u8(buf, matches!(m.kind, OpKind::Push) as u8);
+                put_keys(buf, &m.keys);
+                put_f32s(buf, &m.vals);
+                put_node(buf, m.owner);
+            }
+            Msg::LocalizeReq(m) => {
+                put_u8(buf, 3);
+                put_op_id(buf, m.op);
+                put_keys(buf, &m.keys);
+            }
+            Msg::Relocate(m) => {
+                put_u8(buf, 4);
+                put_op_id(buf, m.op);
+                put_keys(buf, &m.keys);
+                put_node(buf, m.new_owner);
+            }
+            Msg::HandOver(m) => {
+                put_u8(buf, 5);
+                put_op_id(buf, m.op);
+                put_keys(buf, &m.keys);
+                put_f32s(buf, &m.vals);
+            }
+            Msg::Shutdown => put_u8(buf, 6),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match get_u8(buf)? {
+            1 => {
+                let op = get_op_id(buf)?;
+                let kind = if get_u8(buf)? == 1 { OpKind::Push } else { OpKind::Pull };
+                let routed_by_home = get_u8(buf)? == 1;
+                let keys = get_keys(buf)?;
+                let vals = get_f32s(buf)?;
+                Ok(Msg::Op(OpMsg {
+                    op,
+                    kind,
+                    keys,
+                    vals,
+                    routed_by_home,
+                }))
+            }
+            2 => {
+                let op = get_op_id(buf)?;
+                let kind = if get_u8(buf)? == 1 { OpKind::Push } else { OpKind::Pull };
+                let keys = get_keys(buf)?;
+                let vals = get_f32s(buf)?;
+                let owner = get_node(buf)?;
+                Ok(Msg::OpResp(OpRespMsg {
+                    op,
+                    kind,
+                    keys,
+                    vals,
+                    owner,
+                }))
+            }
+            3 => {
+                let op = get_op_id(buf)?;
+                let keys = get_keys(buf)?;
+                Ok(Msg::LocalizeReq(LocalizeReqMsg { op, keys }))
+            }
+            4 => {
+                let op = get_op_id(buf)?;
+                let keys = get_keys(buf)?;
+                let new_owner = get_node(buf)?;
+                Ok(Msg::Relocate(RelocateMsg {
+                    op,
+                    keys,
+                    new_owner,
+                }))
+            }
+            5 => {
+                let op = get_op_id(buf)?;
+                let keys = get_keys(buf)?;
+                let vals = get_f32s(buf)?;
+                Ok(Msg::HandOver(HandOverMsg { op, keys, vals }))
+            }
+            6 => Ok(Msg::Shutdown),
+            t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Msg> {
+        vec![
+            Msg::Op(OpMsg {
+                op: OpId::new(NodeId(1), 42),
+                kind: OpKind::Pull,
+                keys: vec![Key(3), Key(9)],
+                vals: vec![],
+                routed_by_home: false,
+            }),
+            Msg::Op(OpMsg {
+                op: OpId::new(NodeId(2), 7),
+                kind: OpKind::Push,
+                keys: vec![Key(5)],
+                vals: vec![1.0, -2.0],
+                routed_by_home: true,
+            }),
+            Msg::OpResp(OpRespMsg {
+                op: OpId::new(NodeId(0), 1),
+                kind: OpKind::Pull,
+                keys: vec![Key(5)],
+                vals: vec![0.25, 0.5],
+                owner: NodeId(3),
+            }),
+            Msg::LocalizeReq(LocalizeReqMsg {
+                op: OpId::new(NodeId(1), 8),
+                keys: vec![Key(0), Key(1), Key(2)],
+            }),
+            Msg::Relocate(RelocateMsg {
+                op: OpId::new(NodeId(1), 8),
+                keys: vec![Key(0)],
+                new_owner: NodeId(1),
+            }),
+            Msg::HandOver(HandOverMsg {
+                op: OpId::new(NodeId(1), 8),
+                keys: vec![Key(0)],
+                vals: vec![9.0, 8.0],
+            }),
+            Msg::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        for msg in samples() {
+            let mut buf = BytesMut::new();
+            msg.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            let back = Msg::decode(&mut bytes).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(bytes.len(), 0, "trailing bytes after {msg:?}");
+        }
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        for msg in samples() {
+            let mut buf = BytesMut::new();
+            msg.encode(&mut buf);
+            assert_eq!(
+                buf.len(),
+                msg.wire_bytes(),
+                "WireSize disagrees with codec for {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        for msg in samples() {
+            let mut buf = BytesMut::new();
+            msg.encode(&mut buf);
+            let full = buf.freeze();
+            for cut in 0..full.len() {
+                let mut b = full.slice(..cut);
+                let _ = Msg::decode(&mut b); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(samples()[0].label(), "op.pull");
+        assert_eq!(samples()[1].label(), "op.push");
+        assert_eq!(Msg::Shutdown.label(), "shutdown");
+    }
+}

@@ -1,0 +1,439 @@
+//! Per-node server logic.
+//!
+//! [`ServerCore`] is the sans-io server half of the protocol: a pure
+//! message handler invoked by the threaded runtime's server thread or by
+//! the simulator's event loop. It implements
+//!
+//! * **operation routing** (Section 3.3): the forward strategy (home node
+//!   relays requests to the current owner), serving owned keys, parking
+//!   operations on keys that are relocating here, and double-forwarding
+//!   requests that arrived via a stale location cache;
+//! * **relocation** (Section 3.2, Figure 4): as home node it updates the
+//!   owner table *immediately* and instructs the old owner; as old owner
+//!   it removes the value and hands it over (or parks the instruction if
+//!   the key is still in flight towards it — localization conflicts chain
+//!   this way); as new owner it installs the value and drains the parked
+//!   operations in arrival order;
+//! * **response handling**: completing tracker operations and refreshing
+//!   location caches by piggybacking on responses and relocations only
+//!   (the paper sends no dedicated cache-maintenance messages).
+//!
+//! All batching uses insertion-ordered maps so message emission order is
+//! deterministic and re-dispatched operations keep their arrival order.
+
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+use lapse_net::{Key, NodeId};
+
+use crate::client::MsgSink;
+use crate::group::OrderedGroups;
+use crate::messages::{
+    HandOverMsg, LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, OpRespMsg, RelocateMsg,
+};
+use crate::shard::{NodeShared, Queued, QueuedOp};
+
+/// A keys-plus-values accumulator.
+#[derive(Debug, Default)]
+struct KeyVals {
+    keys: Vec<Key>,
+    vals: Vec<f32>,
+}
+
+/// Accumulates per-destination response/forward batches while one message
+/// is processed, so grouped requests produce grouped replies (the paper's
+/// message grouping, Section 3.7).
+#[derive(Default)]
+struct Batches {
+    /// Responses per (op, kind); destination is `op.node`.
+    resp: OrderedGroups<(OpId, OpKind), KeyVals>,
+    /// Home-routed forwards per (owner, op, kind).
+    fwd_owner: OrderedGroups<(NodeId, OpId, OpKind), KeyVals>,
+    /// Double-forwards per (home, op, kind).
+    fwd_home: OrderedGroups<(NodeId, OpId, OpKind), KeyVals>,
+    /// Hand-overs per (new owner, op).
+    handover: OrderedGroups<(NodeId, OpId), KeyVals>,
+    /// Relocate instructions, emitted in order.
+    relocates: Vec<(NodeId, RelocateMsg)>,
+}
+
+impl Batches {
+    fn flush(self, node: NodeId, sink: &mut MsgSink) {
+        for ((op, kind), kv) in self.resp.into_iter() {
+            sink.push((
+                op.node,
+                Msg::OpResp(OpRespMsg {
+                    op,
+                    kind,
+                    keys: kv.keys,
+                    vals: kv.vals,
+                    owner: node,
+                }),
+            ));
+        }
+        for ((dst, op, kind), kv) in self.fwd_owner.into_iter() {
+            sink.push((
+                dst,
+                Msg::Op(OpMsg {
+                    op,
+                    kind,
+                    keys: kv.keys,
+                    vals: kv.vals,
+                    routed_by_home: true,
+                }),
+            ));
+        }
+        for ((dst, op, kind), kv) in self.fwd_home.into_iter() {
+            sink.push((
+                dst,
+                Msg::Op(OpMsg {
+                    op,
+                    kind,
+                    keys: kv.keys,
+                    vals: kv.vals,
+                    routed_by_home: false,
+                }),
+            ));
+        }
+        for (dst, reloc) in self.relocates {
+            sink.push((dst, Msg::Relocate(reloc)));
+        }
+        for ((dst, op), kv) in self.handover.into_iter() {
+            sink.push((
+                dst,
+                Msg::HandOver(HandOverMsg {
+                    op,
+                    keys: kv.keys,
+                    vals: kv.vals,
+                }),
+            ));
+        }
+    }
+}
+
+/// The server half of the protocol for one node.
+pub struct ServerCore {
+    shared: Arc<NodeShared>,
+    /// Current owner of every key homed at this node, indexed by
+    /// `ProtoConfig::home_slot`. Only the server logic touches it, so no
+    /// lock is needed (one logical server thread per node, Figure 2).
+    owner: Vec<NodeId>,
+}
+
+impl ServerCore {
+    /// Creates the server core; initially every home key is owned by its
+    /// home node (this node).
+    pub fn new(shared: Arc<NodeShared>) -> Self {
+        let slots = shared.cfg.home_slots(shared.node);
+        let owner = vec![shared.node; slots];
+        ServerCore { shared, owner }
+    }
+
+    /// The node this server runs on.
+    pub fn node(&self) -> NodeId {
+        self.shared.node
+    }
+
+    /// The shared node state.
+    pub fn shared(&self) -> &Arc<NodeShared> {
+        &self.shared
+    }
+
+    /// Current owner of `key` according to this home node (diagnostics
+    /// and tests; `key` must be homed here).
+    pub fn owner_of(&self, key: Key) -> NodeId {
+        debug_assert_eq!(self.shared.cfg.home(key), self.shared.node);
+        self.owner[self.shared.cfg.home_slot(key)]
+    }
+
+    /// Handles one incoming message, appending outgoing messages to
+    /// `sink` in a deterministic order.
+    pub fn handle(&mut self, msg: Msg, sink: &mut MsgSink) {
+        let mut batches = Batches::default();
+        match msg {
+            Msg::Op(m) => self.handle_op(m, &mut batches),
+            Msg::OpResp(m) => self.handle_resp(m),
+            Msg::LocalizeReq(m) => self.handle_localize(m, &mut batches),
+            Msg::Relocate(m) => self.handle_relocate(m, &mut batches),
+            Msg::HandOver(m) => self.handle_handover(m, &mut batches),
+            Msg::Shutdown => {}
+        }
+        batches.flush(self.shared.node, sink);
+    }
+
+    // ---- operations ------------------------------------------------------
+
+    fn handle_op(&mut self, m: OpMsg, batches: &mut Batches) {
+        let layout = self.shared.cfg.layout.clone();
+        let mut val_off = 0usize;
+        for &k in &m.keys {
+            let len = match m.kind {
+                OpKind::Push => layout.len(k),
+                OpKind::Pull => 0,
+            };
+            let val = &m.vals[val_off..val_off + len];
+            val_off += len;
+            self.dispatch_key(m.op, m.kind, k, val, m.routed_by_home, batches);
+        }
+        debug_assert_eq!(val_off, m.vals.len(), "push payload length mismatch");
+    }
+
+    /// Routes one key of an operation (see module docs for the cases).
+    fn dispatch_key(
+        &mut self,
+        op: OpId,
+        kind: OpKind,
+        k: Key,
+        val: &[f32],
+        routed_by_home: bool,
+        batches: &mut Batches,
+    ) {
+        let cfg = &self.shared.cfg;
+        let mut shard = self.shared.shard_for(k).lock();
+        if shard.store.contains(k) {
+            // Serve as owner.
+            match kind {
+                OpKind::Push => {
+                    let applied = shard.store.add(k, val);
+                    debug_assert!(applied);
+                    if op.node == self.shared.node {
+                        self.shared.tracker.complete_key(op.seq, k, None);
+                    } else {
+                        batches.resp.entry((op, kind)).keys.push(k);
+                    }
+                }
+                OpKind::Pull => {
+                    let v = shard.store.get(k).expect("contains implies get");
+                    if op.node == self.shared.node {
+                        self.shared.tracker.complete_key(op.seq, k, Some(v));
+                    } else {
+                        let entry = batches.resp.entry((op, kind));
+                        entry.keys.push(k);
+                        entry.vals.extend_from_slice(v);
+                    }
+                }
+            }
+        } else if let Some(inc) = shard.incoming.get_mut(&k) {
+            // Relocating towards this node: park until the hand-over
+            // (Section 3.2).
+            inc.queue.push_back(Queued::Op(QueuedOp {
+                op,
+                kind,
+                val: val.to_vec(),
+            }));
+        } else if cfg.home(k) == self.shared.node {
+            // Act as home: forward to the current owner.
+            let owner = self.owner[cfg.home_slot(k)];
+            debug_assert_ne!(
+                owner, self.shared.node,
+                "home believes it owns {k} but the store disagrees"
+            );
+            let entry = batches.fwd_owner.entry((owner, op, kind));
+            entry.keys.push(k);
+            entry.vals.extend_from_slice(val);
+        } else {
+            // Direct delivery based on a stale location cache: forward to
+            // the home node (double-forward, Figure 5d).
+            debug_assert!(!routed_by_home, "home-routed op for {k} reached a non-owner");
+            self.shared.stats.stale_cache_forwards.fetch_add(1, Relaxed);
+            let entry = batches.fwd_home.entry((cfg.home(k), op, kind));
+            entry.keys.push(k);
+            entry.vals.extend_from_slice(val);
+        }
+    }
+
+    fn handle_resp(&mut self, m: OpRespMsg) {
+        let cfg = self.shared.cfg.clone();
+        debug_assert_eq!(m.op.node, self.shared.node, "response at wrong node");
+        let mut val_off = 0usize;
+        for &k in &m.keys {
+            if cfg.location_caches {
+                self.shared.shard_for(k).lock().loc_cache.insert(k, m.owner);
+            }
+            match m.kind {
+                OpKind::Pull => {
+                    let len = cfg.layout.len(k);
+                    let v = &m.vals[val_off..val_off + len];
+                    val_off += len;
+                    self.shared.tracker.complete_key(m.op.seq, k, Some(v));
+                }
+                OpKind::Push => {
+                    self.shared.tracker.complete_key(m.op.seq, k, None);
+                }
+            }
+        }
+    }
+
+    // ---- relocation (Figure 4) --------------------------------------------
+
+    /// Message 1, at the home node: update the owner table immediately and
+    /// instruct each old owner.
+    fn handle_localize(&mut self, m: LocalizeReqMsg, batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        let requester = m.op.node;
+        let mut per_old: OrderedGroups<NodeId, Vec<Key>> = OrderedGroups::new();
+        for &k in &m.keys {
+            debug_assert_eq!(cfg.home(k), self.shared.node, "localize at wrong home");
+            let slot = cfg.home_slot(k);
+            let old = self.owner[slot];
+            self.owner[slot] = requester;
+            self.shared.stats.relocations.fetch_add(1, Relaxed);
+            per_old.entry(old).push(k);
+        }
+        for (old, keys) in per_old.into_iter() {
+            let reloc = RelocateMsg {
+                op: m.op,
+                keys,
+                new_owner: requester,
+            };
+            if old == self.shared.node {
+                // Home is the current owner: handle locally rather than
+                // sending a message to ourselves, so a relocation costs at
+                // most three messages as in the paper.
+                self.handle_relocate(reloc, batches);
+            } else {
+                batches.relocates.push((old, reloc));
+            }
+        }
+    }
+
+    /// Message 2, at the old owner: stop serving, remove the value, hand
+    /// it over. If the key is still relocating towards this node, the
+    /// instruction is parked and executed right after the hand-over
+    /// arrives (localization conflicts, Section 3.2).
+    fn handle_relocate(&mut self, m: RelocateMsg, batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        for &k in &m.keys {
+            let mut shard = self.shared.shard_for(k).lock();
+            if let Some(v) = shard.store.remove(k) {
+                if m.new_owner == self.shared.node {
+                    // Degenerate self-relocation (the requester already
+                    // owned the key when the home processed its request):
+                    // keep the value and complete the localize.
+                    shard.store.insert(k, &v);
+                    self.shared.tracker.complete_key(m.op.seq, k, None);
+                } else {
+                    if cfg.location_caches {
+                        shard.loc_cache.insert(k, m.new_owner);
+                    }
+                    let entry = batches.handover.entry((m.new_owner, m.op));
+                    entry.keys.push(k);
+                    entry.vals.extend_from_slice(&v);
+                }
+            } else if let Some(inc) = shard.incoming.get_mut(&k) {
+                inc.queue.push_back(Queued::Relocate {
+                    op: m.op,
+                    new_owner: m.new_owner,
+                });
+            } else {
+                debug_assert!(false, "relocate for {k} which is neither owned nor expected");
+                self.shared.stats.unexpected_relocates.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// Message 3, at the new owner: install the value, complete waiting
+    /// localizes, and drain parked operations in arrival order.
+    fn handle_handover(&mut self, m: HandOverMsg, batches: &mut Batches) {
+        let layout = self.shared.cfg.layout.clone();
+        let mut val_off = 0usize;
+        for &k in &m.keys {
+            let len = layout.len(k);
+            let val = &m.vals[val_off..val_off + len];
+            val_off += len;
+            self.install_key(k, val, batches);
+        }
+        debug_assert_eq!(val_off, m.vals.len(), "handover payload length mismatch");
+    }
+
+    fn install_key(&mut self, k: Key, val: &[f32], batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        let mut shard = self.shared.shard_for(k).lock();
+        shard.store.insert(k, val);
+        self.shared.stats.handovers_in.fetch_add(1, Relaxed);
+        let Some(entry) = shard.incoming.remove(&k) else {
+            debug_assert!(false, "hand-over for {k} without incoming entry");
+            return;
+        };
+        for op in &entry.waiting_localize {
+            debug_assert_eq!(op.node, self.shared.node);
+            self.shared.tracker.complete_key(op.seq, k, None);
+        }
+        // Drain parked work in arrival order. A parked Relocate moves the
+        // key onward; operations parked after it are re-dispatched through
+        // normal routing and will reach the key's current owner via home.
+        let mut moved_on = false;
+        for item in entry.queue {
+            match item {
+                Queued::Op(q) => {
+                    if !moved_on {
+                        self.serve_parked(&mut shard, k, q, batches);
+                    } else {
+                        self.redispatch_parked(k, q, batches);
+                    }
+                }
+                Queued::Relocate { op, new_owner } => {
+                    debug_assert!(!moved_on, "second parked relocate for {k}");
+                    debug_assert_ne!(new_owner, self.shared.node);
+                    let v = shard
+                        .store
+                        .remove(k)
+                        .expect("parked relocate found missing key");
+                    if cfg.location_caches {
+                        shard.loc_cache.insert(k, new_owner);
+                    }
+                    let entry = batches.handover.entry((new_owner, op));
+                    entry.keys.push(k);
+                    entry.vals.extend_from_slice(&v);
+                    moved_on = true;
+                }
+            }
+        }
+    }
+
+    /// Serves a parked operation now that the key is owned.
+    fn serve_parked(
+        &self,
+        shard: &mut crate::shard::Shard,
+        k: Key,
+        q: QueuedOp,
+        batches: &mut Batches,
+    ) {
+        match q.kind {
+            OpKind::Push => {
+                let applied = shard.store.add(k, &q.val);
+                debug_assert!(applied);
+                if q.op.node == self.shared.node {
+                    self.shared.tracker.complete_key(q.op.seq, k, None);
+                } else {
+                    batches.resp.entry((q.op, OpKind::Push)).keys.push(k);
+                }
+            }
+            OpKind::Pull => {
+                let v = shard.store.get(k).expect("just served key");
+                if q.op.node == self.shared.node {
+                    self.shared.tracker.complete_key(q.op.seq, k, Some(v));
+                } else {
+                    let entry = batches.resp.entry((q.op, OpKind::Pull));
+                    entry.keys.push(k);
+                    entry.vals.extend_from_slice(v);
+                }
+            }
+        }
+    }
+
+    /// Re-dispatches an operation parked behind an onward relocation.
+    fn redispatch_parked(&self, k: Key, q: QueuedOp, batches: &mut Batches) {
+        let cfg = &self.shared.cfg;
+        if cfg.home(k) == self.shared.node {
+            let owner = self.owner[cfg.home_slot(k)];
+            let entry = batches.fwd_owner.entry((owner, q.op, q.kind));
+            entry.keys.push(k);
+            entry.vals.extend_from_slice(&q.val);
+        } else {
+            let entry = batches.fwd_home.entry((cfg.home(k), q.op, q.kind));
+            entry.keys.push(k);
+            entry.vals.extend_from_slice(&q.val);
+        }
+    }
+}

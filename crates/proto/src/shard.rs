@@ -1,0 +1,266 @@
+//! The latched shared node state.
+//!
+//! Figure 2 of the paper: each node runs one server thread and several
+//! worker threads in one process, and workers access the local parameter
+//! store **directly via shared memory**, synchronizing with the server
+//! thread through latches. [`NodeShared`] is that shared state: a vector
+//! of latch-guarded [`Shard`]s, each covering a contiguous key range and
+//! holding
+//!
+//! * the shard's slice of the local parameter store,
+//! * the queues of operations addressed to keys currently relocating *to*
+//!   this node (Section 3.2: the requester queues local and forwarded
+//!   accesses until the hand-over arrives), and
+//! * the shard's slice of the optional location cache (Section 3.3).
+//!
+//! The paper's default of 1000 latches per node is kept
+//! (`ProtoConfig::latches`).
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lapse_net::{Key, NodeId};
+
+use crate::config::ProtoConfig;
+use crate::messages::{OpId, OpKind};
+use crate::storage::ShardStore;
+use crate::tracker::{ClockFn, OpTracker};
+
+/// An operation parked while its key relocates to this node.
+#[derive(Debug)]
+pub struct QueuedOp {
+    /// The operation a completion must be routed to.
+    pub op: OpId,
+    /// Pull or push.
+    pub kind: OpKind,
+    /// Push payload (empty for pulls).
+    pub val: Vec<f32>,
+}
+
+/// One entry of a relocation queue.
+#[derive(Debug)]
+pub enum Queued {
+    /// A parked pull/push.
+    Op(QueuedOp),
+    /// A parked "instruct relocation": the key must move on to
+    /// `new_owner` as soon as it arrives here (localization conflict,
+    /// Section 3.2).
+    Relocate {
+        /// The localize operation that requested the onward move.
+        op: OpId,
+        /// Next owner.
+        new_owner: NodeId,
+    },
+}
+
+/// State of one key currently relocating to this node.
+#[derive(Debug, Default)]
+pub struct IncomingState {
+    /// Parked work, in arrival order.
+    pub queue: VecDeque<Queued>,
+    /// Local localize operations waiting for the hand-over (several
+    /// workers may localize the same key concurrently; only the first
+    /// sends a message).
+    pub waiting_localize: Vec<OpId>,
+}
+
+/// One latch-guarded shard of node state.
+#[derive(Debug)]
+pub struct Shard {
+    /// The shard's slice of the local parameter store.
+    pub store: ShardStore,
+    /// Keys relocating to this node.
+    pub incoming: HashMap<Key, IncomingState>,
+    /// Location cache (used only when `ProtoConfig::location_caches`).
+    pub loc_cache: HashMap<Key, NodeId>,
+}
+
+/// Hot counters for the paper's access statistics (Table 5 and the
+/// workload table). Plain atomics — these sit on every parameter access.
+#[derive(Debug, Default)]
+pub struct AccessStats {
+    /// Pull keys served via the shared-memory fast path.
+    pub pull_local: AtomicU64,
+    /// Pull keys parked in a relocation queue on the issuing node.
+    pub pull_queued: AtomicU64,
+    /// Pull keys routed over the network.
+    pub pull_remote: AtomicU64,
+    /// Push keys served via the shared-memory fast path.
+    pub push_local: AtomicU64,
+    /// Push keys parked in a relocation queue on the issuing node.
+    pub push_queued: AtomicU64,
+    /// Push keys routed over the network.
+    pub push_remote: AtomicU64,
+    /// Keys this node asked to localize (messages actually sent).
+    pub localize_sent: AtomicU64,
+    /// Keys relocated by this node acting as home (paper: "relocations").
+    pub relocations: AtomicU64,
+    /// Keys received via hand-over.
+    pub handovers_in: AtomicU64,
+    /// Operations double-forwarded due to a stale location cache.
+    pub stale_cache_forwards: AtomicU64,
+    /// Relocate messages for keys this node neither owned nor expected
+    /// (protocol-invariant violations; must stay 0).
+    pub unexpected_relocates: AtomicU64,
+}
+
+impl AccessStats {
+    /// Total pull keys.
+    pub fn pull_total(&self) -> u64 {
+        self.pull_local.load(Ordering::Relaxed)
+            + self.pull_queued.load(Ordering::Relaxed)
+            + self.pull_remote.load(Ordering::Relaxed)
+    }
+
+    /// Pull keys that never left the node (fast path + parked locally).
+    pub fn pull_local_total(&self) -> u64 {
+        self.pull_local.load(Ordering::Relaxed) + self.pull_queued.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared state of one node, accessed by its worker threads (fast
+/// local path) and its server logic.
+pub struct NodeShared {
+    /// Cluster-wide configuration.
+    pub cfg: Arc<ProtoConfig>,
+    /// This node.
+    pub node: NodeId,
+    /// Latch-guarded shards, indexed by `ProtoConfig::shard_of`.
+    pub shards: Vec<Mutex<Shard>>,
+    /// Client operation tracker.
+    pub tracker: OpTracker,
+    /// Access statistics.
+    pub stats: AccessStats,
+}
+
+impl NodeShared {
+    /// Creates the node state with every home key owned and zero-valued.
+    pub fn new(cfg: Arc<ProtoConfig>, node: NodeId, clock: ClockFn) -> Arc<Self> {
+        Self::with_init(cfg, node, clock, |_| None)
+    }
+
+    /// Creates the node state, initializing owned values via `init`
+    /// (`None` means zeros). `init` is called once for every key homed at
+    /// this node.
+    pub fn with_init(
+        cfg: Arc<ProtoConfig>,
+        node: NodeId,
+        clock: ClockFn,
+        mut init: impl FnMut(Key) -> Option<Vec<f32>>,
+    ) -> Arc<Self> {
+        let shard_count = cfg.shard_count();
+        let mut shards = Vec::with_capacity(shard_count);
+        for s in 0..shard_count {
+            let (start, end) = cfg.shard_range(s);
+            let store = if cfg.dense {
+                ShardStore::dense(&cfg.layout, start, end)
+            } else {
+                ShardStore::sparse(&cfg.layout)
+            };
+            let mut shard = Shard {
+                store,
+                incoming: HashMap::new(),
+                loc_cache: HashMap::new(),
+            };
+            // Initially every key is owned by its home node (Section 3.5).
+            for k in start..end {
+                let key = Key(k);
+                if cfg.home(key) == node {
+                    match init(key) {
+                        Some(v) => shard.store.insert(key, &v),
+                        None => shard
+                            .store
+                            .insert(key, &vec![0.0; cfg.layout.len(key)]),
+                    }
+                }
+            }
+            shards.push(Mutex::new(shard));
+        }
+        Arc::new(NodeShared {
+            cfg: cfg.clone(),
+            node,
+            shards,
+            tracker: OpTracker::new(clock),
+            stats: AccessStats::default(),
+        })
+    }
+
+    /// The latch-guarded shard containing `key`.
+    #[inline]
+    pub fn shard_for(&self, key: Key) -> &Mutex<Shard> {
+        &self.shards[self.cfg.shard_of(key)]
+    }
+
+    /// Reads an owned value, if present (test/diagnostic helper; takes the
+    /// latch).
+    pub fn read_value(&self, key: Key) -> Option<Vec<f32>> {
+        self.shard_for(key).lock().store.get(key).map(|v| v.to_vec())
+    }
+
+    /// Number of keys this node currently owns.
+    pub fn owned_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().store.len()).sum()
+    }
+
+    /// Number of keys currently relocating to this node.
+    pub fn incoming_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().incoming.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    fn clock() -> ClockFn {
+        Arc::new(|| 0)
+    }
+
+    #[test]
+    fn initial_ownership_matches_home() {
+        let cfg = Arc::new(ProtoConfig::new(3, 30, Layout::Uniform(2)));
+        let nodes: Vec<_> = (0..3)
+            .map(|n| NodeShared::new(cfg.clone(), NodeId(n), clock()))
+            .collect();
+        let total: usize = nodes.iter().map(|n| n.owned_keys()).sum();
+        assert_eq!(total, 30);
+        for n in &nodes {
+            for k in 0..30 {
+                let key = Key(k);
+                let owned = n.read_value(key).is_some();
+                assert_eq!(owned, cfg.home(key) == n.node, "key {key} node {}", n.node);
+            }
+        }
+    }
+
+    #[test]
+    fn with_init_sets_values() {
+        let cfg = Arc::new(ProtoConfig::new(1, 4, Layout::Uniform(2)));
+        let n = NodeShared::with_init(cfg, NodeId(0), clock(), |k| {
+            Some(vec![k.0 as f32, 0.5])
+        });
+        assert_eq!(n.read_value(Key(3)).unwrap(), vec![3.0, 0.5]);
+    }
+
+    #[test]
+    fn sparse_initialization() {
+        let mut cfg = ProtoConfig::new(2, 10, Layout::Uniform(1));
+        cfg.dense = false;
+        let cfg = Arc::new(cfg);
+        let n = NodeShared::new(cfg.clone(), NodeId(1), clock());
+        assert_eq!(n.owned_keys(), cfg.home_keys(NodeId(1)).len());
+    }
+
+    #[test]
+    fn stats_totals() {
+        let s = AccessStats::default();
+        s.pull_local.store(5, Ordering::Relaxed);
+        s.pull_queued.store(2, Ordering::Relaxed);
+        s.pull_remote.store(3, Ordering::Relaxed);
+        assert_eq!(s.pull_total(), 10);
+        assert_eq!(s.pull_local_total(), 7);
+    }
+}

@@ -1,0 +1,356 @@
+//! Per-shard parameter stores.
+//!
+//! Like the paper's implementation (Section 3.7), the local parameter
+//! store comes in two flavours: a **dense** store that preallocates one
+//! slot for every key of the shard's range (suitable when keys are
+//! contiguous — it trades memory for O(1) access and zero allocation
+//! during relocations), and a **sparse** store backed by a hash map that
+//! only materializes currently-owned keys.
+//!
+//! A store holds only the keys its node currently *owns*; ownership moves
+//! between nodes as parameters relocate.
+
+use std::collections::HashMap;
+
+use lapse_net::Key;
+
+use crate::layout::Layout;
+
+/// One shard's parameter store.
+#[derive(Debug)]
+pub enum ShardStore {
+    /// Preallocated storage for a contiguous key range.
+    Dense(DenseStore),
+    /// Hash-map storage for currently-owned keys only.
+    Sparse(SparseStore),
+}
+
+impl ShardStore {
+    /// Creates a dense store covering keys `[start, end)`.
+    pub fn dense(layout: &Layout, start: u64, end: u64) -> Self {
+        ShardStore::Dense(DenseStore::new(layout, start, end))
+    }
+
+    /// Creates an empty sparse store.
+    pub fn sparse(layout: &Layout) -> Self {
+        ShardStore::Sparse(SparseStore::new(layout.clone()))
+    }
+
+    /// Whether this shard currently owns `key`.
+    #[inline]
+    pub fn contains(&self, key: Key) -> bool {
+        match self {
+            ShardStore::Dense(s) => s.contains(key),
+            ShardStore::Sparse(s) => s.contains(key),
+        }
+    }
+
+    /// Read access to an owned value.
+    #[inline]
+    pub fn get(&self, key: Key) -> Option<&[f32]> {
+        match self {
+            ShardStore::Dense(s) => s.get(key),
+            ShardStore::Sparse(s) => s.get(key),
+        }
+    }
+
+    /// Adds `delta` into the owned value (cumulative push). Returns false
+    /// if the key is not owned.
+    #[inline]
+    pub fn add(&mut self, key: Key, delta: &[f32]) -> bool {
+        match self {
+            ShardStore::Dense(s) => s.add(key, delta),
+            ShardStore::Sparse(s) => s.add(key, delta),
+        }
+    }
+
+    /// Inserts an owned value (takes ownership of the key).
+    ///
+    /// # Panics
+    /// Panics if the value length does not match the layout, or the key is
+    /// outside the shard's range (dense), or the key is already owned.
+    pub fn insert(&mut self, key: Key, vals: &[f32]) {
+        match self {
+            ShardStore::Dense(s) => s.insert(key, vals),
+            ShardStore::Sparse(s) => s.insert(key, vals),
+        }
+    }
+
+    /// Removes an owned value, returning it (relocation hand-over).
+    pub fn remove(&mut self, key: Key) -> Option<Vec<f32>> {
+        match self {
+            ShardStore::Dense(s) => s.remove(key),
+            ShardStore::Sparse(s) => s.remove(key),
+        }
+    }
+
+    /// Number of owned keys.
+    pub fn len(&self) -> usize {
+        match self {
+            ShardStore::Dense(s) => s.owned_count,
+            ShardStore::Sparse(s) => s.map.len(),
+        }
+    }
+
+    /// Whether no key is owned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Dense store: one preallocated slot per key in `[start, end)`.
+#[derive(Debug)]
+pub struct DenseStore {
+    start: u64,
+    end: u64,
+    /// Offset of key `start + i` is `offsets[i]`; length is
+    /// `offsets[i+1] - offsets[i]`.
+    offsets: Vec<u32>,
+    data: Vec<f32>,
+    owned: Vec<bool>,
+    owned_count: usize,
+}
+
+impl DenseStore {
+    fn new(layout: &Layout, start: u64, end: u64) -> Self {
+        assert!(start <= end);
+        let n = (end - start) as usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for k in start..end {
+            acc += layout.len(Key(k)) as u32;
+            offsets.push(acc);
+        }
+        DenseStore {
+            start,
+            end,
+            offsets,
+            data: vec![0.0; acc as usize],
+            owned: vec![false; n],
+            owned_count: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: Key) -> usize {
+        debug_assert!(
+            key.0 >= self.start && key.0 < self.end,
+            "key {key} outside dense shard [{}, {})",
+            self.start,
+            self.end
+        );
+        (key.0 - self.start) as usize
+    }
+
+    #[inline]
+    fn span(&self, slot: usize) -> std::ops::Range<usize> {
+        self.offsets[slot] as usize..self.offsets[slot + 1] as usize
+    }
+
+    #[inline]
+    fn contains(&self, key: Key) -> bool {
+        if key.0 < self.start || key.0 >= self.end {
+            return false;
+        }
+        self.owned[self.slot(key)]
+    }
+
+    #[inline]
+    fn get(&self, key: Key) -> Option<&[f32]> {
+        let slot = self.slot(key);
+        if self.owned[slot] {
+            Some(&self.data[self.span(slot)])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, key: Key, delta: &[f32]) -> bool {
+        let slot = self.slot(key);
+        if !self.owned[slot] {
+            return false;
+        }
+        let span = self.span(slot);
+        let dst = &mut self.data[span];
+        assert_eq!(dst.len(), delta.len(), "push length mismatch for {key}");
+        for (d, &x) in dst.iter_mut().zip(delta) {
+            *d += x;
+        }
+        true
+    }
+
+    fn insert(&mut self, key: Key, vals: &[f32]) {
+        let slot = self.slot(key);
+        assert!(!self.owned[slot], "dense insert of already-owned {key}");
+        let span = self.span(slot);
+        let dst = &mut self.data[span];
+        assert_eq!(dst.len(), vals.len(), "insert length mismatch for {key}");
+        dst.copy_from_slice(vals);
+        self.owned[slot] = true;
+        self.owned_count += 1;
+    }
+
+    fn remove(&mut self, key: Key) -> Option<Vec<f32>> {
+        let slot = self.slot(key);
+        if !self.owned[slot] {
+            return None;
+        }
+        let span = self.span(slot);
+        let out = self.data[span.clone()].to_vec();
+        // Zero the slot so stale data cannot leak to a later insert.
+        self.data[span].fill(0.0);
+        self.owned[slot] = false;
+        self.owned_count -= 1;
+        Some(out)
+    }
+}
+
+/// Sparse store: owned keys only, boxed values.
+#[derive(Debug)]
+pub struct SparseStore {
+    layout: Layout,
+    map: HashMap<Key, Box<[f32]>>,
+}
+
+impl SparseStore {
+    fn new(layout: Layout) -> Self {
+        SparseStore {
+            layout,
+            map: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn contains(&self, key: Key) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    #[inline]
+    fn get(&self, key: Key) -> Option<&[f32]> {
+        self.map.get(&key).map(|v| &**v)
+    }
+
+    #[inline]
+    fn add(&mut self, key: Key, delta: &[f32]) -> bool {
+        match self.map.get_mut(&key) {
+            Some(v) => {
+                assert_eq!(v.len(), delta.len(), "push length mismatch for {key}");
+                for (d, &x) in v.iter_mut().zip(delta) {
+                    *d += x;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, key: Key, vals: &[f32]) {
+        assert_eq!(
+            vals.len(),
+            self.layout.len(key),
+            "insert length mismatch for {key}"
+        );
+        let prev = self.map.insert(key, vals.into());
+        assert!(prev.is_none(), "sparse insert of already-owned {key}");
+    }
+
+    fn remove(&mut self, key: Key) -> Option<Vec<f32>> {
+        self.map.remove(&key).map(|v| v.into_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both(layout: &Layout, start: u64, end: u64) -> Vec<ShardStore> {
+        vec![
+            ShardStore::dense(layout, start, end),
+            ShardStore::sparse(layout),
+        ]
+    }
+
+    #[test]
+    fn insert_get_add_remove() {
+        let layout = Layout::Uniform(2);
+        for mut s in both(&layout, 0, 10) {
+            assert!(!s.contains(Key(3)));
+            assert!(s.get(Key(3)).is_none());
+            assert!(!s.add(Key(3), &[1.0, 1.0]));
+
+            s.insert(Key(3), &[1.0, 2.0]);
+            assert!(s.contains(Key(3)));
+            assert_eq!(s.get(Key(3)).unwrap(), &[1.0, 2.0]);
+            assert_eq!(s.len(), 1);
+
+            assert!(s.add(Key(3), &[0.5, -1.0]));
+            assert_eq!(s.get(Key(3)).unwrap(), &[1.5, 1.0]);
+
+            assert_eq!(s.remove(Key(3)).unwrap(), vec![1.5, 1.0]);
+            assert!(!s.contains(Key(3)));
+            assert!(s.remove(Key(3)).is_none());
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn dense_zeroes_removed_slots() {
+        let layout = Layout::Uniform(2);
+        let mut s = ShardStore::dense(&layout, 0, 4);
+        s.insert(Key(1), &[7.0, 8.0]);
+        s.remove(Key(1));
+        s.insert(Key(1), &[1.0, 1.0]);
+        assert_eq!(s.get(Key(1)).unwrap(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn two_tier_layout_lengths() {
+        let layout = Layout::TwoTier {
+            split: 5,
+            first: 2,
+            rest: 4,
+        };
+        for mut s in both(&layout, 0, 10) {
+            s.insert(Key(0), &[1.0, 2.0]);
+            s.insert(Key(7), &[1.0, 2.0, 3.0, 4.0]);
+            assert_eq!(s.get(Key(0)).unwrap().len(), 2);
+            assert_eq!(s.get(Key(7)).unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn dense_out_of_range_not_contained() {
+        let layout = Layout::Uniform(1);
+        let s = ShardStore::dense(&layout, 10, 20);
+        assert!(!s.contains(Key(5)));
+        assert!(!s.contains(Key(25)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-owned")]
+    fn double_insert_panics_dense() {
+        let layout = Layout::Uniform(1);
+        let mut s = ShardStore::dense(&layout, 0, 4);
+        s.insert(Key(0), &[1.0]);
+        s.insert(Key(0), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-owned")]
+    fn double_insert_panics_sparse() {
+        let layout = Layout::Uniform(1);
+        let mut s = ShardStore::sparse(&layout);
+        s.insert(Key(0), &[1.0]);
+        s.insert(Key(0), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_insert_panics() {
+        let layout = Layout::Uniform(2);
+        let mut s = ShardStore::sparse(&layout);
+        s.insert(Key(0), &[1.0]);
+    }
+}

@@ -1,0 +1,361 @@
+//! The four location-management strategies of Table 3, in isolation.
+//!
+//! Section 3.5 compares strategies for tracking which node owns a
+//! parameter: static partitioning (no DPA), broadcasting operations,
+//! broadcasting relocations, and the home-node approach Lapse uses. The
+//! full PS implements only the home-node strategy; this module implements
+//! all four against a minimal message-counting substrate so the Table 3
+//! experiment can *measure* the storage and message costs instead of
+//! quoting them.
+//!
+//! The model is deliberately minimal: a cluster of `n` nodes, a key space
+//! of `k` keys, one value per key. `access` performs a remote read from a
+//! requester node; `relocate` moves a key to a requester node. Both return
+//! the number of point-to-point messages that crossed the network,
+//! counting exactly like the paper (a broadcast to `n-1` peers is `n-1`
+//! messages; the reply is one more).
+
+use lapse_net::{Key, NodeId};
+
+/// Cost of one operation in messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgCost {
+    /// Point-to-point messages sent.
+    pub messages: u64,
+}
+
+/// A location-management strategy under test.
+pub trait LocationStrategy {
+    /// Human-readable name matching Table 3.
+    fn name(&self) -> &'static str;
+
+    /// Location-table entries stored per node (the paper's "storage"
+    /// column; value storage itself is excluded).
+    fn storage_entries_per_node(&self) -> f64;
+
+    /// Performs a remote access of `key` from `requester`, returning the
+    /// message cost. The key must not currently be local to `requester`.
+    fn access(&mut self, requester: NodeId, key: Key) -> MsgCost;
+
+    /// Relocates `key` to `requester`, returning the message cost; `None`
+    /// if the strategy does not support relocation.
+    fn relocate(&mut self, requester: NodeId, key: Key) -> Option<MsgCost>;
+
+    /// Current owner (ground truth, for validation).
+    fn owner(&self, key: Key) -> NodeId;
+}
+
+fn home_of(key: Key, n: u16, k: u64) -> NodeId {
+    let width = k.div_ceil(n as u64);
+    NodeId(((key.0 / width).min(n as u64 - 1)) as u16)
+}
+
+/// Static partitioning: owner = home, forever. The baseline of classic
+/// PSs; supports no relocation.
+pub struct StaticPartition {
+    nodes: u16,
+    keys: u64,
+}
+
+impl StaticPartition {
+    /// Creates the strategy.
+    pub fn new(nodes: u16, keys: u64) -> Self {
+        StaticPartition { nodes, keys }
+    }
+}
+
+impl LocationStrategy for StaticPartition {
+    fn name(&self) -> &'static str {
+        "Static partition"
+    }
+
+    fn storage_entries_per_node(&self) -> f64 {
+        0.0
+    }
+
+    fn access(&mut self, _requester: NodeId, _key: Key) -> MsgCost {
+        // Request to the statically-known server + response.
+        MsgCost { messages: 2 }
+    }
+
+    fn relocate(&mut self, _requester: NodeId, _key: Key) -> Option<MsgCost> {
+        None
+    }
+
+    fn owner(&self, key: Key) -> NodeId {
+        home_of(key, self.nodes, self.keys)
+    }
+}
+
+/// Broadcast operations: nobody stores locations; every remote access is
+/// broadcast to all other nodes and only the owner responds.
+pub struct BroadcastOps {
+    nodes: u16,
+    owner: Vec<NodeId>,
+}
+
+impl BroadcastOps {
+    /// Creates the strategy with owners at their home nodes.
+    pub fn new(nodes: u16, keys: u64) -> Self {
+        BroadcastOps {
+            nodes,
+            owner: (0..keys).map(|k| home_of(Key(k), nodes, keys)).collect(),
+        }
+    }
+}
+
+impl LocationStrategy for BroadcastOps {
+    fn name(&self) -> &'static str {
+        "Broadcast operations"
+    }
+
+    fn storage_entries_per_node(&self) -> f64 {
+        0.0
+    }
+
+    fn access(&mut self, _requester: NodeId, _key: Key) -> MsgCost {
+        // n-1 broadcast requests; the owner replies.
+        MsgCost {
+            messages: (self.nodes as u64 - 1) + 1,
+        }
+    }
+
+    fn relocate(&mut self, requester: NodeId, key: Key) -> Option<MsgCost> {
+        // The move itself is an access that transfers ownership; no
+        // location state exists, so no extra messages. We model it as the
+        // owner shipping the value in its broadcast reply.
+        let cost = self.access(requester, key);
+        self.owner[key.idx()] = requester;
+        // Table 3 counts zero *additional* messages for the relocation.
+        Some(MsgCost {
+            messages: cost.messages - cost.messages, // 0 additional
+        })
+    }
+
+    fn owner(&self, key: Key) -> NodeId {
+        self.owner[key.idx()]
+    }
+}
+
+/// Broadcast relocations: every node stores all `K` locations; accesses go
+/// straight to the owner, relocations are announced to everyone via
+/// direct mail.
+pub struct BroadcastRelocations {
+    nodes: u16,
+    /// One full location table per node; kept per node to mirror real
+    /// storage cost (and to catch update bugs in tests).
+    tables: Vec<Vec<NodeId>>,
+}
+
+impl BroadcastRelocations {
+    /// Creates the strategy with owners at their home nodes.
+    pub fn new(nodes: u16, keys: u64) -> Self {
+        let table: Vec<NodeId> = (0..keys).map(|k| home_of(Key(k), nodes, keys)).collect();
+        BroadcastRelocations {
+            nodes,
+            tables: (0..nodes).map(|_| table.clone()).collect(),
+        }
+    }
+}
+
+impl LocationStrategy for BroadcastRelocations {
+    fn name(&self) -> &'static str {
+        "Broadcast relocations"
+    }
+
+    fn storage_entries_per_node(&self) -> f64 {
+        self.tables[0].len() as f64
+    }
+
+    fn access(&mut self, requester: NodeId, key: Key) -> MsgCost {
+        // The requester's table is always current: request + response.
+        let owner = self.tables[requester.idx()][key.idx()];
+        debug_assert_eq!(owner, self.owner(key));
+        MsgCost { messages: 2 }
+    }
+
+    fn relocate(&mut self, requester: NodeId, key: Key) -> Option<MsgCost> {
+        let old = self.tables[requester.idx()][key.idx()];
+        if old == requester {
+            return Some(MsgCost { messages: 0 });
+        }
+        for t in &mut self.tables {
+            t[key.idx()] = requester;
+        }
+        // Request to the owner + value transfer + direct mail to the
+        // n-2 remaining nodes = n messages total.
+        Some(MsgCost {
+            messages: 2 + self.nodes as u64 - 2,
+        })
+    }
+
+    fn owner(&self, key: Key) -> NodeId {
+        self.tables[0][key.idx()]
+    }
+}
+
+/// Home node: each key's static home stores its current owner; accesses
+/// are forwarded via the home (3 messages), relocations use the paper's
+/// 3-message protocol.
+pub struct HomeNode {
+    nodes: u16,
+    keys: u64,
+    /// Owner per key, stored at (and only consulted via) the home.
+    owner: Vec<NodeId>,
+    /// Optional per-node location caches.
+    caches: Option<Vec<Vec<Option<NodeId>>>>,
+}
+
+impl HomeNode {
+    /// Creates the strategy with owners at their home nodes.
+    pub fn new(nodes: u16, keys: u64, caches: bool) -> Self {
+        HomeNode {
+            nodes,
+            keys,
+            owner: (0..keys).map(|k| home_of(Key(k), nodes, keys)).collect(),
+            caches: caches.then(|| vec![vec![None; keys as usize]; nodes as usize]),
+        }
+    }
+}
+
+impl LocationStrategy for HomeNode {
+    fn name(&self) -> &'static str {
+        if self.caches.is_some() {
+            "Home node (caches)"
+        } else {
+            "Home node"
+        }
+    }
+
+    fn storage_entries_per_node(&self) -> f64 {
+        self.keys as f64 / self.nodes as f64
+    }
+
+    fn access(&mut self, requester: NodeId, key: Key) -> MsgCost {
+        let owner = self.owner[key.idx()];
+        if let Some(caches) = &mut self.caches {
+            let cached = caches[requester.idx()][key.idx()];
+            let messages = match cached {
+                Some(c) if c == owner => 2, // direct hit (Figure 5c)
+                Some(_) => 4,               // stale: double-forward (Figure 5d)
+                None => 3,                  // forward via home (Figure 5b)
+            };
+            // The response updates the cache.
+            caches[requester.idx()][key.idx()] = Some(owner);
+            MsgCost { messages }
+        } else {
+            // Forward strategy: requester → home → owner → requester.
+            // When the home *is* the owner the middle hop disappears.
+            let home = home_of(key, self.nodes, self.keys);
+            let messages = if home == owner { 2 } else { 3 };
+            MsgCost { messages }
+        }
+    }
+
+    fn relocate(&mut self, requester: NodeId, key: Key) -> Option<MsgCost> {
+        let home = home_of(key, self.nodes, self.keys);
+        let old = self.owner[key.idx()];
+        self.owner[key.idx()] = requester;
+        if let Some(caches) = &mut self.caches {
+            // Relocation updates the requester's cache for free.
+            caches[requester.idx()][key.idx()] = Some(requester);
+        }
+        // requester → home; home → old owner; old owner → requester.
+        // Hops collapse when roles coincide.
+        let mut messages = 0;
+        if home != requester {
+            messages += 1;
+        }
+        if old != home {
+            messages += 1;
+        }
+        if old != requester {
+            messages += 1;
+        }
+        Some(MsgCost { messages })
+    }
+
+    fn owner(&self, key: Key) -> NodeId {
+        self.owner[key.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u16 = 8;
+    const K: u64 = 64;
+
+    fn remote_key(strategy: &dyn LocationStrategy, requester: NodeId) -> Key {
+        (0..K)
+            .map(Key)
+            .find(|&k| strategy.owner(k) != requester)
+            .expect("some key is remote")
+    }
+
+    #[test]
+    fn static_partition_costs() {
+        let mut s = StaticPartition::new(N, K);
+        let k = remote_key(&s, NodeId(0));
+        assert_eq!(s.access(NodeId(0), k).messages, 2);
+        assert!(s.relocate(NodeId(0), k).is_none());
+        assert_eq!(s.storage_entries_per_node(), 0.0);
+    }
+
+    #[test]
+    fn broadcast_ops_costs() {
+        let mut s = BroadcastOps::new(N, K);
+        let k = remote_key(&s, NodeId(0));
+        assert_eq!(s.access(NodeId(0), k).messages, N as u64);
+        assert_eq!(s.relocate(NodeId(0), k).unwrap().messages, 0);
+        assert_eq!(s.owner(k), NodeId(0));
+    }
+
+    #[test]
+    fn broadcast_relocations_costs() {
+        let mut s = BroadcastRelocations::new(N, K);
+        let k = remote_key(&s, NodeId(0));
+        assert_eq!(s.access(NodeId(0), k).messages, 2);
+        assert_eq!(s.relocate(NodeId(0), k).unwrap().messages, N as u64);
+        assert_eq!(s.owner(k), NodeId(0));
+        // All tables were updated.
+        let k2 = remote_key(&s, NodeId(3));
+        assert_eq!(s.access(NodeId(3), k2).messages, 2);
+        assert_eq!(s.storage_entries_per_node(), K as f64);
+    }
+
+    /// A key homed away from the requesters used in the tests, so the
+    /// requester / home / owner roles stay distinct.
+    fn distinct_key(s: &dyn LocationStrategy) -> Key {
+        (0..K)
+            .map(Key)
+            .find(|&k| {
+                let home = home_of(k, N, K);
+                home != NodeId(0) && home != NodeId(1) && home != NodeId(2) && s.owner(k) == home
+            })
+            .expect("a key with home outside {0,1,2}")
+    }
+
+    #[test]
+    fn home_node_costs() {
+        let mut s = HomeNode::new(N, K, false);
+        let k = distinct_key(&s);
+        assert_eq!(s.access(NodeId(0), k).messages, 2); // home == owner initially
+        assert_eq!(s.relocate(NodeId(1), k).unwrap().messages, 2); // home == old owner
+        assert_eq!(s.access(NodeId(0), k).messages, 3); // full forward now
+        assert_eq!(s.relocate(NodeId(2), k).unwrap().messages, 3); // all roles distinct
+        assert!((s.storage_entries_per_node() - K as f64 / N as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn home_node_cache_hit_and_staleness() {
+        let mut s = HomeNode::new(N, K, true);
+        let k = distinct_key(&s);
+        assert_eq!(s.access(NodeId(0), k).messages, 3); // cold cache
+        assert_eq!(s.access(NodeId(0), k).messages, 2); // warm cache
+        s.relocate(NodeId(1), k).unwrap();
+        assert_eq!(s.access(NodeId(0), k).messages, 4); // stale: double-forward
+        assert_eq!(s.access(NodeId(0), k).messages, 2); // refreshed
+    }
+}

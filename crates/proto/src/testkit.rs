@@ -1,0 +1,316 @@
+//! Deterministic protocol test harness.
+//!
+//! Because the protocol core is sans-io, a test can instantiate a whole
+//! cluster in memory and **deliver messages by hand in any order that
+//! respects per-link FIFO** — the exact delivery model of the real
+//! transports. This makes protocol races (operations overtaking
+//! relocations, localization conflicts, stale location caches)
+//! reproducible as plain unit tests instead of rare flaky schedules.
+//!
+//! The harness is also used by the proptest fuzzers: random op sequences
+//! plus random (FIFO-respecting) delivery schedules, with ownership and
+//! value-conservation invariants checked at quiescence.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use lapse_net::{Key, NodeId};
+
+use crate::client::{ClientCore, IssueHandle, MsgSink};
+use crate::config::ProtoConfig;
+use crate::messages::Msg;
+use crate::server::ServerCore;
+use crate::shard::NodeShared;
+
+/// One simulated node: shared state, server logic, one client per worker.
+pub struct TestNode {
+    /// Latched shared state.
+    pub shared: Arc<NodeShared>,
+    /// Server half.
+    pub server: ServerCore,
+    /// Client halves, one per worker slot.
+    pub clients: Vec<ClientCore>,
+}
+
+/// A hand-driven cluster.
+pub struct TestCluster {
+    /// Cluster configuration.
+    pub cfg: Arc<ProtoConfig>,
+    /// Nodes by id.
+    pub nodes: Vec<TestNode>,
+    /// Per-link FIFO queues: `queues[src][dst]`.
+    queues: Vec<Vec<VecDeque<Msg>>>,
+}
+
+impl TestCluster {
+    /// Builds a cluster with `workers_per_node` clients per node and
+    /// zero-initialized values.
+    pub fn new(cfg: ProtoConfig, workers_per_node: u16) -> Self {
+        Self::with_init(cfg, workers_per_node, |_| None)
+    }
+
+    /// Builds a cluster with initial values from `init`.
+    pub fn with_init(
+        cfg: ProtoConfig,
+        workers_per_node: u16,
+        mut init: impl FnMut(Key) -> Option<Vec<f32>>,
+    ) -> Self {
+        let cfg = Arc::new(cfg);
+        let n = cfg.nodes as usize;
+        let mut nodes = Vec::with_capacity(n);
+        for id in 0..n {
+            let shared = NodeShared::with_init(
+                cfg.clone(),
+                NodeId(id as u16),
+                Arc::new(|| 0),
+                &mut init,
+            );
+            // Tests poll `is_done`; completions need no wake-up.
+            shared.tracker.set_waker(Arc::new(|_, _| {}));
+            let server = ServerCore::new(shared.clone());
+            let clients = (0..workers_per_node)
+                .map(|slot| ClientCore::new(shared.clone(), slot))
+                .collect();
+            nodes.push(TestNode {
+                shared,
+                server,
+                clients,
+            });
+        }
+        let queues = (0..n)
+            .map(|_| (0..n).map(|_| VecDeque::new()).collect())
+            .collect();
+        TestCluster { cfg, nodes, queues }
+    }
+
+    /// Enqueues all messages of an issue sink, preserving order.
+    pub fn send_all(&mut self, src: NodeId, sink: MsgSink) {
+        for (dst, msg) in sink {
+            self.queues[src.idx()][dst.idx()].push_back(msg);
+        }
+    }
+
+    /// Number of undelivered messages on the `(src, dst)` link.
+    pub fn pending(&self, src: NodeId, dst: NodeId) -> usize {
+        self.queues[src.idx()][dst.idx()].len()
+    }
+
+    /// Total undelivered messages.
+    pub fn pending_total(&self) -> usize {
+        self.queues.iter().flatten().map(|q| q.len()).sum()
+    }
+
+    /// Delivers the head message of link `(src, dst)`; outgoing messages
+    /// are enqueued. Panics if the link is empty.
+    pub fn deliver_one(&mut self, src: NodeId, dst: NodeId) {
+        let msg = self.queues[src.idx()][dst.idx()]
+            .pop_front()
+            .expect("deliver_one on empty link");
+        let mut sink = Vec::new();
+        self.nodes[dst.idx()].server.handle(msg, &mut sink);
+        self.send_all(dst, sink);
+    }
+
+    /// Delivers every message on the `(src, dst)` link (including ones
+    /// enqueued onto it during delivery).
+    pub fn drain_link(&mut self, src: NodeId, dst: NodeId) {
+        while self.pending(src, dst) > 0 {
+            self.deliver_one(src, dst);
+        }
+    }
+
+    /// Delivers all messages in a fixed round-robin order until no link
+    /// has pending messages.
+    pub fn run_until_quiet(&mut self) {
+        let mut hops = 0;
+        self.run_until_quiet_counting(&mut hops);
+    }
+
+    /// Like [`TestCluster::run_until_quiet`], counting delivered messages
+    /// into `hops`.
+    pub fn run_until_quiet_counting(&mut self, hops: &mut u64) {
+        let n = self.cfg.nodes as usize;
+        loop {
+            let mut delivered = false;
+            for src in 0..n {
+                for dst in 0..n {
+                    if !self.queues[src][dst].is_empty() {
+                        self.deliver_one(NodeId(src as u16), NodeId(dst as u16));
+                        *hops += 1;
+                        delivered = true;
+                    }
+                }
+            }
+            if !delivered {
+                return;
+            }
+        }
+    }
+
+    /// Delivers one message from a randomly chosen non-empty link; `pick`
+    /// receives the number of non-empty links and returns an index.
+    /// Returns false when nothing was pending.
+    pub fn deliver_random_one(&mut self, pick: impl FnOnce(usize) -> usize) -> bool {
+        let links: Vec<(usize, usize)> = (0..self.queues.len())
+            .flat_map(|s| (0..self.queues.len()).map(move |d| (s, d)))
+            .filter(|&(s, d)| !self.queues[s][d].is_empty())
+            .collect();
+        if links.is_empty() {
+            return false;
+        }
+        let (s, d) = links[pick(links.len())];
+        self.deliver_one(NodeId(s as u16), NodeId(d as u16));
+        true
+    }
+
+    /// Delivers messages in a seeded random (per-link FIFO) order until
+    /// quiet. `pick` receives the number of non-empty links and returns
+    /// the index to deliver from.
+    pub fn run_random_schedule(&mut self, mut pick: impl FnMut(usize) -> usize) {
+        while self.deliver_random_one(&mut pick) {}
+    }
+
+    // ---- convenience wrappers (issue + full delivery) ---------------------
+
+    /// Issues a sync pull from `(node, slot)` and drives the cluster to
+    /// quiescence; returns the pulled values.
+    pub fn pull_now(&mut self, node: NodeId, slot: usize, keys: &[Key]) -> Vec<f32> {
+        let mut out = vec![0.0; self.cfg.layout.keys_len(keys)];
+        let mut sink = Vec::new();
+        let handle = self.nodes[node.idx()].clients[slot].pull(keys, Some(&mut out), &mut sink);
+        self.send_all(node, sink);
+        match handle {
+            IssueHandle::Ready(_) => out,
+            IssueHandle::Pending(seq) => {
+                self.run_until_quiet();
+                assert!(
+                    self.nodes[node.idx()].shared.tracker.is_done(seq),
+                    "pull did not complete at quiescence"
+                );
+                self.nodes[node.idx()].clients[slot].finish_pull(seq, &mut out);
+                out
+            }
+        }
+    }
+
+    /// Issues a sync push and drives the cluster to quiescence.
+    pub fn push_now(&mut self, node: NodeId, slot: usize, keys: &[Key], vals: &[f32]) {
+        let mut sink = Vec::new();
+        let handle = self.nodes[node.idx()].clients[slot].push(keys, vals, &mut sink);
+        self.send_all(node, sink);
+        if let IssueHandle::Pending(seq) = handle {
+            self.run_until_quiet();
+            assert!(
+                self.nodes[node.idx()].shared.tracker.is_done(seq),
+                "push did not complete at quiescence"
+            );
+            self.nodes[node.idx()].clients[slot].finish_ack(seq);
+        }
+    }
+
+    /// Issues a localize and drives the cluster to quiescence.
+    pub fn localize_now(&mut self, node: NodeId, slot: usize, keys: &[Key]) {
+        let mut sink = Vec::new();
+        let handle = self.nodes[node.idx()].clients[slot].localize(keys, &mut sink);
+        self.send_all(node, sink);
+        if let IssueHandle::Pending(seq) = handle {
+            self.run_until_quiet();
+            assert!(
+                self.nodes[node.idx()].shared.tracker.is_done(seq),
+                "localize did not complete at quiescence"
+            );
+            self.nodes[node.idx()].clients[slot].finish_ack(seq);
+        }
+    }
+
+    /// Issues an operation without delivering anything; returns the handle.
+    pub fn issue(
+        &mut self,
+        node: NodeId,
+        slot: usize,
+        op: IssueOp<'_>,
+        out: Option<&mut [f32]>,
+    ) -> IssueHandle {
+        let mut sink = Vec::new();
+        let handle = match op {
+            IssueOp::Pull(keys) => self.nodes[node.idx()].clients[slot].pull(keys, out, &mut sink),
+            IssueOp::Push(keys, vals) => {
+                self.nodes[node.idx()].clients[slot].push(keys, vals, &mut sink)
+            }
+            IssueOp::Localize(keys) => {
+                self.nodes[node.idx()].clients[slot].localize(keys, &mut sink)
+            }
+        };
+        self.send_all(node, sink);
+        handle
+    }
+
+    // ---- invariants --------------------------------------------------------
+
+    /// At quiescence: every key is owned by exactly one node, and that
+    /// node matches the home's owner table.
+    pub fn check_ownership_invariant(&self) {
+        assert_eq!(self.pending_total(), 0, "cluster not quiescent");
+        for k in 0..self.cfg.keys {
+            let key = Key(k);
+            let owners: Vec<NodeId> = self
+                .nodes
+                .iter()
+                .filter(|n| n.shared.read_value(key).is_some())
+                .map(|n| n.shared.node)
+                .collect();
+            assert_eq!(owners.len(), 1, "key {key} owned by {owners:?}");
+            let home = self.cfg.home(key);
+            let tabled = self.nodes[home.idx()].server.owner_of(key);
+            assert_eq!(tabled, owners[0], "home table stale for {key}");
+            // No key may be left in a relocation queue.
+            for n in &self.nodes {
+                assert_eq!(
+                    n.shared.incoming_keys(),
+                    0,
+                    "incoming entries left on {}",
+                    n.shared.node
+                );
+            }
+        }
+    }
+
+    /// Sum of a single-float key across... reads the unique owner's value.
+    pub fn value_of(&self, key: Key) -> Vec<f32> {
+        let mut found = None;
+        for n in &self.nodes {
+            if let Some(v) = n.shared.read_value(key) {
+                assert!(found.is_none(), "key {key} owned twice");
+                found = Some(v);
+            }
+        }
+        found.unwrap_or_else(|| panic!("key {key} owned nowhere"))
+    }
+
+    /// Number of in-flight tracker operations across all nodes.
+    pub fn in_flight_ops(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.shared.tracker.in_flight())
+            .sum()
+    }
+
+    /// True if the tracked op on `node` completed.
+    pub fn op_done(&self, node: NodeId, handle: &IssueHandle) -> bool {
+        match handle.seq() {
+            None => true,
+            Some(seq) => self.nodes[node.idx()].shared.tracker.is_done(seq),
+        }
+    }
+}
+
+/// Operation descriptor for [`TestCluster::issue`].
+pub enum IssueOp<'a> {
+    /// Pull these keys.
+    Pull(&'a [Key]),
+    /// Push these updates.
+    Push(&'a [Key], &'a [f32]),
+    /// Localize these keys.
+    Localize(&'a [Key]),
+}
+

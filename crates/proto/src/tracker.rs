@@ -1,0 +1,415 @@
+//! Client-side operation tracking.
+//!
+//! Every pull/push/localize that cannot be served entirely through the
+//! fast local path registers an operation here. Responses and hand-overs
+//! complete the operation key by key; when the last key completes, the
+//! tracker fires a wake callback so the issuing worker (blocked in a sync
+//! call, or in `wait` on an async handle) can resume. The mechanism is
+//! backend-agnostic: the threaded runtime wakes a condvar, the simulator
+//! marks a virtual task runnable.
+//!
+//! The tracker also measures **relocation times** (the paper's definition,
+//! Section 3.2: from issuing `localize` until the new owner starts
+//! answering operations locally, i.e. until the hand-over completed).
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lapse_net::Key;
+use lapse_utils::stats::LogHistogram;
+
+/// What kind of operation an entry tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackedKind {
+    /// A pull; completions carry values.
+    Pull,
+    /// A push; completions are bare acknowledgements.
+    Push,
+    /// A localize; completions are hand-over arrivals.
+    Localize,
+}
+
+/// Per-worker map of keys with in-flight remotely-routed operations, used
+/// by the ordered-async guard (see `ProtoConfig::ordered_async_guard`).
+pub type GuardMap = Arc<Mutex<HashMap<Key, u32>>>;
+
+/// Where one key of a pull writes its value.
+#[derive(Debug, Clone, Copy)]
+struct KeyDest {
+    /// Offset into the op's result buffer.
+    res_off: u32,
+    /// Value length.
+    len: u32,
+    /// Offset into the caller's output buffer (sync pulls).
+    out_off: u32,
+    /// Whether this key was routed over the network (guard accounting).
+    remote: bool,
+    /// Completed yet?
+    done: bool,
+}
+
+/// State of one in-flight operation.
+struct OpState {
+    kind: TrackedKind,
+    /// Worker slot (on this node) to wake on completion.
+    waiter: u16,
+    /// Keys still outstanding.
+    pending: u32,
+    /// True once the issuing client registered all keys.
+    sealed: bool,
+    /// True once sealed and all keys completed.
+    done: bool,
+    /// Pull result buffer.
+    result: Vec<f32>,
+    dests: Vec<KeyDest>,
+    /// Incomplete dest indices per key, in registration order (keys may
+    /// legitimately repeat within one operation).
+    by_key: HashMap<Key, VecDeque<u32>>,
+    /// Guard map of the issuing worker, decremented as remote keys
+    /// complete.
+    guard: Option<GuardMap>,
+    /// Issue timestamp (ns) for relocation timing.
+    issued_ns: u64,
+}
+
+/// Result of a completed operation, handed back to the issuing worker.
+#[derive(Debug)]
+pub struct OpResult {
+    /// Pull values (empty for push/localize).
+    pub result: Vec<f32>,
+    /// `(out_off, res_off, len)` triples for assembling a sync pull into
+    /// the caller's buffer.
+    pub assembly: Vec<(u32, u32, u32)>,
+}
+
+/// Callback invoked when an operation completes: `(worker_slot, seq)`.
+pub type WakeFn = Arc<dyn Fn(u16, u64) + Send + Sync>;
+
+/// Clock used for relocation timing (virtual in the simulator).
+pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// The per-node operation tracker.
+pub struct OpTracker {
+    next_seq: AtomicU64,
+    shards: Vec<Mutex<HashMap<u64, OpState>>>,
+    waker: Mutex<Option<WakeFn>>,
+    clock: ClockFn,
+    /// Relocation-time distribution (ns), per the paper's definition.
+    reloc_times: Mutex<LogHistogram>,
+}
+
+const TRACKER_SHARDS: usize = 16;
+
+impl OpTracker {
+    /// Creates a tracker using `clock` for relocation timing.
+    pub fn new(clock: ClockFn) -> Self {
+        OpTracker {
+            next_seq: AtomicU64::new(1),
+            shards: (0..TRACKER_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            waker: Mutex::new(None),
+            clock,
+            // 1 µs .. ~18 s in 5%-wide buckets.
+            reloc_times: Mutex::new(LogHistogram::new(1_000.0, 1.05, 360)),
+        }
+    }
+
+    /// Installs the wake callback. Must be called once before operations
+    /// complete; later calls replace the callback (used by tests).
+    pub fn set_waker(&self, waker: WakeFn) {
+        *self.waker.lock() = Some(waker);
+    }
+
+    fn shard(&self, seq: u64) -> &Mutex<HashMap<u64, OpState>> {
+        &self.shards[(seq % TRACKER_SHARDS as u64) as usize]
+    }
+
+    /// Begins a new operation; returns its sequence number.
+    ///
+    /// `guard` is the issuing worker's guard map, if the ordered-async
+    /// guard is enabled. The pull result buffer grows as keys are
+    /// registered.
+    pub fn begin(&self, kind: TrackedKind, waiter: u16, guard: Option<GuardMap>) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let state = OpState {
+            kind,
+            waiter,
+            pending: 0,
+            sealed: false,
+            done: false,
+            result: Vec::new(),
+            dests: Vec::new(),
+            by_key: HashMap::new(),
+            guard,
+            issued_ns: (self.clock)(),
+        };
+        self.shard(seq).lock().insert(seq, state);
+        seq
+    }
+
+    /// Registers one pending key of operation `seq` and reserves `len`
+    /// floats of result space for it; returns the key's result offset.
+    ///
+    /// `out_off` is the key's offset in the caller's output buffer (sync
+    /// pulls). `remote` marks keys routed over the network (guard
+    /// accounting).
+    pub fn add_key(&self, seq: u64, key: Key, len: u32, out_off: u32, remote: bool) -> u32 {
+        let mut shard = self.shard(seq).lock();
+        let op = shard.get_mut(&seq).expect("add_key on unknown op");
+        debug_assert!(!op.sealed, "add_key after seal");
+        let res_off = op.result.len() as u32;
+        op.result.resize(res_off as usize + len as usize, 0.0);
+        let idx = op.dests.len() as u32;
+        op.dests.push(KeyDest {
+            res_off,
+            len,
+            out_off,
+            remote,
+            done: false,
+        });
+        op.by_key.entry(key).or_default().push_back(idx);
+        op.pending += 1;
+        res_off
+    }
+
+    /// Marks registration complete. Returns `true` if the operation is
+    /// already done (all keys completed concurrently, or none registered).
+    pub fn seal(&self, seq: u64) -> bool {
+        let mut shard = self.shard(seq).lock();
+        let op = shard.get_mut(&seq).expect("seal on unknown op");
+        op.sealed = true;
+        if op.pending == 0 {
+            op.done = true;
+            self.finish_timing(op);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completes one key of operation `seq`, storing `vals` for pulls.
+    ///
+    /// Safe to call from any thread (server threads call it while holding
+    /// shard latches). Fires the wake callback when the operation becomes
+    /// done.
+    pub fn complete_key(&self, seq: u64, key: Key, vals: Option<&[f32]>) {
+        let (wake, waiter) = {
+            let mut shard = self.shard(seq).lock();
+            let op = match shard.get_mut(&seq) {
+                Some(op) => op,
+                None => {
+                    debug_assert!(false, "completion for unknown op {seq}");
+                    return;
+                }
+            };
+            let idx = op
+                .by_key
+                .get_mut(&key)
+                .and_then(|q| q.pop_front())
+                .unwrap_or_else(|| panic!("completion for unregistered key {key} of op {seq}"));
+            let dest = &mut op.dests[idx as usize];
+            debug_assert!(!dest.done, "double completion of {key} in op {seq}");
+            dest.done = true;
+            if let Some(vals) = vals {
+                let off = dest.res_off as usize;
+                let len = dest.len as usize;
+                debug_assert_eq!(vals.len(), len, "value length mismatch for {key}");
+                op.result[off..off + len].copy_from_slice(vals);
+            }
+            if dest.remote {
+                if let Some(guard) = &op.guard {
+                    let mut g = guard.lock();
+                    if let Some(n) = g.get_mut(&key) {
+                        *n -= 1;
+                        if *n == 0 {
+                            g.remove(&key);
+                        }
+                    }
+                }
+            }
+            op.pending -= 1;
+            if op.sealed && op.pending == 0 {
+                op.done = true;
+                self.finish_timing(op);
+                (true, op.waiter)
+            } else {
+                (false, 0)
+            }
+        };
+        if wake {
+            let waker = self.waker.lock().clone();
+            if let Some(w) = waker {
+                w(waiter, seq);
+            }
+        }
+    }
+
+    fn finish_timing(&self, op: &OpState) {
+        if op.kind == TrackedKind::Localize {
+            let elapsed = (self.clock)().saturating_sub(op.issued_ns);
+            self.reloc_times.lock().record(elapsed as f64);
+        }
+    }
+
+    /// Whether operation `seq` has completed.
+    pub fn is_done(&self, seq: u64) -> bool {
+        self.shard(seq)
+            .lock()
+            .get(&seq)
+            .map(|op| op.done)
+            .unwrap_or(true) // already taken ⇒ done
+    }
+
+    /// Removes a completed operation and returns its result.
+    ///
+    /// # Panics
+    /// Panics if the operation is not done (callers must wait first).
+    pub fn take(&self, seq: u64) -> OpResult {
+        let op = self
+            .shard(seq)
+            .lock()
+            .remove(&seq)
+            .expect("take of unknown op");
+        assert!(op.done, "take of incomplete op {seq}");
+        OpResult {
+            result: op.result,
+            assembly: op
+                .dests
+                .iter()
+                .filter(|d| d.len > 0)
+                .map(|d| (d.out_off, d.res_off, d.len))
+                .collect(),
+        }
+    }
+
+    /// Discards a completed operation without materializing results
+    /// (pushes, localizes).
+    pub fn discard(&self, seq: u64) {
+        let op = self.shard(seq).lock().remove(&seq);
+        debug_assert!(op.map(|o| o.done).unwrap_or(true), "discard of incomplete op");
+    }
+
+    /// Number of operations still in flight (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Snapshot of the relocation-time distribution (ns).
+    pub fn reloc_time_stats(&self) -> LogHistogram {
+        self.reloc_times.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tracker() -> OpTracker {
+        OpTracker::new(Arc::new(|| 0))
+    }
+
+    #[test]
+    fn pull_completes_and_assembles() {
+        let t = tracker();
+        let seq = t.begin(TrackedKind::Pull, 3, None);
+        assert_eq!(t.add_key(seq, Key(10), 2, 6, true), 0);
+        assert_eq!(t.add_key(seq, Key(11), 2, 0, true), 2);
+        assert!(!t.seal(seq));
+        assert!(!t.is_done(seq));
+        t.complete_key(seq, Key(11), Some(&[3.0, 4.0]));
+        assert!(!t.is_done(seq));
+        t.complete_key(seq, Key(10), Some(&[1.0, 2.0]));
+        assert!(t.is_done(seq));
+        let res = t.take(seq);
+        assert_eq!(res.result, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(res.assembly, vec![(6, 0, 2), (0, 2, 2)]);
+    }
+
+    #[test]
+    fn empty_op_done_at_seal() {
+        let t = tracker();
+        let seq = t.begin(TrackedKind::Push, 0, None);
+        assert!(t.seal(seq));
+        t.discard(seq);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_complete_in_order() {
+        let t = tracker();
+        let seq = t.begin(TrackedKind::Pull, 0, None);
+        t.add_key(seq, Key(5), 1, 0, true);
+        t.add_key(seq, Key(5), 1, 1, true);
+        t.seal(seq);
+        t.complete_key(seq, Key(5), Some(&[7.0]));
+        t.complete_key(seq, Key(5), Some(&[8.0]));
+        let res = t.take(seq);
+        assert_eq!(res.result, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn waker_fires_once_on_completion() {
+        let t = tracker();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        t.set_waker(Arc::new(move |worker, _seq| {
+            assert_eq!(worker, 9);
+            fired2.fetch_add(1, Ordering::SeqCst);
+        }));
+        let seq = t.begin(TrackedKind::Push, 9, None);
+        t.add_key(seq, Key(1), 0, 0, true);
+        t.add_key(seq, Key(2), 0, 0, true);
+        t.seal(seq);
+        t.complete_key(seq, Key(1), None);
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        t.complete_key(seq, Key(2), None);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn guard_decrements_on_remote_completion() {
+        let t = tracker();
+        let guard: GuardMap = Arc::new(Mutex::new(HashMap::new()));
+        guard.lock().insert(Key(4), 2);
+        let seq = t.begin(TrackedKind::Push, 0, Some(guard.clone()));
+        t.add_key(seq, Key(4), 0, 0, true);
+        t.seal(seq);
+        t.complete_key(seq, Key(4), None);
+        assert_eq!(guard.lock().get(&Key(4)), Some(&1));
+        // Second op clears it.
+        let seq2 = t.begin(TrackedKind::Push, 0, Some(guard.clone()));
+        t.add_key(seq2, Key(4), 0, 0, true);
+        t.seal(seq2);
+        t.complete_key(seq2, Key(4), None);
+        assert!(guard.lock().get(&Key(4)).is_none());
+    }
+
+    #[test]
+    fn localize_records_relocation_time() {
+        let time = Arc::new(AtomicU64::new(1_000_000));
+        let time2 = time.clone();
+        let t = OpTracker::new(Arc::new(move || time2.load(Ordering::SeqCst)));
+        let seq = t.begin(TrackedKind::Localize, 0, None);
+        t.add_key(seq, Key(0), 0, 0, true);
+        t.seal(seq);
+        time.store(3_000_000, Ordering::SeqCst);
+        t.complete_key(seq, Key(0), None);
+        let h = t.reloc_time_stats();
+        assert_eq!(h.stats().count(), 1);
+        assert!((h.stats().mean() - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "take of incomplete op")]
+    fn take_before_done_panics() {
+        let t = tracker();
+        let seq = t.begin(TrackedKind::Pull, 0, None);
+        t.add_key(seq, Key(0), 1, 0, true);
+        t.seal(seq);
+        let _ = t.take(seq);
+    }
+}

@@ -1,0 +1,261 @@
+//! Property-based protocol fuzzing.
+//!
+//! Random workers issue random pushes/pulls/localizes while messages are
+//! delivered in random (per-link-FIFO-respecting) orders. At quiescence:
+//!
+//! * every operation has completed,
+//! * every key has exactly one owner and the home tables agree,
+//! * no update was lost (final value = sum of all pushes),
+//! * per-worker monotonic reads and read-your-writes hold (caches off —
+//!   the configuration for which the paper claims sequential consistency
+//!   of asynchronous operations, Theorem 2),
+//! * dense and sparse stores produce identical results.
+
+use proptest::prelude::*;
+use rand::Rng as _;
+use std::collections::HashMap;
+
+use lapse_net::{Key, NodeId, WorkerId};
+use lapse_proto::client::IssueHandle;
+use lapse_proto::consistency::{
+    check_monotonic_reads, check_no_lost_updates, check_read_your_writes, WorkerLog,
+};
+use lapse_proto::testkit::{IssueOp, TestCluster};
+use lapse_proto::{Layout, ProtoConfig};
+use lapse_utils::rng::derive_rng;
+
+/// One scripted action of the fuzz schedule.
+#[derive(Debug, Clone)]
+enum Action {
+    Push { node: u16, slot: u16, key: u64, delta: u32 },
+    Pull { node: u16, slot: u16, key: u64 },
+    Localize { node: u16, slot: u16, keys: Vec<u64> },
+}
+
+fn action_strategy(nodes: u16, keys: u64, workers: u16) -> impl Strategy<Value = Action> {
+    let node = 0..nodes;
+    let slot = 0..workers;
+    let key = 0..keys;
+    prop_oneof![
+        (node.clone(), slot.clone(), key.clone(), 1u32..5).prop_map(
+            |(node, slot, key, delta)| Action::Push { node, slot, key, delta }
+        ),
+        (node.clone(), slot.clone(), key.clone())
+            .prop_map(|(node, slot, key)| Action::Pull { node, slot, key }),
+        (node, slot, proptest::collection::vec(key, 1..4))
+            .prop_map(|(node, slot, keys)| Action::Localize { node, slot, keys }),
+    ]
+}
+
+/// Pending pull bookkeeping: which log slot receives the value.
+struct PendingPull {
+    node: u16,
+    slot: u16,
+    key: Key,
+    handle: IssueHandle,
+    log_slot: usize,
+}
+
+/// Runs one fuzz schedule and returns the final values plus logs.
+fn run_schedule(
+    mut cfg: ProtoConfig,
+    workers: u16,
+    actions: &[Action],
+    seed: u64,
+) -> (HashMap<Key, f64>, Vec<WorkerLog>) {
+    cfg.latches = 8;
+    let keys = cfg.keys;
+    let nodes = cfg.nodes;
+    let mut cluster = TestCluster::new(cfg, workers);
+    let mut rng = derive_rng(seed, 17);
+
+    let log_index =
+        |node: u16, slot: u16| -> usize { (node as usize) * workers as usize + slot as usize };
+    let mut logs: Vec<WorkerLog> = (0..nodes)
+        .flat_map(|n| {
+            (0..workers).map(move |s| WorkerLog::new(WorkerId::new(NodeId(n), s)))
+        })
+        .collect();
+    let mut pending_pulls: Vec<PendingPull> = Vec::new();
+    let mut pending_acks: Vec<(u16, usize, IssueHandle)> = Vec::new();
+
+    for action in actions {
+        match action {
+            Action::Push { node, slot, key, delta } => {
+                let h = cluster.issue(
+                    NodeId(*node),
+                    *slot as usize,
+                    IssueOp::Push(&[Key(*key)], &[*delta as f32]),
+                    None,
+                );
+                logs[log_index(*node, *slot)].push(Key(*key), *delta as f64);
+                pending_acks.push((*node, *slot as usize, h));
+            }
+            Action::Pull { node, slot, key } => {
+                // Async pull: the value is fetched after completion but
+                // logged at this program-order position.
+                let h = cluster.issue(NodeId(*node), *slot as usize, IssueOp::Pull(&[Key(*key)]), None);
+                let li = log_index(*node, *slot);
+                logs[li].pull(Key(*key), f64::NAN); // placeholder
+                let log_slot = logs[li].events.len() - 1;
+                pending_pulls.push(PendingPull {
+                    node: *node,
+                    slot: *slot,
+                    key: Key(*key),
+                    handle: h,
+                    log_slot,
+                });
+            }
+            Action::Localize { node, slot, keys } => {
+                let keys: Vec<Key> = keys.iter().map(|&k| Key(k)).collect();
+                let h =
+                    cluster.issue(NodeId(*node), *slot as usize, IssueOp::Localize(&keys), None);
+                pending_acks.push((*node, *slot as usize, h));
+            }
+        }
+        // Randomly deliver a few messages between issues, so operations
+        // interleave with in-flight relocations in many different ways.
+        for _ in 0..rng.gen_range(0..4) {
+            let pick = rng.gen_range(0..64);
+            if !cluster.deliver_random_one(|n| pick % n) {
+                break;
+            }
+        }
+    }
+
+    // Drain with a random delivery order.
+    let mut drain_rng = derive_rng(seed, 31);
+    cluster.run_random_schedule(|n| drain_rng.gen_range(0..n));
+
+    // Collect pull results into the logs.
+    for p in pending_pulls {
+        let node = NodeId(p.node);
+        assert!(cluster.op_done(node, &p.handle), "pull never completed");
+        let v = match p.handle {
+            IssueHandle::Pending(seq) => {
+                cluster.nodes[node.idx()].clients[p.slot as usize].take_pull(seq)
+            }
+            IssueHandle::Ready(Some(v)) => v,
+            IssueHandle::Ready(None) => unreachable!("async pull always returns values"),
+        };
+        assert_eq!(v.len(), 1);
+        let li = (p.node as usize) * workers as usize + p.slot as usize;
+        logs[li].events[p.log_slot] = (p.key, lapse_proto::consistency::LogEvent::Pull(v[0] as f64));
+    }
+    for (node, slot, h) in pending_acks {
+        let node = NodeId(node);
+        assert!(cluster.op_done(node, &h), "push/localize never completed");
+        if let IssueHandle::Pending(seq) = h {
+            cluster.nodes[node.idx()].clients[slot].finish_ack(seq);
+        }
+    }
+
+    cluster.check_ownership_invariant();
+    assert_eq!(cluster.in_flight_ops(), 0, "tracker leak");
+
+    let mut finals = HashMap::new();
+    for k in 0..keys {
+        let v = cluster.value_of(Key(k));
+        finals.insert(Key(k), v[0] as f64);
+    }
+    (finals, logs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_schedules_preserve_invariants(
+        seed in any::<u64>(),
+        nodes in 2u16..5,
+        actions in proptest::collection::vec(action_strategy(4, 16, 2), 1..60),
+    ) {
+        // Clamp node indices into range (the strategy used 4 nodes max).
+        let actions: Vec<Action> = actions
+            .into_iter()
+            .map(|a| match a {
+                Action::Push { node, slot, key, delta } =>
+                    Action::Push { node: node % nodes, slot, key, delta },
+                Action::Pull { node, slot, key } =>
+                    Action::Pull { node: node % nodes, slot, key },
+                Action::Localize { node, slot, keys } =>
+                    Action::Localize { node: node % nodes, slot, keys },
+            })
+            .collect();
+
+        let cfg = ProtoConfig::new(nodes, 16, Layout::Uniform(1));
+        let (finals, logs) = run_schedule(cfg, 2, &actions, seed);
+
+        let lost = check_no_lost_updates(&finals, &logs);
+        prop_assert!(lost.is_empty(), "lost updates: {lost:?}");
+        let mono = check_monotonic_reads(&logs);
+        prop_assert!(mono.is_empty(), "monotonic-read violations: {mono:?}");
+        let ryw = check_read_your_writes(&logs);
+        prop_assert!(ryw.is_empty(), "read-your-writes violations: {ryw:?}");
+    }
+
+    #[test]
+    fn dense_and_sparse_stores_agree(
+        seed in any::<u64>(),
+        actions in proptest::collection::vec(action_strategy(3, 12, 2), 1..40),
+    ) {
+        let mut dense_cfg = ProtoConfig::new(3, 12, Layout::Uniform(1));
+        dense_cfg.dense = true;
+        let mut sparse_cfg = ProtoConfig::new(3, 12, Layout::Uniform(1));
+        sparse_cfg.dense = false;
+        let (dense_finals, _) = run_schedule(dense_cfg, 2, &actions, seed);
+        let (sparse_finals, _) = run_schedule(sparse_cfg, 2, &actions, seed);
+        prop_assert_eq!(dense_finals, sparse_finals);
+    }
+
+    /// With location caches, ordering may degrade (Theorem 3) but updates
+    /// must still never be lost, the ownership invariant must hold at
+    /// quiescence, and stale caches must heal via double-forwarding.
+    #[test]
+    fn caches_preserve_eventual_consistency(
+        seed in any::<u64>(),
+        actions in proptest::collection::vec(action_strategy(4, 16, 2), 1..60),
+    ) {
+        let mut cfg = ProtoConfig::new(4, 16, Layout::Uniform(1));
+        cfg.location_caches = true;
+        let (finals, logs) = run_schedule(cfg, 2, &actions, seed);
+        let lost = check_no_lost_updates(&finals, &logs);
+        prop_assert!(lost.is_empty(), "lost updates with caches: {lost:?}");
+    }
+
+    /// Multi-key operations with larger values and a two-tier layout
+    /// conserve every update as well.
+    #[test]
+    fn two_tier_layout_conserves_updates(
+        seed in any::<u64>(),
+        pushes in proptest::collection::vec((0u16..3, 0u64..12, 1u32..4), 1..40),
+    ) {
+        let layout = Layout::TwoTier { split: 6, first: 2, rest: 5 };
+        let mut cfg = ProtoConfig::new(3, 12, layout.clone());
+        cfg.latches = 8;
+        let mut cluster = lapse_proto::testkit::TestCluster::new(cfg, 1);
+        let mut expected = vec![0.0f64; 12];
+        let mut rng = derive_rng(seed, 3);
+        for (node, key, delta) in pushes {
+            let k = Key(key);
+            let len = layout.len(k);
+            let vals = vec![delta as f32; len];
+            cluster.push_now(NodeId(node), 0, &[k], &vals);
+            expected[key as usize] += delta as f64 * len as f64;
+            if rng.gen::<bool>() {
+                cluster.localize_now(NodeId((node + 1) % 3), 0, &[k]);
+            }
+        }
+        cluster.run_until_quiet();
+        cluster.check_ownership_invariant();
+        for key in 0..12u64 {
+            let v = cluster.value_of(Key(key));
+            let sum: f64 = v.iter().map(|&x| x as f64).sum();
+            prop_assert!((sum - expected[key as usize]).abs() < 1e-3,
+                "key {key}: {sum} vs {}", expected[key as usize]);
+        }
+    }
+}

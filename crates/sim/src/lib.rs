@@ -1,0 +1,40 @@
+//! Discrete-event cluster simulator.
+//!
+//! The paper evaluates Lapse on an 8-node cluster with 10 GbE. This crate
+//! is the substitution substrate (see DESIGN.md): it executes the *real*
+//! protocol logic and *real* workload computation, but accounts time on a
+//! **virtual clock**, so the scaling experiments are deterministic and
+//! independent of the host's core count.
+//!
+//! Execution model:
+//!
+//! * Each simulated **server** is a sans-io message handler invoked by the
+//!   event loop; a node's server is a serial resource (messages queue when
+//!   it is busy), matching the one-server-thread-per-node architecture of
+//!   Figure 2.
+//! * Each simulated **worker** is a real OS thread that runs arbitrary
+//!   workload code, but cooperates with the scheduler: exactly one thread
+//!   (scheduler or one worker) runs at a time, and the worker *charges*
+//!   virtual time for its computation and shared-memory accesses. Workers
+//!   yield at synchronization points (waiting for an operation, barriers)
+//!   and whenever they have run a full quantum ahead of the global clock.
+//! * **Messages** pay a cost model calibrated to the paper's testbed:
+//!   sender-side bandwidth serialization (per-NIC egress), per-link
+//!   latency (with a distinct, cheaper latency for node-local IPC
+//!   messages — the classic PS's local access path), and server
+//!   processing time per message/key/float. Per-link FIFO follows from
+//!   monotone egress times.
+//!
+//! The crate is protocol-agnostic: anything implementing [`SimProtocol`]
+//! (the Lapse protocol, the SSP baseline, the low-level MF baseline) runs
+//! on the same simulator and cost model.
+
+pub mod cost;
+pub mod report;
+pub mod sched;
+pub mod task;
+
+pub use cost::CostModel;
+pub use report::SimReport;
+pub use sched::{SimCluster, SimProtocol};
+pub use task::TaskCtx;

@@ -1,0 +1,36 @@
+//! Simulation results.
+
+use lapse_utils::fmt;
+
+/// Aggregate outcome of one simulation run. Protocol-specific statistics
+/// (access counts, relocation times) live in the protocol's own state and
+/// are read back by the caller after `run` returns.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual time at which the last event (or worker) finished.
+    pub virtual_time_ns: u64,
+    /// Total protocol messages sent.
+    pub messages: u64,
+    /// Total bytes sent (envelope included).
+    pub bytes: u64,
+    /// Messages whose source and destination coincide (the classic PS's
+    /// local-access IPC path).
+    pub self_messages: u64,
+}
+
+impl SimReport {
+    /// Virtual seconds.
+    pub fn seconds(&self) -> f64 {
+        self.virtual_time_ns as f64 / 1e9
+    }
+
+    /// Human-readable one-liner.
+    pub fn summary(&self) -> String {
+        format!(
+            "virtual time {}, {} msgs, {}",
+            fmt::duration_ns(self.virtual_time_ns),
+            fmt::count(self.messages),
+            fmt::bytes(self.bytes)
+        )
+    }
+}

@@ -1,0 +1,84 @@
+//! SSP wire protocol.
+
+use lapse_net::{Key, NodeId, WireSize};
+
+/// Messages of the SSP parameter server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SspMsg {
+    /// Client → server: synchronous fetch of keys (cache miss or stale
+    /// entry).
+    Get {
+        /// Requesting node (response destination).
+        node: NodeId,
+        /// Client-side operation id (tracker sequence).
+        op: u64,
+        /// Requested keys (all homed at the destination server).
+        keys: Vec<Key>,
+    },
+    /// Server → client: fetched values.
+    GetResp {
+        /// The answered operation.
+        op: u64,
+        /// Keys in request order.
+        keys: Vec<Key>,
+        /// Concatenated values.
+        vals: Vec<f32>,
+        /// Global minimum worker clock at answer time — the freshness
+        /// stamp of the returned values.
+        clock: i64,
+    },
+    /// Client → server: flushed cumulative updates of one worker,
+    /// advancing that worker's clock.
+    Update {
+        /// Flushing node.
+        node: NodeId,
+        /// Worker slot on that node.
+        slot: u16,
+        /// The worker's clock *after* this flush.
+        clock: i64,
+        /// Updated keys.
+        keys: Vec<Key>,
+        /// Concatenated update terms (added server-side).
+        vals: Vec<f32>,
+    },
+    /// Server → client (SSPPush): eager replication of the node's access
+    /// set after a global clock advance.
+    Push {
+        /// Keys of the receiving node's access set (on this server).
+        keys: Vec<Key>,
+        /// Concatenated fresh values.
+        vals: Vec<f32>,
+        /// Freshness stamp (the new global minimum clock).
+        clock: i64,
+    },
+}
+
+impl WireSize for SspMsg {
+    fn wire_bytes(&self) -> usize {
+        let (keys, vals) = match self {
+            SspMsg::Get { keys, .. } => (keys.len(), 0),
+            SspMsg::GetResp { keys, vals, .. } => (keys.len(), vals.len()),
+            SspMsg::Update { keys, vals, .. } => (keys.len(), vals.len()),
+            SspMsg::Push { keys, vals, .. } => (keys.len(), vals.len()),
+        };
+        // tag + fixed header + key list + value list (mirrors the Lapse
+        // codec's framing arithmetic).
+        1 + 16 + (4 + keys * 8) + (4 + vals * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_scales_with_payload(){
+        let small = SspMsg::Get { node: NodeId(0), op: 1, keys: vec![Key(1)] };
+        let big = SspMsg::Push {
+            keys: vec![Key(1); 100],
+            vals: vec![0.0; 1000],
+            clock: 3,
+        };
+        assert!(big.wire_bytes() > small.wire_bytes() + 4000);
+    }
+}

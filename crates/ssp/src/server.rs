@@ -1,0 +1,261 @@
+//! SSP server shard.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use lapse_net::{Key, NodeId};
+use lapse_proto::group::OrderedGroups;
+
+use crate::messages::SspMsg;
+use crate::SspConfig;
+
+/// Synchronization strategy (Section 4.5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SspMode {
+    /// Petuum's SSP: clients fetch synchronously when their cache entry
+    /// is too stale.
+    ClientSync,
+    /// Petuum's SSPPush: servers eagerly push each node's access set
+    /// after every global clock advance.
+    ServerPush,
+}
+
+/// One node's server shard: authoritative storage for the keys homed
+/// there, worker-clock tracking, and (for SSPPush) per-node access sets.
+pub struct SspServer {
+    cfg: Arc<SspConfig>,
+    node: NodeId,
+    /// Authoritative values for keys homed at this node.
+    store: HashMap<Key, Vec<f32>>,
+    /// Worker clocks, `[node][slot]`.
+    clocks: Vec<Vec<i64>>,
+    /// Keys each node has accessed (SSPPush replication sets).
+    access_sets: Vec<HashSet<Key>>,
+    /// Global minimum clock at the last push.
+    last_pushed_min: i64,
+    /// Messages processed (diagnostics).
+    pub handled: u64,
+}
+
+impl SspServer {
+    /// Creates the shard with zero-initialized (or `init`-initialized)
+    /// values for the keys homed at `node`.
+    pub fn new(
+        cfg: Arc<SspConfig>,
+        node: NodeId,
+        workers_per_node: usize,
+        mut init: impl FnMut(Key) -> Option<Vec<f32>>,
+    ) -> Self {
+        let mut store = HashMap::new();
+        for k in 0..cfg.proto.keys {
+            let key = Key(k);
+            if cfg.proto.home(key) == node {
+                let v = init(key).unwrap_or_else(|| vec![0.0; cfg.proto.layout.len(key)]);
+                assert_eq!(v.len(), cfg.proto.layout.len(key));
+                store.insert(key, v);
+            }
+        }
+        let nodes = cfg.proto.nodes as usize;
+        SspServer {
+            cfg,
+            node,
+            store,
+            clocks: vec![vec![0; workers_per_node]; nodes],
+            access_sets: vec![HashSet::new(); nodes],
+            last_pushed_min: 0,
+            handled: 0,
+        }
+    }
+
+    fn global_min_clock(&self) -> i64 {
+        self.clocks
+            .iter()
+            .flatten()
+            .copied()
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Handles one message, appending outgoing messages.
+    pub fn handle(&mut self, msg: SspMsg, out: &mut Vec<(NodeId, SspMsg)>) {
+        self.handled += 1;
+        match msg {
+            SspMsg::Get { node, op, keys } => {
+                let mut vals = Vec::new();
+                for &k in &keys {
+                    debug_assert_eq!(self.cfg.proto.home(k), self.node, "get at wrong shard");
+                    vals.extend_from_slice(
+                        self.store.get(&k).expect("homed key must exist"),
+                    );
+                    self.access_sets[node.idx()].insert(k);
+                }
+                out.push((
+                    node,
+                    SspMsg::GetResp {
+                        op,
+                        keys,
+                        vals,
+                        clock: self.global_min_clock(),
+                    },
+                ));
+            }
+            SspMsg::Update { node, slot, clock, keys, vals } => {
+                let mut off = 0usize;
+                for &k in &keys {
+                    let len = self.cfg.proto.layout.len(k);
+                    let v = self
+                        .store
+                        .get_mut(&k)
+                        .expect("update for key not homed here");
+                    for (d, &x) in v.iter_mut().zip(&vals[off..off + len]) {
+                        *d += x;
+                    }
+                    off += len;
+                    self.access_sets[node.idx()].insert(k);
+                }
+                let before = self.global_min_clock();
+                let c = &mut self.clocks[node.idx()][slot as usize];
+                *c = (*c).max(clock);
+                let after = self.global_min_clock();
+                if self.cfg.mode == SspMode::ServerPush
+                    && after > before
+                    && after > self.last_pushed_min
+                {
+                    self.last_pushed_min = after;
+                    self.push_access_sets(after, out);
+                }
+            }
+            // Servers never receive responses or pushes.
+            SspMsg::GetResp { .. } | SspMsg::Push { .. } => {
+                debug_assert!(false, "client message reached an SSP server");
+            }
+        }
+    }
+
+    /// Eagerly replicates every node's access set (SSPPush after a global
+    /// clock advance).
+    fn push_access_sets(&mut self, clock: i64, out: &mut Vec<(NodeId, SspMsg)>) {
+        let mut batches: OrderedGroups<NodeId, (Vec<Key>, Vec<f32>)> = OrderedGroups::new();
+        for (n, set) in self.access_sets.iter().enumerate() {
+            if set.is_empty() {
+                continue;
+            }
+            // Deterministic order for reproducible simulations.
+            let mut keys: Vec<Key> = set.iter().copied().collect();
+            keys.sort_unstable();
+            let entry = batches.entry(NodeId(n as u16));
+            for k in keys {
+                entry.0.push(k);
+                entry
+                    .1
+                    .extend_from_slice(self.store.get(&k).expect("homed key"));
+            }
+        }
+        for (node, (keys, vals)) in batches.into_iter() {
+            out.push((node, SspMsg::Push { keys, vals, clock }));
+        }
+    }
+
+    /// Authoritative value of a homed key (tests/diagnostics).
+    pub fn value_of(&self, key: Key) -> Option<&[f32]> {
+        self.store.get(&key).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lapse_proto::{Layout, ProtoConfig};
+
+    fn cfg(mode: SspMode) -> Arc<SspConfig> {
+        Arc::new(SspConfig::new(
+            ProtoConfig::new(2, 8, Layout::Uniform(1)),
+            1,
+            mode,
+        ))
+    }
+
+    #[test]
+    fn get_returns_values_and_min_clock() {
+        let mut s = SspServer::new(cfg(SspMode::ClientSync), NodeId(0), 1, |k| {
+            Some(vec![k.0 as f32])
+        });
+        let mut out = Vec::new();
+        s.handle(
+            SspMsg::Get { node: NodeId(1), op: 9, keys: vec![Key(0), Key(3)] },
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            (n, SspMsg::GetResp { op, keys, vals, clock }) => {
+                assert_eq!(*n, NodeId(1));
+                assert_eq!(*op, 9);
+                assert_eq!(keys, &[Key(0), Key(3)]);
+                assert_eq!(vals, &[0.0, 3.0]);
+                assert_eq!(*clock, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn updates_accumulate_and_advance_clocks() {
+        let mut s = SspServer::new(cfg(SspMode::ClientSync), NodeId(0), 2, |_| None);
+        let mut out = Vec::new();
+        s.handle(
+            SspMsg::Update {
+                node: NodeId(0),
+                slot: 0,
+                clock: 1,
+                keys: vec![Key(1)],
+                vals: vec![2.5],
+            },
+            &mut out,
+        );
+        assert_eq!(s.value_of(Key(1)).unwrap(), &[2.5]);
+        assert_eq!(s.global_min_clock(), 0, "other workers still at 0");
+        assert!(out.is_empty(), "client-sync never pushes");
+    }
+
+    #[test]
+    fn server_push_fires_on_global_advance() {
+        let mut s = SspServer::new(cfg(SspMode::ServerPush), NodeId(0), 1, |_| None);
+        let mut out = Vec::new();
+        // Node 1 accesses key 2 → lands in its access set.
+        s.handle(
+            SspMsg::Get { node: NodeId(1), op: 1, keys: vec![Key(2)] },
+            &mut out,
+        );
+        out.clear();
+        // Both nodes advance to clock 1 → global min advances → push.
+        s.handle(
+            SspMsg::Update { node: NodeId(0), slot: 0, clock: 1, keys: vec![], vals: vec![] },
+            &mut out,
+        );
+        assert!(out.is_empty(), "min not advanced yet");
+        s.handle(
+            SspMsg::Update {
+                node: NodeId(1),
+                slot: 0,
+                clock: 1,
+                keys: vec![Key(2)],
+                vals: vec![1.0],
+            },
+            &mut out,
+        );
+        let pushes: Vec<_> = out
+            .iter()
+            .filter(|(_, m)| matches!(m, SspMsg::Push { .. }))
+            .collect();
+        assert_eq!(pushes.len(), 1, "only node 1 has an access set");
+        let to_n1 = pushes.iter().find(|(n, _)| *n == NodeId(1)).unwrap();
+        match &to_n1.1 {
+            SspMsg::Push { keys, vals, clock } => {
+                assert_eq!(keys, &[Key(2)]);
+                assert_eq!(vals, &[1.0]);
+                assert_eq!(*clock, 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

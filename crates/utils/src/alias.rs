@@ -1,0 +1,158 @@
+//! Walker's alias method for O(1) discrete sampling.
+//!
+//! Word2Vec draws negative samples from the unigram distribution raised to
+//! the 3/4 power; knowledge-graph training perturbs triples with uniform or
+//! frequency-weighted entities. Both need millions of draws from a fixed
+//! discrete distribution, which the alias method serves in constant time
+//! after O(n) setup.
+
+use rand::Rng;
+
+/// An O(1) sampler over `{0, …, n-1}` with arbitrary fixed weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of the "home" column, scaled to u32 range for
+    /// a branch-cheap comparison.
+    prob: Vec<f64>,
+    /// The alias column used when the home column is rejected.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights.
+    ///
+    /// Weights need not be normalized. Zero-weight entries are never
+    /// sampled (unless all weights are zero, which is rejected).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, sums to zero, or has more than `u32::MAX` entries.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table supports at most u32::MAX entries"
+        );
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and >= 0");
+            total += w;
+        }
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        // Partition indices into under- and over-full columns.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // Move the excess of column l onto column s.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Residual columns are full due to rounding.
+        for i in large.into_iter().chain(small) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty. Always false for a constructed table.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = rng_from_seed(11);
+        let draws = 400_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let observed = counts[i] as f64 / draws as f64;
+            let expected = w / total;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "i={i} observed={observed} expected={expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = rng_from_seed(5);
+        for _ in 0..10_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-weight category {s}");
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let table = AliasTable::new(&[0.5]);
+        let mut rng = rng_from_seed(5);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -0.1]);
+    }
+}

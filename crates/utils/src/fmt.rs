@@ -1,0 +1,77 @@
+//! Human-readable formatting of durations, byte counts, and rates.
+
+/// Formats a duration given in nanoseconds, picking a readable unit.
+pub fn duration_ns(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} us", ns_f / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns_f / 1e6)
+    } else if ns < 60 * 1_000_000_000 {
+        format!("{:.2} s", ns_f / 1e9)
+    } else {
+        let secs = ns_f / 1e9;
+        let mins = (secs / 60.0).floor();
+        format!("{}m {:.0}s", mins as u64, secs - mins * 60.0)
+    }
+}
+
+/// Formats a byte count with binary units.
+pub fn bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{n} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+/// Formats a count with thousands separators (e.g. `1_234_567`).
+pub fn count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations() {
+        assert_eq!(duration_ns(500), "500 ns");
+        assert_eq!(duration_ns(1_500), "1.5 us");
+        assert_eq!(duration_ns(2_500_000), "2.50 ms");
+        assert_eq!(duration_ns(3_200_000_000), "3.20 s");
+        assert_eq!(duration_ns(90_000_000_000), "1m 30s");
+    }
+
+    #[test]
+    fn byte_units() {
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.0 KiB");
+        assert_eq!(bytes(5 * 1024 * 1024), "5.0 MiB");
+    }
+
+    #[test]
+    fn thousands() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1000), "1_000");
+        assert_eq!(count(1234567), "1_234_567");
+    }
+}

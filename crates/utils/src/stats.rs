@@ -1,0 +1,308 @@
+//! Statistics primitives for experiment measurement.
+//!
+//! The experiment harness reports means over independent runs with min/max
+//! error bars (matching the paper's methodology, Section 4.1), and the
+//! simulator collects latency distributions (relocation times, Table 5)
+//! into log-scale histograms.
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Population variance; 0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation; +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation; -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of a sample by linear interpolation.
+///
+/// Sorts a copy of the input; intended for end-of-run reporting, not hot
+/// paths.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A histogram with logarithmically spaced buckets, for latency-style data
+/// spanning several orders of magnitude (e.g. nanoseconds to seconds).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// Lower bound of bucket 0.
+    base: f64,
+    /// Bucket width factor (each bucket covers `[base·g^i, base·g^(i+1))`).
+    growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    stats: OnlineStats,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[base, base·growth^buckets)`.
+    ///
+    /// # Panics
+    /// Panics if `base <= 0`, `growth <= 1`, or `buckets == 0`.
+    pub fn new(base: f64, growth: f64, buckets: usize) -> Self {
+        assert!(base > 0.0, "histogram base must be positive");
+        assert!(growth > 1.0, "histogram growth must exceed 1");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        LogHistogram {
+            base,
+            growth,
+            counts: vec![0; buckets],
+            underflow: 0,
+            stats: OnlineStats::new(),
+        }
+    }
+
+    /// Records one observation. Values below `base` land in the underflow
+    /// bucket; values above the top bucket are clamped into it.
+    pub fn record(&mut self, x: f64) {
+        self.stats.push(x);
+        if x < self.base {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.base).ln() / self.growth.ln()).floor() as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Summary statistics over all recorded observations.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Approximate `q`-quantile from bucket midpoints.
+    pub fn approx_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let total = self.stats.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let target = (q * total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.base;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Geometric midpoint of the bucket.
+                return self.base * self.growth.powf(i as f64 + 0.5);
+            }
+        }
+        self.stats.max()
+    }
+
+    /// Merges another histogram with identical geometry.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert!(
+            (self.base - other.base).abs() < f64::EPSILON
+                && (self.growth - other.growth).abs() < f64::EPSILON,
+            "histogram geometry mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.stats.merge(&other.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(3.0);
+        a.push(5.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+
+        let mut empty = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.push(3.0);
+        empty.merge(&b);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_nan() {
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn histogram_quantiles_roughly_match() {
+        let mut h = LogHistogram::new(1.0, 1.1, 200);
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        for &x in &xs {
+            h.record(x);
+        }
+        let exact = quantile(&xs, 0.5);
+        let approx = h.approx_quantile(0.5);
+        assert!(
+            (approx / exact - 1.0).abs() < 0.12,
+            "approx={approx} exact={exact}"
+        );
+    }
+
+    #[test]
+    fn histogram_underflow_and_clamp() {
+        let mut h = LogHistogram::new(10.0, 2.0, 4); // covers [10, 160)
+        h.record(1.0); // underflow
+        h.record(1e9); // clamped to top bucket
+        assert_eq!(h.stats().count(), 2);
+        assert!(h.approx_quantile(0.0) >= 10.0 || h.approx_quantile(0.0).is_finite());
+    }
+}

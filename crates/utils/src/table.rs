@@ -1,0 +1,167 @@
+//! Plain-text rendering of experiment tables and figure series.
+//!
+//! Each bench target regenerates one of the paper's tables or figures and
+//! prints it in a fixed textual format so that EXPERIMENTS.md can quote the
+//! output directly. Figures become *series tables*: one row per x-value,
+//! one column per line in the figure.
+
+use std::fmt::Write as _;
+
+/// Column alignment inside a rendered table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers. All columns
+    /// default to right alignment except the first.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+        let mut aligns = vec![Align::Right; headers.len()];
+        if !aligns.is_empty() {
+            aligns[0] = Align::Left;
+        }
+        Table {
+            title: title.into(),
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the alignment of one column.
+    pub fn align(mut self, col: usize, align: Align) -> Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Appends a row. The number of cells must match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        for _ in cell.len()..widths[i] {
+                            line.push(' ');
+                        }
+                    }
+                    Align::Right => {
+                        for _ in cell.len()..widths[i] {
+                            line.push(' ');
+                        }
+                        line.push_str(cell);
+                    }
+                }
+            }
+            // Trim trailing padding.
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths, &self.aligns));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths, &self.aligns));
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for tables.
+pub fn fnum(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let a = x.abs();
+    if a == 0.0 {
+        "0".to_string()
+    } else if a >= 1000.0 {
+        format!("{x:.0}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else if a >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== demo ==");
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[3].starts_with("a"));
+        // Numbers right-aligned: both value columns end at same offset.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(42.25), "42.2");
+        assert_eq!(fnum(1.5), "1.500");
+        assert_eq!(fnum(0.0001), "1.00e-4");
+    }
+}

@@ -1,0 +1,191 @@
+//! Zipf-distributed sampling.
+//!
+//! Word-vector training accesses parameters with a strongly skewed, roughly
+//! Zipfian distribution (Section 4.3 of the paper). The synthetic corpus
+//! generator uses this sampler to reproduce that skew.
+//!
+//! The implementation is the rejection-inversion method of Hörmann and
+//! Derflinger ("Rejection-inversion to generate variates from monotone
+//! discrete distributions", 1996), the same algorithm used by Apache
+//! Commons Math. It samples from `P(k) ∝ 1 / k^alpha` for `k ∈ 1..=n` in
+//! O(1) expected time independent of `n`.
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over `{1, …, n}`.
+///
+/// `alpha` may be any positive value (including values `< 1`, which the
+/// naive inverse-CDF method struggles with for large `n`).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    // Precomputed constants of the rejection-inversion method.
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `{1, …, n}` with exponent `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha <= 0` or `alpha` is not finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "Zipf exponent must be positive and finite"
+        );
+        let h_integral_x1 = h_integral(1.5, alpha) - 1.0;
+        let h_integral_n = h_integral(n as f64 + 0.5, alpha);
+        let s = 2.0 - h_integral_inverse(h_integral(2.5, alpha) - h(2.0, alpha), alpha);
+        Zipf {
+            n,
+            alpha,
+            h_integral_x1,
+            h_integral_n,
+            s,
+        }
+    }
+
+    /// Number of elements in the support.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draws one sample in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u: f64 = self.h_integral_x1
+                + rng.gen::<f64>() * (self.h_integral_n - self.h_integral_x1);
+            let x = h_integral_inverse(u, self.alpha);
+            let mut k = (x + 0.5).floor() as i64;
+            if k < 1 {
+                k = 1;
+            } else if k as u64 > self.n {
+                k = self.n as i64;
+            }
+            let kf = k as f64;
+            if kf - x <= self.s
+                || u >= h_integral(kf + 0.5, self.alpha) - h(kf, self.alpha)
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// `H(x)`: the integral of the hat function `h`.
+fn h_integral(x: f64, alpha: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - alpha) * log_x) * log_x
+}
+
+/// The hat function `h(x) = 1 / x^alpha`.
+fn h(x: f64, alpha: f64) -> f64 {
+    (-alpha * x.ln()).exp()
+}
+
+/// Inverse of `h_integral`.
+fn h_integral_inverse(x: f64, alpha: f64) -> f64 {
+    let mut t = x * (1.0 - alpha);
+    if t < -1.0 {
+        // Numerical guard: t must stay in the domain of ln1p.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `helper1(x) = ln(1+x)/x`, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `helper2(x) = (exp(x)-1)/x`, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    /// Exact Zipf pmf by normalization, for small n.
+    fn exact_pmf(n: u64, alpha: f64) -> Vec<f64> {
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
+        let z: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / z).collect()
+    }
+
+    #[test]
+    fn matches_exact_distribution() {
+        let n = 20;
+        for &alpha in &[0.5, 1.0, 1.5, 2.0] {
+            let zipf = Zipf::new(n, alpha);
+            let mut rng = rng_from_seed(42);
+            let draws = 200_000;
+            let mut counts = vec![0u64; n as usize];
+            for _ in 0..draws {
+                let k = zipf.sample(&mut rng);
+                counts[(k - 1) as usize] += 1;
+            }
+            let pmf = exact_pmf(n, alpha);
+            for k in 0..n as usize {
+                let observed = counts[k] as f64 / draws as f64;
+                let expected = pmf[k];
+                // 3-sigma binomial bound plus slack.
+                let sigma = (expected * (1.0 - expected) / draws as f64).sqrt();
+                assert!(
+                    (observed - expected).abs() < 4.0 * sigma + 1e-3,
+                    "alpha={alpha} k={k} observed={observed} expected={expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stays_in_support() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = rng_from_seed(7);
+        for _ in 0..10_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn support_of_one() {
+        let zipf = Zipf::new(1, 1.2);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn rejects_empty_support() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn rejects_nonpositive_alpha() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the samplers and statistics.
+
+use proptest::prelude::*;
+
+use lapse_utils::alias::AliasTable;
+use lapse_utils::rng::derive_rng;
+use lapse_utils::stats::{quantile, LogHistogram, OnlineStats};
+use lapse_utils::zipf::Zipf;
+
+proptest! {
+    #[test]
+    fn zipf_stays_in_support(n in 1u64..10_000, alpha in 0.05f64..4.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = derive_rng(seed, 1);
+        for _ in 0..200 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    #[test]
+    fn alias_never_emits_zero_weight(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..64),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let t = AliasTable::new(&weights);
+        let mut rng = derive_rng(seed, 2);
+        for _ in 0..200 {
+            let s = t.sample(&mut rng);
+            prop_assert!(s < weights.len());
+            prop_assert!(weights[s] > 0.0, "sampled zero-weight category {s}");
+        }
+    }
+
+    #[test]
+    fn online_stats_match_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        prop_assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn merge_order_is_irrelevant(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
+        ys in proptest::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let fill = |v: &[f64]| {
+            let mut s = OnlineStats::new();
+            for &x in v {
+                s.push(x);
+            }
+            s
+        };
+        let mut ab = fill(&xs);
+        ab.merge(&fill(&ys));
+        let mut ba = fill(&ys);
+        ba.merge(&fill(&xs));
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(
+        mut xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-9);
+    }
+
+    #[test]
+    fn histogram_count_preserved(xs in proptest::collection::vec(1e-3f64..1e9, 1..200)) {
+        let mut h = LogHistogram::new(1.0, 1.3, 80);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.stats().count(), xs.len() as u64);
+        let q = h.approx_quantile(0.5);
+        prop_assert!(q.is_finite());
+    }
+}

@@ -1,0 +1,71 @@
+//! Matrix factorization with parameter blocking (the paper's Section 4.3
+//! MF workload), run on the virtual-time simulator.
+//!
+//! Trains a rank-16 factorization of a synthetic 2000×500 matrix on a
+//! simulated 4-node cluster and compares Lapse against a classic PS on
+//! the *same* training code: the only difference is whether `localize`
+//! relocates parameters.
+//!
+//! Run with: `cargo run --release --example matrix_factorization`
+
+use std::sync::Arc;
+
+use lapse::core::{run_sim, CostModel, PsConfig};
+use lapse::ml::data::matrix::{MatrixConfig, SparseMatrix};
+use lapse::ml::metrics::combine_runs;
+use lapse::ml::mf::{MfConfig, MfTask};
+use lapse::Variant;
+
+fn train(variant: Variant, data: Arc<SparseMatrix>) -> (f64, Vec<f64>) {
+    let cfg = MfConfig {
+        rank: 16,
+        lr: 0.05,
+        reg: 0.01,
+        epochs: 3,
+        seed: 7,
+        compute: Default::default(),
+        virtual_rank: None,
+    };
+    let task = MfTask::new(data, cfg, 4, 2);
+    let init = task.initializer();
+    let ps = PsConfig::new(4, task.num_keys(), 16).variant(variant);
+    let t = task.clone();
+    let (results, stats) = run_sim(ps, 2, CostModel::default(), init, move |w| t.run(w));
+    let epochs = combine_runs(&results);
+    let time: f64 = epochs.iter().map(|e| e.duration_ns() as f64 / 1e9).sum();
+    let losses = epochs
+        .iter()
+        .map(|e| e.loss / e.examples.max(1) as f64)
+        .collect();
+    assert_eq!(stats.unexpected_relocates, 0);
+    (time, losses)
+}
+
+fn main() {
+    let data = Arc::new(SparseMatrix::generate(MatrixConfig {
+        rows: 2000,
+        cols: 500,
+        rank: 16,
+        entries: 120_000,
+        noise: 0.05,
+        seed: 1,
+    }));
+    println!(
+        "dataset: {}x{} matrix, {} observed entries (zero-model MSE {:.3})\n",
+        data.cfg.rows,
+        data.cfg.cols,
+        data.nnz(),
+        data.mean_square()
+    );
+
+    for variant in [Variant::Classic, Variant::Lapse] {
+        let (time, losses) = train(variant, data.clone());
+        println!("{:?}:", variant);
+        println!("  total virtual training time: {time:.2} s");
+        for (i, l) in losses.iter().enumerate() {
+            println!("  epoch {}: training MSE {l:.4}", i + 1);
+        }
+        println!();
+    }
+    println!("same code, same convergence — the classic PS just pays the network for every access.");
+}

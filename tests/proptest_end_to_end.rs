@@ -1,0 +1,105 @@
+//! Workspace-level property tests: random workloads through the full
+//! simulator stack (transport cost model + protocol + runtime), checking
+//! conservation and determinism invariants end to end.
+
+use proptest::prelude::*;
+
+use lapse::core::{run_sim, CostModel, PsConfig, PsWorker};
+use lapse::{Key, Variant};
+
+#[derive(Debug, Clone)]
+struct Workload {
+    nodes: u16,
+    workers: usize,
+    keys: u64,
+    ops: Vec<(u8, u64)>, // (kind, key): 0 push, 1 localize, 2 pull
+    variant: u8,
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (
+        2u16..4,
+        1usize..3,
+        4u64..20,
+        proptest::collection::vec((0u8..3, 0u64..20), 5..60),
+        0u8..3,
+    )
+        .prop_map(|(nodes, workers, keys, ops, variant)| Workload {
+            nodes,
+            workers,
+            keys,
+            ops,
+            variant,
+        })
+}
+
+fn variant_of(v: u8) -> Variant {
+    match v {
+        0 => Variant::Classic,
+        1 => Variant::ClassicFastLocal,
+        _ => Variant::Lapse,
+    }
+}
+
+fn run(w: &Workload) -> (Vec<f32>, u64, Option<u64>) {
+    let keys = w.keys;
+    let ops = std::sync::Arc::new(w.ops.clone());
+    let cfg = PsConfig::new(w.nodes, keys, 1)
+        .variant(variant_of(w.variant))
+        .latches(4);
+    let (results, stats) = run_sim(
+        cfg,
+        w.workers,
+        CostModel::default(),
+        |_| None,
+        move |worker| {
+            let gid = worker.global_id() as u64;
+            let mut out = [0.0f32];
+            for (i, &(kind, key)) in ops.iter().enumerate() {
+                let k = Key((key + gid + i as u64) % keys);
+                match kind {
+                    0 => worker.push(&[k], &[1.0]),
+                    1 => worker.localize(&[k]),
+                    _ => worker.pull(&[k], &mut out),
+                }
+            }
+            worker.barrier();
+            let all: Vec<Key> = (0..keys).map(Key).collect();
+            let mut vals = vec![0.0f32; keys as usize];
+            worker.pull(&all, &mut vals);
+            vals
+        },
+    );
+    (
+        results[0].clone(),
+        stats.unexpected_relocates,
+        stats.virtual_time_ns,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// No updates are lost, the protocol never hits an inconsistent
+    /// relocation, and every worker observes the same totals after the
+    /// barrier — for random workloads on every variant.
+    #[test]
+    fn conservation_across_variants(w in workload_strategy()) {
+        let (vals, unexpected, _) = run(&w);
+        prop_assert_eq!(unexpected, 0, "protocol invariant violated");
+        let pushes = w.ops.iter().filter(|&&(k, _)| k == 0).count();
+        let total_workers = w.nodes as usize * w.workers;
+        let expect = (pushes * total_workers) as f32;
+        let total: f32 = vals.iter().sum();
+        prop_assert_eq!(total, expect, "lost or duplicated updates");
+    }
+
+    /// The simulator is fully deterministic: bit-identical state and
+    /// virtual time across repeated runs.
+    #[test]
+    fn determinism(w in workload_strategy()) {
+        let a = run(&w);
+        let b = run(&w);
+        prop_assert_eq!(a, b);
+    }
+}
