@@ -1,0 +1,38 @@
+# Developer/CI entry points for the lapse workspace.
+#
+# The tier-1 verify is `make build && make test` (same commands CI runs);
+# `make ci` additionally checks formatting, clippy, and that every bench
+# target compiles.
+
+CARGO ?= cargo
+
+.PHONY: build test bench-check fmt fmt-check clippy lint doc ci clean
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+## Compile all bench targets without running them.
+bench-check:
+	$(CARGO) bench --no-run
+
+fmt:
+	$(CARGO) fmt
+
+fmt-check:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --all-targets -- -D warnings
+
+lint: fmt-check clippy
+
+doc:
+	$(CARGO) doc --no-deps
+
+ci: fmt-check clippy build test bench-check
+
+clean:
+	$(CARGO) clean

@@ -66,12 +66,26 @@ fn measure_mf_caches(p: Parallelism, caches: bool) -> f64 {
 }
 
 fn main() {
-    banner("ablation_caches", "DPA vs fast-local-access; location caching on/off");
+    banner(
+        "ablation_caches",
+        "DPA vs fast-local-access; location caching on/off",
+    );
 
     // (a) DPA vs fast local access on the KGE workload at 4 nodes.
-    let p = Parallelism { nodes: 4, workers: workers_per_node() };
+    let p = Parallelism {
+        nodes: 4,
+        workers: workers_per_node(),
+    };
     let kg = kg_data();
-    let classic = measure_kge(kg.clone(), KgeModel::ComplEx, 16, 100, KgePal::Full, p, Variant::Classic);
+    let classic = measure_kge(
+        kg.clone(),
+        KgeModel::ComplEx,
+        16,
+        100,
+        KgePal::Full,
+        p,
+        Variant::Classic,
+    );
     let fast = measure_kge(
         kg.clone(),
         KgeModel::ComplEx,
@@ -81,7 +95,15 @@ fn main() {
         p,
         Variant::ClassicFastLocal,
     );
-    let lapse = measure_kge(kg, KgeModel::ComplEx, 16, 100, KgePal::Full, p, Variant::Lapse);
+    let lapse = measure_kge(
+        kg,
+        KgeModel::ComplEx,
+        16,
+        100,
+        KgePal::Full,
+        p,
+        Variant::Lapse,
+    );
     let mut table = Table::new(
         "Ablation (a) — DPA vs fast local access (ComplEx, 4 nodes, epoch s)",
         &["variant", "epoch s", "local pull share"],
@@ -116,7 +138,11 @@ fn main() {
             format!("{:+.1}%", (on / off - 1.0) * 100.0),
         ]);
     }
-    for p in [Parallelism { nodes: 4, workers: workers_per_node() }] {
+    {
+        let p = Parallelism {
+            nodes: 4,
+            workers: workers_per_node(),
+        };
         let off = measure_mf_caches(p, false);
         let on = measure_mf_caches(p, true);
         table.row(vec![

@@ -10,7 +10,10 @@ use lapse_core::Variant;
 use lapse_ml::kge::{KgeModel, KgePal};
 
 fn main() {
-    banner("fig1_intro", "RESCAL epoch time vs parallelism (the paper's Figure 1)");
+    banner(
+        "fig1_intro",
+        "RESCAL epoch time vs parallelism (the paper's Figure 1)",
+    );
     let kg = kg_data();
     let variants = [
         ("Classic PS", Variant::Classic),

@@ -54,7 +54,16 @@ fn run_dataset(name: &str, data: std::sync::Arc<lapse_ml::data::matrix::SparseMa
 }
 
 fn main() {
-    banner("fig6_mf", "MF epoch time vs parallelism, 3 PS variants, 2 matrices");
-    run_dataset("20k x 2k matrix (10:1, scaled from 10m x 1m)", mf_data_10to1());
-    run_dataset("6.8k x 6k matrix (~1:1, scaled from 3.4m x 3m)", mf_data_square());
+    banner(
+        "fig6_mf",
+        "MF epoch time vs parallelism, 3 PS variants, 2 matrices",
+    );
+    run_dataset(
+        "20k x 2k matrix (10:1, scaled from 10m x 1m)",
+        mf_data_10to1(),
+    );
+    run_dataset(
+        "6.8k x 6k matrix (~1:1, scaled from 3.4m x 3m)",
+        mf_data_square(),
+    );
 }

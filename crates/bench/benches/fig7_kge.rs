@@ -17,8 +17,16 @@ fn run_model(name: &str, model: KgeModel, dim: usize, vdim: usize, paper_note: &
     let kg = kg_data();
     let configs: [(&str, Variant, KgePal); 4] = [
         ("Classic PS", Variant::Classic, KgePal::Full),
-        ("Classic+fast local", Variant::ClassicFastLocal, KgePal::Full),
-        ("Lapse clustering-only", Variant::Lapse, KgePal::ClusteringOnly),
+        (
+            "Classic+fast local",
+            Variant::ClassicFastLocal,
+            KgePal::Full,
+        ),
+        (
+            "Lapse clustering-only",
+            Variant::Lapse,
+            KgePal::ClusteringOnly,
+        ),
         ("Lapse", Variant::Lapse, KgePal::Full),
     ];
     let mut rows = Vec::new();

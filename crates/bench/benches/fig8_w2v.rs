@@ -32,9 +32,10 @@ fn measure(
         .variant(variant)
         .latches(1000);
     let t2 = task.clone();
-    let (results, _stats) = lapse_core::run_sim(ps, p.workers, CostModel::default(), init, move |w| {
-        t2.run(w)
-    });
+    let (results, _stats) =
+        lapse_core::run_sim(ps, p.workers, CostModel::default(), init, move |w| {
+            t2.run(w)
+        });
     let combined = combine_runs(&results);
     let mean = combined
         .iter()
@@ -49,14 +50,16 @@ fn measure(
 }
 
 fn main() {
-    banner("fig8_w2v", "W2V epoch time + error curves, classic-fast vs Lapse");
+    banner(
+        "fig8_w2v",
+        "W2V epoch time + error curves, classic-fast vs Lapse",
+    );
     let corpus = corpus_data();
 
     let mut rows = Vec::new();
     let mut lapse_curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for p in levels() {
-        let (classic_secs, _) =
-            measure(corpus.clone(), false, 1, p, Variant::ClassicFastLocal);
+        let (classic_secs, _) = measure(corpus.clone(), false, 1, p, Variant::ClassicFastLocal);
         let (lapse_secs, curve) = measure(corpus.clone(), true, 3, p, Variant::Lapse);
         println!(
             "  measured {p}: classic-fast={} lapse={}",

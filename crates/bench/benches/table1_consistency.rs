@@ -30,6 +30,13 @@ const KEYS: u64 = 16;
 const SEEDS: u64 = 150;
 const OPS_PER_SEED: usize = 60;
 
+/// An issued-but-unfinished op: (node, worker slot, handle, and — for
+/// pulls — the (log index, log slot) to backfill with the pulled value).
+type PendingOp = (NodeId, usize, IssueHandle, Option<(usize, usize)>);
+
+/// One Table 1 row: label, config factory, and whether ops run synchronously.
+type ConfigRow = (&'static str, Box<dyn Fn() -> ProtoConfig>, bool);
+
 struct Outcome {
     lost: u64,
     mono: u64,
@@ -40,7 +47,11 @@ struct Outcome {
 /// mode issues every op to completion before the next, async mode lets
 /// them race.
 fn fuzz(cfg_of: impl Fn() -> ProtoConfig, sync: bool) -> Outcome {
-    let mut outcome = Outcome { lost: 0, mono: 0, ryw: 0 };
+    let mut outcome = Outcome {
+        lost: 0,
+        mono: 0,
+        ryw: 0,
+    };
     for seed in 0..SEEDS {
         let mut rng = derive_rng(0xC0, seed);
         let mut cluster = TestCluster::new(cfg_of(), 2);
@@ -48,7 +59,7 @@ fn fuzz(cfg_of: impl Fn() -> ProtoConfig, sync: bool) -> Outcome {
         let mut logs: Vec<WorkerLog> = (0..nodes)
             .flat_map(|n| (0..2).map(move |s| WorkerLog::new(WorkerId::new(NodeId(n), s))))
             .collect();
-        let mut pending: Vec<(NodeId, usize, IssueHandle, Option<(usize, usize)>)> = Vec::new();
+        let mut pending: Vec<PendingOp> = Vec::new();
 
         for _ in 0..OPS_PER_SEED {
             let node = NodeId(rng.gen_range(0..nodes));
@@ -190,44 +201,75 @@ fn ssp_stale_reads() -> (u64, u64) {
 }
 
 fn main() {
-    banner("table1_consistency", "consistency witnesses per PS configuration");
+    banner(
+        "table1_consistency",
+        "consistency witnesses per PS configuration",
+    );
     let mut table = Table::new(
         "Table 1 — witness violations (150 random schedules each)",
-        &["configuration", "lost updates", "monotonic reads", "read-your-writes"],
+        &[
+            "configuration",
+            "lost updates",
+            "monotonic reads",
+            "read-your-writes",
+        ],
     );
-    let configs: Vec<(&str, Box<dyn Fn() -> ProtoConfig>, bool)> = vec![
-        ("Classic sync", Box::new(|| {
-            let mut c = ProtoConfig::new(3, KEYS, Layout::Uniform(1));
-            c.variant = Variant::Classic;
-            c.latches = 4;
-            c
-        }), true),
-        ("Classic async", Box::new(|| {
-            let mut c = ProtoConfig::new(3, KEYS, Layout::Uniform(1));
-            c.variant = Variant::Classic;
-            c.latches = 4;
-            c
-        }), false),
-        ("Lapse sync", Box::new(|| {
-            let mut c = ProtoConfig::new(3, KEYS, Layout::Uniform(1));
-            c.latches = 4;
-            c
-        }), true),
-        ("Lapse async (no caches)", Box::new(|| {
-            let mut c = ProtoConfig::new(3, KEYS, Layout::Uniform(1));
-            c.latches = 4;
-            c
-        }), false),
-        ("Lapse async + caches", Box::new(|| {
-            let mut c = ProtoConfig::new(3, KEYS, Layout::Uniform(1));
-            c.latches = 4;
-            c.location_caches = true;
-            c
-        }), false),
+    let configs: Vec<ConfigRow> = vec![
+        (
+            "Classic sync",
+            Box::new(|| {
+                let mut c = ProtoConfig::new(3, KEYS, Layout::Uniform(1));
+                c.variant = Variant::Classic;
+                c.latches = 4;
+                c
+            }),
+            true,
+        ),
+        (
+            "Classic async",
+            Box::new(|| {
+                let mut c = ProtoConfig::new(3, KEYS, Layout::Uniform(1));
+                c.variant = Variant::Classic;
+                c.latches = 4;
+                c
+            }),
+            false,
+        ),
+        (
+            "Lapse sync",
+            Box::new(|| {
+                let mut c = ProtoConfig::new(3, KEYS, Layout::Uniform(1));
+                c.latches = 4;
+                c
+            }),
+            true,
+        ),
+        (
+            "Lapse async (no caches)",
+            Box::new(|| {
+                let mut c = ProtoConfig::new(3, KEYS, Layout::Uniform(1));
+                c.latches = 4;
+                c
+            }),
+            false,
+        ),
+        (
+            "Lapse async + caches",
+            Box::new(|| {
+                let mut c = ProtoConfig::new(3, KEYS, Layout::Uniform(1));
+                c.latches = 4;
+                c.location_caches = true;
+                c
+            }),
+            false,
+        ),
     ];
     for (name, cfg_of, sync) in configs {
         let o = fuzz(cfg_of, sync);
-        println!("  measured {name}: lost={} mono={} ryw={}", o.lost, o.mono, o.ryw);
+        println!(
+            "  measured {name}: lost={} mono={} ryw={}",
+            o.lost, o.mono, o.ryw
+        );
         table.row(vec![
             name.to_string(),
             format!("{}", o.lost),
@@ -240,7 +282,11 @@ fn main() {
     let broke = theorem3_replay();
     println!(
         "Theorem 3 replay (Lapse async + caches, crafted schedule): read-your-writes {}",
-        if broke { "VIOLATED (as the paper proves)" } else { "unexpectedly held" }
+        if broke {
+            "VIOLATED (as the paper proves)"
+        } else {
+            "unexpectedly held"
+        }
     );
     let (stale, total) = ssp_stale_reads();
     println!(

@@ -51,10 +51,18 @@ fn measure(strategy: &mut dyn LocationStrategy, relocate_share: f64) -> (f64, f6
 }
 
 fn main() {
-    banner("table3_location", "location-management strategies, measured costs");
+    banner(
+        "table3_location",
+        "location-management strategies, measured costs",
+    );
     let mut table = Table::new(
         "Table 3 — measured (8 nodes, 1024 keys, 20k ops, 30% relocations)",
-        &["strategy", "storage/node", "msgs/remote access", "msgs/relocation"],
+        &[
+            "strategy",
+            "storage/node",
+            "msgs/remote access",
+            "msgs/relocation",
+        ],
     );
     let mut strategies: Vec<Box<dyn LocationStrategy>> = vec![
         Box::new(StaticPartition::new(N, K)),
@@ -65,7 +73,11 @@ fn main() {
     ];
     for s in strategies.iter_mut() {
         // Static partitioning cannot relocate; run it access-only.
-        let share = if s.name() == "Static partition" { 0.0 } else { 0.3 };
+        let share = if s.name() == "Static partition" {
+            0.0
+        } else {
+            0.3
+        };
         let (storage, access, reloc) = measure(s.as_mut(), share);
         table.row(vec![
             s.name().to_string(),

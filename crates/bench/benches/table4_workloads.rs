@@ -18,16 +18,23 @@ struct Row {
 }
 
 fn access_rate(m: &Measured, bytes_per_key: f64) -> (f64, f64) {
-    let keys = (m.stats.pull_total() + m.stats.push_local + m.stats.push_queued
-        + m.stats.push_remote) as f64;
+    let keys =
+        (m.stats.pull_total() + m.stats.push_local + m.stats.push_queued + m.stats.push_remote)
+            as f64;
     let secs = m.epoch_secs.max(1e-9) * epochs().max(1) as f64;
     let rate = keys / secs;
     (rate, rate * bytes_per_key / 1e6)
 }
 
 fn main() {
-    banner("table4_workloads", "workload sizes and single-thread access rates");
-    let single = Parallelism { nodes: 1, workers: 1 };
+    banner(
+        "table4_workloads",
+        "workload sizes and single-thread access rates",
+    );
+    let single = Parallelism {
+        nodes: 1,
+        workers: 1,
+    };
     let mut rows = Vec::new();
 
     // Matrix factorization.
@@ -53,7 +60,15 @@ fn main() {
             ("KGE ComplEx (dim 64)", KgeModel::ComplEx, 64, 4000),
             ("KGE RESCAL (dim 16/256)", KgeModel::Rescal, 16, 100),
         ] {
-            let m = measure_kge(kg.clone(), model, dim, vdim, KgePal::Full, single, Variant::Lapse);
+            let m = measure_kge(
+                kg.clone(),
+                model,
+                dim,
+                vdim,
+                KgePal::Full,
+                single,
+                Variant::Lapse,
+            );
             let ent = kg.cfg.entities as u64;
             let rel = kg.cfg.relations as u64;
             let rel_len = match model {
@@ -105,6 +120,10 @@ fn main() {
         ]);
     }
     table.print();
-    println!("paper: MF 414k keys/s / 315 MB/s; ComplEx-small 312k / 476; ComplEx-large 11k / 643;");
-    println!("       RESCAL 12k / 614; Word2Vec 17k / 65 (per thread; absolute values scale with dims)");
+    println!(
+        "paper: MF 414k keys/s / 315 MB/s; ComplEx-small 312k / 476; ComplEx-large 11k / 643;"
+    );
+    println!(
+        "       RESCAL 12k / 614; Word2Vec 17k / 65 (per thread; absolute values scale with dims)"
+    );
 }

@@ -12,7 +12,10 @@ use lapse_ml::kge::{KgeModel, KgePal};
 use lapse_utils::table::Table;
 
 fn main() {
-    banner("table5_relocation", "ComplEx-Large reads & relocation statistics");
+    banner(
+        "table5_relocation",
+        "ComplEx-Large reads & relocation statistics",
+    );
     let kg = kg_data();
     let mut table = Table::new(
         "Table 5 — ComplEx-Large (per epoch, virtual time)",

@@ -184,10 +184,10 @@ where
     let body = Arc::new(body);
     let mut worker_joins = Vec::new();
     for n in 0..nodes {
-        for slot in 0..workers_per_node {
+        for (slot, node_wake) in wakes[n].iter().enumerate() {
             let shared = shareds[n].clone();
             let net = net.clone();
-            let wake = wakes[n][slot].clone();
+            let wake = node_wake.clone();
             let barrier = barrier.clone();
             let body = body.clone();
             worker_joins.push(

@@ -60,11 +60,7 @@ impl<'a> SimPsWorker<'a> {
     /// Charges the client-side cost of an operation on `keys`.
     fn charge_issue(&mut self, keys: &[Key]) {
         let floats = self.client.shared().cfg.layout.keys_len(keys) as u64;
-        let ns = self
-            .ctx
-            .shared()
-            .cost
-            .client_ns(keys.len() as u64, floats);
+        let ns = self.ctx.shared().cost.client_ns(keys.len() as u64, floats);
         self.ctx.charge(ns);
     }
 

@@ -230,10 +230,7 @@ impl PsWorker for ThreadedPsWorker {
 }
 
 /// Spawns the server thread of one node.
-pub(crate) fn spawn_server(
-    shared: Arc<NodeShared>,
-    net: Arc<ThreadedNet<Msg>>,
-) -> JoinHandle<()> {
+pub(crate) fn spawn_server(shared: Arc<NodeShared>, net: Arc<ThreadedNet<Msg>>) -> JoinHandle<()> {
     let node = shared.node;
     let endpoint = net.take_endpoint(node);
     std::thread::Builder::new()

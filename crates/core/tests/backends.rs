@@ -176,7 +176,7 @@ fn sim_lapse_beats_classic_on_local_workload() {
         let mut out = vec![0.0f32; 8];
         for _ in 0..200 {
             w.pull(&keys, &mut out);
-            w.push(&keys, &vec![0.1f32; 8]);
+            w.push(&keys, &[0.1f32; 8]);
         }
         w.barrier();
     };

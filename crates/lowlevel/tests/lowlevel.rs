@@ -47,7 +47,9 @@ fn lowlevel_faster_than_lapse_by_modest_factor() {
     let init = ps_task.initializer();
     let t2 = ps_task.clone();
     let (_, stats) = run_sim(
-        PsConfig::new(2, ps_task.num_keys(), 32).variant(Variant::Lapse).latches(64),
+        PsConfig::new(2, ps_task.num_keys(), 32)
+            .variant(Variant::Lapse)
+            .latches(64),
         2,
         CostModel::default(),
         init,

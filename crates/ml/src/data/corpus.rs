@@ -69,7 +69,9 @@ impl Corpus {
         let mut produced = 0u64;
         while produced < cfg.tokens {
             // Sentence length ~ uniform around the mean.
-            let len = rng.gen_range(cfg.sentence_len / 2..=cfg.sentence_len * 3 / 2).max(2);
+            let len = rng
+                .gen_range(cfg.sentence_len / 2..=cfg.sentence_len * 3 / 2)
+                .max(2);
             let topic = rng.gen_range(0..cfg.topics);
             let mut sentence = Vec::with_capacity(len);
             for _ in 0..len {
@@ -101,10 +103,7 @@ impl Corpus {
 
     /// The negative-sampling weights `count^{3/4}` of Mikolov et al.
     pub fn neg_sampling_weights(&self) -> Vec<f64> {
-        self.counts
-            .iter()
-            .map(|&c| (c as f64).powf(0.75))
-            .collect()
+        self.counts.iter().map(|&c| (c as f64).powf(0.75)).collect()
     }
 
     /// Subsampling keep-probability for frequent words (threshold `t`,

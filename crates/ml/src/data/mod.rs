@@ -13,5 +13,5 @@ pub mod kg;
 pub mod matrix;
 
 pub use corpus::{Corpus, CorpusConfig};
-pub use kg::{KnowledgeGraph, KgConfig, Triple};
+pub use kg::{KgConfig, KnowledgeGraph, Triple};
 pub use matrix::{MatrixConfig, SparseMatrix};

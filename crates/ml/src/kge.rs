@@ -125,7 +125,7 @@ impl KgeTask {
         workers_per_node: usize,
     ) -> Arc<Self> {
         if cfg.model == KgeModel::ComplEx {
-            assert!(cfg.dim % 2 == 0, "ComplEx needs an even dimension");
+            assert!(cfg.dim.is_multiple_of(2), "ComplEx needs an even dimension");
         }
         let relation_node = kg.partition_relations(nodes);
         let mut per_node_counter = vec![0usize; nodes];
@@ -219,7 +219,10 @@ impl KgeTask {
     pub fn run(&self, w: &mut dyn PsWorker) -> Vec<EpochStats> {
         let gid = w.global_id();
         let triples = &self.worker_triples[gid];
-        let ada = AdaGrad { lr: self.cfg.lr, eps: self.cfg.eps };
+        let ada = AdaGrad {
+            lr: self.cfg.lr,
+            eps: self.cfg.eps,
+        };
         let example_ns = self.cfg.compute.example_ns(self.example_flops());
 
         // Data clustering: localize the relations this worker trains.
@@ -347,6 +350,7 @@ impl KgeTask {
 
     /// One SGD example: pull `[relation, subject, object]`, compute the
     /// logistic loss and gradients, push AdaGrad deltas.
+    #[allow(clippy::too_many_arguments)] // flat SGD kernel signature; grouping would obscure the hot path
     fn train_example(
         &self,
         w: &mut dyn PsWorker,
@@ -372,8 +376,7 @@ impl KgeTask {
         let rel_off = 0;
         let subj_off = 2 * rel_len;
         let obj_off = 2 * rel_len + 2 * dim;
-        let (score, _) =
-            self.score_and_grads(s, rel_off, subj_off, obj_off, 0, 1, label);
+        let (score, _) = self.score_and_grads(s, rel_off, subj_off, obj_off, 0, 1, label);
         let loss = if label > 0.5 {
             softplus(-score) as f64
         } else {
@@ -441,8 +444,10 @@ impl KgeTask {
                 for i in 0..dim {
                     s.grads[gs_off + i] += g * ro[i];
                     s.grads[go_off + i] += g * rts[i];
-                    for j in 0..dim {
-                        s.grads[g_rel + i * dim + j] += g * es[i] * eo[j];
+                    let gei = g * es[i];
+                    let row = &mut s.grads[g_rel + i * dim..g_rel + (i + 1) * dim];
+                    for (gr, &eoj) in row.iter_mut().zip(eo) {
+                        *gr += gei * eoj;
                     }
                 }
                 (score, ())
@@ -581,7 +586,7 @@ mod tests {
         // Check a sample of coordinates: relation[0], subject[1], object
         // [dim-1].
         let checks = [
-            (rel_off, 0usize, 0usize),        // pulled idx, grads idx base, coord
+            (rel_off, 0usize, 0usize), // pulled idx, grads idx base, coord
             (s_off + 1, rel_len + 1, 0),
             (o_off + dim - 1, rel_len + dim + (dim - 1), 0),
         ];

@@ -31,8 +31,16 @@ pub fn combine_epoch(worker_stats: &[&EpochStats]) -> EpochStats {
     assert!(!worker_stats.is_empty());
     let epoch = worker_stats[0].epoch;
     debug_assert!(worker_stats.iter().all(|s| s.epoch == epoch));
-    let start_ns = worker_stats.iter().map(|s| s.start_ns).min().expect("nonempty");
-    let end_ns = worker_stats.iter().map(|s| s.end_ns).max().expect("nonempty");
+    let start_ns = worker_stats
+        .iter()
+        .map(|s| s.start_ns)
+        .min()
+        .expect("nonempty");
+    let end_ns = worker_stats
+        .iter()
+        .map(|s| s.end_ns)
+        .max()
+        .expect("nonempty");
     let loss = worker_stats.iter().map(|s| s.loss).sum();
     let examples = worker_stats.iter().map(|s| s.examples).sum();
     let evals: Vec<f64> = worker_stats.iter().filter_map(|s| s.eval).collect();
@@ -56,7 +64,10 @@ pub fn combine_epoch(worker_stats: &[&EpochStats]) -> EpochStats {
 pub fn combine_runs(results: &[Vec<EpochStats>]) -> Vec<EpochStats> {
     assert!(!results.is_empty());
     let epochs = results[0].len();
-    assert!(results.iter().all(|r| r.len() == epochs), "ragged epoch traces");
+    assert!(
+        results.iter().all(|r| r.len() == epochs),
+        "ragged epoch traces"
+    );
     (0..epochs)
         .map(|e| combine_epoch(&results.iter().map(|r| &r[e]).collect::<Vec<_>>()))
         .collect()

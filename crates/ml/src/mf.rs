@@ -173,7 +173,11 @@ impl MfTask {
         move |key: Key| {
             let mut rng = derive_rng(seed, 0xB00 ^ key.0);
             let scale = 0.5 / (rank as f32).sqrt();
-            Some((0..rank).map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale).collect())
+            Some(
+                (0..rank)
+                    .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+                    .collect(),
+            )
         }
     }
 
@@ -214,8 +218,7 @@ impl MfTask {
                 let my0 = c0 + (slot as u32) * per;
                 let my1 = (my0 + per).min(c1);
                 if my0 < c1 {
-                    let col_keys: Vec<Key> =
-                        (my0..my1).map(|c| self.col_key(c)).collect();
+                    let col_keys: Vec<Key> = (my0..my1).map(|c| self.col_key(c)).collect();
                     localize_chunked(w, &col_keys);
                 }
 

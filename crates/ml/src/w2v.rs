@@ -226,18 +226,22 @@ impl W2vTask {
                     let win = rng.gen_range(1..=self.cfg.window);
                     let lo = i.saturating_sub(win);
                     let hi = (i + win).min(sentence.len() - 1);
-                    for j in lo..=hi {
+                    for (j, &ctx) in sentence.iter().enumerate().take(hi + 1).skip(lo) {
                         if i == j {
                             continue;
                         }
-                        let ctx = sentence[j];
                         loss += self.train_pair(
                             w,
                             c,
                             ctx,
                             &mut negbuf,
                             &mut rng,
-                            (&mut center, &mut target, &mut center_delta, &mut target_delta),
+                            (
+                                &mut center,
+                                &mut target,
+                                &mut center_delta,
+                                &mut target_delta,
+                            ),
                         );
                         examples += 1;
                         w.charge(pair_ns * (1 + self.cfg.negatives as u64));
@@ -291,30 +295,34 @@ impl W2vTask {
         let mut loss = 0.0f64;
 
         // Targets: the true context plus negatives.
-        let process =
-            |w: &mut dyn PsWorker, target_word: u32, label: f32, target: &mut Vec<f32>,
-             center_delta: &mut Vec<f32>, target_delta: &mut Vec<f32>, loss: &mut f64| {
-                let tk = self.output_key(target_word);
-                let score: f32 = {
-                    let mut dot = 0.0f32;
-                    for i in 0..dim {
-                        dot += center[i] * target[i];
-                    }
-                    dot
-                };
-                let pred = sigmoid(score);
-                *loss += if label > 0.5 {
-                    -(pred.max(1e-7).ln()) as f64
-                } else {
-                    -((1.0 - pred).max(1e-7).ln()) as f64
-                };
-                let g = self.cfg.lr * (label - pred);
+        let process = |w: &mut dyn PsWorker,
+                       target_word: u32,
+                       label: f32,
+                       target: &mut Vec<f32>,
+                       center_delta: &mut Vec<f32>,
+                       target_delta: &mut Vec<f32>,
+                       loss: &mut f64| {
+            let tk = self.output_key(target_word);
+            let score: f32 = {
+                let mut dot = 0.0f32;
                 for i in 0..dim {
-                    center_delta[i] += g * target[i];
-                    target_delta[i] = g * center[i];
+                    dot += center[i] * target[i];
                 }
-                w.push(&[tk], target_delta);
+                dot
             };
+            let pred = sigmoid(score);
+            *loss += if label > 0.5 {
+                -(pred.max(1e-7).ln()) as f64
+            } else {
+                -((1.0 - pred).max(1e-7).ln()) as f64
+            };
+            let g = self.cfg.lr * (label - pred);
+            for i in 0..dim {
+                center_delta[i] += g * target[i];
+                target_delta[i] = g * center[i];
+            }
+            w.push(&[tk], target_delta);
+        };
 
         // True context (always fetched, local after sentence localize).
         w.pull(&[self.output_key(ctx)], target);
@@ -403,11 +411,7 @@ impl NegBuffer {
             .collect()
     }
 
-    fn localize_batch(
-        task: &W2vTask,
-        w: &mut dyn PsWorker,
-        batch: &[u32],
-    ) -> Option<OpToken> {
+    fn localize_batch(task: &W2vTask, w: &mut dyn PsWorker, batch: &[u32]) -> Option<OpToken> {
         if !task.cfg.latency_hiding {
             return None;
         }
@@ -442,10 +446,7 @@ impl NegBuffer {
             self.next = Some((batch, token));
         }
         if self.pos >= self.current.len() {
-            let (batch, token) = self
-                .next
-                .take()
-                .expect("refresh mark precedes exhaustion");
+            let (batch, token) = self.next.take().expect("refresh mark precedes exhaustion");
             if let Some(t) = token {
                 w.wait(t);
             }

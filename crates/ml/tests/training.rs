@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use lapse_core::{run_sim, run_threaded, CostModel, PsConfig, PsWorker, Variant};
+use lapse_core::{run_sim, run_threaded, CostModel, PsConfig, Variant};
 use lapse_ml::data::corpus::{Corpus, CorpusConfig};
 use lapse_ml::data::kg::{KgConfig, KnowledgeGraph};
 use lapse_ml::data::matrix::{MatrixConfig, SparseMatrix};

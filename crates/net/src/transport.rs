@@ -36,6 +36,10 @@ struct LinkStats {
     bytes: AtomicU64,
 }
 
+/// Sender of one delay-injected link: carries the message plus the delay
+/// left to serve before delivery.
+type DelayedSender<M> = Sender<(Incoming<M>, Duration)>;
+
 /// A message annotated with its sender.
 #[derive(Debug)]
 pub struct Incoming<M> {
@@ -53,7 +57,7 @@ pub struct ThreadedNet<M> {
     delay: Option<DelayPolicy>,
     /// Helper senders used when a delay policy is active: one channel per
     /// link keeps FIFO despite the sleeping.
-    delayed_links: Option<Vec<Vec<Sender<(Incoming<M>, Duration)>>>>,
+    delayed_links: Option<Vec<Vec<DelayedSender<M>>>>,
     metrics: Metrics,
 }
 
@@ -169,7 +173,9 @@ impl<M: Send + WireSize + 'static> ThreadedNet<M> {
 
     /// Bytes sent on the `(src, dst)` link so far (envelope included).
     pub fn link_bytes(&self, src: NodeId, dst: NodeId) -> u64 {
-        self.stats[src.idx()][dst.idx()].bytes.load(Ordering::Relaxed)
+        self.stats[src.idx()][dst.idx()]
+            .bytes
+            .load(Ordering::Relaxed)
     }
 
     /// Total messages sent.

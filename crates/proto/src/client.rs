@@ -124,13 +124,22 @@ impl ClientCore {
     /// completes, [`ClientCore::finish_pull`] fills in the rest. Async
     /// use: pass `None`; all values are delivered through the handle /
     /// [`ClientCore::take_pull`].
-    pub fn pull(&self, keys: &[Key], mut out: Option<&mut [f32]>, sink: &mut MsgSink) -> IssueHandle {
+    pub fn pull(
+        &self,
+        keys: &[Key],
+        mut out: Option<&mut [f32]>,
+        sink: &mut MsgSink,
+    ) -> IssueHandle {
         let is_async = out.is_none();
         let stats = &self.shared.stats;
         // Async pulls register every key so the result buffer is in key
         // order; sync pulls register lazily (a fully-local sync pull never
         // touches the tracker).
-        let mut seq: Option<u64> = if is_async { Some(self.begin(TrackedKind::Pull)) } else { None };
+        let mut seq: Option<u64> = if is_async {
+            Some(self.begin(TrackedKind::Pull))
+        } else {
+            None
+        };
         let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
         let mut out_off = 0u32;
         for &k in keys {
@@ -141,9 +150,7 @@ impl ClientCore {
                 let v = shard.store.get(k).expect("contains implies get");
                 stats.pull_local.fetch_add(1, Relaxed);
                 match &mut out {
-                    Some(buf) => {
-                        buf[out_off as usize..(out_off + len) as usize].copy_from_slice(v)
-                    }
+                    Some(buf) => buf[out_off as usize..(out_off + len) as usize].copy_from_slice(v),
                     None => {
                         let s = seq.expect("async op registered");
                         self.shared.tracker.add_key(s, k, len, out_off, false);

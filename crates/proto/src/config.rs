@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn range_home_covers_all_nodes() {
         let c = cfg(4, 103);
-        let mut seen = vec![0u64; 4];
+        let mut seen = [0u64; 4];
         for k in 0..103 {
             seen[c.home(Key(k)).idx()] += 1;
         }

@@ -83,10 +83,7 @@ const EPS: f64 = 1e-3;
 /// Checks that every final value equals the sum of all pushes to its key
 /// (no lost updates). `finals` maps keys to final values; keys never
 /// pushed may be omitted.
-pub fn check_no_lost_updates(
-    finals: &HashMap<Key, f64>,
-    logs: &[WorkerLog],
-) -> Vec<Violation> {
+pub fn check_no_lost_updates(finals: &HashMap<Key, f64>, logs: &[WorkerLog]) -> Vec<Violation> {
     let mut sums: HashMap<Key, f64> = HashMap::new();
     for log in logs {
         for &(key, ev) in &log.events {

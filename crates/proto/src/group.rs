@@ -41,9 +41,14 @@ impl<K: PartialEq + Copy, V: Default> OrderedGroups<K, V> {
     pub fn len(&self) -> usize {
         self.entries.len()
     }
+}
+
+impl<K, V> IntoIterator for OrderedGroups<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
 
     /// Consumes the map, yielding entries in insertion order.
-    pub fn into_iter(self) -> impl Iterator<Item = (K, V)> {
+    fn into_iter(self) -> Self::IntoIter {
         self.entries.into_iter()
     }
 }

@@ -175,17 +175,13 @@ impl WireSize for Msg {
     fn wire_bytes(&self) -> usize {
         // 1 byte variant tag, matching the codec below.
         1 + match self {
-            Msg::Op(m) => {
-                OP_ID_BYTES + 1 + 1 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals)
-            }
+            Msg::Op(m) => OP_ID_BYTES + 1 + 1 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals),
             Msg::OpResp(m) => {
                 OP_ID_BYTES + 1 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals) + 2
             }
             Msg::LocalizeReq(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys),
             Msg::Relocate(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys) + 2,
-            Msg::HandOver(m) => {
-                OP_ID_BYTES + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals)
-            }
+            Msg::HandOver(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals),
             Msg::Shutdown => 0,
         }
     }
@@ -235,7 +231,11 @@ impl WireCodec for Msg {
         match get_u8(buf)? {
             1 => {
                 let op = get_op_id(buf)?;
-                let kind = if get_u8(buf)? == 1 { OpKind::Push } else { OpKind::Pull };
+                let kind = if get_u8(buf)? == 1 {
+                    OpKind::Push
+                } else {
+                    OpKind::Pull
+                };
                 let routed_by_home = get_u8(buf)? == 1;
                 let keys = get_keys(buf)?;
                 let vals = get_f32s(buf)?;
@@ -249,7 +249,11 @@ impl WireCodec for Msg {
             }
             2 => {
                 let op = get_op_id(buf)?;
-                let kind = if get_u8(buf)? == 1 { OpKind::Push } else { OpKind::Pull };
+                let kind = if get_u8(buf)? == 1 {
+                    OpKind::Push
+                } else {
+                    OpKind::Pull
+                };
                 let keys = get_keys(buf)?;
                 let vals = get_f32s(buf)?;
                 let owner = get_node(buf)?;

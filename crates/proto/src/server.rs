@@ -234,7 +234,10 @@ impl ServerCore {
         } else {
             // Direct delivery based on a stale location cache: forward to
             // the home node (double-forward, Figure 5d).
-            debug_assert!(!routed_by_home, "home-routed op for {k} reached a non-owner");
+            debug_assert!(
+                !routed_by_home,
+                "home-routed op for {k} reached a non-owner"
+            );
             self.shared.stats.stale_cache_forwards.fetch_add(1, Relaxed);
             let entry = batches.fwd_home.entry((cfg.home(k), op, kind));
             entry.keys.push(k);
@@ -326,7 +329,10 @@ impl ServerCore {
                     new_owner: m.new_owner,
                 });
             } else {
-                debug_assert!(false, "relocate for {k} which is neither owned nor expected");
+                debug_assert!(
+                    false,
+                    "relocate for {k} which is neither owned nor expected"
+                );
                 self.shared.stats.unexpected_relocates.fetch_add(1, Relaxed);
             }
         }

@@ -170,9 +170,7 @@ impl NodeShared {
                 if cfg.home(key) == node {
                     match init(key) {
                         Some(v) => shard.store.insert(key, &v),
-                        None => shard
-                            .store
-                            .insert(key, &vec![0.0; cfg.layout.len(key)]),
+                        None => shard.store.insert(key, &vec![0.0; cfg.layout.len(key)]),
                     }
                 }
             }
@@ -196,7 +194,11 @@ impl NodeShared {
     /// Reads an owned value, if present (test/diagnostic helper; takes the
     /// latch).
     pub fn read_value(&self, key: Key) -> Option<Vec<f32>> {
-        self.shard_for(key).lock().store.get(key).map(|v| v.to_vec())
+        self.shard_for(key)
+            .lock()
+            .store
+            .get(key)
+            .map(|v| v.to_vec())
     }
 
     /// Number of keys this node currently owns.
@@ -239,9 +241,7 @@ mod tests {
     #[test]
     fn with_init_sets_values() {
         let cfg = Arc::new(ProtoConfig::new(1, 4, Layout::Uniform(2)));
-        let n = NodeShared::with_init(cfg, NodeId(0), clock(), |k| {
-            Some(vec![k.0 as f32, 0.5])
-        });
+        let n = NodeShared::with_init(cfg, NodeId(0), clock(), |k| Some(vec![k.0 as f32, 0.5]));
         assert_eq!(n.read_value(Key(3)).unwrap(), vec![3.0, 0.5]);
     }
 

@@ -124,12 +124,10 @@ impl LocationStrategy for BroadcastOps {
         // The move itself is an access that transfers ownership; no
         // location state exists, so no extra messages. We model it as the
         // owner shipping the value in its broadcast reply.
-        let cost = self.access(requester, key);
+        let _cost = self.access(requester, key);
         self.owner[key.idx()] = requester;
         // Table 3 counts zero *additional* messages for the relocation.
-        Some(MsgCost {
-            messages: cost.messages - cost.messages, // 0 additional
-        })
+        Some(MsgCost { messages: 0 })
     }
 
     fn owner(&self, key: Key) -> NodeId {

@@ -59,12 +59,8 @@ impl TestCluster {
         let n = cfg.nodes as usize;
         let mut nodes = Vec::with_capacity(n);
         for id in 0..n {
-            let shared = NodeShared::with_init(
-                cfg.clone(),
-                NodeId(id as u16),
-                Arc::new(|| 0),
-                &mut init,
-            );
+            let shared =
+                NodeShared::with_init(cfg.clone(), NodeId(id as u16), Arc::new(|| 0), &mut init);
             // Tests poll `is_done`; completions need no wake-up.
             shared.tracker.set_waker(Arc::new(|_, _| {}));
             let server = ServerCore::new(shared.clone());
@@ -313,4 +309,3 @@ pub enum IssueOp<'a> {
     /// Localize these keys.
     Localize(&'a [Key]),
 }
-

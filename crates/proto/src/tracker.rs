@@ -289,7 +289,10 @@ impl OpTracker {
     /// (pushes, localizes).
     pub fn discard(&self, seq: u64) {
         let op = self.shard(seq).lock().remove(&seq);
-        debug_assert!(op.map(|o| o.done).unwrap_or(true), "discard of incomplete op");
+        debug_assert!(
+            op.map(|o| o.done).unwrap_or(true),
+            "discard of incomplete op"
+        );
     }
 
     /// Number of operations still in flight (diagnostics).

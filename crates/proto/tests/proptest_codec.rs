@@ -20,7 +20,10 @@ fn keys() -> impl Strategy<Value = Vec<Key>> {
 }
 
 fn vals(max: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(any::<f32>().prop_filter("finite", |v| v.is_finite()), 0..max)
+    proptest::collection::vec(
+        any::<f32>().prop_filter("finite", |v| v.is_finite()),
+        0..max,
+    )
 }
 
 fn msg() -> impl Strategy<Value = Msg> {
@@ -49,11 +52,14 @@ fn msg() -> impl Strategy<Value = Msg> {
         ),
         (op_id(), keys()).prop_map(|(op, keys)| Msg::LocalizeReq(LocalizeReqMsg { op, keys })),
         (op_id(), keys(), any::<u16>()).prop_map(|(op, keys, n)| {
-            Msg::Relocate(RelocateMsg { op, keys, new_owner: NodeId(n) })
+            Msg::Relocate(RelocateMsg {
+                op,
+                keys,
+                new_owner: NodeId(n),
+            })
         }),
-        (op_id(), keys(), vals(80)).prop_map(|(op, keys, vals)| {
-            Msg::HandOver(HandOverMsg { op, keys, vals })
-        }),
+        (op_id(), keys(), vals(80))
+            .prop_map(|(op, keys, vals)| { Msg::HandOver(HandOverMsg { op, keys, vals }) }),
         Just(Msg::Shutdown),
     ]
 }

@@ -27,9 +27,22 @@ use lapse_utils::rng::derive_rng;
 /// One scripted action of the fuzz schedule.
 #[derive(Debug, Clone)]
 enum Action {
-    Push { node: u16, slot: u16, key: u64, delta: u32 },
-    Pull { node: u16, slot: u16, key: u64 },
-    Localize { node: u16, slot: u16, keys: Vec<u64> },
+    Push {
+        node: u16,
+        slot: u16,
+        key: u64,
+        delta: u32,
+    },
+    Pull {
+        node: u16,
+        slot: u16,
+        key: u64,
+    },
+    Localize {
+        node: u16,
+        slot: u16,
+        keys: Vec<u64>,
+    },
 }
 
 fn action_strategy(nodes: u16, keys: u64, workers: u16) -> impl Strategy<Value = Action> {
@@ -37,11 +50,19 @@ fn action_strategy(nodes: u16, keys: u64, workers: u16) -> impl Strategy<Value =
     let slot = 0..workers;
     let key = 0..keys;
     prop_oneof![
-        (node.clone(), slot.clone(), key.clone(), 1u32..5).prop_map(
-            |(node, slot, key, delta)| Action::Push { node, slot, key, delta }
-        ),
-        (node.clone(), slot.clone(), key.clone())
-            .prop_map(|(node, slot, key)| Action::Pull { node, slot, key }),
+        (node.clone(), slot.clone(), key.clone(), 1u32..5).prop_map(|(node, slot, key, delta)| {
+            Action::Push {
+                node,
+                slot,
+                key,
+                delta,
+            }
+        }),
+        (node.clone(), slot.clone(), key.clone()).prop_map(|(node, slot, key)| Action::Pull {
+            node,
+            slot,
+            key
+        }),
         (node, slot, proptest::collection::vec(key, 1..4))
             .prop_map(|(node, slot, keys)| Action::Localize { node, slot, keys }),
     ]
@@ -72,16 +93,19 @@ fn run_schedule(
     let log_index =
         |node: u16, slot: u16| -> usize { (node as usize) * workers as usize + slot as usize };
     let mut logs: Vec<WorkerLog> = (0..nodes)
-        .flat_map(|n| {
-            (0..workers).map(move |s| WorkerLog::new(WorkerId::new(NodeId(n), s)))
-        })
+        .flat_map(|n| (0..workers).map(move |s| WorkerLog::new(WorkerId::new(NodeId(n), s))))
         .collect();
     let mut pending_pulls: Vec<PendingPull> = Vec::new();
     let mut pending_acks: Vec<(u16, usize, IssueHandle)> = Vec::new();
 
     for action in actions {
         match action {
-            Action::Push { node, slot, key, delta } => {
+            Action::Push {
+                node,
+                slot,
+                key,
+                delta,
+            } => {
                 let h = cluster.issue(
                     NodeId(*node),
                     *slot as usize,
@@ -94,7 +118,12 @@ fn run_schedule(
             Action::Pull { node, slot, key } => {
                 // Async pull: the value is fetched after completion but
                 // logged at this program-order position.
-                let h = cluster.issue(NodeId(*node), *slot as usize, IssueOp::Pull(&[Key(*key)]), None);
+                let h = cluster.issue(
+                    NodeId(*node),
+                    *slot as usize,
+                    IssueOp::Pull(&[Key(*key)]),
+                    None,
+                );
                 let li = log_index(*node, *slot);
                 logs[li].pull(Key(*key), f64::NAN); // placeholder
                 let log_slot = logs[li].events.len() - 1;
@@ -108,15 +137,19 @@ fn run_schedule(
             }
             Action::Localize { node, slot, keys } => {
                 let keys: Vec<Key> = keys.iter().map(|&k| Key(k)).collect();
-                let h =
-                    cluster.issue(NodeId(*node), *slot as usize, IssueOp::Localize(&keys), None);
+                let h = cluster.issue(
+                    NodeId(*node),
+                    *slot as usize,
+                    IssueOp::Localize(&keys),
+                    None,
+                );
                 pending_acks.push((*node, *slot as usize, h));
             }
         }
         // Randomly deliver a few messages between issues, so operations
         // interleave with in-flight relocations in many different ways.
         for _ in 0..rng.gen_range(0..4) {
-            let pick = rng.gen_range(0..64);
+            let pick = rng.gen_range(0..64usize);
             if !cluster.deliver_random_one(|n| pick % n) {
                 break;
             }
@@ -140,7 +173,8 @@ fn run_schedule(
         };
         assert_eq!(v.len(), 1);
         let li = (p.node as usize) * workers as usize + p.slot as usize;
-        logs[li].events[p.log_slot] = (p.key, lapse_proto::consistency::LogEvent::Pull(v[0] as f64));
+        logs[li].events[p.log_slot] =
+            (p.key, lapse_proto::consistency::LogEvent::Pull(v[0] as f64));
     }
     for (node, slot, h) in pending_acks {
         let node = NodeId(node);
@@ -237,7 +271,7 @@ proptest! {
         let mut cfg = ProtoConfig::new(3, 12, layout.clone());
         cfg.latches = 8;
         let mut cluster = lapse_proto::testkit::TestCluster::new(cfg, 1);
-        let mut expected = vec![0.0f64; 12];
+        let mut expected = [0.0f64; 12];
         let mut rng = derive_rng(seed, 3);
         for (node, key, delta) in pushes {
             let k = Key(key);

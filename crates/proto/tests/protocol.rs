@@ -47,7 +47,7 @@ fn remote_push_then_pull_round_trips() {
 
 #[test]
 fn fast_local_access_sends_no_messages() {
-    let mut c = TestCluster::new(cfg(3, 12), 1);
+    let c = TestCluster::new(cfg(3, 12), 1);
     let k = home_key(0); // local to n0
     let mut sink = Vec::new();
     let h = c.nodes[0].clients[0].push(&[k], &[1.0, 1.0], &mut sink);
@@ -71,7 +71,10 @@ fn classic_variant_routes_everything_through_messages() {
     let h = c.nodes[0].clients[0].push(&[k], &[2.0, 0.0], &mut sink);
     assert!(h.seq().is_some(), "classic push is never immediate");
     assert_eq!(sink.len(), 1);
-    assert_eq!(sink[0].0, N0, "classic local access messages its own server");
+    assert_eq!(
+        sink[0].0, N0,
+        "classic local access messages its own server"
+    );
     c.send_all(N0, sink);
     c.run_until_quiet();
     assert_eq!(c.value_of(k), vec![2.0, 0.0]);
@@ -99,12 +102,13 @@ fn classic_fast_local_serves_home_keys_locally() {
 
 #[test]
 fn pull_mixing_local_and_remote_keys_assembles_correctly() {
-    let mut c = TestCluster::with_init(cfg(3, 12), 1, |k| {
-        Some(vec![k.0 as f32, -(k.0 as f32)])
-    });
+    let mut c = TestCluster::with_init(cfg(3, 12), 1, |k| Some(vec![k.0 as f32, -(k.0 as f32)]));
     let keys = [Key(0), Key(5), Key(9), Key(1)]; // local, n1, n2, local
     let got = c.pull_now(N0, 0, &keys);
-    let expect: Vec<f32> = keys.iter().flat_map(|k| [k.0 as f32, -(k.0 as f32)]).collect();
+    let expect: Vec<f32> = keys
+        .iter()
+        .flat_map(|k| [k.0 as f32, -(k.0 as f32)])
+        .collect();
     assert_eq!(got, expect);
 }
 
@@ -114,11 +118,8 @@ fn grouped_pull_sends_one_message_per_home() {
     let mut sink = Vec::new();
     let mut out = vec![0.0; 8];
     // Two keys homed at n1, two at n2 → exactly two messages.
-    let h = c.nodes[0].clients[0].pull(
-        &[Key(4), Key(5), Key(8), Key(9)],
-        Some(&mut out),
-        &mut sink,
-    );
+    let h =
+        c.nodes[0].clients[0].pull(&[Key(4), Key(5), Key(8), Key(9)], Some(&mut out), &mut sink);
     assert!(h.seq().is_some());
     assert_eq!(sink.len(), 2, "message grouping per home node");
     c.send_all(N0, sink);
@@ -238,8 +239,8 @@ fn ops_issued_during_relocation_park_and_drain_in_order() {
 fn remote_op_racing_relocation_is_parked_at_new_owner() {
     let mut c = TestCluster::new(cfg(3, 12), 1);
     let k = home_key(1); // home n1, owner n1
-    // n0 localizes k; deliver message 1 so the home reroutes, but hold the
-    // hand-over.
+                         // n0 localizes k; deliver message 1 so the home reroutes, but hold the
+                         // hand-over.
     let _h = c.issue(N0, 0, IssueOp::Localize(&[k]), None);
     c.deliver_one(N0, N1); // home processes localize, emits hand-over (home==owner)
     assert_eq!(c.pending(N1, N0), 1, "hand-over in flight");
@@ -272,9 +273,9 @@ fn localization_conflict_transfers_key_once_per_request() {
 
     c.deliver_one(N0, N2); // home: owner←n0, hand-over → n0 (in flight)
     c.deliver_one(N1, N2); // home: owner←n1, relocate → n0 (parks there)
-    // Deliver the relocate to n0 BEFORE the hand-over? Different links:
-    // relocate travels n2→n0 behind the hand-over (FIFO) — same link here
-    // since home==old owner. Order is hand-over, then relocate.
+                           // Deliver the relocate to n0 BEFORE the hand-over? Different links:
+                           // relocate travels n2→n0 behind the hand-over (FIFO) — same link here
+                           // since home==old owner. Order is hand-over, then relocate.
     assert_eq!(c.pending(N2, N0), 2);
     c.deliver_one(N2, N0); // hand-over: n0 owns, localize h0 done
     assert!(c.op_done(N0, &h0));
@@ -284,9 +285,15 @@ fn localization_conflict_transfers_key_once_per_request() {
     c.deliver_one(N0, N1);
     assert!(c.op_done(N1, &h1));
     assert_eq!(c.value_of(k), vec![k.0 as f32, 9.0]);
-    assert!(c.nodes[1].shared.read_value(k).is_some(), "n1 ends up owning");
+    assert!(
+        c.nodes[1].shared.read_value(k).is_some(),
+        "n1 ends up owning"
+    );
     c.check_ownership_invariant();
-    assert_eq!(c.nodes[0].shared.stats.unexpected_relocates.load(Relaxed), 0);
+    assert_eq!(
+        c.nodes[0].shared.stats.unexpected_relocates.load(Relaxed),
+        0
+    );
 }
 
 #[test]
@@ -309,7 +316,10 @@ fn relocate_parks_when_key_still_in_flight() {
     assert!(c.op_done(N0, &h0));
     assert!(c.op_done(N1, &h1));
     assert!(c.op_done(N2, &h2));
-    assert!(c.nodes[2].shared.read_value(k).is_some(), "last requester wins");
+    assert!(
+        c.nodes[2].shared.read_value(k).is_some(),
+        "last requester wins"
+    );
     c.check_ownership_invariant();
     for n in &c.nodes {
         assert_eq!(n.shared.stats.unexpected_relocates.load(Relaxed), 0);
@@ -351,7 +361,7 @@ fn cached_cfg(nodes: u16, keys: u64) -> ProtoConfig {
 fn warm_cache_contacts_owner_directly() {
     let mut c = TestCluster::with_init(cached_cfg(4, 16), 1, |k| Some(vec![k.0 as f32, 0.0]));
     let k = Key(8); // homed at n2
-    // Relocate to n3 so home != owner.
+                    // Relocate to n3 so home != owner.
     c.localize_now(N3, 0, &[k]);
     // Cold access from n0: 3 messages (forward via home).
     let mut hops: u64 = 0;
@@ -384,7 +394,10 @@ fn stale_cache_double_forwards() {
     let h = c.issue(N0, 0, IssueOp::Pull(&[k]), Some(&mut out));
     c.run_until_quiet_counting(&mut hops);
     assert_eq!(hops, 4, "stale cache: double-forward");
-    assert_eq!(c.nodes[3].shared.stats.stale_cache_forwards.load(Relaxed), 1);
+    assert_eq!(
+        c.nodes[3].shared.stats.stale_cache_forwards.load(Relaxed),
+        1
+    );
     c.nodes[0].clients[0].finish_pull(h.seq().unwrap(), &mut out);
     assert_eq!(out, [8.0, 0.0]);
 }
@@ -583,7 +596,7 @@ fn grouped_localize_across_homes() {
 
 #[test]
 fn localize_of_already_local_key_is_free() {
-    let mut c = TestCluster::new(cfg(3, 12), 1);
+    let c = TestCluster::new(cfg(3, 12), 1);
     let k = home_key(0);
     let mut sink = Vec::new();
     let h = c.nodes[0].clients[0].localize(&[k], &mut sink);

@@ -37,15 +37,15 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
-            net_latency_ns: 100_000,        // 100 µs: TCP + ZeroMQ + protobuf
-            net_bytes_per_sec: 1.25e9,      // 10 GbE
-            self_latency_ns: 15_000,        // IPC hop; round trip ≈ 30 µs
+            net_latency_ns: 100_000,   // 100 µs: TCP + ZeroMQ + protobuf
+            net_bytes_per_sec: 1.25e9, // 10 GbE
+            self_latency_ns: 15_000,   // IPC hop; round trip ≈ 30 µs
             server_per_msg_ns: 2_000,
             server_per_key_ns: 150,
             server_per_float_ns: 0.5,
             client_op_ns: 80,
-            mem_per_key_ns: 60,             // latch + store lookup
-            mem_per_float_ns: 0.25,         // ~16 B/ns copy rate
+            mem_per_key_ns: 60,     // latch + store lookup
+            mem_per_float_ns: 0.25, // ~16 B/ns copy rate
             quantum_ns: 100_000,
         }
     }

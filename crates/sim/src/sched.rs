@@ -105,7 +105,9 @@ impl<P: SimProtocol> SimShared<P> {
 
     fn push_event(&self, time: u64, event: Event<P::Msg>) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.heap.lock().push(Reverse(HeapEntry { time, seq, event }));
+        self.heap
+            .lock()
+            .push(Reverse(HeapEntry { time, seq, event }));
     }
 
     /// Sends `msg` from `src` to `dst` at virtual time `at`, applying the
@@ -225,8 +227,7 @@ impl<P: SimProtocol> SimCluster<P> {
                         sync.cv.wait(&mut state);
                     }
                 };
-                let mut ctx =
-                    crate::task::TaskCtx::new(shared, sync.clone(), task, node, resume);
+                let mut ctx = crate::task::TaskCtx::new(shared, sync.clone(), task, node, resume);
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     body(&mut ctx, node, slot)
                 }));
@@ -262,8 +263,7 @@ impl<P: SimProtocol> SimCluster<P> {
             let entry = self.shared.heap.lock().pop();
             let Some(Reverse(entry)) = entry else {
                 // Heap empty but tasks alive: barrier release or deadlock.
-                if !barrier_waiting.is_empty()
-                    && barrier_waiting.len() == n_tasks - finished_count
+                if !barrier_waiting.is_empty() && barrier_waiting.len() == n_tasks - finished_count
                 {
                     let release = barrier_waiting.iter().map(|&(_, t)| t).max().unwrap_or(0);
                     for (task, _) in barrier_waiting.drain(..) {
@@ -321,8 +321,7 @@ impl<P: SimProtocol> SimCluster<P> {
                     if !barrier_waiting.is_empty()
                         && barrier_waiting.len() == n_tasks - finished_count
                     {
-                        let release =
-                            barrier_waiting.iter().map(|&(_, t)| t).max().unwrap_or(0);
+                        let release = barrier_waiting.iter().map(|&(_, t)| t).max().unwrap_or(0);
                         for (task, _) in barrier_waiting.drain(..) {
                             self.shared.push_event(release, Event::Wake { task });
                         }

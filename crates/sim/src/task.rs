@@ -195,4 +195,3 @@ impl<P: SimProtocol> TaskCtx<P> {
         self.shared.store_clock(self.my_time);
     }
 }
-

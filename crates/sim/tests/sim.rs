@@ -11,8 +11,14 @@ use lapse_sim::{CostModel, SimCluster, SimProtocol};
 /// the sender; `Ack` raises a task notification.
 #[derive(Debug)]
 enum TestMsg {
-    Add { amount: u64, reply_to: NodeId, task: usize },
-    Ack { task: usize },
+    Add {
+        amount: u64,
+        reply_to: NodeId,
+        task: usize,
+    },
+    Ack {
+        task: usize,
+    },
 }
 
 impl WireSize for TestMsg {
@@ -31,11 +37,14 @@ struct TestServer {
     acks: Arc<AckBoard>,
 }
 
+/// Wakes the simulated task that owns a completed ack.
+type TaskNotifier = Box<dyn Fn(usize) + Send + Sync>;
+
 /// Completion board: pending acks per task, plus the simulator notifier.
 #[derive(Default)]
 struct AckBoard {
     pending: Mutex<Vec<u64>>, // outstanding acks per task
-    notify: Mutex<Option<Box<dyn Fn(usize) + Send + Sync>>>,
+    notify: Mutex<Option<TaskNotifier>>,
 }
 
 impl AckBoard {
@@ -61,7 +70,11 @@ impl SimProtocol for TestProto {
 
     fn handle(server: &mut TestServer, msg: TestMsg, out: &mut Vec<(NodeId, TestMsg)>) {
         match msg {
-            TestMsg::Add { amount, reply_to, task } => {
+            TestMsg::Add {
+                amount,
+                reply_to,
+                task,
+            } => {
                 server.counter.fetch_add(amount, Ordering::Relaxed);
                 let _ = server.node;
                 out.push((reply_to, TestMsg::Ack { task }));
@@ -111,7 +124,11 @@ fn sync_round_trip_costs_two_latencies() {
             acks2.expect(task);
             ctx.send(
                 NodeId(1),
-                TestMsg::Add { amount: 7, reply_to: NodeId(0), task },
+                TestMsg::Add {
+                    amount: 7,
+                    reply_to: NodeId(0),
+                    task,
+                },
             );
             ctx.wait_until(|| acks2.done(task));
         }
@@ -119,7 +136,10 @@ fn sync_round_trip_costs_two_latencies() {
     });
     assert_eq!(counters[1].load(Ordering::Relaxed), 7);
     let t0 = times[0];
-    assert!(t0 >= expect_min, "round trip {t0} < 2 latencies {expect_min}");
+    assert!(
+        t0 >= expect_min,
+        "round trip {t0} < 2 latencies {expect_min}"
+    );
     assert!(
         t0 < expect_min + 100_000,
         "round trip {t0} unreasonably slow"
@@ -137,12 +157,23 @@ fn self_messages_use_ipc_latency() {
     let (report, times, _servers) = cluster.run(move |ctx, node, _| {
         let task = ctx.id();
         acks2.expect(task);
-        ctx.send(node, TestMsg::Add { amount: 1, reply_to: node, task });
+        ctx.send(
+            node,
+            TestMsg::Add {
+                amount: 1,
+                reply_to: node,
+                task,
+            },
+        );
         ctx.wait_until(|| acks2.done(task));
         ctx.now()
     });
     assert_eq!(counters[0].load(Ordering::Relaxed), 1);
-    assert!(times[0] >= expect_min && times[0] < expect_max, "{}", times[0]);
+    assert!(
+        times[0] >= expect_min && times[0] < expect_max,
+        "{}",
+        times[0]
+    );
     assert_eq!(report.self_messages, 2);
 }
 
@@ -178,7 +209,10 @@ fn workers_advance_concurrently_in_virtual_time() {
         ctx.now()
     });
     let secs = report.virtual_time_ns as f64 / 1e9;
-    assert!((0.99..1.05).contains(&secs), "virtual time {secs}s not parallel");
+    assert!(
+        (0.99..1.05).contains(&secs),
+        "virtual time {secs}s not parallel"
+    );
 }
 
 #[test]
@@ -201,8 +235,10 @@ fn barrier_aligns_workers_to_slowest() {
 fn server_is_a_serial_resource() {
     // Many zero-latency-apart sends to the same server must serialize on
     // its per-message service time.
-    let mut cost = CostModel::default();
-    cost.server_per_msg_ns = 1_000_000; // 1 ms per message, dwarfs the rest
+    let cost = CostModel {
+        server_per_msg_ns: 1_000_000, // 1 ms per message, dwarfs the rest
+        ..Default::default()
+    };
     let sends = 50u64;
     let (cluster, counters, acks) = build(2, 1, cost.clone());
     let acks2 = acks.clone();
@@ -213,7 +249,11 @@ fn server_is_a_serial_resource() {
                 acks2.expect(task);
                 ctx.send(
                     NodeId(1),
-                    TestMsg::Add { amount: 1, reply_to: NodeId(0), task },
+                    TestMsg::Add {
+                        amount: 1,
+                        reply_to: NodeId(0),
+                        task,
+                    },
                 );
             }
             ctx.wait_until(|| acks2.done(task));
@@ -257,8 +297,12 @@ fn bandwidth_serializes_egress() {
     }
     let arrivals = Arc::new(Mutex::new(Vec::new()));
     let servers = vec![
-        Recorder { arrivals: arrivals.clone() },
-        Recorder { arrivals: arrivals.clone() },
+        Recorder {
+            arrivals: arrivals.clone(),
+        },
+        Recorder {
+            arrivals: arrivals.clone(),
+        },
     ];
     let cluster: SimCluster<P2> = SimCluster::new(CostModel::default(), servers, 1);
     let (_report, _, _) = cluster.run(move |ctx, node, _| {
@@ -280,7 +324,14 @@ fn deterministic_given_same_seed_free_workload() {
             for i in 0..20u64 {
                 let dst = NodeId(((node.idx() + 1 + (i as usize + slot) % 2) % 3) as u16);
                 acks2.expect(task);
-                ctx.send(dst, TestMsg::Add { amount: i, reply_to: node, task });
+                ctx.send(
+                    dst,
+                    TestMsg::Add {
+                        amount: i,
+                        reply_to: node,
+                        task,
+                    },
+                );
                 ctx.charge(5_000);
                 if i % 3 == 0 {
                     ctx.wait_until(|| acks2.done(task));
@@ -313,7 +364,10 @@ fn worker_panics_propagate() {
         .map(String::from)
         .or_else(|| err.downcast_ref::<String>().cloned())
         .unwrap_or_default();
-    assert!(text.contains("workload exploded"), "unexpected payload {text}");
+    assert!(
+        text.contains("workload exploded"),
+        "unexpected payload {text}"
+    );
 }
 
 #[test]

@@ -71,7 +71,13 @@ impl SspClientShared {
                     }
                 }
                 None => {
-                    shard.insert(k, CacheEntry { vals: v.to_vec(), clock });
+                    shard.insert(
+                        k,
+                        CacheEntry {
+                            vals: v.to_vec(),
+                            clock,
+                        },
+                    );
                 }
             }
         }
@@ -83,7 +89,8 @@ impl SspClientShared {
         let mut off = 0usize;
         for &k in keys {
             let len = self.cfg.proto.layout.len(k);
-            self.tracker.complete_key(op, k, Some(&vals[off..off + len]));
+            self.tracker
+                .complete_key(op, k, Some(&vals[off..off + len]));
             off += len;
         }
     }
@@ -179,7 +186,11 @@ impl<'a> SspWorker<'a> {
         for (server, keys) in groups.into_iter() {
             self.ctx.send(
                 server,
-                SspMsg::Get { node: self.shared.node, op: seq, keys },
+                SspMsg::Get {
+                    node: self.shared.node,
+                    op: seq,
+                    keys,
+                },
             );
         }
         self.shared.tracker.seal(seq);
@@ -240,8 +251,7 @@ impl PsWorker for SspWorker<'_> {
             let mut boff = 0usize;
             for (i, &k) in missing.iter().enumerate() {
                 let len = cfg.proto.layout.len(k);
-                out[missing_offs[i]..missing_offs[i] + len]
-                    .copy_from_slice(&buf[boff..boff + len]);
+                out[missing_offs[i]..missing_offs[i] + len].copy_from_slice(&buf[boff..boff + len]);
                 boff += len;
             }
         }
@@ -346,7 +356,13 @@ impl PsWorker for SspWorker<'_> {
             sent_to.push(server);
             self.ctx.send(
                 server,
-                SspMsg::Update { node, slot, clock, keys, vals },
+                SspMsg::Update {
+                    node,
+                    slot,
+                    clock,
+                    keys,
+                    vals,
+                },
             );
         }
         // Every server must learn the new clock, even those receiving no

@@ -72,8 +72,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn wire_size_scales_with_payload(){
-        let small = SspMsg::Get { node: NodeId(0), op: 1, keys: vec![Key(1)] };
+    fn wire_size_scales_with_payload() {
+        let small = SspMsg::Get {
+            node: NodeId(0),
+            op: 1,
+            keys: vec![Key(1)],
+        };
         let big = SspMsg::Push {
             keys: vec![Key(1); 100],
             vals: vec![0.0; 1000],

@@ -32,7 +32,12 @@ impl SimProtocol for SspProto {
     fn handle(node: &mut SspNode, msg: SspMsg, out: &mut Vec<(NodeId, SspMsg)>) {
         match msg {
             SspMsg::Get { .. } | SspMsg::Update { .. } => node.server.handle(msg, out),
-            SspMsg::GetResp { op, keys, vals, clock } => {
+            SspMsg::GetResp {
+                op,
+                keys,
+                vals,
+                clock,
+            } => {
                 node.client.on_get_resp(op, &keys, &vals, clock);
             }
             SspMsg::Push { keys, vals, clock } => {

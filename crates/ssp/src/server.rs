@@ -68,12 +68,7 @@ impl SspServer {
     }
 
     fn global_min_clock(&self) -> i64 {
-        self.clocks
-            .iter()
-            .flatten()
-            .copied()
-            .min()
-            .unwrap_or(0)
+        self.clocks.iter().flatten().copied().min().unwrap_or(0)
     }
 
     /// Handles one message, appending outgoing messages.
@@ -84,9 +79,7 @@ impl SspServer {
                 let mut vals = Vec::new();
                 for &k in &keys {
                     debug_assert_eq!(self.cfg.proto.home(k), self.node, "get at wrong shard");
-                    vals.extend_from_slice(
-                        self.store.get(&k).expect("homed key must exist"),
-                    );
+                    vals.extend_from_slice(self.store.get(&k).expect("homed key must exist"));
                     self.access_sets[node.idx()].insert(k);
                 }
                 out.push((
@@ -99,7 +92,13 @@ impl SspServer {
                     },
                 ));
             }
-            SspMsg::Update { node, slot, clock, keys, vals } => {
+            SspMsg::Update {
+                node,
+                slot,
+                clock,
+                keys,
+                vals,
+            } => {
                 let mut off = 0usize;
                 for &k in &keys {
                     let len = self.cfg.proto.layout.len(k);
@@ -182,12 +181,24 @@ mod tests {
         });
         let mut out = Vec::new();
         s.handle(
-            SspMsg::Get { node: NodeId(1), op: 9, keys: vec![Key(0), Key(3)] },
+            SspMsg::Get {
+                node: NodeId(1),
+                op: 9,
+                keys: vec![Key(0), Key(3)],
+            },
             &mut out,
         );
         assert_eq!(out.len(), 1);
         match &out[0] {
-            (n, SspMsg::GetResp { op, keys, vals, clock }) => {
+            (
+                n,
+                SspMsg::GetResp {
+                    op,
+                    keys,
+                    vals,
+                    clock,
+                },
+            ) => {
                 assert_eq!(*n, NodeId(1));
                 assert_eq!(*op, 9);
                 assert_eq!(keys, &[Key(0), Key(3)]);
@@ -223,13 +234,23 @@ mod tests {
         let mut out = Vec::new();
         // Node 1 accesses key 2 → lands in its access set.
         s.handle(
-            SspMsg::Get { node: NodeId(1), op: 1, keys: vec![Key(2)] },
+            SspMsg::Get {
+                node: NodeId(1),
+                op: 1,
+                keys: vec![Key(2)],
+            },
             &mut out,
         );
         out.clear();
         // Both nodes advance to clock 1 → global min advances → push.
         s.handle(
-            SspMsg::Update { node: NodeId(0), slot: 0, clock: 1, keys: vec![], vals: vec![] },
+            SspMsg::Update {
+                node: NodeId(0),
+                slot: 0,
+                clock: 1,
+                keys: vec![],
+                vals: vec![],
+            },
             &mut out,
         );
         assert!(out.is_empty(), "min not advanced yet");

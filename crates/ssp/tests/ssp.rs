@@ -1,6 +1,6 @@
 //! SSP baseline behaviour tests.
 
-use lapse_core::{CostModel, PsWorker};
+use lapse_core::CostModel;
 use lapse_net::Key;
 use lapse_proto::{Layout, ProtoConfig};
 use lapse_ssp::{run_ssp_sim, SspConfig, SspMode};

@@ -91,7 +91,10 @@ impl Metrics {
     }
 
     /// Difference `after - before` for all counters present in `after`.
-    pub fn delta(before: &BTreeMap<String, u64>, after: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    pub fn delta(
+        before: &BTreeMap<String, u64>,
+        after: &BTreeMap<String, u64>,
+    ) -> BTreeMap<String, u64> {
         after
             .iter()
             .map(|(k, &v)| (k.clone(), v - before.get(k).copied().unwrap_or(0)))

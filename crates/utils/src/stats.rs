@@ -198,7 +198,11 @@ impl LogHistogram {
 
     /// Merges another histogram with identical geometry.
     pub fn merge(&mut self, other: &LogHistogram) {
-        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
         assert!(
             (self.base - other.base).abs() < f64::EPSILON
                 && (self.growth - other.growth).abs() < f64::EPSILON,

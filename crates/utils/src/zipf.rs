@@ -62,8 +62,8 @@ impl Zipf {
     /// Draws one sample in `1..=n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         loop {
-            let u: f64 = self.h_integral_x1
-                + rng.gen::<f64>() * (self.h_integral_n - self.h_integral_x1);
+            let u: f64 =
+                self.h_integral_x1 + rng.gen::<f64>() * (self.h_integral_n - self.h_integral_x1);
             let x = h_integral_inverse(u, self.alpha);
             let mut k = (x + 0.5).floor() as i64;
             if k < 1 {
@@ -72,9 +72,7 @@ impl Zipf {
                 k = self.n as i64;
             }
             let kf = k as f64;
-            if kf - x <= self.s
-                || u >= h_integral(kf + 0.5, self.alpha) - h(kf, self.alpha)
-            {
+            if kf - x <= self.s || u >= h_integral(kf + 0.5, self.alpha) - h(kf, self.alpha) {
                 return k as u64;
             }
         }

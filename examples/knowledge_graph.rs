@@ -59,8 +59,7 @@ fn main() {
         let init = task.initializer();
         let ps = PsConfig::new(4, task.num_keys(), 1).layout(task.layout());
         let t = task.clone();
-        let (results, stats) =
-            run_sim(ps, 2, CostModel::default(), init, move |w| t.run(w));
+        let (results, stats) = run_sim(ps, 2, CostModel::default(), init, move |w| t.run(w));
         let epochs = combine_runs(&results);
         println!("{label}:");
         for e in &epochs {

@@ -67,5 +67,7 @@ fn main() {
         }
         println!();
     }
-    println!("same code, same convergence — the classic PS just pays the network for every access.");
+    println!(
+        "same code, same convergence — the classic PS just pays the network for every access."
+    );
 }

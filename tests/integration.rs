@@ -15,23 +15,28 @@ use lapse::{Key, Variant};
 #[test]
 fn table2_api_surface() {
     // pull/push/localize, each sync and async, on the threaded runtime.
-    let (results, _) = run_threaded(PsConfig::new(2, 8, 2), 1, |_| None, |w| {
-        let k = [Key(5)];
-        // sync
-        w.push(&k, &[1.0, 2.0]);
-        w.localize(&k);
-        let mut out = [0.0f32; 2];
-        w.pull(&k, &mut out);
-        // async
-        let t1 = w.push_async(&k, &[1.0, 0.0]);
-        w.wait(t1);
-        let t2 = w.localize_async(&k);
-        w.wait(t2);
-        let t3 = w.pull_async(&k);
-        let v = w.wait_pull(t3);
-        w.barrier();
-        v[0]
-    });
+    let (results, _) = run_threaded(
+        PsConfig::new(2, 8, 2),
+        1,
+        |_| None,
+        |w| {
+            let k = [Key(5)];
+            // sync
+            w.push(&k, &[1.0, 2.0]);
+            w.localize(&k);
+            let mut out = [0.0f32; 2];
+            w.pull(&k, &mut out);
+            // async
+            let t1 = w.push_async(&k, &[1.0, 0.0]);
+            w.wait(t1);
+            let t2 = w.localize_async(&k);
+            w.wait(t2);
+            let t3 = w.pull_async(&k);
+            let v = w.wait_pull(t3);
+            w.barrier();
+            v[0]
+        },
+    );
     assert!(results.iter().all(|&v| v >= 2.0));
 }
 
@@ -39,11 +44,15 @@ fn table2_api_surface() {
 fn umbrella_reexports_are_usable() {
     // Typing through the umbrella crate only.
     let cfg: lapse::PsConfig = lapse::PsConfig::new(1, 4, 1).variant(lapse::Variant::Lapse);
-    let (_, stats): (Vec<()>, lapse::ClusterStats) =
-        lapse::run_threaded(cfg, 1, |_| None, |w| {
+    let (_, stats): (Vec<()>, lapse::ClusterStats) = lapse::run_threaded(
+        cfg,
+        1,
+        |_| None,
+        |w| {
             let mut out = [0.0f32];
             w.pull(&[lapse::Key(0)], &mut out);
-        });
+        },
+    );
     assert_eq!(stats.unexpected_relocates, 0);
 }
 
@@ -102,8 +111,7 @@ fn delayed_links_do_not_lose_updates() {
     let policy: DelayPolicy = Arc::new(|src, dst| {
         Duration::from_micros(((src.0 as u64 + 1) * (dst.0 as u64 + 2) * 137) % 1500)
     });
-    let net: Arc<ThreadedNet<Msg>> =
-        ThreadedNet::with_delay(2, Metrics::new(), Some(policy));
+    let net: Arc<ThreadedNet<Msg>> = ThreadedNet::with_delay(2, Metrics::new(), Some(policy));
     let clock: lapse::proto::tracker::ClockFn = Arc::new(|| 0);
     let shareds: Vec<Arc<NodeShared>> = (0..2)
         .map(|n| NodeShared::new(cfg.clone(), lapse::NodeId(n), clock.clone()))
@@ -223,15 +231,21 @@ fn uneven_shapes_work() {
                 continue;
             }
             let cfg = PsConfig::new(nodes, keys, 1).latches(1000);
-            let (results, _) = run_sim(cfg, 1, CostModel::default(), |_| None, move |w| {
-                let all: Vec<Key> = (0..keys).map(Key).collect();
-                w.localize(&all);
-                w.push(&all, &vec![1.0f32; keys as usize]);
-                w.barrier();
-                let mut out = vec![0.0f32; keys as usize];
-                w.pull(&all, &mut out);
-                out.iter().sum::<f32>()
-            });
+            let (results, _) = run_sim(
+                cfg,
+                1,
+                CostModel::default(),
+                |_| None,
+                move |w| {
+                    let all: Vec<Key> = (0..keys).map(Key).collect();
+                    w.localize(&all);
+                    w.push(&all, &vec![1.0f32; keys as usize]);
+                    w.barrier();
+                    let mut out = vec![0.0f32; keys as usize];
+                    w.pull(&all, &mut out);
+                    out.iter().sum::<f32>()
+                },
+            );
             let expect = (keys * nodes as u64) as f32;
             assert!(
                 results.iter().all(|&v| v == expect),

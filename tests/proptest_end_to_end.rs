@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use lapse::core::{run_sim, CostModel, PsConfig, PsWorker};
+use lapse::core::{run_sim, CostModel, PsConfig};
 use lapse::{Key, Variant};
 
 #[derive(Debug, Clone)]
