@@ -6,7 +6,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench-check fmt fmt-check clippy lint doc ci clean
+.PHONY: build test bench-check bench-smoke fmt fmt-check clippy lint doc ci clean
 
 build:
 	$(CARGO) build --release
@@ -17,6 +17,15 @@ test:
 ## Compile all bench targets without running them.
 bench-check:
 	$(CARGO) bench --no-run
+
+## Execute one simulator bench target end-to-end at a tiny scale and
+## check that its (virtual-time) output is bit-identical across two runs
+## — catches runtime panics and nondeterminism that bench-check cannot.
+bench-smoke:
+	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-1.txt 2>/dev/null
+	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-2.txt 2>/dev/null
+	diff /tmp/lapse-bench-smoke-1.txt /tmp/lapse-bench-smoke-2.txt
+	@echo "bench-smoke: output bit-identical across runs"
 
 fmt:
 	$(CARGO) fmt
@@ -32,7 +41,7 @@ lint: fmt-check clippy
 doc:
 	$(CARGO) doc --no-deps
 
-ci: fmt-check clippy build test bench-check
+ci: fmt-check clippy build test bench-check bench-smoke
 
 clean:
 	$(CARGO) clean

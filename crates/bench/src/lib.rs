@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use lapse_core::{run_sim, CostModel, PsConfig, PsWorker, Variant};
+use lapse_core::{run_sim, CostModel, HotSet, PsConfig, PsWorker, Variant};
 use lapse_ml::data::corpus::{Corpus, CorpusConfig};
 use lapse_ml::data::kg::{KgConfig, KnowledgeGraph};
 use lapse_ml::data::matrix::{MatrixConfig, SparseMatrix};
@@ -258,9 +258,25 @@ pub fn measure_mf(
     summarize(results, stats)
 }
 
+/// Hot-tier fraction used by the Hybrid variant in the harness: the top
+/// 2% of ids within each id block (words, entities) — the skewed
+/// generators put the popular entities at low ids.
+pub const NUPS_HOT_FRACTION: u64 = 50;
+
+/// The hot set the Hybrid variant replicates for a key space made of
+/// blocks of `block` ids (e.g. `vocab` for W2V input+output vectors,
+/// `entities` for KGE embeddings).
+pub fn nups_hot_set(block: u64) -> HotSet {
+    HotSet::Blocks {
+        block,
+        hot: (block / NUPS_HOT_FRACTION).max(1),
+    }
+}
+
 /// Runs the KGE workload under the given PS variant and PAL mode.
 /// `dim` is the trained dimension, `virtual_dim` the paper dimension used
-/// for compute accounting.
+/// for compute accounting. Under [`Variant::Hybrid`] the hot entity tier
+/// (per [`nups_hot_set`]) is replicated.
 pub fn measure_kge(
     kg: Arc<KnowledgeGraph>,
     model: KgeModel,
@@ -270,6 +286,7 @@ pub fn measure_kge(
     p: Parallelism,
     variant: Variant,
 ) -> Measured {
+    let entities = kg.cfg.entities as u64;
     let task = KgeTask::new(
         kg,
         kge_config(model, dim, virtual_dim, pal),
@@ -280,6 +297,7 @@ pub fn measure_kge(
     let cfg = PsConfig::new(p.nodes, task.num_keys(), 1)
         .layout(task.layout())
         .variant(variant)
+        .hot_set(nups_hot_set(entities))
         .latches(1000);
     let t2 = task.clone();
     let (results, stats) = run_sim(cfg, p.workers, CostModel::default(), init, move |w| {
@@ -288,13 +306,16 @@ pub fn measure_kge(
     summarize(results, stats)
 }
 
-/// Runs the W2V workload under the given PS variant.
+/// Runs the W2V workload under the given PS variant. Under
+/// [`Variant::Hybrid`] the hot word tier (per [`nups_hot_set`], covering
+/// input and output vectors) is replicated.
 pub fn measure_w2v(
     corpus: Arc<Corpus>,
     latency_hiding: bool,
     p: Parallelism,
     variant: Variant,
 ) -> Measured {
+    let vocab = corpus.cfg.vocab as u64;
     let task = W2vTask::new(
         corpus,
         w2v_config(latency_hiding),
@@ -304,6 +325,7 @@ pub fn measure_w2v(
     let init = task.initializer();
     let cfg = PsConfig::new(p.nodes, task.num_keys(), task.cfg.dim as u32)
         .variant(variant)
+        .hot_set(nups_hot_set(vocab))
         .latches(1000);
     let t2 = task.clone();
     let (results, stats) = run_sim(cfg, p.workers, CostModel::default(), init, move |w| {

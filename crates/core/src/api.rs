@@ -1,12 +1,20 @@
 //! The worker-side programming model (the paper's Table 2).
 
+use std::sync::Arc;
+
 use lapse_net::{Key, NodeId};
+use lapse_proto::tracker::OpTracker;
 
 /// Handle of an asynchronous operation, to be passed to
 /// [`PsWorker::wait`] or [`PsWorker::wait_pull`].
 ///
-/// Tokens are affine: each must be waited exactly once (dropping one
-/// without waiting leaks a tracker entry for pending operations).
+/// Tokens should be waited exactly once. Dropping a pending token
+/// without waiting abandons the operation: its tracker entry is
+/// reclaimed when the last completion arrives, so nothing leaks — but
+/// the caller learns neither the result nor the completion time, which
+/// is almost always a bug; hence `#[must_use]` on the token and the
+/// issuing methods.
+#[must_use = "async operations must be waited with wait()/wait_pull(); dropping abandons the operation"]
 #[derive(Debug)]
 pub struct OpToken {
     pub(crate) kind: TokenKind,
@@ -20,18 +28,46 @@ pub(crate) enum TokenKind {
     Localize,
 }
 
-#[derive(Debug)]
 pub(crate) enum TokenState {
     /// Completed at issue; pulls carry their values.
     Ready(Option<Vec<f32>>),
-    /// In flight under this tracker sequence number.
-    Pending(u64),
+    /// In flight under this tracker sequence number; holds the issuing
+    /// node's tracker so dropping the token can reclaim the entry.
+    Pending(u64, Arc<OpTracker>),
+    /// Consumed by `wait`/`wait_pull`; dropping is a no-op.
+    Taken,
+}
+
+impl std::fmt::Debug for TokenState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenState::Ready(v) => f.debug_tuple("Ready").field(v).finish(),
+            TokenState::Pending(seq, _) => f.debug_tuple("Pending").field(seq).finish(),
+            TokenState::Taken => f.write_str("Taken"),
+        }
+    }
 }
 
 impl OpToken {
     /// Whether the operation had already completed when issued.
     pub fn completed_at_issue(&self) -> bool {
         matches!(self.state, TokenState::Ready(_))
+    }
+
+    /// Consumes the token's state (single point through which the wait
+    /// paths take ownership, leaving `Taken` so Drop does nothing).
+    pub(crate) fn take_state(&mut self) -> TokenState {
+        std::mem::replace(&mut self.state, TokenState::Taken)
+    }
+}
+
+impl Drop for OpToken {
+    fn drop(&mut self) {
+        if let TokenState::Pending(seq, tracker) = &self.state {
+            // Dropped without waiting: reclaim the tracker entry (now if
+            // complete, else when the last completion arrives).
+            tracker.abandon(*seq);
+        }
     }
 }
 
@@ -69,8 +105,8 @@ pub mod api_internals {
     ///
     /// # Panics
     /// Panics if the token is not a completed pull.
-    pub fn take_ready_pull(token: OpToken) -> Vec<f32> {
-        match token.state {
+    pub fn take_ready_pull(mut token: OpToken) -> Vec<f32> {
+        match token.take_state() {
             TokenState::Ready(Some(vals)) => vals,
             _ => panic!("token is not a completed pull"),
         }
@@ -112,10 +148,13 @@ pub trait PsWorker {
     fn localize(&mut self, keys: &[Key]);
 
     /// Asynchronous pull; values are returned by [`PsWorker::wait_pull`].
+    #[must_use = "wait_pull the token; dropping abandons the pull"]
     fn pull_async(&mut self, keys: &[Key]) -> OpToken;
     /// Asynchronous cumulative push.
+    #[must_use = "wait the token; dropping abandons the acknowledgement"]
     fn push_async(&mut self, keys: &[Key], vals: &[f32]) -> OpToken;
     /// Asynchronous localize.
+    #[must_use = "wait the token; dropping abandons the acknowledgement"]
     fn localize_async(&mut self, keys: &[Key]) -> OpToken;
 
     /// Waits for an async pull and returns its values (in key order).

@@ -9,7 +9,7 @@ use lapse_proto::client::ClientCore;
 use lapse_proto::server::ServerCore;
 use lapse_proto::shard::NodeShared;
 use lapse_proto::tracker::ClockFn;
-use lapse_proto::{HomePartition, Layout, ProtoConfig, Variant};
+use lapse_proto::{HomePartition, HotSet, Layout, ProtoConfig, Variant};
 use lapse_sim::{CostModel, SimCluster};
 use lapse_utils::metrics::Metrics;
 
@@ -73,6 +73,19 @@ impl PsConfig {
     /// Enables/disables the ordered-async guard.
     pub fn ordered_async_guard(mut self, on: bool) -> Self {
         self.proto.ordered_async_guard = on;
+        self
+    }
+
+    /// Names the hot keys replicated under [`Variant::Hybrid`].
+    pub fn hot_set(mut self, hot: HotSet) -> Self {
+        self.proto.hot_set = hot;
+        self
+    }
+
+    /// Sets the automatic replica-flush threshold (accumulated replicated
+    /// pushes per node before propagation; `advance_clock` flushes early).
+    pub fn replica_flush_every(mut self, n: u64) -> Self {
+        self.proto.replica_flush_every = n;
         self
     }
 }

@@ -18,8 +18,10 @@
 //!   machine.
 //!
 //! Which PS architecture runs — Classic (PS-Lite-like), Classic with fast
-//! local access, or full Lapse — is selected by
-//! [`Variant`](lapse_proto::Variant) in the [`PsConfig`].
+//! local access, full Lapse, NuPS-style Replication, or the Hybrid of
+//! both techniques — is selected by [`Variant`](lapse_proto::Variant) in
+//! the [`PsConfig`]; the per-key decisions live in the technique policy
+//! layer of `lapse-proto`.
 //!
 //! ```
 //! use lapse_core::{PsConfig, run_threaded, PsWorker};
@@ -47,5 +49,5 @@ pub use api::{api_internals, OpToken, PsWorker};
 pub use cluster::{run_sim, run_threaded, PsConfig};
 pub use stats::ClusterStats;
 
-pub use lapse_proto::{HomePartition, Layout, ProtoConfig, Variant};
+pub use lapse_proto::{HomePartition, HotSet, Layout, ProtoConfig, Technique, Variant};
 pub use lapse_sim::CostModel;

@@ -26,6 +26,9 @@ impl SimProtocol for LapseProto {
             Msg::LocalizeReq(m) => (m.keys.len() as u64, 0),
             Msg::Relocate(m) => (m.keys.len() as u64, 0),
             Msg::HandOver(m) => (m.keys.len() as u64, m.vals.len() as u64),
+            Msg::ReplicaReg(_) => (0, 0),
+            Msg::ReplicaPush(m) => (m.keys.len() as u64, m.vals.len() as u64),
+            Msg::ReplicaRefresh(m) => (m.keys.len() as u64, m.vals.len() as u64),
             Msg::Shutdown => (0, 0),
         }
     }
@@ -136,7 +139,7 @@ impl PsWorker for SimPsWorker<'_> {
             },
             IssueHandle::Pending(seq) => OpToken {
                 kind: TokenKind::Pull,
-                state: TokenState::Pending(seq),
+                state: TokenState::Pending(seq, self.client.shared().tracker.clone()),
             },
         }
     }
@@ -150,7 +153,9 @@ impl PsWorker for SimPsWorker<'_> {
             kind: TokenKind::Push,
             state: match handle {
                 IssueHandle::Ready(_) => TokenState::Ready(None),
-                IssueHandle::Pending(seq) => TokenState::Pending(seq),
+                IssueHandle::Pending(seq) => {
+                    TokenState::Pending(seq, self.client.shared().tracker.clone())
+                }
             },
         }
     }
@@ -164,30 +169,34 @@ impl PsWorker for SimPsWorker<'_> {
             kind: TokenKind::Localize,
             state: match handle {
                 IssueHandle::Ready(_) => TokenState::Ready(None),
-                IssueHandle::Pending(seq) => TokenState::Pending(seq),
+                IssueHandle::Pending(seq) => {
+                    TokenState::Pending(seq, self.client.shared().tracker.clone())
+                }
             },
         }
     }
 
-    fn wait_pull(&mut self, token: OpToken) -> Vec<f32> {
+    fn wait_pull(&mut self, mut token: OpToken) -> Vec<f32> {
         assert_eq!(token.kind, TokenKind::Pull, "wait_pull on non-pull token");
-        match token.state {
+        match token.take_state() {
             TokenState::Ready(vals) => vals.expect("async pull carries values"),
-            TokenState::Pending(seq) => {
+            TokenState::Pending(seq, _) => {
                 self.wait_done(seq);
                 self.client.take_pull(seq)
             }
+            TokenState::Taken => unreachable!("token waited twice"),
         }
     }
 
-    fn wait(&mut self, token: OpToken) {
+    fn wait(&mut self, mut token: OpToken) {
         assert_ne!(token.kind, TokenKind::Pull, "use wait_pull for pulls");
-        match token.state {
+        match token.take_state() {
             TokenState::Ready(_) => {}
-            TokenState::Pending(seq) => {
+            TokenState::Pending(seq, _) => {
                 self.wait_done(seq);
                 self.client.finish_ack(seq);
             }
+            TokenState::Taken => unreachable!("token waited twice"),
         }
     }
 
@@ -205,6 +214,15 @@ impl PsWorker for SimPsWorker<'_> {
 
     fn charge(&mut self, ns: u64) {
         self.ctx.charge(ns);
+    }
+
+    fn advance_clock(&mut self) {
+        // The replication technique's propagation tick: flush this node's
+        // accumulated replicated pushes to the owners. A no-op (and free)
+        // under the relocation-only variants.
+        let mut sink = Vec::new();
+        self.client.flush_replicas(&mut sink);
+        self.ctx.send_sink(sink);
     }
 
     fn now_ns(&self) -> u64 {

@@ -33,6 +33,19 @@ pub struct ClusterStats {
     pub stale_cache_forwards: u64,
     /// Protocol-invariant violations (must be 0).
     pub unexpected_relocates: u64,
+    /// Pull keys served from the local replica view (replication).
+    pub pull_replica: u64,
+    /// Push keys accumulated locally by the replication technique.
+    pub push_replica: u64,
+    /// Replica propagation messages sent (flushes).
+    pub replica_flushes: u64,
+    /// Replicated push keys applied at owners.
+    pub replica_pushes_applied: u64,
+    /// Replicated keys refreshed by owner broadcasts.
+    pub replica_refreshes: u64,
+    /// Tracker entries still registered when the run ended (leaked or
+    /// abandoned-but-incomplete operations; 0 for clean runs).
+    pub tracker_in_flight: u64,
     /// Distribution of relocation times (ns), the paper's Section 3.2
     /// definition.
     pub reloc_time: LogHistogram,
@@ -62,6 +75,12 @@ impl ClusterStats {
             handovers: 0,
             stale_cache_forwards: 0,
             unexpected_relocates: 0,
+            pull_replica: 0,
+            push_replica: 0,
+            replica_flushes: 0,
+            replica_pushes_applied: 0,
+            replica_refreshes: 0,
+            tracker_in_flight: 0,
             reloc_time: reloc_time.clone(),
             messages: 0,
             bytes: 0,
@@ -81,6 +100,12 @@ impl ClusterStats {
             s.handovers += a.handovers_in.load(Relaxed);
             s.stale_cache_forwards += a.stale_cache_forwards.load(Relaxed);
             s.unexpected_relocates += a.unexpected_relocates.load(Relaxed);
+            s.pull_replica += a.pull_replica.load(Relaxed);
+            s.push_replica += a.push_replica.load(Relaxed);
+            s.replica_flushes += a.replica_flushes.load(Relaxed);
+            s.replica_pushes_applied += a.replica_pushes_applied.load(Relaxed);
+            s.replica_refreshes += a.replica_refreshes.load(Relaxed);
+            s.tracker_in_flight += n.tracker.in_flight() as u64;
             reloc_time.merge(&n.tracker.reloc_time_stats());
         }
         s.reloc_time = reloc_time;
@@ -89,11 +114,11 @@ impl ClusterStats {
 
     /// Total pull keys.
     pub fn pull_total(&self) -> u64 {
-        self.pull_local + self.pull_queued + self.pull_remote
+        self.pull_local + self.pull_queued + self.pull_remote + self.pull_replica
     }
 
     /// Pull keys that never crossed the network.
     pub fn pull_local_total(&self) -> u64 {
-        self.pull_local + self.pull_queued
+        self.pull_local + self.pull_queued + self.pull_replica
     }
 }

@@ -159,7 +159,7 @@ impl PsWorker for ThreadedPsWorker {
             },
             IssueHandle::Pending(seq) => OpToken {
                 kind: TokenKind::Pull,
-                state: TokenState::Pending(seq),
+                state: TokenState::Pending(seq, self.client.shared().tracker.clone()),
             },
         }
     }
@@ -172,7 +172,9 @@ impl PsWorker for ThreadedPsWorker {
             kind: TokenKind::Push,
             state: match handle {
                 IssueHandle::Ready(_) => TokenState::Ready(None),
-                IssueHandle::Pending(seq) => TokenState::Pending(seq),
+                IssueHandle::Pending(seq) => {
+                    TokenState::Pending(seq, self.client.shared().tracker.clone())
+                }
             },
         }
     }
@@ -185,30 +187,34 @@ impl PsWorker for ThreadedPsWorker {
             kind: TokenKind::Localize,
             state: match handle {
                 IssueHandle::Ready(_) => TokenState::Ready(None),
-                IssueHandle::Pending(seq) => TokenState::Pending(seq),
+                IssueHandle::Pending(seq) => {
+                    TokenState::Pending(seq, self.client.shared().tracker.clone())
+                }
             },
         }
     }
 
-    fn wait_pull(&mut self, token: OpToken) -> Vec<f32> {
+    fn wait_pull(&mut self, mut token: OpToken) -> Vec<f32> {
         assert_eq!(token.kind, TokenKind::Pull, "wait_pull on non-pull token");
-        match token.state {
+        match token.take_state() {
             TokenState::Ready(vals) => vals.expect("async pull carries values"),
-            TokenState::Pending(seq) => {
+            TokenState::Pending(seq, _) => {
                 self.wait_done(seq);
                 self.client.take_pull(seq)
             }
+            TokenState::Taken => unreachable!("token waited twice"),
         }
     }
 
-    fn wait(&mut self, token: OpToken) {
+    fn wait(&mut self, mut token: OpToken) {
         assert_ne!(token.kind, TokenKind::Pull, "use wait_pull for pulls");
-        match token.state {
+        match token.take_state() {
             TokenState::Ready(_) => {}
-            TokenState::Pending(seq) => {
+            TokenState::Pending(seq, _) => {
                 self.wait_done(seq);
                 self.client.finish_ack(seq);
             }
+            TokenState::Taken => unreachable!("token waited twice"),
         }
     }
 
@@ -222,6 +228,15 @@ impl PsWorker for ThreadedPsWorker {
 
     fn charge(&mut self, _ns: u64) {
         // Real time passes on the threaded backend.
+    }
+
+    fn advance_clock(&mut self) {
+        // The replication technique's propagation tick: flush this node's
+        // accumulated replicated pushes to the owners. A no-op (and free)
+        // under the relocation-only variants.
+        let mut sink = Vec::new();
+        self.client.flush_replicas(&mut sink);
+        self.send_sink(sink);
     }
 
     fn now_ns(&self) -> u64 {

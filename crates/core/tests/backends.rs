@@ -300,3 +300,167 @@ fn stats_track_local_vs_remote_pulls() {
     assert_eq!(stats.pull_remote, 1);
     assert_eq!(stats.pull_total(), 2);
 }
+
+// ---------------------------------------------------------------------------
+// replication / hybrid variants
+// ---------------------------------------------------------------------------
+
+/// The replication counter workload: pushes accumulate locally, a
+/// propagation tick (`advance_clock`) flushes them, and workers then poll
+/// their replica until every contribution has propagated back. Charging
+/// in the poll loop keeps virtual time advancing on the simulator.
+fn replicated_counter_workload(w: &mut dyn PsWorker) -> f32 {
+    let k = Key(0);
+    let my = (w.global_id() + 1) as f32;
+    w.push(&[k], &[my, 0.0]);
+    w.advance_clock(); // propagate this node's accumulated pushes
+    w.barrier();
+    let expect: f32 = (1..=w.num_workers() as u32).map(|i| i as f32).sum();
+    let mut out = [0.0f32; 2];
+    for _ in 0..200_000 {
+        w.pull(&[k], &mut out);
+        if out[0] == expect {
+            break;
+        }
+        w.charge(10_000);
+        std::hint::spin_loop();
+    }
+    w.barrier();
+    out[0]
+}
+
+#[test]
+fn replication_converges_on_both_backends() {
+    for variant in [Variant::Replication, Variant::Hybrid] {
+        let expect: f32 = (1..=4).map(|i| i as f32).sum();
+        let cfg = || {
+            PsConfig::new(2, 8, 2)
+                .variant(variant)
+                .hot_set(lapse_core::HotSet::Prefix(8))
+                .latches(4)
+        };
+        let (results, stats) = run_threaded(cfg(), 2, |_| None, replicated_counter_workload);
+        assert!(
+            results.iter().all(|&v| v == expect),
+            "threaded {variant:?}: {results:?}"
+        );
+        assert_eq!(stats.relocations, 0, "replicated keys must not relocate");
+        assert!(stats.replica_pushes_applied > 0);
+        let (results, stats) = run_sim(
+            cfg(),
+            2,
+            CostModel::default(),
+            |_| None,
+            replicated_counter_workload,
+        );
+        assert!(
+            results.iter().all(|&v| v == expect),
+            "sim {variant:?}: {results:?}"
+        );
+        assert!(stats.pull_replica > 0, "reads must be served from replicas");
+        assert_eq!(stats.push_remote, 0, "replicated pushes never go remote");
+    }
+}
+
+#[test]
+fn hybrid_relocates_only_the_tail() {
+    // Keys 0..2 are hot (replicated); 2..8 relocate.
+    let body = |w: &mut dyn PsWorker| {
+        w.localize(&[Key(0), Key(5)]);
+        w.barrier();
+    };
+    let (_, stats) = run_sim(
+        PsConfig::new(2, 8, 1)
+            .variant(Variant::Hybrid)
+            .hot_set(lapse_core::HotSet::Prefix(2)),
+        1,
+        CostModel::default(),
+        |_| None,
+        body,
+    );
+    // Only key 5 can move (each worker's localize may relocate it once
+    // per requesting node); key 0 never does.
+    assert!(stats.relocations >= 1);
+    assert!(stats.localize_sent >= 1);
+    let (_, stats_all_hot) = run_sim(
+        PsConfig::new(2, 8, 1)
+            .variant(Variant::Hybrid)
+            .hot_set(lapse_core::HotSet::Prefix(8)),
+        1,
+        CostModel::default(),
+        |_| None,
+        body,
+    );
+    assert_eq!(stats_all_hot.relocations, 0);
+}
+
+#[test]
+fn replication_is_deterministic_on_sim() {
+    let run = || {
+        run_sim(
+            PsConfig::new(4, 64, 4)
+                .variant(Variant::Hybrid)
+                .hot_set(lapse_core::HotSet::Prefix(16))
+                .replica_flush_every(8),
+            2,
+            CostModel::default(),
+            |k| Some(vec![k.0 as f32; 4]),
+            |w| {
+                let mut out = vec![0.0f32; 4];
+                let mut acc = 0.0;
+                for i in 0..50u64 {
+                    let k = Key((i * 7 + w.global_id() as u64 * 13) % 64);
+                    w.localize(&[k]);
+                    w.pull(&[k], &mut out);
+                    w.push(&[k], &[1.0, 0.0, 0.0, 0.0]);
+                    acc += out[0];
+                    w.charge(1_000);
+                }
+                w.advance_clock();
+                w.barrier();
+                acc
+            },
+        )
+    };
+    let (r1, s1) = run();
+    let (r2, s2) = run();
+    assert_eq!(r1, r2, "worker results must be deterministic");
+    assert_eq!(s1.virtual_time_ns, s2.virtual_time_ns);
+    assert_eq!(s1.messages, s2.messages);
+    assert_eq!(s1.replica_flushes, s2.replica_flushes);
+    assert_eq!(s1.replica_refreshes, s2.replica_refreshes);
+}
+
+// ---------------------------------------------------------------------------
+// OpToken drop regression (tracker reclamation)
+// ---------------------------------------------------------------------------
+
+/// Dropping a pending async token without waiting must not leak its
+/// tracker entry: the entry is reclaimed when the completion arrives.
+#[test]
+fn dropped_async_token_reclaims_tracker_entry() {
+    let body = |w: &mut dyn PsWorker| {
+        // A remote push (key homed on the other node) that is dropped
+        // without waiting.
+        let remote = Key(if w.node().idx() == 0 { 7 } else { 0 });
+        drop(w.push_async(&[remote], &[1.0]));
+        // And one that is waited normally, to mix both paths.
+        let t = w.push_async(&[remote], &[1.0]);
+        w.wait(t);
+        w.barrier();
+    };
+    let (_, stats) = run_sim(
+        PsConfig::new(2, 8, 1),
+        1,
+        CostModel::default(),
+        |_| None,
+        body,
+    );
+    assert_eq!(
+        stats.tracker_in_flight, 0,
+        "dropped token leaked a tracker entry"
+    );
+    assert_eq!(stats.push_remote, 4, "all pushes still executed");
+    let (_, stats) = run_threaded(PsConfig::new(2, 8, 1), 1, |_| None, body);
+    assert_eq!(stats.tracker_in_flight, 0);
+}

@@ -287,6 +287,9 @@ impl KgeTask {
                     }
                 }
             }
+            // Propagation tick: flushes accumulated replicated pushes
+            // under the replication/hybrid variants (no-op otherwise).
+            w.advance_clock();
             w.barrier();
             let end_ns = w.now_ns();
             stats.push(EpochStats {

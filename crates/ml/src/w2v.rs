@@ -252,6 +252,9 @@ impl W2vTask {
                 }
             }
             negbuf.drain(w);
+            // Propagation tick: flushes accumulated replicated pushes
+            // under the replication/hybrid variants (no-op otherwise).
+            w.advance_clock();
             w.barrier();
             let end_ns = w.now_ns();
 

@@ -275,3 +275,74 @@ fn w2v_trains_without_latency_hiding() {
     assert!(epochs[1].loss < epochs[0].loss);
     assert_eq!(stats.relocations, 0, "classic PS never relocates");
 }
+
+// ---------------------------------------------------------------------------
+// replication / hybrid variants (NuPS techniques)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn w2v_trains_under_replication_and_hybrid() {
+    for (variant, hot) in [
+        (Variant::Replication, 0),
+        (Variant::Hybrid, 16), // hot prefix of each vocab block
+    ] {
+        let corpus = Arc::new(Corpus::generate(CorpusConfig::small()));
+        let vocab = corpus.cfg.vocab as u64;
+        let mut cfg = W2vConfig::small();
+        cfg.epochs = 3;
+        let task = W2vTask::new(corpus, cfg, 2, 2);
+        let init = task.initializer();
+        let t2 = task.clone();
+        let (results, stats) = run_sim(
+            PsConfig::new(2, task.num_keys(), task.cfg.dim as u32)
+                .variant(variant)
+                .hot_set(lapse_core::HotSet::Blocks { block: vocab, hot })
+                .replica_flush_every(64)
+                .latches(64),
+            2,
+            CostModel::default(),
+            init,
+            move |w| t2.run(w),
+        );
+        let epochs = combine_runs(&results);
+        let first = epochs[0].eval.expect("worker 0 evaluates");
+        let last = epochs.last().unwrap().eval.expect("worker 0 evaluates");
+        assert!(
+            last < first && last < 0.48,
+            "{variant:?}: ranking error should improve: first={first} last={last}"
+        );
+        assert!(
+            stats.pull_replica > 0,
+            "{variant:?}: replica reads must occur"
+        );
+        if variant == Variant::Replication {
+            assert_eq!(stats.relocations, 0, "all-replica never relocates");
+        } else {
+            assert!(stats.relocations > 0, "hybrid relocates the tail");
+        }
+        assert_eq!(stats.unexpected_relocates, 0);
+    }
+}
+
+#[test]
+fn mf_trains_under_hybrid() {
+    let task = mf_task(2, 2, 3);
+    let init = task.initializer();
+    let t2 = task.clone();
+    let (results, stats) = run_sim(
+        mf_ps_config(&task, 2, Variant::Hybrid)
+            .hot_set(lapse_core::HotSet::Prefix(task.num_keys() / 8))
+            .replica_flush_every(64),
+        2,
+        CostModel::default(),
+        init,
+        move |w| t2.run(w),
+    );
+    let epochs = combine_runs(&results);
+    assert!(
+        epochs.last().unwrap().loss < epochs[0].loss,
+        "no convergence under hybrid: {:?}",
+        epochs.iter().map(|e| e.loss).collect::<Vec<_>>()
+    );
+    assert!(stats.push_replica > 0, "hot keys must accumulate locally");
+}

@@ -7,13 +7,17 @@
 //! wrap a `ClientCore` in their worker handles; the core itself performs
 //! no I/O — outgoing messages are collected into a caller-provided sink.
 //!
-//! Routing per key:
+//! Routing per key is decided by the management-technique
+//! [`Policy`](crate::technique::Policy) ([`IssueRoute`]):
 //!
 //! 1. **Fast local path** — if the node owns the key (and the variant
 //!    allows shared-memory access), serve under the key's latch.
-//! 2. **Local parking** — if the key is relocating *to* this node, park
+//! 2. **Replica path** — if the key is replicated, serve reads from the
+//!    local replica view and accumulate pushes for the next propagation
+//!    round (NuPS §2); both complete at issue.
+//! 3. **Local parking** — if the key is relocating *to* this node, park
 //!    the operation in the relocation queue (Section 3.2).
-//! 3. **Remote** — otherwise send to the key's home node (forward
+//! 4. **Remote** — otherwise send to the key's home node (forward
 //!    strategy), or directly to the cached owner when location caches are
 //!    enabled (Section 3.3).
 //!
@@ -32,8 +36,9 @@ use lapse_net::{Key, NodeId};
 
 use crate::config::ProtoConfig;
 use crate::group::OrderedGroups;
-use crate::messages::{LocalizeReqMsg, Msg, OpId, OpKind, OpMsg};
+use crate::messages::{LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, ReplicaPushMsg, ReplicaRegMsg};
 use crate::shard::{IncomingState, NodeShared, Queued, QueuedOp};
+use crate::technique::IssueRoute;
 use crate::tracker::{GuardMap, TrackedKind};
 
 /// Sink for outgoing messages produced while issuing an operation.
@@ -104,17 +109,84 @@ impl ClientCore {
         self.cfg().ordered_async_guard && self.guard.lock().get(&key).is_some_and(|&n| n > 0)
     }
 
-    /// Remote destination for `key`: the home node, or the cached owner
-    /// when location caches are enabled. Guard-forced operations always
-    /// travel via the home node so they share one FIFO path with the
-    /// outstanding operation.
-    fn remote_dst(&self, key: Key, loc_cache: &HashMap<Key, NodeId>, forced: bool) -> NodeId {
-        if !forced && self.cfg().location_caches {
-            if let Some(&owner) = loc_cache.get(&key) {
-                return owner;
+    /// Subscribes this node to replica refreshes on its first replicated
+    /// access: one [`ReplicaRegMsg`] to every other node (owners without
+    /// replicated home keys simply record the subscription).
+    fn ensure_registered(&self, sink: &mut MsgSink) {
+        // Load-first so the steady state is a read-only check; the swap
+        // (a contended RMW) runs at most once per worker.
+        if self.shared.replica_registered.load(Relaxed)
+            || self.shared.replica_registered.swap(true, Relaxed)
+        {
+            return;
+        }
+        for n in 0..self.cfg().nodes {
+            let dst = NodeId(n);
+            if dst != self.shared.node {
+                sink.push((
+                    dst,
+                    Msg::ReplicaReg(ReplicaRegMsg {
+                        node: self.shared.node,
+                    }),
+                ));
             }
         }
-        self.cfg().home(key)
+    }
+
+    /// Propagates all accumulated replicated pushes of this node to the
+    /// owners (one [`ReplicaPushMsg`] per owner), moving them to the
+    /// in-flight set until the owners' refreshes acknowledge them. A
+    /// no-op when nothing is pending or the variant replicates nothing.
+    pub fn flush_replicas(&self, sink: &mut MsgSink) {
+        if !self.cfg().policy().any_replication() {
+            return;
+        }
+        let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
+        // fetch_add so concurrent flushes of two workers get distinct
+        // sequence numbers (gaps for empty flushes are harmless — acks
+        // match batches exactly by sequence number).
+        let flush_seq = self.shared.replica_flush_seq.fetch_add(1, Relaxed) + 1;
+        // Atomically take the accumulation count before draining: pushes
+        // counted here are all in the pending sets this flush is about to
+        // drain, while a concurrent worker's later increments survive for
+        // the next auto-flush threshold check (an increment racing in
+        // between merely triggers one extra empty — free — flush).
+        self.shared.replica_unflushed.swap(0, Relaxed);
+        for shard in &self.shared.shards {
+            let mut shard = shard.lock();
+            if shard.replica.pending.is_empty() {
+                continue;
+            }
+            let pending = std::mem::take(&mut shard.replica.pending);
+            let mut per_owner: OrderedGroups<NodeId, std::collections::BTreeMap<Key, Vec<f32>>> =
+                OrderedGroups::new();
+            for (k, delta) in pending {
+                let owner = self.cfg().home(k);
+                let group = groups.entry(owner);
+                group.keys.push(k);
+                group.vals.extend_from_slice(&delta);
+                per_owner.entry(owner).insert(k, delta);
+            }
+            for (owner, batch) in per_owner.into_iter() {
+                shard.replica.in_flight.push((owner, flush_seq, batch));
+            }
+        }
+        if groups.is_empty() {
+            return;
+        }
+        let stats = &self.shared.stats;
+        for (owner, group) in groups.into_iter() {
+            stats.replica_flushes.fetch_add(1, Relaxed);
+            sink.push((
+                owner,
+                Msg::ReplicaPush(ReplicaPushMsg {
+                    node: self.shared.node,
+                    flush_seq,
+                    keys: group.keys,
+                    vals: group.vals,
+                }),
+            ));
+        }
     }
 
     /// Issues a pull of `keys`.
@@ -145,38 +217,63 @@ impl ClientCore {
         for &k in keys {
             let len = self.cfg().layout.len(k) as u32;
             let forced = self.guard_forces_remote(k);
+            if self.cfg().policy().replicated(k) {
+                self.ensure_registered(sink);
+            }
             let mut shard = self.shared.shard_for(k).lock();
-            if !forced && self.cfg().variant.fast_local_access() && shard.store.contains(k) {
-                let v = shard.store.get(k).expect("contains implies get");
-                stats.pull_local.fetch_add(1, Relaxed);
-                match &mut out {
-                    Some(buf) => buf[out_off as usize..(out_off + len) as usize].copy_from_slice(v),
-                    None => {
-                        let s = seq.expect("async op registered");
-                        self.shared.tracker.add_key(s, k, len, out_off, false);
-                        self.shared.tracker.complete_key(s, k, Some(v));
+            match self.cfg().policy().issue_route(k, &shard, forced) {
+                IssueRoute::OwnedLocal => {
+                    let v = shard.store.get(k).expect("routed to owned store");
+                    stats.pull_local.fetch_add(1, Relaxed);
+                    match &mut out {
+                        Some(buf) => {
+                            buf[out_off as usize..(out_off + len) as usize].copy_from_slice(v)
+                        }
+                        None => {
+                            let s = seq.expect("async op registered");
+                            self.shared.tracker.add_key(s, k, len, out_off, false);
+                            self.shared.tracker.complete_key(s, k, Some(v));
+                        }
                     }
                 }
-            } else if !forced && self.cfg().variant.dpa_enabled() && shard.incoming.contains_key(&k)
-            {
-                let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Pull));
-                self.shared.tracker.add_key(s, k, len, out_off, false);
-                let inc = shard.incoming.get_mut(&k).expect("checked above");
-                inc.queue.push_back(Queued::Op(QueuedOp {
-                    op: OpId::new(self.shared.node, s),
-                    kind: OpKind::Pull,
-                    val: Vec::new(),
-                }));
-                stats.pull_queued.fetch_add(1, Relaxed);
-            } else {
-                let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Pull));
-                self.shared.tracker.add_key(s, k, len, out_off, true);
-                if self.cfg().ordered_async_guard {
-                    *self.guard.lock().entry(k).or_insert(0) += 1;
+                IssueRoute::Replica => {
+                    stats.pull_replica.fetch_add(1, Relaxed);
+                    match &mut out {
+                        Some(buf) => {
+                            let dst = &mut buf[out_off as usize..(out_off + len) as usize];
+                            let ok = shard.read_replicated(k, dst);
+                            debug_assert!(ok, "replicated key {k} without replica state");
+                        }
+                        None => {
+                            let mut v = vec![0.0; len as usize];
+                            let ok = shard.read_replicated(k, &mut v);
+                            debug_assert!(ok, "replicated key {k} without replica state");
+                            let s = seq.expect("async op registered");
+                            self.shared.tracker.add_key(s, k, len, out_off, false);
+                            self.shared.tracker.complete_key(s, k, Some(&v));
+                        }
+                    }
                 }
-                let dst = self.remote_dst(k, &shard.loc_cache, forced);
-                groups.entry(dst).keys.push(k);
-                stats.pull_remote.fetch_add(1, Relaxed);
+                IssueRoute::Park => {
+                    let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Pull));
+                    self.shared.tracker.add_key(s, k, len, out_off, false);
+                    let inc = shard.incoming.get_mut(&k).expect("routed to queue");
+                    inc.queue.push_back(Queued::Op(QueuedOp {
+                        op: OpId::new(self.shared.node, s),
+                        kind: OpKind::Pull,
+                        val: Vec::new(),
+                    }));
+                    stats.pull_queued.fetch_add(1, Relaxed);
+                }
+                IssueRoute::Remote(dst) => {
+                    let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Pull));
+                    self.shared.tracker.add_key(s, k, len, out_off, true);
+                    if self.cfg().ordered_async_guard {
+                        *self.guard.lock().entry(k).or_insert(0) += 1;
+                    }
+                    groups.entry(dst).keys.push(k);
+                    stats.pull_remote.fetch_add(1, Relaxed);
+                }
             }
             drop(shard);
             out_off += len;
@@ -197,54 +294,76 @@ impl ClientCore {
         let mut seq: Option<u64> = None;
         let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
         let mut off = 0usize;
+        let mut accumulated = 0u64;
         for &k in keys {
             let len = self.cfg().layout.len(k);
             let val = &vals[off..off + len];
             off += len;
             let forced = self.guard_forces_remote(k);
+            if self.cfg().policy().replicated(k) {
+                self.ensure_registered(sink);
+            }
             let mut shard = self.shared.shard_for(k).lock();
-            if !forced && self.cfg().variant.fast_local_access() && shard.store.contains(k) {
-                let applied = shard.store.add(k, val);
-                debug_assert!(applied);
-                stats.push_local.fetch_add(1, Relaxed);
-            } else if !forced && self.cfg().variant.dpa_enabled() && shard.incoming.contains_key(&k)
-            {
-                let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Push));
-                self.shared.tracker.add_key(s, k, 0, 0, false);
-                let inc = shard.incoming.get_mut(&k).expect("checked above");
-                inc.queue.push_back(Queued::Op(QueuedOp {
-                    op: OpId::new(self.shared.node, s),
-                    kind: OpKind::Push,
-                    val: val.to_vec(),
-                }));
-                stats.push_queued.fetch_add(1, Relaxed);
-            } else {
-                let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Push));
-                self.shared.tracker.add_key(s, k, 0, 0, true);
-                if self.cfg().ordered_async_guard {
-                    *self.guard.lock().entry(k).or_insert(0) += 1;
+            match self.cfg().policy().issue_route(k, &shard, forced) {
+                IssueRoute::OwnedLocal => {
+                    let applied = shard.store.add(k, val);
+                    debug_assert!(applied);
+                    stats.push_local.fetch_add(1, Relaxed);
                 }
-                let dst = self.remote_dst(k, &shard.loc_cache, forced);
-                let group = groups.entry(dst);
-                group.keys.push(k);
-                group.vals.extend_from_slice(val);
-                stats.push_remote.fetch_add(1, Relaxed);
+                IssueRoute::Replica => {
+                    shard.replica.accumulate(k, val);
+                    stats.push_replica.fetch_add(1, Relaxed);
+                    accumulated += 1;
+                }
+                IssueRoute::Park => {
+                    let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Push));
+                    self.shared.tracker.add_key(s, k, 0, 0, false);
+                    let inc = shard.incoming.get_mut(&k).expect("routed to queue");
+                    inc.queue.push_back(Queued::Op(QueuedOp {
+                        op: OpId::new(self.shared.node, s),
+                        kind: OpKind::Push,
+                        val: val.to_vec(),
+                    }));
+                    stats.push_queued.fetch_add(1, Relaxed);
+                }
+                IssueRoute::Remote(dst) => {
+                    let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Push));
+                    self.shared.tracker.add_key(s, k, 0, 0, true);
+                    if self.cfg().ordered_async_guard {
+                        *self.guard.lock().entry(k).or_insert(0) += 1;
+                    }
+                    let group = groups.entry(dst);
+                    group.keys.push(k);
+                    group.vals.extend_from_slice(val);
+                    stats.push_remote.fetch_add(1, Relaxed);
+                }
+            }
+        }
+        if accumulated > 0 {
+            let unflushed = self
+                .shared
+                .replica_unflushed
+                .fetch_add(accumulated, Relaxed)
+                + accumulated;
+            if unflushed >= self.cfg().replica_flush_every {
+                self.flush_replicas(sink);
             }
         }
         self.flush(seq, OpKind::Push, groups, sink)
     }
 
     /// Issues a localize of `keys`: requests that all of them be relocated
-    /// to this node (Table 2). A no-op under the classic variants, which
-    /// allocate statically.
+    /// to this node (Table 2). Keys whose technique does not relocate —
+    /// all of them under the classic variants, replicated keys under the
+    /// replication/hybrid variants — are skipped.
     pub fn localize(&self, keys: &[Key], sink: &mut MsgSink) -> IssueHandle {
-        if !self.cfg().variant.dpa_enabled() {
-            return IssueHandle::Ready(None);
-        }
         let stats = &self.shared.stats;
         let mut seq: Option<u64> = None;
         let mut groups: OrderedGroups<NodeId, Vec<Key>> = OrderedGroups::new();
         for &k in keys {
+            if !self.cfg().policy().relocation_enabled(k) {
+                continue;
+            }
             let mut shard = self.shared.shard_for(k).lock();
             if shard.store.contains(k) {
                 // Already local: nothing to do.
@@ -291,14 +410,22 @@ impl ClientCore {
         }
     }
 
-    /// Reads `key` only if it is currently stored on this node; returns
-    /// whether `out` was filled. Used by the word-vector workload to
-    /// sample negatives without network traffic (Appendix A).
+    /// Reads `key` only if it is currently stored on this node (owned, or
+    /// replicated here); returns whether `out` was filled. Used by the
+    /// word-vector workload to sample negatives without network traffic
+    /// (Appendix A).
     pub fn pull_if_local(&self, key: Key, out: &mut [f32]) -> bool {
-        if !self.cfg().variant.fast_local_access() {
+        let policy = self.cfg().policy();
+        if !policy.shared_memory() {
             return false;
         }
         let shard = self.shared.shard_for(key).lock();
+        if policy.replicated(key) {
+            let ok = shard.read_replicated(key, out);
+            debug_assert!(ok, "replicated key {key} without replica state");
+            self.shared.stats.pull_replica.fetch_add(1, Relaxed);
+            return ok;
+        }
         match shard.store.get(key) {
             Some(v) => {
                 out.copy_from_slice(v);

@@ -3,9 +3,15 @@
 use lapse_net::{Key, NodeId};
 
 use crate::layout::Layout;
+use crate::technique::Policy;
 
 /// Which parameter-server architecture a cluster runs (Section 4.6 of the
-/// paper compares all three).
+/// paper compares the first three; `Replication` and `Hybrid` add the
+/// management techniques of the NuPS follow-up).
+///
+/// Every per-key decision derived from the variant lives in the
+/// [`Policy`](crate::technique::Policy) layer; the variant itself is just
+/// the named configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Variant {
     /// Classic PS à la PS-Lite: static allocation, *all* parameter access
@@ -16,26 +22,64 @@ pub enum Variant {
     ClassicFastLocal,
     /// Lapse: dynamic parameter allocation plus fast local access.
     Lapse,
+    /// NuPS-style all-replica management (NuPS §2): every node holds a
+    /// replica of every key; reads are served locally, pushes accumulate
+    /// locally and propagate to the owner in rounds.
+    Replication,
+    /// NuPS-style hybrid management: the hot keys named by
+    /// [`ProtoConfig::hot_set`] are replicated, the long tail is managed
+    /// by relocation as under [`Variant::Lapse`].
+    Hybrid,
 }
 
 impl Variant {
-    /// Whether `localize` actually relocates parameters.
-    pub fn dpa_enabled(self) -> bool {
-        matches!(self, Variant::Lapse)
-    }
-
-    /// Whether workers may access node-local parameters via shared memory.
-    pub fn fast_local_access(self) -> bool {
-        !matches!(self, Variant::Classic)
-    }
-
     /// Short display name used by the experiment harness.
     pub fn label(self) -> &'static str {
         match self {
             Variant::Classic => "Classic PS",
             Variant::ClassicFastLocal => "Classic PS + fast local",
             Variant::Lapse => "Lapse",
+            Variant::Replication => "Replication",
+            Variant::Hybrid => "Hybrid (replicate hot)",
         }
+    }
+}
+
+/// Which keys count as "hot" — replicated under [`Variant::Hybrid`].
+///
+/// Skewed workloads in this repo map popular entities to low ids within
+/// each id space (the corpus/graph generators sample Zipf ranks), so hot
+/// sets are id prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotSet {
+    /// Keys `0..n`.
+    Prefix(u64),
+    /// Keys whose id *within each block of `block` keys* is below `hot`.
+    /// Covers workloads that pack several id spaces into one key space
+    /// (e.g. Word2Vec input vectors at `w` and output vectors at
+    /// `vocab + w`: `block = vocab` replicates the hot words of both).
+    Blocks {
+        /// Block width (the size of one id space).
+        block: u64,
+        /// Hot ids per block.
+        hot: u64,
+    },
+}
+
+impl HotSet {
+    /// Whether `key` is in the hot set.
+    #[inline]
+    pub fn contains(&self, key: Key) -> bool {
+        match *self {
+            HotSet::Prefix(n) => key.0 < n,
+            HotSet::Blocks { block, hot } => key.0 % block.max(1) < hot,
+        }
+    }
+
+    /// Whether the hot set contains no keys at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        matches!(*self, HotSet::Prefix(0) | HotSet::Blocks { hot: 0, .. })
     }
 }
 
@@ -73,6 +117,13 @@ pub struct ProtoConfig {
     pub partition: HomePartition,
     /// Use dense (preallocated) stores instead of sparse maps.
     pub dense: bool,
+    /// Hot keys replicated under [`Variant::Hybrid`] (ignored by the
+    /// other variants; [`Variant::Replication`] replicates everything).
+    pub hot_set: HotSet,
+    /// Replicated pushes accumulated on a node before it propagates them
+    /// to the owners automatically (a worker's `advance_clock` flushes
+    /// earlier). Counted per node across all workers.
+    pub replica_flush_every: u64,
     /// Route a worker's operation via the home node whenever that worker
     /// still has an outstanding remotely-routed operation on the same key.
     ///
@@ -100,8 +151,16 @@ impl ProtoConfig {
             latches: 1000,
             partition: HomePartition::Range,
             dense: true,
+            hot_set: HotSet::Prefix(0),
+            replica_flush_every: 64,
             ordered_async_guard: true,
         }
+    }
+
+    /// The management-technique policy view of this configuration.
+    #[inline]
+    pub fn policy(&self) -> Policy<'_> {
+        Policy::new(self)
     }
 
     /// Keys per home range under [`HomePartition::Range`].
@@ -254,10 +313,12 @@ mod tests {
     }
 
     #[test]
-    fn variant_flags() {
-        assert!(!Variant::Classic.fast_local_access());
-        assert!(Variant::ClassicFastLocal.fast_local_access());
-        assert!(!Variant::ClassicFastLocal.dpa_enabled());
-        assert!(Variant::Lapse.dpa_enabled());
+    fn hot_set_membership() {
+        let prefix = HotSet::Prefix(3);
+        assert!(prefix.contains(Key(0)) && prefix.contains(Key(2)));
+        assert!(!prefix.contains(Key(3)));
+        let blocks = HotSet::Blocks { block: 10, hot: 2 };
+        assert!(blocks.contains(Key(1)) && blocks.contains(Key(11)));
+        assert!(!blocks.contains(Key(2)) && !blocks.contains(Key(19)));
     }
 }

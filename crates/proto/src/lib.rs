@@ -31,6 +31,9 @@
 //!   grouping); shared by every backend worker handle.
 //! * [`server`] — the per-node server logic: op routing and forwarding,
 //!   relocation handling, queue draining.
+//! * [`technique`] — the management-technique policy layer: per-key
+//!   choice of static allocation, relocation, or replication, and every
+//!   routing decision derived from it.
 //! * [`consistency`] — sequential-consistency witnesses used by tests and
 //!   the Table 1 experiment.
 //! * [`strategies`] — the four location-management strategies of Table 3
@@ -46,10 +49,12 @@ pub mod server;
 pub mod shard;
 pub mod storage;
 pub mod strategies;
+pub mod technique;
 pub mod testkit;
 pub mod tracker;
 
-pub use config::{HomePartition, ProtoConfig, Variant};
+pub use config::{HomePartition, HotSet, ProtoConfig, Variant};
 pub use layout::Layout;
 pub use messages::{Msg, OpId, OpKind};
 pub use shard::NodeShared;
+pub use technique::{IssueRoute, Policy, Technique};

@@ -1,6 +1,7 @@
 //! The wire protocol.
 //!
-//! Six message kinds implement the full protocol of Section 3:
+//! Nine message kinds implement the full protocol of Section 3 plus the
+//! NuPS-style replication technique:
 //!
 //! * [`OpMsg`] — a grouped pull or push request travelling from a client
 //!   to the home node (forward strategy), from the home node to the owner
@@ -14,6 +15,14 @@
 //!   relocation").
 //! * [`HandOverMsg`] — message 3: old owner → new owner, carrying the
 //!   parameter values.
+//! * [`ReplicaRegMsg`] — replica-sync 1: a node subscribes to refreshes
+//!   of the replicated keys homed at the destination; the owner answers
+//!   with an initial-snapshot [`ReplicaRefreshMsg`].
+//! * [`ReplicaPushMsg`] — replica-sync 2: accumulated update terms from a
+//!   replica holder to the owner (applied exactly once).
+//! * [`ReplicaRefreshMsg`] — replica-sync 3: fresh values broadcast from
+//!   the owner to every subscribed replica holder, acknowledging the
+//!   receiver's propagated flushes up to `ack`.
 //! * [`Msg::Shutdown`] — terminates a server loop (threaded backend only).
 //!
 //! Every message implements [`WireSize`] (used by the simulator's
@@ -124,6 +133,51 @@ pub struct HandOverMsg {
     pub vals: Vec<f32>,
 }
 
+/// Replica-sync message 1: a node subscribes to refreshes of the
+/// replicated keys homed at the destination node. The owner answers with
+/// an initial-snapshot [`ReplicaRefreshMsg`] carrying the current values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaRegMsg {
+    /// The subscribing node (destination of future refreshes).
+    pub node: NodeId,
+}
+
+/// Replica-sync message 2: update terms a replica holder accumulated
+/// locally since its last flush, propagated to the owner. Each message is
+/// applied to the owned values exactly once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaPushMsg {
+    /// The propagating node.
+    pub node: NodeId,
+    /// The sender's flush sequence number; the owner echoes it back in
+    /// the `ack` field of the refresh it sends the sender, which then
+    /// retires exactly this in-flight batch.
+    pub flush_seq: u64,
+    /// Keys with accumulated updates, all homed at the destination.
+    pub keys: Vec<Key>,
+    /// Concatenated update terms in `keys` order.
+    pub vals: Vec<f32>,
+}
+
+/// Replica-sync message 3: fresh values from the owner to one subscribed
+/// replica holder — the propagation step closing a replication round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaRefreshMsg {
+    /// The sending owner (all `keys` are homed there).
+    pub owner: NodeId,
+    /// The owner's propagation-round counter (strictly increasing per
+    /// owner; per-link FIFO makes it strictly increasing per receiver).
+    pub round: u64,
+    /// The receiver's `flush_seq` this refresh answers (its deltas are
+    /// included in `vals`); 0 if the refresh answers no flush of the
+    /// receiver. The receiver retires exactly that in-flight batch.
+    pub ack: u64,
+    /// Refreshed keys.
+    pub keys: Vec<Key>,
+    /// Concatenated current values in `keys` order.
+    pub vals: Vec<f32>,
+}
+
 /// All protocol messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
@@ -137,6 +191,12 @@ pub enum Msg {
     Relocate(RelocateMsg),
     /// Relocation message 3 (old owner → new owner).
     HandOver(HandOverMsg),
+    /// Replica-sync message 1 (subscriber → owner).
+    ReplicaReg(ReplicaRegMsg),
+    /// Replica-sync message 2 (replica holder → owner).
+    ReplicaPush(ReplicaPushMsg),
+    /// Replica-sync message 3 (owner → replica holder).
+    ReplicaRefresh(ReplicaRefreshMsg),
     /// Stop the receiving server loop.
     Shutdown,
 }
@@ -153,6 +213,9 @@ impl Msg {
             Msg::LocalizeReq(_) => "reloc.localize",
             Msg::Relocate(_) => "reloc.relocate",
             Msg::HandOver(_) => "reloc.handover",
+            Msg::ReplicaReg(_) => "repl.reg",
+            Msg::ReplicaPush(_) => "repl.push",
+            Msg::ReplicaRefresh(_) => "repl.refresh",
             Msg::Shutdown => "shutdown",
         }
     }
@@ -182,6 +245,11 @@ impl WireSize for Msg {
             Msg::LocalizeReq(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys),
             Msg::Relocate(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys) + 2,
             Msg::HandOver(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals),
+            Msg::ReplicaReg(_) => 2,
+            Msg::ReplicaPush(m) => 2 + 8 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals),
+            Msg::ReplicaRefresh(m) => {
+                2 + 8 + 8 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals)
+            }
             Msg::Shutdown => 0,
         }
     }
@@ -220,6 +288,25 @@ impl WireCodec for Msg {
             Msg::HandOver(m) => {
                 put_u8(buf, 5);
                 put_op_id(buf, m.op);
+                put_keys(buf, &m.keys);
+                put_f32s(buf, &m.vals);
+            }
+            Msg::ReplicaReg(m) => {
+                put_u8(buf, 7);
+                put_node(buf, m.node);
+            }
+            Msg::ReplicaPush(m) => {
+                put_u8(buf, 8);
+                put_node(buf, m.node);
+                put_u64(buf, m.flush_seq);
+                put_keys(buf, &m.keys);
+                put_f32s(buf, &m.vals);
+            }
+            Msg::ReplicaRefresh(m) => {
+                put_u8(buf, 9);
+                put_node(buf, m.owner);
+                put_u64(buf, m.round);
+                put_u64(buf, m.ack);
                 put_keys(buf, &m.keys);
                 put_f32s(buf, &m.vals);
             }
@@ -287,6 +374,36 @@ impl WireCodec for Msg {
                 Ok(Msg::HandOver(HandOverMsg { op, keys, vals }))
             }
             6 => Ok(Msg::Shutdown),
+            7 => {
+                let node = get_node(buf)?;
+                Ok(Msg::ReplicaReg(ReplicaRegMsg { node }))
+            }
+            8 => {
+                let node = get_node(buf)?;
+                let flush_seq = get_u64(buf)?;
+                let keys = get_keys(buf)?;
+                let vals = get_f32s(buf)?;
+                Ok(Msg::ReplicaPush(ReplicaPushMsg {
+                    node,
+                    flush_seq,
+                    keys,
+                    vals,
+                }))
+            }
+            9 => {
+                let owner = get_node(buf)?;
+                let round = get_u64(buf)?;
+                let ack = get_u64(buf)?;
+                let keys = get_keys(buf)?;
+                let vals = get_f32s(buf)?;
+                Ok(Msg::ReplicaRefresh(ReplicaRefreshMsg {
+                    owner,
+                    round,
+                    ack,
+                    keys,
+                    vals,
+                }))
+            }
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -332,6 +449,20 @@ mod tests {
                 op: OpId::new(NodeId(1), 8),
                 keys: vec![Key(0)],
                 vals: vec![9.0, 8.0],
+            }),
+            Msg::ReplicaReg(ReplicaRegMsg { node: NodeId(2) }),
+            Msg::ReplicaPush(ReplicaPushMsg {
+                node: NodeId(2),
+                flush_seq: 4,
+                keys: vec![Key(1), Key(2)],
+                vals: vec![0.5, -1.5],
+            }),
+            Msg::ReplicaRefresh(ReplicaRefreshMsg {
+                owner: NodeId(0),
+                round: 9,
+                ack: 4,
+                keys: vec![Key(1)],
+                vals: vec![2.25],
             }),
             Msg::Shutdown,
         ]

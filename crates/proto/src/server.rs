@@ -21,6 +21,7 @@
 //! All batching uses insertion-ordered maps so message emission order is
 //! deterministic and re-dispatched operations keep their arrival order.
 
+use std::collections::HashMap;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
@@ -29,7 +30,8 @@ use lapse_net::{Key, NodeId};
 use crate::client::MsgSink;
 use crate::group::OrderedGroups;
 use crate::messages::{
-    HandOverMsg, LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, OpRespMsg, RelocateMsg,
+    HandOverMsg, LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, OpRespMsg, RelocateMsg, ReplicaPushMsg,
+    ReplicaRefreshMsg, ReplicaRegMsg,
 };
 use crate::shard::{NodeShared, Queued, QueuedOp};
 
@@ -55,6 +57,9 @@ struct Batches {
     handover: OrderedGroups<(NodeId, OpId), KeyVals>,
     /// Relocate instructions, emitted in order.
     relocates: Vec<(NodeId, RelocateMsg)>,
+    /// Replica refreshes, emitted in order (after everything else —
+    /// replicated keys never interact with relocation traffic).
+    refreshes: Vec<(NodeId, ReplicaRefreshMsg)>,
 }
 
 impl Batches {
@@ -108,6 +113,9 @@ impl Batches {
                 }),
             ));
         }
+        for (dst, refresh) in self.refreshes {
+            sink.push((dst, Msg::ReplicaRefresh(refresh)));
+        }
     }
 }
 
@@ -118,6 +126,14 @@ pub struct ServerCore {
     /// `ProtoConfig::home_slot`. Only the server logic touches it, so no
     /// lock is needed (one logical server thread per node, Figure 2).
     owner: Vec<NodeId>,
+    /// Nodes subscribed to replica refreshes from this owner, in
+    /// registration order (replication technique).
+    replica_subs: Vec<NodeId>,
+    /// Propagation-round counter, bumped per refresh broadcast.
+    replica_round: u64,
+    /// Last refresh round received per owner; per-link FIFO makes the
+    /// sequence strictly increasing (asserted in debug builds).
+    replica_rounds_in: HashMap<NodeId, u64>,
 }
 
 impl ServerCore {
@@ -126,7 +142,13 @@ impl ServerCore {
     pub fn new(shared: Arc<NodeShared>) -> Self {
         let slots = shared.cfg.home_slots(shared.node);
         let owner = vec![shared.node; slots];
-        ServerCore { shared, owner }
+        ServerCore {
+            shared,
+            owner,
+            replica_subs: Vec::new(),
+            replica_round: 0,
+            replica_rounds_in: HashMap::new(),
+        }
     }
 
     /// The node this server runs on.
@@ -156,6 +178,9 @@ impl ServerCore {
             Msg::LocalizeReq(m) => self.handle_localize(m, &mut batches),
             Msg::Relocate(m) => self.handle_relocate(m, &mut batches),
             Msg::HandOver(m) => self.handle_handover(m, &mut batches),
+            Msg::ReplicaReg(m) => self.handle_replica_reg(m, &mut batches),
+            Msg::ReplicaPush(m) => self.handle_replica_push(m, &mut batches),
+            Msg::ReplicaRefresh(m) => self.handle_replica_refresh(m),
             Msg::Shutdown => {}
         }
         batches.flush(self.shared.node, sink);
@@ -189,6 +214,10 @@ impl ServerCore {
         batches: &mut Batches,
     ) {
         let cfg = &self.shared.cfg;
+        debug_assert!(
+            !cfg.policy().replicated(k),
+            "op message for replicated key {k} (replicated access is always local)"
+        );
         let mut shard = self.shared.shard_for(k).lock();
         if shard.store.contains(k) {
             // Serve as owner.
@@ -250,9 +279,8 @@ impl ServerCore {
         debug_assert_eq!(m.op.node, self.shared.node, "response at wrong node");
         let mut val_off = 0usize;
         for &k in &m.keys {
-            if cfg.location_caches {
-                self.shared.shard_for(k).lock().loc_cache.insert(k, m.owner);
-            }
+            cfg.policy()
+                .note_owner(&mut self.shared.shard_for(k).lock(), k, m.owner);
             match m.kind {
                 OpKind::Pull => {
                     let len = cfg.layout.len(k);
@@ -316,9 +344,7 @@ impl ServerCore {
                     shard.store.insert(k, &v);
                     self.shared.tracker.complete_key(m.op.seq, k, None);
                 } else {
-                    if cfg.location_caches {
-                        shard.loc_cache.insert(k, m.new_owner);
-                    }
+                    cfg.policy().note_owner(&mut shard, k, m.new_owner);
                     let entry = batches.handover.entry((m.new_owner, m.op));
                     entry.keys.push(k);
                     entry.vals.extend_from_slice(&v);
@@ -385,9 +411,7 @@ impl ServerCore {
                         .store
                         .remove(k)
                         .expect("parked relocate found missing key");
-                    if cfg.location_caches {
-                        shard.loc_cache.insert(k, new_owner);
-                    }
+                    cfg.policy().note_owner(&mut shard, k, new_owner);
                     let entry = batches.handover.entry((new_owner, op));
                     entry.keys.push(k);
                     entry.vals.extend_from_slice(&v);
@@ -424,6 +448,162 @@ impl ServerCore {
                     entry.keys.push(k);
                     entry.vals.extend_from_slice(v);
                 }
+            }
+        }
+    }
+
+    // ---- replication (NuPS §2) --------------------------------------------
+
+    /// Replica-sync message 1: register a subscriber and answer with an
+    /// initial snapshot of every replicated key homed here.
+    fn handle_replica_reg(&mut self, m: ReplicaRegMsg, batches: &mut Batches) {
+        debug_assert_ne!(m.node, self.shared.node, "self-registration");
+        if self.replica_subs.contains(&m.node) {
+            return;
+        }
+        self.replica_subs.push(m.node);
+        let cfg = self.shared.cfg.clone();
+        let policy = cfg.policy();
+        let mut keys = Vec::new();
+        let mut vals = Vec::new();
+        for key in cfg.home_keys(self.shared.node) {
+            if !policy.replicated(key) {
+                continue;
+            }
+            let shard = self.shared.shard_for(key).lock();
+            let v = shard.store.get(key).expect("owner stores replicated key");
+            keys.push(key);
+            vals.extend_from_slice(v);
+        }
+        if keys.is_empty() {
+            return;
+        }
+        self.replica_round += 1;
+        batches.refreshes.push((
+            m.node,
+            ReplicaRefreshMsg {
+                owner: self.shared.node,
+                round: self.replica_round,
+                ack: 0, // a snapshot, not an answer to any flush
+                keys,
+                vals,
+            },
+        ));
+    }
+
+    /// Replica-sync message 2, at the owner: apply the accumulated update
+    /// terms exactly once, then broadcast the fresh values to every
+    /// subscriber (the propagation step closing this round). The refresh
+    /// sent back to the pusher acknowledges exactly `m.flush_seq`, so its
+    /// in-flight batch is retired only once the owner has really applied
+    /// it — flushes of concurrent workers that overtake each other on the
+    /// wire cannot retire one another's batches.
+    fn handle_replica_push(&mut self, m: ReplicaPushMsg, batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        let policy = cfg.policy();
+        let own_flush = m.node == self.shared.node;
+        // Group by shard so each shard's deltas are applied — and, for the
+        // owner's own flushes, its in-flight batch retired — under one
+        // latch: the owned store is the owner's replica view, so a local
+        // reader must never see a shard's batch retired while some of its
+        // deltas are still unapplied (dropped writes) or vice versa
+        // (double count).
+        let mut per_shard: OrderedGroups<usize, Vec<(Key, std::ops::Range<usize>)>> =
+            OrderedGroups::new();
+        let mut val_off = 0usize;
+        for &k in &m.keys {
+            debug_assert!(policy.replicated(k), "replica push for unreplicated {k}");
+            debug_assert_eq!(cfg.home(k), self.shared.node, "replica push at wrong owner");
+            let len = cfg.layout.len(k);
+            per_shard
+                .entry(cfg.shard_of(k))
+                .push((k, val_off..val_off + len));
+            val_off += len;
+        }
+        debug_assert_eq!(val_off, m.vals.len(), "replica push payload mismatch");
+        let broadcast = !self.replica_subs.is_empty();
+        let mut fresh_by_key: std::collections::HashMap<Key, Vec<f32>> = Default::default();
+        for (shard_idx, keys) in per_shard.into_iter() {
+            let mut shard = self.shared.shards[shard_idx].lock();
+            for (k, range) in keys {
+                let applied = shard.store.add(k, &m.vals[range]);
+                debug_assert!(applied, "owner lost replicated key {k}");
+                if broadcast {
+                    fresh_by_key.insert(k, shard.store.get(k).expect("just updated").to_vec());
+                }
+                self.shared
+                    .stats
+                    .replica_pushes_applied
+                    .fetch_add(1, Relaxed);
+            }
+            if own_flush {
+                shard.replica.retire(self.shared.node, m.flush_seq);
+            }
+        }
+        if !broadcast {
+            return;
+        }
+        let mut fresh = Vec::with_capacity(m.vals.len());
+        for &k in &m.keys {
+            fresh.extend_from_slice(&fresh_by_key[&k]);
+        }
+        self.replica_round += 1;
+        for &sub in &self.replica_subs {
+            batches.refreshes.push((
+                sub,
+                ReplicaRefreshMsg {
+                    owner: self.shared.node,
+                    round: self.replica_round,
+                    ack: if sub == m.node { m.flush_seq } else { 0 },
+                    keys: m.keys.clone(),
+                    vals: fresh.clone(),
+                },
+            ));
+        }
+    }
+
+    /// Replica-sync message 3, at a replica holder: install the fresh
+    /// values and retire the acknowledged in-flight batch. Install and
+    /// retirement happen under one latch per shard: the refreshed values
+    /// already include the acknowledged deltas, so a reader must never
+    /// see both (double count) or neither (dropped writes).
+    fn handle_replica_refresh(&mut self, m: ReplicaRefreshMsg) {
+        let cfg = self.shared.cfg.clone();
+        let policy = cfg.policy();
+        // Rounds from one owner arrive strictly increasing (per-link
+        // FIFO); a violation means refreshes were reordered and stale
+        // values could overwrite fresh ones.
+        let last_round = self.replica_rounds_in.entry(m.owner).or_insert(0);
+        debug_assert!(
+            m.round > *last_round,
+            "refresh round {} from {} after round {last_round}",
+            m.round,
+            m.owner
+        );
+        *last_round = m.round;
+        let mut per_shard: OrderedGroups<usize, Vec<(Key, std::ops::Range<usize>)>> =
+            OrderedGroups::new();
+        let mut val_off = 0usize;
+        for &k in &m.keys {
+            debug_assert!(policy.replicated(k), "refresh for unreplicated {k}");
+            debug_assert_eq!(cfg.home(k), m.owner, "refresh from non-owner");
+            let len = cfg.layout.len(k);
+            per_shard
+                .entry(cfg.shard_of(k))
+                .push((k, val_off..val_off + len));
+            val_off += len;
+        }
+        debug_assert_eq!(val_off, m.vals.len(), "refresh payload mismatch");
+        for (shard_idx, keys) in per_shard.into_iter() {
+            let mut shard = self.shared.shards[shard_idx].lock();
+            for (k, range) in keys {
+                shard.replica.refresh(k, &m.vals[range]);
+                self.shared.stats.replica_refreshes.fetch_add(1, Relaxed);
+            }
+            if m.ack > 0 {
+                // An acked batch's keys are exactly the refreshed keys, so
+                // every shard holding a part of it is visited here.
+                shard.replica.retire(m.owner, m.ack);
             }
         }
     }

@@ -17,8 +17,8 @@
 //! (`ProtoConfig::latches`).
 
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lapse_net::{Key, NodeId};
@@ -66,6 +66,82 @@ pub struct IncomingState {
     pub waiting_localize: Vec<OpId>,
 }
 
+/// The shard's slice of the replica state used by the replication
+/// technique (NuPS §2): the last refreshed values of replicated keys
+/// homed elsewhere, plus the locally accumulated update terms that have
+/// not reached the owner yet.
+///
+/// A local read of a replicated key must never go backwards, so deltas
+/// stay visible through their whole life cycle: they accumulate in
+/// `pending`, move to `in_flight` when a flush ships them to the owner,
+/// and are retired only when a [`ReplicaRefreshMsg`] acknowledges that
+/// the owner applied them (its values then include them). The local view
+/// of a key is always `values + in_flight + pending` (with the owned
+/// store standing in for `values` at the owner).
+#[derive(Debug, Default)]
+pub struct ReplicaSlice {
+    /// Last refreshed values of replicated keys homed elsewhere.
+    pub values: HashMap<Key, Vec<f32>>,
+    /// Deltas accumulated since the last flush (key-sorted so flush
+    /// emission order is deterministic).
+    pub pending: BTreeMap<Key, Vec<f32>>,
+    /// Flushed-but-unacknowledged delta batches: `(owner, flush_seq,
+    /// deltas)`, each retired by the refresh whose `ack` equals its
+    /// `flush_seq` exactly (see [`ReplicaSlice::retire`]).
+    pub in_flight: Vec<(NodeId, u64, BTreeMap<Key, Vec<f32>>)>,
+}
+
+impl ReplicaSlice {
+    /// Adds a push's update terms to the pending accumulator.
+    pub fn accumulate(&mut self, key: Key, delta: &[f32]) {
+        match self.pending.entry(key) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                for (acc, d) in e.get_mut().iter_mut().zip(delta) {
+                    *acc += d;
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(delta.to_vec());
+            }
+        }
+    }
+
+    /// Overlays the not-yet-refreshed local deltas of `key` onto `out`.
+    pub fn overlay(&self, key: Key, out: &mut [f32]) {
+        for (_, _, batch) in &self.in_flight {
+            if let Some(delta) = batch.get(&key) {
+                for (o, d) in out.iter_mut().zip(delta) {
+                    *o += d;
+                }
+            }
+        }
+        if let Some(delta) = self.pending.get(&key) {
+            for (o, d) in out.iter_mut().zip(delta) {
+                *o += d;
+            }
+        }
+    }
+
+    /// Installs refreshed values for `key` (overwrites the last refresh).
+    pub fn refresh(&mut self, key: Key, vals: &[f32]) {
+        match self.values.get_mut(&key) {
+            Some(v) => v.copy_from_slice(vals),
+            None => {
+                self.values.insert(key, vals.to_vec());
+            }
+        }
+    }
+
+    /// Retires the in-flight batch towards `owner` with exactly flush
+    /// sequence `ack` (the owner's values now include it). Exact matching
+    /// keeps concurrent workers' flushes that overtake each other on the
+    /// wire from retiring one another's unapplied batches.
+    pub fn retire(&mut self, owner: NodeId, ack: u64) {
+        self.in_flight
+            .retain(|&(o, seq, _)| o != owner || seq != ack);
+    }
+}
+
 /// One latch-guarded shard of node state.
 #[derive(Debug)]
 pub struct Shard {
@@ -75,6 +151,27 @@ pub struct Shard {
     pub incoming: HashMap<Key, IncomingState>,
     /// Location cache (used only when `ProtoConfig::location_caches`).
     pub loc_cache: HashMap<Key, NodeId>,
+    /// Replica state of the replication technique.
+    pub replica: ReplicaSlice,
+}
+
+impl Shard {
+    /// Reads a replicated key into `out`: the freshest local view is the
+    /// owned value (at the owner) or the last refresh (at a replica
+    /// holder), plus all locally accumulated deltas. Returns false if the
+    /// key has no local replica state (never happens for replicated keys
+    /// after eager initialization).
+    pub fn read_replicated(&self, key: Key, out: &mut [f32]) -> bool {
+        if let Some(v) = self.store.get(key) {
+            out.copy_from_slice(v);
+        } else if let Some(v) = self.replica.values.get(&key) {
+            out.copy_from_slice(v);
+        } else {
+            return false;
+        }
+        self.replica.overlay(key, out);
+        true
+    }
 }
 
 /// Hot counters for the paper's access statistics (Table 5 and the
@@ -104,6 +201,16 @@ pub struct AccessStats {
     /// Relocate messages for keys this node neither owned nor expected
     /// (protocol-invariant violations; must stay 0).
     pub unexpected_relocates: AtomicU64,
+    /// Pull keys served by the replication technique (local replica view).
+    pub pull_replica: AtomicU64,
+    /// Push keys accumulated by the replication technique.
+    pub push_replica: AtomicU64,
+    /// Replica flushes this node propagated (ReplicaPush messages sent).
+    pub replica_flushes: AtomicU64,
+    /// Replicated push keys applied at this node acting as owner.
+    pub replica_pushes_applied: AtomicU64,
+    /// Replicated keys refreshed on this node by owner broadcasts.
+    pub replica_refreshes: AtomicU64,
 }
 
 impl AccessStats {
@@ -112,11 +219,15 @@ impl AccessStats {
         self.pull_local.load(Ordering::Relaxed)
             + self.pull_queued.load(Ordering::Relaxed)
             + self.pull_remote.load(Ordering::Relaxed)
+            + self.pull_replica.load(Ordering::Relaxed)
     }
 
-    /// Pull keys that never left the node (fast path + parked locally).
+    /// Pull keys that never left the node (fast path + replica view +
+    /// parked locally).
     pub fn pull_local_total(&self) -> u64 {
-        self.pull_local.load(Ordering::Relaxed) + self.pull_queued.load(Ordering::Relaxed)
+        self.pull_local.load(Ordering::Relaxed)
+            + self.pull_queued.load(Ordering::Relaxed)
+            + self.pull_replica.load(Ordering::Relaxed)
     }
 }
 
@@ -129,10 +240,19 @@ pub struct NodeShared {
     pub node: NodeId,
     /// Latch-guarded shards, indexed by `ProtoConfig::shard_of`.
     pub shards: Vec<Mutex<Shard>>,
-    /// Client operation tracker.
-    pub tracker: OpTracker,
+    /// Client operation tracker (shared so async tokens can reclaim
+    /// their entries on drop).
+    pub tracker: Arc<OpTracker>,
     /// Access statistics.
     pub stats: AccessStats,
+    /// Whether this node has subscribed to replica refreshes yet
+    /// (replication technique; flipped by the first replicated access).
+    pub replica_registered: AtomicBool,
+    /// Replicated pushes accumulated since the last flush (the automatic
+    /// flush trigger, see `ProtoConfig::replica_flush_every`).
+    pub replica_unflushed: AtomicU64,
+    /// Flush sequence numbers for this node's replica propagation.
+    pub replica_flush_seq: AtomicU64,
 }
 
 impl NodeShared {
@@ -163,15 +283,19 @@ impl NodeShared {
                 store,
                 incoming: HashMap::new(),
                 loc_cache: HashMap::new(),
+                replica: ReplicaSlice::default(),
             };
-            // Initially every key is owned by its home node (Section 3.5).
+            // Initially every key is owned by its home node (Section 3.5);
+            // replicated keys homed elsewhere start as local replicas of
+            // the same deterministic initial values.
             for k in start..end {
                 let key = Key(k);
                 if cfg.home(key) == node {
-                    match init(key) {
-                        Some(v) => shard.store.insert(key, &v),
-                        None => shard.store.insert(key, &vec![0.0; cfg.layout.len(key)]),
-                    }
+                    let v = init(key).unwrap_or_else(|| vec![0.0; cfg.layout.len(key)]);
+                    shard.store.insert(key, &v);
+                } else if cfg.policy().replicated(key) {
+                    let v = init(key).unwrap_or_else(|| vec![0.0; cfg.layout.len(key)]);
+                    shard.replica.values.insert(key, v);
                 }
             }
             shards.push(Mutex::new(shard));
@@ -180,8 +304,11 @@ impl NodeShared {
             cfg: cfg.clone(),
             node,
             shards,
-            tracker: OpTracker::new(clock),
+            tracker: Arc::new(OpTracker::new(clock)),
             stats: AccessStats::default(),
+            replica_registered: AtomicBool::new(false),
+            replica_unflushed: AtomicU64::new(0),
+            replica_flush_seq: AtomicU64::new(0),
         })
     }
 
@@ -199,6 +326,15 @@ impl NodeShared {
             .store
             .get(key)
             .map(|v| v.to_vec())
+    }
+
+    /// Reads the local replicated view of a key (owned value or last
+    /// refresh, plus unpropagated local deltas), if any — test/diagnostic
+    /// helper; takes the latch.
+    pub fn read_replica(&self, key: Key) -> Option<Vec<f32>> {
+        let shard = self.shard_for(key).lock();
+        let mut out = vec![0.0; self.cfg.layout.len(key)];
+        shard.read_replicated(key, &mut out).then_some(out)
     }
 
     /// Number of keys this node currently owns.

@@ -1,0 +1,229 @@
+//! The management-technique policy layer.
+//!
+//! The paper manages every parameter with one technique — **relocation**
+//! — and its follow-up (NuPS, PAPERS.md) shows that a production PS needs
+//! **replication** as a co-equal technique for hot keys. This module is
+//! the single place where "how is this key managed?" is decided; the
+//! client issue path, the server routing path, and the shard state
+//! machine consult it instead of branching on variant flags ad hoc.
+//!
+//! A [`Policy`] answers three kinds of questions:
+//!
+//! * **per-key technique** — [`Policy::technique`] maps a key to
+//!   [`Technique::Static`], [`Technique::Relocation`], or
+//!   [`Technique::Replication`] according to the configured
+//!   [`Variant`](crate::config::Variant) and hot set;
+//! * **client routing** — [`Policy::issue_route`] turns one key of an
+//!   operation into an [`IssueRoute`] (shared-memory serve, replica
+//!   serve/accumulate, park on a relocation queue, or ship remotely),
+//!   and [`Policy::remote_dst`] picks the remote destination (home node,
+//!   or cached owner when location caches are enabled);
+//! * **location caching** — [`Policy::note_owner`] centralizes the
+//!   piggybacked cache refreshes of Section 3.3.
+
+use std::collections::HashMap;
+
+use lapse_net::{Key, NodeId};
+
+use crate::config::{ProtoConfig, Variant};
+use crate::shard::Shard;
+
+/// How one key's parameter is managed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Static allocation at the home node; `localize` is a no-op.
+    Static,
+    /// Dynamic relocation: ownership follows access (the paper's DPA).
+    Relocation,
+    /// All-node replication: local reads, accumulated pushes propagated
+    /// to the owner in rounds (NuPS §2).
+    Replication,
+}
+
+/// Client-side routing decision for one key of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueRoute {
+    /// Serve through shared memory from the owned store.
+    OwnedLocal,
+    /// Serve from the local replica view (reads) or accumulate locally
+    /// for the next propagation round (pushes).
+    Replica,
+    /// Park on the inbound-relocation queue until the hand-over arrives.
+    Park,
+    /// Route over the network to this destination.
+    Remote(NodeId),
+}
+
+/// The technique policy: a borrowed view of the protocol configuration
+/// that answers every per-key management question.
+#[derive(Clone, Copy)]
+pub struct Policy<'c> {
+    cfg: &'c ProtoConfig,
+}
+
+impl<'c> Policy<'c> {
+    /// Creates the policy view (use [`ProtoConfig::policy`]).
+    pub(crate) fn new(cfg: &'c ProtoConfig) -> Self {
+        Policy { cfg }
+    }
+
+    /// The technique managing `key`.
+    #[inline]
+    pub fn technique(&self, key: Key) -> Technique {
+        match self.cfg.variant {
+            Variant::Classic | Variant::ClassicFastLocal => Technique::Static,
+            Variant::Lapse => Technique::Relocation,
+            Variant::Replication => Technique::Replication,
+            Variant::Hybrid => {
+                if self.cfg.hot_set.contains(key) {
+                    Technique::Replication
+                } else {
+                    Technique::Relocation
+                }
+            }
+        }
+    }
+
+    /// Whether workers may access node-local parameters via shared
+    /// memory (everything but the classic message-only PS).
+    #[inline]
+    pub fn shared_memory(&self) -> bool {
+        !matches!(self.cfg.variant, Variant::Classic)
+    }
+
+    /// Whether `localize` actually relocates `key`.
+    #[inline]
+    pub fn relocation_enabled(&self, key: Key) -> bool {
+        self.technique(key) == Technique::Relocation
+    }
+
+    /// Whether `key` is replicated on every node.
+    #[inline]
+    pub fn replicated(&self, key: Key) -> bool {
+        self.technique(key) == Technique::Replication
+    }
+
+    /// Whether the variant replicates any keys at all (fast pre-check
+    /// for the replica-sync paths).
+    #[inline]
+    pub fn any_replication(&self) -> bool {
+        match self.cfg.variant {
+            Variant::Replication => true,
+            Variant::Hybrid => !self.cfg.hot_set.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Routes one key of a client operation. `forced` is the
+    /// ordered-async guard (see `ProtoConfig::ordered_async_guard`):
+    /// guard-forced keys always take the remote path via home.
+    #[inline]
+    pub fn issue_route(&self, key: Key, shard: &Shard, forced: bool) -> IssueRoute {
+        if !forced {
+            match self.technique(key) {
+                Technique::Replication => return IssueRoute::Replica,
+                Technique::Relocation => {
+                    if self.shared_memory() && shard.store.contains(key) {
+                        return IssueRoute::OwnedLocal;
+                    }
+                    if shard.incoming.contains_key(&key) {
+                        return IssueRoute::Park;
+                    }
+                }
+                Technique::Static => {
+                    if self.shared_memory() && shard.store.contains(key) {
+                        return IssueRoute::OwnedLocal;
+                    }
+                }
+            }
+        }
+        IssueRoute::Remote(self.remote_dst(key, &shard.loc_cache, forced))
+    }
+
+    /// Remote destination for `key`: the home node, or the cached owner
+    /// when location caches are enabled. Guard-forced operations always
+    /// travel via the home node so they share one FIFO path with the
+    /// outstanding operation.
+    #[inline]
+    pub fn remote_dst(&self, key: Key, loc_cache: &HashMap<Key, NodeId>, forced: bool) -> NodeId {
+        if !forced && self.cfg.location_caches {
+            if let Some(&owner) = loc_cache.get(&key) {
+                return owner;
+            }
+        }
+        self.cfg.home(key)
+    }
+
+    /// Records `owner` as the current location of `key` — a no-op unless
+    /// location caches are enabled. All cache refreshes piggyback on
+    /// existing messages (Section 3.3); this is the single place that
+    /// rule is applied.
+    #[inline]
+    pub fn note_owner(&self, shard: &mut Shard, key: Key, owner: NodeId) {
+        if self.cfg.location_caches {
+            shard.loc_cache.insert(key, owner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HotSet;
+    use crate::layout::Layout;
+
+    fn cfg(variant: Variant) -> ProtoConfig {
+        let mut c = ProtoConfig::new(2, 16, Layout::Uniform(1));
+        c.variant = variant;
+        c
+    }
+
+    #[test]
+    fn techniques_per_variant() {
+        assert_eq!(
+            cfg(Variant::Classic).policy().technique(Key(0)),
+            Technique::Static
+        );
+        assert_eq!(
+            cfg(Variant::ClassicFastLocal).policy().technique(Key(0)),
+            Technique::Static
+        );
+        assert_eq!(
+            cfg(Variant::Lapse).policy().technique(Key(0)),
+            Technique::Relocation
+        );
+        assert_eq!(
+            cfg(Variant::Replication).policy().technique(Key(15)),
+            Technique::Replication
+        );
+    }
+
+    #[test]
+    fn hybrid_splits_by_hot_set() {
+        let mut c = cfg(Variant::Hybrid);
+        c.hot_set = HotSet::Prefix(4);
+        let p = c.policy();
+        assert_eq!(p.technique(Key(3)), Technique::Replication);
+        assert_eq!(p.technique(Key(4)), Technique::Relocation);
+        assert!(p.any_replication());
+        assert!(p.relocation_enabled(Key(9)));
+        assert!(!p.relocation_enabled(Key(0)));
+    }
+
+    #[test]
+    fn shared_memory_flag() {
+        assert!(!cfg(Variant::Classic).policy().shared_memory());
+        assert!(cfg(Variant::ClassicFastLocal).policy().shared_memory());
+        assert!(cfg(Variant::Lapse).policy().shared_memory());
+        assert!(cfg(Variant::Replication).policy().shared_memory());
+    }
+
+    #[test]
+    fn classic_variants_never_replicate() {
+        for v in [Variant::Classic, Variant::ClassicFastLocal, Variant::Lapse] {
+            let c = cfg(v);
+            assert!(!c.policy().any_replication());
+            assert!(!c.policy().replicated(Key(0)));
+        }
+    }
+}

@@ -204,6 +204,20 @@ impl TestCluster {
         }
     }
 
+    /// Flushes a node's accumulated replicated pushes (the replication
+    /// technique's propagation tick) without delivering anything.
+    pub fn flush_replicas(&mut self, node: NodeId) {
+        let mut sink = Vec::new();
+        self.nodes[node.idx()].clients[0].flush_replicas(&mut sink);
+        self.send_all(node, sink);
+    }
+
+    /// Reads the local replicated view of `key` on `node` (owned value or
+    /// last refresh, plus unpropagated deltas), if any.
+    pub fn replica_view(&self, node: NodeId, key: Key) -> Option<Vec<f32>> {
+        self.nodes[node.idx()].shared.read_replica(key)
+    }
+
     /// Issues a localize and drives the cluster to quiescence.
     pub fn localize_now(&mut self, node: NodeId, slot: usize, keys: &[Key]) {
         let mut sink = Vec::new();

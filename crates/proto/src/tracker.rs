@@ -61,6 +61,9 @@ struct OpState {
     sealed: bool,
     /// True once sealed and all keys completed.
     done: bool,
+    /// True if the issuing worker dropped its handle without waiting;
+    /// the entry is reclaimed when the last key completes.
+    abandoned: bool,
     /// Pull result buffer.
     result: Vec<f32>,
     dests: Vec<KeyDest>,
@@ -140,6 +143,7 @@ impl OpTracker {
             pending: 0,
             sealed: false,
             done: false,
+            abandoned: false,
             result: Vec::new(),
             dests: Vec::new(),
             by_key: HashMap::new(),
@@ -234,7 +238,14 @@ impl OpTracker {
             if op.sealed && op.pending == 0 {
                 op.done = true;
                 self.finish_timing(op);
-                (true, op.waiter)
+                if op.abandoned {
+                    // The issuing worker dropped its handle; reclaim the
+                    // entry now instead of waking anyone.
+                    shard.remove(&seq);
+                    (false, 0)
+                } else {
+                    (true, op.waiter)
+                }
             } else {
                 (false, 0)
             }
@@ -293,6 +304,21 @@ impl OpTracker {
             op.map(|o| o.done).unwrap_or(true),
             "discard of incomplete op"
         );
+    }
+
+    /// Abandons an operation whose handle was dropped without waiting:
+    /// a completed entry is reclaimed immediately, an in-flight one is
+    /// marked and reclaimed when its last key completes. Unknown
+    /// sequence numbers (already taken/discarded) are ignored.
+    pub fn abandon(&self, seq: u64) {
+        let mut shard = self.shard(seq).lock();
+        if let Some(op) = shard.get_mut(&seq) {
+            if op.done {
+                shard.remove(&seq);
+            } else {
+                op.abandoned = true;
+            }
+        }
     }
 
     /// Number of operations still in flight (diagnostics).
@@ -404,6 +430,38 @@ mod tests {
         let h = t.reloc_time_stats();
         assert_eq!(h.stats().count(), 1);
         assert!((h.stats().mean() - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn abandoned_op_reclaimed_when_last_key_completes() {
+        let t = tracker();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        t.set_waker(Arc::new(move |_, _| {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        }));
+        let seq = t.begin(TrackedKind::Push, 0, None);
+        t.add_key(seq, Key(1), 0, 0, true);
+        t.seal(seq);
+        t.abandon(seq);
+        assert_eq!(t.in_flight(), 1, "in-flight op stays until completion");
+        t.complete_key(seq, Key(1), None);
+        assert_eq!(t.in_flight(), 0, "abandoned op reclaimed on completion");
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "no wake for abandoned op");
+    }
+
+    #[test]
+    fn abandon_of_completed_op_reclaims_immediately() {
+        let t = tracker();
+        let seq = t.begin(TrackedKind::Push, 0, None);
+        t.add_key(seq, Key(1), 0, 0, true);
+        t.seal(seq);
+        t.complete_key(seq, Key(1), None);
+        assert_eq!(t.in_flight(), 1);
+        t.abandon(seq);
+        assert_eq!(t.in_flight(), 0);
+        // Abandoning an already-reclaimed seq is a no-op.
+        t.abandon(seq);
     }
 
     #[test]

@@ -8,7 +8,8 @@ use proptest::prelude::*;
 use lapse_net::codec::WireCodec;
 use lapse_net::{Key, NodeId, WireSize};
 use lapse_proto::messages::{
-    HandOverMsg, LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, OpRespMsg, RelocateMsg,
+    HandOverMsg, LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, OpRespMsg, RelocateMsg, ReplicaPushMsg,
+    ReplicaRefreshMsg, ReplicaRegMsg,
 };
 
 fn op_id() -> impl Strategy<Value = OpId> {
@@ -60,6 +61,26 @@ fn msg() -> impl Strategy<Value = Msg> {
         }),
         (op_id(), keys(), vals(80))
             .prop_map(|(op, keys, vals)| { Msg::HandOver(HandOverMsg { op, keys, vals }) }),
+        any::<u16>().prop_map(|n| Msg::ReplicaReg(ReplicaRegMsg { node: NodeId(n) })),
+        (any::<u16>(), any::<u64>(), keys(), vals(80)).prop_map(|(n, flush_seq, keys, vals)| {
+            Msg::ReplicaPush(ReplicaPushMsg {
+                node: NodeId(n),
+                flush_seq,
+                keys,
+                vals,
+            })
+        }),
+        (any::<u16>(), any::<u64>(), any::<u64>(), keys(), vals(80)).prop_map(
+            |(n, round, ack, keys, vals)| {
+                Msg::ReplicaRefresh(ReplicaRefreshMsg {
+                    owner: NodeId(n),
+                    round,
+                    ack,
+                    keys,
+                    vals,
+                })
+            }
+        ),
         Just(Msg::Shutdown),
     ]
 }

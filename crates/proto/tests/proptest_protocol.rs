@@ -21,7 +21,7 @@ use lapse_proto::consistency::{
     check_monotonic_reads, check_no_lost_updates, check_read_your_writes, WorkerLog,
 };
 use lapse_proto::testkit::{IssueOp, TestCluster};
-use lapse_proto::{Layout, ProtoConfig};
+use lapse_proto::{HotSet, Layout, ProtoConfig, Variant};
 use lapse_utils::rng::derive_rng;
 
 /// One scripted action of the fuzz schedule.
@@ -154,11 +154,24 @@ fn run_schedule(
                 break;
             }
         }
+        // Occasionally trigger a replica propagation round mid-schedule
+        // (a no-op under the relocation-only variants).
+        if rng.gen_range(0..8u32) == 0 {
+            cluster.flush_replicas(NodeId(rng.gen_range(0..nodes)));
+        }
     }
 
     // Drain with a random delivery order.
     let mut drain_rng = derive_rng(seed, 31);
     cluster.run_random_schedule(|n| drain_rng.gen_range(0..n));
+
+    // Final propagation round: flush every node's accumulated replicated
+    // pushes and drain again, so owners hold every update.
+    for n in 0..nodes {
+        cluster.flush_replicas(NodeId(n));
+    }
+    let mut final_rng = derive_rng(seed, 47);
+    cluster.run_random_schedule(|n| final_rng.gen_range(0..n));
 
     // Collect pull results into the logs.
     for p in pending_pulls {
@@ -186,6 +199,45 @@ fn run_schedule(
 
     cluster.check_ownership_invariant();
     assert_eq!(cluster.in_flight_ops(), 0, "tracker leak");
+
+    // Replication convergence: after the last propagation round, no
+    // deltas are pending or in flight anywhere, and every *registered*
+    // node's replica view of a replicated key equals the owner's value
+    // (reads can never observe anything older than the last round).
+    let policy_cfg = cluster.cfg.clone();
+    for node in &cluster.nodes {
+        let registered = node
+            .shared
+            .replica_registered
+            .load(std::sync::atomic::Ordering::Relaxed);
+        for k in 0..keys {
+            let key = Key(k);
+            if !policy_cfg.policy().replicated(key) {
+                continue;
+            }
+            let shard = node.shared.shard_for(key).lock();
+            assert!(
+                shard.replica.pending.is_empty() && shard.replica.in_flight.is_empty(),
+                "unpropagated replica deltas left on {} at quiescence",
+                node.shared.node
+            );
+            drop(shard);
+            if registered {
+                let view = node
+                    .shared
+                    .read_replica(key)
+                    .unwrap_or_else(|| panic!("no replica view of {key} on {}", node.shared.node));
+                let owner = cluster.value_of(key);
+                assert!(
+                    (view[0] - owner[0]).abs() < 1e-3,
+                    "replica of {key} on {} is {} but owner has {} after the last round",
+                    node.shared.node,
+                    view[0],
+                    owner[0]
+                );
+            }
+        }
+    }
 
     let mut finals = HashMap::new();
     for k in 0..keys {
@@ -258,6 +310,43 @@ proptest! {
         let (finals, logs) = run_schedule(cfg, 2, &actions, seed);
         let lost = check_no_lost_updates(&finals, &logs);
         prop_assert!(lost.is_empty(), "lost updates with caches: {lost:?}");
+    }
+
+    /// NuPS replication convergence, across random relocation/replication
+    /// interleavings (hybrid hot prefixes from none to the whole key
+    /// space, mid-schedule propagation rounds, random delivery orders):
+    ///
+    /// * every push reaches the owner exactly once — the final owner
+    ///   value is the exact sum of all pushes (`check_no_lost_updates`
+    ///   catches both loss and double application),
+    /// * replica reads are monotonic per worker (a read never observes a
+    ///   value older than one it already saw, i.e. never older than the
+    ///   last propagation round it observed) and read-your-writes holds
+    ///   through the pending/in-flight overlay,
+    /// * after the final round every registered replica equals the owner
+    ///   (checked inside `run_schedule`).
+    #[test]
+    fn replication_and_hybrid_converge(
+        seed in any::<u64>(),
+        hot in 0u64..=16,
+        actions in proptest::collection::vec(action_strategy(4, 16, 2), 1..60),
+    ) {
+        let mut cfg = ProtoConfig::new(4, 16, Layout::Uniform(1));
+        if hot >= 16 {
+            cfg.variant = Variant::Replication;
+        } else {
+            cfg.variant = Variant::Hybrid;
+            cfg.hot_set = HotSet::Prefix(hot);
+        }
+        cfg.replica_flush_every = 3; // auto-flush interleaves with ops
+        let (finals, logs) = run_schedule(cfg, 2, &actions, seed);
+
+        let lost = check_no_lost_updates(&finals, &logs);
+        prop_assert!(lost.is_empty(), "pushes lost or double-applied: {lost:?}");
+        let mono = check_monotonic_reads(&logs);
+        prop_assert!(mono.is_empty(), "replica read went backwards: {mono:?}");
+        let ryw = check_read_your_writes(&logs);
+        prop_assert!(ryw.is_empty(), "own accumulated push invisible: {ryw:?}");
     }
 
     /// Multi-key operations with larger values and a two-tier layout

@@ -617,3 +617,185 @@ fn concurrent_localizes_from_same_node_share_one_request() {
     assert!(c.op_done(N0, &h1));
     c.check_ownership_invariant();
 }
+
+// ---------------------------------------------------------------------------
+// replication technique (NuPS §2)
+// ---------------------------------------------------------------------------
+
+fn replication_cfg(nodes: u16, keys: u64) -> ProtoConfig {
+    let mut c = cfg(nodes, keys);
+    c.variant = Variant::Replication;
+    c.replica_flush_every = 1_000_000; // flush explicitly in tests
+    c
+}
+
+#[test]
+fn replicated_ops_complete_locally_without_op_messages() {
+    let c = TestCluster::new(replication_cfg(3, 12), 1);
+    let k = home_key(1); // homed at n1, replicated everywhere
+    let mut sink = Vec::new();
+    let h = c.nodes[0].clients[0].push(&[k], &[1.0, 2.0], &mut sink);
+    assert!(matches!(h, IssueHandle::Ready(None)));
+    // Only the one-time registration messages, no Op traffic.
+    assert!(sink
+        .iter()
+        .all(|(_, m)| matches!(m, lapse_proto::Msg::ReplicaReg(_))));
+    let mut out = [0.0; 2];
+    let mut sink = Vec::new();
+    let h = c.nodes[0].clients[0].pull(&[k], Some(&mut out), &mut sink);
+    assert!(matches!(h, IssueHandle::Ready(None)));
+    assert!(sink.is_empty(), "second replicated access sends nothing");
+    assert_eq!(
+        out,
+        [1.0, 2.0],
+        "read-your-writes through the pending overlay"
+    );
+    assert_eq!(c.nodes[0].shared.stats.pull_replica.load(Relaxed), 1);
+    assert_eq!(c.nodes[0].shared.stats.push_replica.load(Relaxed), 1);
+}
+
+#[test]
+fn replica_flush_applies_pushes_to_owner_exactly_once() {
+    let mut c = TestCluster::new(replication_cfg(3, 12), 1);
+    let k = home_key(1);
+    c.issue(N0, 0, IssueOp::Push(&[k], &[1.0, 0.5]), None);
+    c.issue(N2, 0, IssueOp::Push(&[k], &[2.0, 0.25]), None);
+    c.flush_replicas(N0);
+    c.flush_replicas(N2);
+    c.run_until_quiet();
+    assert_eq!(
+        c.value_of(k),
+        vec![3.0, 0.75],
+        "owner sums both pushes once"
+    );
+    // A later flush with nothing pending must not re-apply anything.
+    c.flush_replicas(N0);
+    c.run_until_quiet();
+    assert_eq!(c.value_of(k), vec![3.0, 0.75]);
+    c.check_ownership_invariant();
+}
+
+#[test]
+fn refresh_propagates_fresh_values_to_registered_replicas() {
+    let mut c = TestCluster::new(replication_cfg(3, 12), 1);
+    let k = home_key(1);
+    // Both n0 and n2 touch the key (registering as subscribers).
+    c.issue(N0, 0, IssueOp::Push(&[k], &[1.0, 0.0]), None);
+    let mut out = [0.0; 2];
+    c.issue(N2, 0, IssueOp::Pull(&[k]), Some(&mut out));
+    c.run_until_quiet();
+    // n2's replica is still the initial value: nothing propagated yet.
+    assert_eq!(out, [0.0, 0.0]);
+    c.flush_replicas(N0);
+    c.run_until_quiet();
+    // The owner's refresh reached every subscriber.
+    assert_eq!(c.replica_view(N2, k).unwrap(), vec![1.0, 0.0]);
+    assert_eq!(c.replica_view(N0, k).unwrap(), vec![1.0, 0.0]);
+    assert!(c.nodes[2].shared.stats.replica_refreshes.load(Relaxed) >= 1);
+}
+
+#[test]
+fn replica_reads_never_go_backwards_across_flush() {
+    let mut c = TestCluster::new(replication_cfg(2, 8), 1);
+    let k = Key(4); // homed at n1; n0 holds a replica
+    let read = |c: &TestCluster| c.replica_view(N0, k).unwrap()[0];
+    c.issue(N0, 0, IssueOp::Push(&[k], &[1.0, 0.0]), None);
+    assert_eq!(read(&c), 1.0);
+    // Flush moves the delta in-flight; the local view must keep it.
+    c.flush_replicas(N0);
+    assert_eq!(read(&c), 1.0, "in-flight deltas stay visible");
+    c.run_until_quiet();
+    assert_eq!(read(&c), 1.0, "refresh retires the in-flight batch");
+    // The in-flight set is empty again after the ack.
+    let shard = c.nodes[0].shared.shard_for(k).lock();
+    assert!(shard.replica.in_flight.is_empty());
+    assert!(shard.replica.pending.is_empty());
+}
+
+#[test]
+fn owner_local_pushes_propagate_through_self_flush() {
+    let mut c = TestCluster::new(replication_cfg(2, 8), 1);
+    let k = Key(4); // homed at n1
+                    // The owner itself pushes: accumulates and self-propagates.
+    c.issue(N1, 0, IssueOp::Push(&[k], &[5.0, 0.0]), None);
+    // n0 registers by reading.
+    let mut out = [0.0; 2];
+    c.issue(N0, 0, IssueOp::Pull(&[k]), Some(&mut out));
+    c.run_until_quiet();
+    c.flush_replicas(N1);
+    c.run_until_quiet();
+    assert_eq!(c.value_of(k), vec![5.0, 0.0], "self flush applied at owner");
+    assert_eq!(c.replica_view(N0, k).unwrap(), vec![5.0, 0.0]);
+    c.check_ownership_invariant();
+}
+
+#[test]
+fn auto_flush_triggers_at_threshold() {
+    let mut base = replication_cfg(2, 8);
+    base.replica_flush_every = 3;
+    let mut c = TestCluster::new(base, 1);
+    let k = Key(4);
+    c.issue(N0, 0, IssueOp::Push(&[k], &[1.0, 0.0]), None);
+    c.issue(N0, 0, IssueOp::Push(&[k], &[1.0, 0.0]), None);
+    assert_eq!(c.nodes[0].shared.stats.replica_flushes.load(Relaxed), 0);
+    c.issue(N0, 0, IssueOp::Push(&[k], &[1.0, 0.0]), None);
+    assert_eq!(
+        c.nodes[0].shared.stats.replica_flushes.load(Relaxed),
+        1,
+        "third accumulated push crosses the threshold"
+    );
+    c.run_until_quiet();
+    assert_eq!(c.value_of(k), vec![3.0, 0.0]);
+}
+
+// ---------------------------------------------------------------------------
+// hybrid technique (replicate hot keys, relocate the tail)
+// ---------------------------------------------------------------------------
+
+fn hybrid_cfg(nodes: u16, keys: u64, hot: u64) -> ProtoConfig {
+    let mut c = cfg(nodes, keys);
+    c.variant = Variant::Hybrid;
+    c.hot_set = lapse_proto::HotSet::Prefix(hot);
+    c.replica_flush_every = 1_000_000;
+    c
+}
+
+#[test]
+fn hybrid_replicates_hot_keys_and_relocates_the_tail() {
+    let mut c = TestCluster::new(hybrid_cfg(3, 12, 4), 1);
+    let hot = Key(0); // homed at n0, replicated
+    let tail = Key(8); // homed at n2, relocatable
+                       // Hot key: local access from any node, no relocation.
+    c.issue(N1, 0, IssueOp::Push(&[hot], &[1.0, 0.0]), None);
+    c.flush_replicas(N1);
+    c.run_until_quiet();
+    assert_eq!(c.value_of(hot), vec![1.0, 0.0]);
+    assert_eq!(c.nodes[0].server.owner_of(hot), N0, "hot keys never move");
+    // Localizing a hot key is a no-op.
+    let mut sink = Vec::new();
+    let h = c.nodes[1].clients[0].localize(&[hot], &mut sink);
+    assert!(matches!(h, IssueHandle::Ready(None)));
+    assert!(sink.is_empty());
+    // Tail key: relocates exactly as under Lapse.
+    c.localize_now(N0, 0, &[tail]);
+    assert!(c.nodes[0].shared.read_value(tail).is_some());
+    assert_eq!(c.nodes[2].server.owner_of(tail), N0);
+    c.check_ownership_invariant();
+}
+
+#[test]
+fn hybrid_mixed_op_splits_by_technique() {
+    let mut c = TestCluster::new(hybrid_cfg(3, 12, 4), 1);
+    let hot = Key(1);
+    let tail = Key(9);
+    // One push touching both a replicated and a relocatable key.
+    c.push_now(N1, 0, &[hot, tail], &[1.0, 1.0, 2.0, 2.0]);
+    c.flush_replicas(N1);
+    c.run_until_quiet();
+    assert_eq!(c.value_of(hot), vec![1.0, 1.0]);
+    assert_eq!(c.value_of(tail), vec![2.0, 2.0]);
+    let stats = &c.nodes[1].shared.stats;
+    assert_eq!(stats.push_replica.load(Relaxed), 1);
+    assert_eq!(stats.push_remote.load(Relaxed), 1);
+    c.check_ownership_invariant();
+}
