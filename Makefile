@@ -18,13 +18,19 @@ test:
 bench-check:
 	$(CARGO) bench --no-run
 
-## Execute one simulator bench target end-to-end at a tiny scale and
-## check that its (virtual-time) output is bit-identical across two runs
-## — catches runtime panics and nondeterminism that bench-check cannot.
+## Execute deterministic bench targets end-to-end at a tiny scale and
+## check that their output is bit-identical across two runs — catches
+## runtime panics and nondeterminism that bench-check cannot. Covers the
+## simulator (table_nups_techniques, virtual time) and the protocol value
+## plane (micro_protocol in LAPSE_SMOKE mode: fixed op mix, hop counts,
+## value-plane accounting).
 bench-smoke:
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-1.txt 2>/dev/null
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-2.txt 2>/dev/null
 	diff /tmp/lapse-bench-smoke-1.txt /tmp/lapse-bench-smoke-2.txt
+	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_protocol > /tmp/lapse-bench-smoke-3.txt 2>/dev/null
+	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_protocol > /tmp/lapse-bench-smoke-4.txt 2>/dev/null
+	diff /tmp/lapse-bench-smoke-3.txt /tmp/lapse-bench-smoke-4.txt
 	@echo "bench-smoke: output bit-identical across runs"
 
 fmt:

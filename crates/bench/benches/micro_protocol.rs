@@ -1,8 +1,15 @@
 //! Criterion microbenchmarks of the protocol core (Section 3.2 claims):
 //! a relocation costs at most three messages and little processing; op
 //! dispatch and queue draining are cheap.
+//!
+//! With `LAPSE_SMOKE` set, the timing benchmarks are skipped and a
+//! deterministic protocol exercise runs instead (fixed op sequence,
+//! round-robin delivery): its output — message/hop counts, access
+//! statistics, value-plane accounting, and a value checksum — must be
+//! bit-identical across runs and across behaviour-preserving refactors
+//! (`make bench-smoke` runs it twice and diffs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 
 use lapse_net::{Key, NodeId};
 use lapse_proto::testkit::TestCluster;
@@ -39,9 +46,22 @@ fn bench_remote_pull(c: &mut Criterion) {
     });
 }
 
+fn bench_remote_pull_grouped(c: &mut Criterion) {
+    c.bench_function("remote_pull_grouped_64keys", |b| {
+        let mut cluster = TestCluster::new(cfg(), 1);
+        // 64 keys homed (and owned) at n2, pulled from n0 as one grouped
+        // op: one request and one grouped response.
+        let keys: Vec<Key> = (0..64).map(|i| Key(512 + i * 4)).collect();
+        b.iter(|| {
+            let v = cluster.pull_now(NodeId(0), 0, &keys);
+            criterion::black_box(v);
+        });
+    });
+}
+
 fn bench_local_fast_path(c: &mut Criterion) {
     c.bench_function("local_fast_path_pull", |b| {
-        let cluster = TestCluster::new(cfg(), 1);
+        let mut cluster = TestCluster::new(cfg(), 1);
         // Key 0 is homed at n0.
         let mut out = vec![0.0f32; 16];
         b.iter(|| {
@@ -67,6 +87,124 @@ fn bench_grouped_push(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_relocation, bench_remote_pull, bench_local_fast_path, bench_grouped_push
+    targets = bench_relocation, bench_remote_pull, bench_remote_pull_grouped, bench_local_fast_path, bench_grouped_push
 }
-criterion_main!(benches);
+
+/// Deterministic smoke run: a fixed mix of the benchmarked scenarios at
+/// tiny scale, printing only schedule-independent counters (message
+/// hops, access statistics, value-plane accounting, a value checksum).
+fn smoke() {
+    use lapse_proto::client::IssueHandle;
+    use lapse_proto::testkit::IssueOp;
+    use std::sync::atomic::Ordering::Relaxed;
+    println!("micro_protocol smoke (deterministic, LAPSE_SMOKE)");
+    let mut c = ProtoConfig::new(4, 256, Layout::Uniform(8));
+    c.latches = 16;
+    let mut cluster = TestCluster::new(c, 2);
+    let mut hops = 0u64;
+    // Issues one op, drains the cluster counting delivered messages, and
+    // releases the tracker entry (pulls are assembled by the caller).
+    fn run_op(
+        cluster: &mut TestCluster,
+        hops: &mut u64,
+        node: NodeId,
+        slot: usize,
+        op: IssueOp<'_>,
+        out: Option<&mut [f32]>,
+    ) {
+        let is_pull = matches!(op, IssueOp::Pull(_));
+        let h = cluster.issue(node, slot, op, out);
+        cluster.run_until_quiet_counting(hops);
+        if let IssueHandle::Pending(seq) = h {
+            if is_pull {
+                let _ = cluster.nodes[node.idx()].clients[slot].take_pull(seq);
+            } else {
+                cluster.nodes[node.idx()].clients[slot].finish_ack(seq);
+            }
+        }
+    }
+
+    // Relocation ping-pong with parked traffic.
+    for round in 0..8u64 {
+        let k = [Key(200)];
+        let node = NodeId((round % 2) as u16);
+        run_op(
+            &mut cluster,
+            &mut hops,
+            node,
+            0,
+            IssueOp::Localize(&k),
+            None,
+        );
+        run_op(
+            &mut cluster,
+            &mut hops,
+            NodeId(1 - node.0),
+            1,
+            IssueOp::Push(&k, &[1.0; 8]),
+            None,
+        );
+    }
+    // Grouped remote pulls and pushes (keys homed at n3).
+    let keys: Vec<Key> = (192..224).map(Key).collect();
+    let vals = vec![0.5f32; 32 * 8];
+    let mut checksum = 0.0f64;
+    for _ in 0..4 {
+        run_op(
+            &mut cluster,
+            &mut hops,
+            NodeId(0),
+            0,
+            IssueOp::Push(&keys, &vals),
+            None,
+        );
+        let mut pulled = vec![0.0f32; 32 * 8];
+        let h = cluster.issue(NodeId(1), 1, IssueOp::Pull(&keys), Some(&mut pulled));
+        cluster.run_until_quiet_counting(&mut hops);
+        if let IssueHandle::Pending(seq) = h {
+            cluster.nodes[1].clients[1].finish_pull(seq, &mut pulled);
+        }
+        checksum += pulled.iter().map(|&x| x as f64).sum::<f64>();
+    }
+    // Local fast path (no messages, so no hops).
+    let mut out = [0.0f32; 8];
+    for k in 0..16u64 {
+        let _ = cluster.pull_now(NodeId(0), 0, &[Key(k)]);
+    }
+    let local = cluster.pull_now(NodeId(0), 1, &[Key(3)]);
+    out.copy_from_slice(&local);
+    cluster.check_ownership_invariant();
+
+    let mut pull_local = 0u64;
+    let mut pull_remote = 0u64;
+    let mut relocations = 0u64;
+    let mut handovers = 0u64;
+    let mut bytes_moved = 0u64;
+    let mut arena = lapse_proto::storage::ArenaStats::default();
+    for n in &cluster.nodes {
+        let s = &n.shared.stats;
+        pull_local += s.pull_local.load(Relaxed);
+        pull_remote += s.pull_remote.load(Relaxed);
+        relocations += s.relocations.load(Relaxed);
+        handovers += s.handovers_in.load(Relaxed);
+        bytes_moved += s.value_bytes_moved.load(Relaxed);
+        arena.merge(n.shared.store_alloc_stats());
+    }
+    println!("message hops delivered: {hops}");
+    println!("pull keys: local {pull_local}, remote {pull_remote}");
+    println!("relocations {relocations}, handovers {handovers}");
+    println!(
+        "value plane: {bytes_moved} bytes moved, {} arena / {} heap allocs",
+        arena.arena, arena.heap
+    );
+    println!("pull checksum {checksum:.3}, local probe {:?}", &out[..2]);
+    println!("in-flight ops at quiescence: {}", cluster.in_flight_ops());
+}
+
+fn main() {
+    if std::env::var("LAPSE_SMOKE").is_ok() {
+        smoke();
+        return;
+    }
+    benches();
+}

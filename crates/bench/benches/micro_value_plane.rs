@@ -1,0 +1,191 @@
+//! Value-plane microbenchmark: ops/sec and bytes/op for pull and push at
+//! value dimensions 4 / 64 / 512, on the sans-io protocol core.
+//!
+//! Three paths per dimension:
+//!
+//! * **local pull** — the owned-local shared-memory sync path (must stay
+//!   allocation-free: store arena → caller buffer, one latch, no
+//!   tracker);
+//! * **remote pull** — a 64-key grouped pull served by a remote owner
+//!   (request → grouped response block → tracker → caller buffer);
+//! * **remote push** — a 64-key grouped push applied by a remote owner.
+//!
+//! `bytes/op` is the deterministic value-plane accounting
+//! (`value_bytes_moved` delta per operation); timings are wall-clock.
+//! Component probes for the [`ValueBlock`] primitives run first so a
+//! regression can be attributed to the block codec vs the protocol path.
+
+use std::time::Instant;
+
+use lapse_bench::banner;
+use lapse_net::{Key, NodeId, ValueBlockBuilder};
+use lapse_proto::testkit::TestCluster;
+use lapse_proto::{Layout, ProtoConfig};
+use lapse_utils::table::Table;
+
+const KEYS_PER_OP: usize = 64;
+const KEY_SPACE: u64 = 1024;
+
+fn cfg(dim: u32) -> ProtoConfig {
+    let mut c = ProtoConfig::new(4, KEY_SPACE, Layout::Uniform(dim));
+    c.latches = 64;
+    c
+}
+
+/// Times `iters` runs of `f` and returns ns per run.
+fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    // Warm up.
+    for _ in 0..iters.min(100) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn block_probes(dim: usize) -> (f64, f64) {
+    let vals = vec![0.5f32; dim];
+    let build = time_ns(200_000 / dim.max(1) as u64 + 1000, || {
+        let mut b = ValueBlockBuilder::with_capacity(KEYS_PER_OP * dim);
+        for _ in 0..KEYS_PER_OP {
+            b.push_slice(&vals);
+        }
+        std::hint::black_box(b.finish());
+    });
+    let block = {
+        let mut b = ValueBlockBuilder::with_capacity(KEYS_PER_OP * dim);
+        for _ in 0..KEYS_PER_OP {
+            b.push_slice(&vals);
+        }
+        b.finish()
+    };
+    let mut out = vec![0.0f32; dim];
+    let read = time_ns(200_000 / dim.max(1) as u64 + 1000, || {
+        let mut off = 0;
+        for _ in 0..KEYS_PER_OP {
+            std::hint::black_box(&block).copy_to(off, &mut out);
+            off += dim;
+        }
+        std::hint::black_box(&out);
+    });
+    (build, read)
+}
+
+struct PathResult {
+    local_ns: f64,
+    remote_pull_ns: f64,
+    remote_push_ns: f64,
+    pull_bytes_per_op: u64,
+}
+
+fn measure_paths(dim: u32) -> PathResult {
+    // n0 pulls keys homed (and owned) at n2.
+    let remote_keys: Vec<Key> = (512..512 + KEYS_PER_OP as u64).map(Key).collect();
+    let local_keys: Vec<Key> = (0..KEYS_PER_OP as u64).map(Key).collect();
+    let vals = vec![0.01f32; KEYS_PER_OP * dim as usize];
+    let mut out = vec![0.0f32; KEYS_PER_OP * dim as usize];
+
+    let mut cluster = TestCluster::new(cfg(dim), 1);
+    let local_ns = time_ns(20_000, || {
+        let mut sink = Vec::new();
+        let h = cluster.nodes[0].clients[0].pull(&local_keys, Some(&mut out), &mut sink);
+        debug_assert!(sink.is_empty());
+        std::hint::black_box(&h);
+    });
+
+    let mut cluster = TestCluster::new(cfg(dim), 1);
+    let before = cluster.nodes.iter().map(value_bytes).sum::<u64>();
+    let iters = 5_000u64;
+    let remote_pull_ns = time_ns(iters, || {
+        let v = cluster.pull_now(NodeId(0), 0, &remote_keys);
+        std::hint::black_box(&v);
+    });
+    let after = cluster.nodes.iter().map(value_bytes).sum::<u64>();
+    // The warm-up runs `min(iters, 100)` extra ops before the timed loop.
+    let pull_ops = iters + iters.min(100);
+    let pull_bytes_per_op = (after - before) / pull_ops;
+
+    let mut cluster = TestCluster::new(cfg(dim), 1);
+    let remote_push_ns = time_ns(5_000, || {
+        cluster.push_now(NodeId(0), 0, &remote_keys, &vals);
+    });
+
+    PathResult {
+        local_ns,
+        remote_pull_ns,
+        remote_push_ns,
+        pull_bytes_per_op,
+    }
+}
+
+fn value_bytes(node: &lapse_proto::testkit::TestNode) -> u64 {
+    node.shared
+        .stats
+        .value_bytes_moved
+        .load(std::sync::atomic::Ordering::Relaxed)
+}
+
+fn main() {
+    banner(
+        "micro_value_plane",
+        "value-plane ops/sec and bytes/op (64-key grouped ops)",
+    );
+    let mut table = Table::new(
+        "micro_value_plane — 64-key grouped ops",
+        &[
+            "dim",
+            "local pull ns/op",
+            "Mops/s",
+            "remote pull ns/op",
+            "Mops/s",
+            "remote push ns/op",
+            "pull bytes/op",
+        ],
+    );
+    for dim in [4u32, 64, 512] {
+        let (build, read) = block_probes(dim as usize);
+        println!(
+            "  block probes dim {dim}: build {build:.0} ns / {KEYS_PER_OP} keys, read {read:.0} ns"
+        );
+        let r = measure_paths(dim);
+        table.row(vec![
+            format!("{dim}"),
+            format!("{:.0}", r.local_ns),
+            format!("{:.2}", 1e3 / r.local_ns),
+            format!("{:.0}", r.remote_pull_ns),
+            format!("{:.2}", 1e3 / r.remote_pull_ns),
+            format!("{:.0}", r.remote_push_ns),
+            format!("{}", r.pull_bytes_per_op),
+        ]);
+    }
+    table.print();
+    println!(
+        "note: ops are 64-key groups; local pull must allocate nothing per key \
+         (arena → caller buffer); remote pulls move one contiguous block per response"
+    );
+
+    // A small simulated run, to show the value-plane accounting as
+    // surfaced through the simulation report (deterministic output).
+    let keys: Vec<Key> = (0..256u64).map(Key).collect();
+    let (_, stats) = lapse_core::run_sim(
+        lapse_core::PsConfig::new(2, 256, 16).latches(64),
+        2,
+        lapse_core::CostModel::default(),
+        |_| None,
+        move |w| {
+            let mut out = vec![0.0f32; 256 * 16];
+            let vals = vec![0.5f32; 256 * 16];
+            for _ in 0..8 {
+                w.pull(&keys, &mut out);
+                w.push(&keys, &vals);
+            }
+        },
+    );
+    let report = stats.sim_report().expect("sim run has virtual time");
+    println!(
+        "sim probe (2x2, 256 keys x dim 16, 8 rounds): {}",
+        report.summary()
+    );
+}

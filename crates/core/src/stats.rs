@@ -46,6 +46,17 @@ pub struct ClusterStats {
     /// Tracker entries still registered when the run ended (leaked or
     /// abandoned-but-incomplete operations; 0 for clean runs).
     pub tracker_in_flight: u64,
+    /// Bytes of parameter values moved through the value plane: local and
+    /// replica pull serves plus value payloads assembled into responses,
+    /// hand-overs, and refreshes (once per broadcast).
+    pub value_bytes_moved: u64,
+    /// Value-slot allocations served by the per-shard store arenas
+    /// (preallocated dense slots, free-list reuse, in-capacity growth).
+    pub value_allocs_arena: u64,
+    /// Value allocations that hit the heap: arena-growing store inserts
+    /// plus per-value copies on the hot paths (parked-operation
+    /// payloads). Owned-local serves contribute zero.
+    pub value_allocs_heap: u64,
     /// Distribution of relocation times (ns), the paper's Section 3.2
     /// definition.
     pub reloc_time: LogHistogram,
@@ -81,6 +92,9 @@ impl ClusterStats {
             replica_pushes_applied: 0,
             replica_refreshes: 0,
             tracker_in_flight: 0,
+            value_bytes_moved: 0,
+            value_allocs_arena: 0,
+            value_allocs_heap: 0,
             reloc_time: reloc_time.clone(),
             messages: 0,
             bytes: 0,
@@ -106,10 +120,29 @@ impl ClusterStats {
             s.replica_pushes_applied += a.replica_pushes_applied.load(Relaxed);
             s.replica_refreshes += a.replica_refreshes.load(Relaxed);
             s.tracker_in_flight += n.tracker.in_flight() as u64;
+            s.value_bytes_moved += a.value_bytes_moved.load(Relaxed);
+            let arena = n.store_alloc_stats();
+            s.value_allocs_arena += arena.arena;
+            s.value_allocs_heap += arena.heap + a.value_allocs_heap.load(Relaxed);
             reloc_time.merge(&n.tracker.reloc_time_stats());
         }
         s.reloc_time = reloc_time;
         s
+    }
+
+    /// The run as a [`lapse_sim::SimReport`], with the value-plane
+    /// accounting filled in (the simulator itself only sees messages).
+    /// `None` on the threaded backend, which has no virtual time.
+    pub fn sim_report(&self) -> Option<lapse_sim::SimReport> {
+        Some(lapse_sim::SimReport {
+            virtual_time_ns: self.virtual_time_ns?,
+            messages: self.messages,
+            bytes: self.bytes,
+            self_messages: self.self_messages,
+            value_bytes_moved: self.value_bytes_moved,
+            value_allocs_arena: self.value_allocs_arena,
+            value_allocs_heap: self.value_allocs_heap,
+        })
     }
 
     /// Total pull keys.

@@ -11,6 +11,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::block::ValueBlock;
 use crate::id::{Key, NodeId};
 
 /// Error produced when decoding malformed bytes.
@@ -149,6 +150,32 @@ pub fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, CodecError> {
         vals.push(buf.get_f32_le());
     }
     Ok(vals)
+}
+
+/// Encodes a [`ValueBlock`] with a `u32` float-count prefix. The wire
+/// format is identical to [`put_f32s`] of the same values.
+pub fn put_value_block(buf: &mut BytesMut, block: &ValueBlock) {
+    put_u32(buf, block.len() as u32);
+    buf.extend_from_slice(block.as_bytes());
+}
+
+/// Decodes a [`ValueBlock`], sharing the input allocation (zero-copy).
+pub fn get_value_block(buf: &mut Bytes) -> Result<ValueBlock, CodecError> {
+    let n = get_u32(buf)? as u64;
+    if n > MAX_LEN {
+        return Err(CodecError::LengthOutOfRange(n));
+    }
+    let n = n as usize;
+    if buf.remaining() < n * 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(ValueBlock::split_from(buf, n))
+}
+
+/// Serialized size of a [`ValueBlock`] (must agree with
+/// [`put_value_block`] — and with [`put_f32s`] of the same values).
+pub fn value_block_wire_bytes(block: &ValueBlock) -> usize {
+    4 + block.len() * 4
 }
 
 /// Serialized size of a key list (must agree with [`put_keys`]).

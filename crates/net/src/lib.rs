@@ -9,6 +9,9 @@
 //! Contents:
 //!
 //! * [`id`] — node and worker identities, key type.
+//! * [`block`] — [`block::ValueBlock`], the shared contiguous value
+//!   payload of the value-carrying messages (zero-copy decode, refcounted
+//!   broadcast).
 //! * [`wire`] — the [`wire::WireSize`] trait and envelope overhead model
 //!   used by the simulator's bandwidth accounting.
 //! * [`codec`] — length-prefixed binary encoding helpers plus the
@@ -18,11 +21,13 @@
 //!   per-link FIFO delivery and per-link statistics, plus an optional
 //!   delay-injection hook used by failure-injection tests.
 
+pub mod block;
 pub mod codec;
 pub mod id;
 pub mod transport;
 pub mod wire;
 
+pub use block::{ValueBlock, ValueBlockBuilder};
 pub use id::{Key, NodeId, WorkerId};
 pub use transport::{Endpoint, ThreadedNet};
 pub use wire::WireSize;

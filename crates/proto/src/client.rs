@@ -21,11 +21,31 @@
 //!    strategy), or directly to the cached owner when location caches are
 //!    enabled (Section 3.3).
 //!
+//! ## Lock-once issue (the value plane)
+//!
+//! A grouped operation runs in three phases so that every lock on its
+//! path is taken **once per operation**, not once per key:
+//!
+//! 1. **Plan** — compute per-key lengths, buffer offsets, and the
+//!    ordered-async-guard bit under a single guard-map lock; group key
+//!    indices by shard into reusable scratch buffers (no allocation in
+//!    steady state).
+//! 2. **Shard** — for each touched shard, acquire its latch once and
+//!    route all of the operation's keys in that shard: local and replica
+//!    keys are served immediately (values copied directly between the
+//!    store arena and the caller's buffer — no intermediate `Vec`),
+//!    parked keys enqueue, remote keys record their destination.
+//! 3. **Emit** — walk the keys in their **original order**, appending
+//!    remote keys to per-destination groups; this keeps message contents
+//!    and emission order identical to the historical per-key path, which
+//!    the bit-identical experiment outputs depend on. All guard-map
+//!    increments for remote keys happen under one final lock.
+//!
 //! The *ordered-async guard* (see
 //! [`ProtoConfig::ordered_async_guard`](crate::config::ProtoConfig::ordered_async_guard))
-//! forces path 3 whenever this worker still has an in-flight remote
-//! operation on the same key, which keeps per-worker program order intact
-//! (the routing model under which the paper proves Theorem 2).
+//! forces the remote path whenever this worker still has an in-flight
+//! remote operation on the same key, which keeps per-worker program order
+//! intact (the routing model under which the paper proves Theorem 2).
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -35,7 +55,7 @@ use std::sync::Arc;
 use lapse_net::{Key, NodeId};
 
 use crate::config::ProtoConfig;
-use crate::group::OrderedGroups;
+use crate::group::{OrderedGroups, ShardGroups};
 use crate::messages::{LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, ReplicaPushMsg, ReplicaRegMsg};
 use crate::shard::{IncomingState, NodeShared, Queued, QueuedOp};
 use crate::technique::IssueRoute;
@@ -71,6 +91,37 @@ struct RemoteGroup {
     vals: Vec<f32>,
 }
 
+/// What the shard phase decided for one planned key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Planned {
+    /// Handled during the shard phase (served, parked, or skipped).
+    Done,
+    /// Ship remotely to this destination during the emit phase.
+    Remote(NodeId),
+}
+
+/// One key of an issue plan.
+#[derive(Debug)]
+struct KeyPlan {
+    key: Key,
+    /// Value length in floats.
+    len: u32,
+    /// Offset into the caller's value buffer (floats).
+    off: u32,
+    /// Ordered-async guard forces the remote path.
+    forced: bool,
+    route: Planned,
+}
+
+/// Reusable per-worker buffers for the three issue phases.
+#[derive(Debug, Default)]
+struct IssueScratch {
+    plan: Vec<KeyPlan>,
+    groups: ShardGroups,
+    /// Staging for async replica reads (reused, never per-key allocated).
+    replica_buf: Vec<f32>,
+}
+
 /// The client half of the protocol for one worker.
 pub struct ClientCore {
     shared: Arc<NodeShared>,
@@ -78,6 +129,25 @@ pub struct ClientCore {
     slot: u16,
     /// Keys with in-flight remote operations of this worker.
     guard: GuardMap,
+    /// Issue-phase scratch buffers (amortized alloc-free).
+    scratch: IssueScratch,
+}
+
+/// Subscribes the node to replica refreshes on its first replicated
+/// access: one [`ReplicaRegMsg`] to every other node (owners without
+/// replicated home keys simply record the subscription).
+fn ensure_registered(shared: &NodeShared, sink: &mut MsgSink) {
+    // Load-first so the steady state is a read-only check; the swap
+    // (a contended RMW) runs at most once per worker.
+    if shared.replica_registered.load(Relaxed) || shared.replica_registered.swap(true, Relaxed) {
+        return;
+    }
+    for n in 0..shared.cfg.nodes {
+        let dst = NodeId(n);
+        if dst != shared.node {
+            sink.push((dst, Msg::ReplicaReg(ReplicaRegMsg { node: shared.node })));
+        }
+    }
 }
 
 impl ClientCore {
@@ -87,6 +157,7 @@ impl ClientCore {
             shared,
             slot,
             guard: Arc::new(Mutex::new(HashMap::new())),
+            scratch: IssueScratch::default(),
         }
     }
 
@@ -104,31 +175,63 @@ impl ClientCore {
         &self.shared.cfg
     }
 
-    /// Whether the ordered-async guard forces `key` onto the remote path.
-    fn guard_forces_remote(&self, key: Key) -> bool {
-        self.cfg().ordered_async_guard && self.guard.lock().get(&key).is_some_and(|&n| n > 0)
+    /// Number of keys this worker currently guards (keys with in-flight
+    /// remotely-routed operations). Zero at quiescence — the
+    /// ordered-async-guard balance invariant (each remote registration
+    /// increments a key's count once, each completion decrements it).
+    pub fn guarded_keys(&self) -> usize {
+        self.guard.lock().len()
     }
 
-    /// Subscribes this node to replica refreshes on its first replicated
-    /// access: one [`ReplicaRegMsg`] to every other node (owners without
-    /// replicated home keys simply record the subscription).
-    fn ensure_registered(&self, sink: &mut MsgSink) {
-        // Load-first so the steady state is a read-only check; the swap
-        // (a contended RMW) runs at most once per worker.
-        if self.shared.replica_registered.load(Relaxed)
-            || self.shared.replica_registered.swap(true, Relaxed)
-        {
+    /// Plan phase: clears the scratch, computes per-key offsets and guard
+    /// bits (one guard-map lock for the whole operation), and groups key
+    /// indices by shard. Returns `(total value length, any replicated)`.
+    fn plan(&mut self, keys: &[Key]) -> (u32, bool) {
+        let ClientCore {
+            shared,
+            guard,
+            scratch,
+            ..
+        } = self;
+        let cfg = &shared.cfg;
+        let policy = cfg.policy();
+        scratch.plan.clear();
+        scratch.groups.clear();
+        let mut any_replicated = false;
+        // One guard-map lock per operation (hoisted out of the per-key
+        // loop); the plan phase takes no other lock, so holding it across
+        // the loop cannot deadlock with completions.
+        let g = cfg.ordered_async_guard.then(|| guard.lock());
+        let mut off = 0u32;
+        for (i, &k) in keys.iter().enumerate() {
+            let len = cfg.layout.len(k) as u32;
+            let forced = g
+                .as_ref()
+                .is_some_and(|g| g.get(&k).is_some_and(|&n| n > 0));
+            any_replicated |= policy.replicated(k);
+            scratch.plan.push(KeyPlan {
+                key: k,
+                len,
+                off,
+                forced,
+                route: Planned::Done,
+            });
+            scratch.groups.push(cfg.shard_of(k), i as u32);
+            off += len;
+        }
+        (off, any_replicated)
+    }
+
+    /// Emit-phase epilogue: records all guard-map increments for the
+    /// remote keys of the plan under a single lock.
+    fn guard_remotes(&self) {
+        if !self.cfg().ordered_async_guard {
             return;
         }
-        for n in 0..self.cfg().nodes {
-            let dst = NodeId(n);
-            if dst != self.shared.node {
-                sink.push((
-                    dst,
-                    Msg::ReplicaReg(ReplicaRegMsg {
-                        node: self.shared.node,
-                    }),
-                ));
+        let mut g = self.guard.lock();
+        for p in &self.scratch.plan {
+            if matches!(p.route, Planned::Remote(_)) {
+                *g.entry(p.key).or_insert(0) += 1;
             }
         }
     }
@@ -197,86 +300,134 @@ impl ClientCore {
     /// use: pass `None`; all values are delivered through the handle /
     /// [`ClientCore::take_pull`].
     pub fn pull(
-        &self,
+        &mut self,
         keys: &[Key],
         mut out: Option<&mut [f32]>,
         sink: &mut MsgSink,
     ) -> IssueHandle {
         let is_async = out.is_none();
-        let stats = &self.shared.stats;
+        let (total, any_replicated) = self.plan(keys);
+        if any_replicated {
+            ensure_registered(&self.shared, sink);
+        }
         // Async pulls register every key so the result buffer is in key
-        // order; sync pulls register lazily (a fully-local sync pull never
-        // touches the tracker).
+        // order (reserved up front, offsets fixed by the plan); sync pulls
+        // register lazily (a fully-local sync pull never touches the
+        // tracker).
         let mut seq: Option<u64> = if is_async {
-            Some(self.begin(TrackedKind::Pull))
+            let s = begin(&self.shared, self.slot, &self.guard, TrackedKind::Pull);
+            self.shared.tracker.reserve(s, total);
+            Some(s)
         } else {
             None
         };
+
+        // Shard phase: one latch acquisition per touched shard.
+        let ClientCore {
+            shared,
+            slot,
+            guard,
+            scratch,
+        } = &mut *self;
+        let policy = shared.cfg.policy();
+        let tracker = &shared.tracker;
+        let (mut n_local, mut n_replica, mut n_queued) = (0u64, 0u64, 0u64);
+        let mut bytes_moved = 0u64;
+        for (shard_idx, items) in scratch.groups.iter() {
+            let mut shard = shared.shards[shard_idx].lock();
+            for &i in items {
+                let p = &mut scratch.plan[i as usize];
+                let (off, len) = (p.off as usize, p.len as usize);
+                match policy.issue_route(p.key, &shard, p.forced) {
+                    IssueRoute::OwnedLocal => {
+                        let v = shard.store.get(p.key).expect("routed to owned store");
+                        n_local += 1;
+                        bytes_moved += 4 * len as u64;
+                        match &mut out {
+                            Some(buf) => buf[off..off + len].copy_from_slice(v),
+                            None => {
+                                let s = seq.expect("async op registered");
+                                tracker.add_key_at(s, p.key, p.len, p.off, false);
+                                tracker.complete_key(s, p.key, Some(v));
+                            }
+                        }
+                    }
+                    IssueRoute::Replica => {
+                        n_replica += 1;
+                        bytes_moved += 4 * len as u64;
+                        match &mut out {
+                            Some(buf) => {
+                                let dst = &mut buf[off..off + len];
+                                let ok = shard.read_replicated(p.key, dst);
+                                debug_assert!(ok, "replicated key {} without replica state", p.key);
+                            }
+                            None => {
+                                scratch.replica_buf.clear();
+                                scratch.replica_buf.resize(len, 0.0);
+                                let ok = shard.read_replicated(p.key, &mut scratch.replica_buf);
+                                debug_assert!(ok, "replicated key {} without replica state", p.key);
+                                let s = seq.expect("async op registered");
+                                tracker.add_key_at(s, p.key, p.len, p.off, false);
+                                tracker.complete_key(s, p.key, Some(&scratch.replica_buf));
+                            }
+                        }
+                    }
+                    IssueRoute::Park => {
+                        let s = *seq
+                            .get_or_insert_with(|| begin(shared, *slot, guard, TrackedKind::Pull));
+                        if is_async {
+                            tracker.add_key_at(s, p.key, p.len, p.off, false);
+                        } else {
+                            tracker.add_key(s, p.key, p.len, p.off, false);
+                        }
+                        let inc = shard.incoming.get_mut(&p.key).expect("routed to queue");
+                        inc.queue.push_back(Queued::Op(QueuedOp {
+                            op: OpId::new(shared.node, s),
+                            kind: OpKind::Pull,
+                            val: Vec::new(),
+                        }));
+                        n_queued += 1;
+                    }
+                    IssueRoute::Remote(dst) => p.route = Planned::Remote(dst),
+                }
+            }
+        }
+        let stats = &shared.stats;
+        if n_local > 0 {
+            stats.pull_local.fetch_add(n_local, Relaxed);
+        }
+        if n_replica > 0 {
+            stats.pull_replica.fetch_add(n_replica, Relaxed);
+        }
+        if n_queued > 0 {
+            stats.pull_queued.fetch_add(n_queued, Relaxed);
+        }
+        if bytes_moved > 0 {
+            stats.value_bytes_moved.fetch_add(bytes_moved, Relaxed);
+        }
+
+        // Emit phase: remote keys in original key order, so grouped
+        // message contents and emission order match the per-key path.
         let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
-        let mut out_off = 0u32;
-        for &k in keys {
-            let len = self.cfg().layout.len(k) as u32;
-            let forced = self.guard_forces_remote(k);
-            if self.cfg().policy().replicated(k) {
-                self.ensure_registered(sink);
+        let mut n_remote = 0u64;
+        for p in &scratch.plan {
+            if let Planned::Remote(dst) = p.route {
+                groups.entry(dst).keys.push(p.key);
+                n_remote += 1;
             }
-            let mut shard = self.shared.shard_for(k).lock();
-            match self.cfg().policy().issue_route(k, &shard, forced) {
-                IssueRoute::OwnedLocal => {
-                    let v = shard.store.get(k).expect("routed to owned store");
-                    stats.pull_local.fetch_add(1, Relaxed);
-                    match &mut out {
-                        Some(buf) => {
-                            buf[out_off as usize..(out_off + len) as usize].copy_from_slice(v)
-                        }
-                        None => {
-                            let s = seq.expect("async op registered");
-                            self.shared.tracker.add_key(s, k, len, out_off, false);
-                            self.shared.tracker.complete_key(s, k, Some(v));
-                        }
-                    }
-                }
-                IssueRoute::Replica => {
-                    stats.pull_replica.fetch_add(1, Relaxed);
-                    match &mut out {
-                        Some(buf) => {
-                            let dst = &mut buf[out_off as usize..(out_off + len) as usize];
-                            let ok = shard.read_replicated(k, dst);
-                            debug_assert!(ok, "replicated key {k} without replica state");
-                        }
-                        None => {
-                            let mut v = vec![0.0; len as usize];
-                            let ok = shard.read_replicated(k, &mut v);
-                            debug_assert!(ok, "replicated key {k} without replica state");
-                            let s = seq.expect("async op registered");
-                            self.shared.tracker.add_key(s, k, len, out_off, false);
-                            self.shared.tracker.complete_key(s, k, Some(&v));
-                        }
-                    }
-                }
-                IssueRoute::Park => {
-                    let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Pull));
-                    self.shared.tracker.add_key(s, k, len, out_off, false);
-                    let inc = shard.incoming.get_mut(&k).expect("routed to queue");
-                    inc.queue.push_back(Queued::Op(QueuedOp {
-                        op: OpId::new(self.shared.node, s),
-                        kind: OpKind::Pull,
-                        val: Vec::new(),
-                    }));
-                    stats.pull_queued.fetch_add(1, Relaxed);
-                }
-                IssueRoute::Remote(dst) => {
-                    let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Pull));
-                    self.shared.tracker.add_key(s, k, len, out_off, true);
-                    if self.cfg().ordered_async_guard {
-                        *self.guard.lock().entry(k).or_insert(0) += 1;
-                    }
-                    groups.entry(dst).keys.push(k);
-                    stats.pull_remote.fetch_add(1, Relaxed);
-                }
-            }
-            drop(shard);
-            out_off += len;
+        }
+        if n_remote > 0 {
+            let s = *seq.get_or_insert_with(|| begin(shared, *slot, guard, TrackedKind::Pull));
+            tracker.add_keys(
+                s,
+                is_async,
+                true,
+                scratch.plan.iter().filter_map(|p| {
+                    matches!(p.route, Planned::Remote(_)).then_some((p.key, p.len, p.off))
+                }),
+            );
+            stats.pull_remote.fetch_add(n_remote, Relaxed);
+            self.guard_remotes();
         }
         self.flush(seq, OpKind::Pull, groups, sink)
     }
@@ -284,60 +435,101 @@ impl ClientCore {
     /// Issues a push of `keys` with concatenated update terms `vals`.
     /// Pushes are cumulative: the owner adds each term to the current
     /// value (Section 2.1).
-    pub fn push(&self, keys: &[Key], vals: &[f32], sink: &mut MsgSink) -> IssueHandle {
+    pub fn push(&mut self, keys: &[Key], vals: &[f32], sink: &mut MsgSink) -> IssueHandle {
         debug_assert_eq!(
             vals.len(),
             self.cfg().layout.keys_len(keys),
             "push value length mismatch"
         );
-        let stats = &self.shared.stats;
+        let (_, any_replicated) = self.plan(keys);
+        if any_replicated {
+            ensure_registered(&self.shared, sink);
+        }
         let mut seq: Option<u64> = None;
-        let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
-        let mut off = 0usize;
+
+        let ClientCore {
+            shared,
+            slot,
+            guard,
+            scratch,
+        } = &mut *self;
+        let policy = shared.cfg.policy();
+        let tracker = &shared.tracker;
+        let (mut n_local, mut n_replica, mut n_queued) = (0u64, 0u64, 0u64);
         let mut accumulated = 0u64;
-        for &k in keys {
-            let len = self.cfg().layout.len(k);
-            let val = &vals[off..off + len];
-            off += len;
-            let forced = self.guard_forces_remote(k);
-            if self.cfg().policy().replicated(k) {
-                self.ensure_registered(sink);
-            }
-            let mut shard = self.shared.shard_for(k).lock();
-            match self.cfg().policy().issue_route(k, &shard, forced) {
-                IssueRoute::OwnedLocal => {
-                    let applied = shard.store.add(k, val);
-                    debug_assert!(applied);
-                    stats.push_local.fetch_add(1, Relaxed);
-                }
-                IssueRoute::Replica => {
-                    shard.replica.accumulate(k, val);
-                    stats.push_replica.fetch_add(1, Relaxed);
-                    accumulated += 1;
-                }
-                IssueRoute::Park => {
-                    let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Push));
-                    self.shared.tracker.add_key(s, k, 0, 0, false);
-                    let inc = shard.incoming.get_mut(&k).expect("routed to queue");
-                    inc.queue.push_back(Queued::Op(QueuedOp {
-                        op: OpId::new(self.shared.node, s),
-                        kind: OpKind::Push,
-                        val: val.to_vec(),
-                    }));
-                    stats.push_queued.fetch_add(1, Relaxed);
-                }
-                IssueRoute::Remote(dst) => {
-                    let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Push));
-                    self.shared.tracker.add_key(s, k, 0, 0, true);
-                    if self.cfg().ordered_async_guard {
-                        *self.guard.lock().entry(k).or_insert(0) += 1;
+        let mut park_allocs = 0u64;
+        for (shard_idx, items) in scratch.groups.iter() {
+            let mut shard = shared.shards[shard_idx].lock();
+            for &i in items {
+                let p = &mut scratch.plan[i as usize];
+                let val = &vals[p.off as usize..(p.off + p.len) as usize];
+                match policy.issue_route(p.key, &shard, p.forced) {
+                    IssueRoute::OwnedLocal => {
+                        let applied = shard.store.add(p.key, val);
+                        debug_assert!(applied);
+                        n_local += 1;
                     }
-                    let group = groups.entry(dst);
-                    group.keys.push(k);
-                    group.vals.extend_from_slice(val);
-                    stats.push_remote.fetch_add(1, Relaxed);
+                    IssueRoute::Replica => {
+                        shard.replica.accumulate(p.key, val);
+                        n_replica += 1;
+                        accumulated += 1;
+                    }
+                    IssueRoute::Park => {
+                        let s = *seq
+                            .get_or_insert_with(|| begin(shared, *slot, guard, TrackedKind::Push));
+                        tracker.add_key(s, p.key, 0, 0, false);
+                        let inc = shard.incoming.get_mut(&p.key).expect("routed to queue");
+                        inc.queue.push_back(Queued::Op(QueuedOp {
+                            op: OpId::new(shared.node, s),
+                            kind: OpKind::Push,
+                            val: val.to_vec(),
+                        }));
+                        n_queued += 1;
+                        park_allocs += 1;
+                    }
+                    IssueRoute::Remote(dst) => p.route = Planned::Remote(dst),
                 }
             }
+        }
+        let stats = &shared.stats;
+        if n_local > 0 {
+            stats.push_local.fetch_add(n_local, Relaxed);
+        }
+        if n_replica > 0 {
+            stats.push_replica.fetch_add(n_replica, Relaxed);
+        }
+        if n_queued > 0 {
+            stats.push_queued.fetch_add(n_queued, Relaxed);
+        }
+        if park_allocs > 0 {
+            stats.value_allocs_heap.fetch_add(park_allocs, Relaxed);
+        }
+
+        let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
+        let mut n_remote = 0u64;
+        for p in &scratch.plan {
+            if let Planned::Remote(dst) = p.route {
+                let group = groups.entry(dst);
+                group.keys.push(p.key);
+                group
+                    .vals
+                    .extend_from_slice(&vals[p.off as usize..(p.off + p.len) as usize]);
+                n_remote += 1;
+            }
+        }
+        if n_remote > 0 {
+            let s = *seq.get_or_insert_with(|| begin(shared, *slot, guard, TrackedKind::Push));
+            tracker.add_keys(
+                s,
+                false,
+                true,
+                scratch
+                    .plan
+                    .iter()
+                    .filter_map(|p| matches!(p.route, Planned::Remote(_)).then_some((p.key, 0, 0))),
+            );
+            stats.push_remote.fetch_add(n_remote, Relaxed);
+            self.guard_remotes();
         }
         if accumulated > 0 {
             let unflushed = self
@@ -356,36 +548,72 @@ impl ClientCore {
     /// to this node (Table 2). Keys whose technique does not relocate —
     /// all of them under the classic variants, replicated keys under the
     /// replication/hybrid variants — are skipped.
-    pub fn localize(&self, keys: &[Key], sink: &mut MsgSink) -> IssueHandle {
-        let stats = &self.shared.stats;
-        let mut seq: Option<u64> = None;
-        let mut groups: OrderedGroups<NodeId, Vec<Key>> = OrderedGroups::new();
+    pub fn localize(&mut self, keys: &[Key], sink: &mut MsgSink) -> IssueHandle {
+        let ClientCore {
+            shared,
+            slot,
+            guard,
+            scratch,
+        } = &mut *self;
+        let cfg = &shared.cfg;
+        let policy = cfg.policy();
+        scratch.plan.clear();
+        scratch.groups.clear();
         for &k in keys {
-            if !self.cfg().policy().relocation_enabled(k) {
+            if !policy.relocation_enabled(k) {
                 continue;
             }
-            let mut shard = self.shared.shard_for(k).lock();
-            if shard.store.contains(k) {
-                // Already local: nothing to do.
-                continue;
+            let idx = scratch.plan.len();
+            scratch.plan.push(KeyPlan {
+                key: k,
+                len: 0,
+                off: 0,
+                forced: false,
+                route: Planned::Done,
+            });
+            scratch.groups.push(cfg.shard_of(k), idx as u32);
+        }
+
+        let tracker = &shared.tracker;
+        let mut seq: Option<u64> = None;
+        let mut n_sent = 0u64;
+        for (shard_idx, items) in scratch.groups.iter() {
+            let mut shard = shared.shards[shard_idx].lock();
+            for &i in items {
+                let p = &mut scratch.plan[i as usize];
+                if shard.store.contains(p.key) {
+                    // Already local: nothing to do.
+                    continue;
+                }
+                let s =
+                    *seq.get_or_insert_with(|| begin(shared, *slot, guard, TrackedKind::Localize));
+                tracker.add_key(s, p.key, 0, 0, false);
+                let op = OpId::new(shared.node, s);
+                match shard.incoming.entry(p.key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        // A relocation towards this node is already in
+                        // flight; piggyback on it.
+                        e.get_mut().waiting_localize.push(op);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(IncomingState {
+                            waiting_localize: vec![op],
+                            ..Default::default()
+                        });
+                        p.route = Planned::Remote(cfg.home(p.key));
+                        n_sent += 1;
+                    }
+                }
             }
-            let s = *seq.get_or_insert_with(|| self.begin(TrackedKind::Localize));
-            self.shared.tracker.add_key(s, k, 0, 0, false);
-            let op = OpId::new(self.shared.node, s);
-            match shard.incoming.entry(k) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    // A relocation towards this node is already in
-                    // flight; piggyback on it.
-                    e.get_mut().waiting_localize.push(op);
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(IncomingState {
-                        waiting_localize: vec![op],
-                        ..Default::default()
-                    });
-                    groups.entry(self.cfg().home(k)).push(k);
-                    stats.localize_sent.fetch_add(1, Relaxed);
-                }
+        }
+        if n_sent > 0 {
+            shared.stats.localize_sent.fetch_add(n_sent, Relaxed);
+        }
+        // Emit phase: requests per home node, in original key order.
+        let mut groups: OrderedGroups<NodeId, Vec<Key>> = OrderedGroups::new();
+        for p in &scratch.plan {
+            if let Planned::Remote(home) = p.route {
+                groups.entry(home).push(p.key);
             }
         }
         match seq {
@@ -456,12 +684,6 @@ impl ClientCore {
         self.shared.tracker.discard(seq);
     }
 
-    fn begin(&self, kind: TrackedKind) -> u64 {
-        self.shared
-            .tracker
-            .begin(kind, self.slot, Some(self.guard.clone()))
-    }
-
     fn flush(
         &self,
         seq: Option<u64>,
@@ -503,4 +725,9 @@ impl ClientCore {
             }
         }
     }
+}
+
+/// Begins a tracked operation for worker `slot`.
+fn begin(shared: &NodeShared, slot: u16, guard: &GuardMap, kind: TrackedKind) -> u64 {
+    shared.tracker.begin(kind, slot, Some(guard.clone()))
 }

@@ -59,6 +59,55 @@ impl<K: PartialEq + Copy, V: Default> Default for OrderedGroups<K, V> {
     }
 }
 
+/// Insertion-ordered grouping of item indices by shard, with pooled
+/// per-group vectors: clearing keeps every inner vector's capacity, so
+/// regrouping the keys of each operation/message allocates nothing in
+/// steady state. This is the pre-grouping that lets the client and server
+/// acquire each shard latch **once per operation** instead of once per
+/// key.
+#[derive(Debug, Default)]
+pub struct ShardGroups {
+    /// `(shard, item indices)`; the first `live` entries are in use.
+    entries: Vec<(usize, Vec<u32>)>,
+    live: usize,
+}
+
+impl ShardGroups {
+    /// Empties the grouping, keeping all allocated capacity.
+    pub fn clear(&mut self) {
+        for (_, items) in &mut self.entries[..self.live] {
+            items.clear();
+        }
+        self.live = 0;
+    }
+
+    /// Appends item `item` to shard `shard`'s group (linear scan — an
+    /// operation touches few distinct shards).
+    pub fn push(&mut self, shard: usize, item: u32) {
+        if let Some((_, items)) = self.entries[..self.live]
+            .iter_mut()
+            .find(|(s, _)| *s == shard)
+        {
+            items.push(item);
+            return;
+        }
+        if self.live == self.entries.len() {
+            self.entries.push((shard, Vec::new()));
+        }
+        let entry = &mut self.entries[self.live];
+        entry.0 = shard;
+        entry.1.push(item);
+        self.live += 1;
+    }
+
+    /// Iterates groups in first-appearance order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> {
+        self.entries[..self.live]
+            .iter()
+            .map(|(s, items)| (*s, items.as_slice()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +130,21 @@ mod tests {
         *g.entry(1) = 9;
         *g.entry(1) = 10;
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn shard_groups_preserve_order_and_capacity() {
+        let mut g = ShardGroups::default();
+        g.push(7, 0);
+        g.push(2, 1);
+        g.push(7, 2);
+        let got: Vec<(usize, Vec<u32>)> = g.iter().map(|(s, v)| (s, v.to_vec())).collect();
+        assert_eq!(got, vec![(7, vec![0, 2]), (2, vec![1])]);
+        g.clear();
+        assert_eq!(g.iter().count(), 0);
+        // Reuse after clear: pooled vectors are reused in place.
+        g.push(3, 9);
+        let got: Vec<(usize, Vec<u32>)> = g.iter().map(|(s, v)| (s, v.to_vec())).collect();
+        assert_eq!(got, vec![(3, vec![9])]);
     }
 }

@@ -28,14 +28,21 @@
 //! Every message implements [`WireSize`] (used by the simulator's
 //! bandwidth accounting) and [`WireCodec`] (the actual byte encoding);
 //! tests assert that the two agree.
+//!
+//! The value-carrying messages ([`OpRespMsg`], [`HandOverMsg`],
+//! [`ReplicaRefreshMsg`]) move their concatenated per-key values as one
+//! [`ValueBlock`]: byte-identical on the wire to the length-prefixed
+//! `f32` list it replaced (so wire sizes are unchanged), zero-copy to
+//! decode, and refcounted to broadcast.
 
 use bytes::{Bytes, BytesMut};
 
 use lapse_net::codec::{
-    f32s_wire_bytes, get_f32s, get_keys, get_node, get_u64, get_u8, keys_wire_bytes, put_f32s,
-    put_keys, put_node, put_u64, put_u8, CodecError, WireCodec,
+    f32s_wire_bytes, get_f32s, get_keys, get_node, get_u64, get_u8, get_value_block,
+    keys_wire_bytes, put_f32s, put_keys, put_node, put_u64, put_u8, put_value_block,
+    value_block_wire_bytes, CodecError, WireCodec,
 };
-use lapse_net::{Key, NodeId, WireSize};
+use lapse_net::{Key, NodeId, ValueBlock, WireSize};
 
 /// Identifies one client operation. Unique per origin node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,8 +98,9 @@ pub struct OpRespMsg {
     pub kind: OpKind,
     /// Keys answered by this message.
     pub keys: Vec<Key>,
-    /// For pulls: concatenated values in `keys` order. Empty for pushes.
-    pub vals: Vec<f32>,
+    /// For pulls: concatenated values in `keys` order (one contiguous
+    /// block, decoded without copying). Empty for pushes.
+    pub vals: ValueBlock,
     /// The node that answered — the key's owner at answer time. Clients
     /// use it to refresh location caches (Section 3.3: caches are updated
     /// only by piggybacking on existing messages).
@@ -129,8 +137,10 @@ pub struct HandOverMsg {
     pub op: OpId,
     /// Relocated keys.
     pub keys: Vec<Key>,
-    /// Concatenated parameter values in `keys` order.
-    pub vals: Vec<f32>,
+    /// Concatenated parameter values in `keys` order (one contiguous
+    /// block; the new owner installs slices of it straight into its
+    /// store arena).
+    pub vals: ValueBlock,
 }
 
 /// Replica-sync message 1: a node subscribes to refreshes of the
@@ -174,8 +184,9 @@ pub struct ReplicaRefreshMsg {
     pub ack: u64,
     /// Refreshed keys.
     pub keys: Vec<Key>,
-    /// Concatenated current values in `keys` order.
-    pub vals: Vec<f32>,
+    /// Concatenated current values in `keys` order. A block, so the
+    /// owner's broadcast to many subscribers shares one buffer.
+    pub vals: ValueBlock,
 }
 
 /// All protocol messages.
@@ -240,15 +251,17 @@ impl WireSize for Msg {
         1 + match self {
             Msg::Op(m) => OP_ID_BYTES + 1 + 1 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals),
             Msg::OpResp(m) => {
-                OP_ID_BYTES + 1 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals) + 2
+                OP_ID_BYTES + 1 + keys_wire_bytes(&m.keys) + value_block_wire_bytes(&m.vals) + 2
             }
             Msg::LocalizeReq(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys),
             Msg::Relocate(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys) + 2,
-            Msg::HandOver(m) => OP_ID_BYTES + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals),
+            Msg::HandOver(m) => {
+                OP_ID_BYTES + keys_wire_bytes(&m.keys) + value_block_wire_bytes(&m.vals)
+            }
             Msg::ReplicaReg(_) => 2,
             Msg::ReplicaPush(m) => 2 + 8 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals),
             Msg::ReplicaRefresh(m) => {
-                2 + 8 + 8 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals)
+                2 + 8 + 8 + keys_wire_bytes(&m.keys) + value_block_wire_bytes(&m.vals)
             }
             Msg::Shutdown => 0,
         }
@@ -271,7 +284,7 @@ impl WireCodec for Msg {
                 put_op_id(buf, m.op);
                 put_u8(buf, matches!(m.kind, OpKind::Push) as u8);
                 put_keys(buf, &m.keys);
-                put_f32s(buf, &m.vals);
+                put_value_block(buf, &m.vals);
                 put_node(buf, m.owner);
             }
             Msg::LocalizeReq(m) => {
@@ -289,7 +302,7 @@ impl WireCodec for Msg {
                 put_u8(buf, 5);
                 put_op_id(buf, m.op);
                 put_keys(buf, &m.keys);
-                put_f32s(buf, &m.vals);
+                put_value_block(buf, &m.vals);
             }
             Msg::ReplicaReg(m) => {
                 put_u8(buf, 7);
@@ -308,7 +321,7 @@ impl WireCodec for Msg {
                 put_u64(buf, m.round);
                 put_u64(buf, m.ack);
                 put_keys(buf, &m.keys);
-                put_f32s(buf, &m.vals);
+                put_value_block(buf, &m.vals);
             }
             Msg::Shutdown => put_u8(buf, 6),
         }
@@ -342,7 +355,7 @@ impl WireCodec for Msg {
                     OpKind::Pull
                 };
                 let keys = get_keys(buf)?;
-                let vals = get_f32s(buf)?;
+                let vals = get_value_block(buf)?;
                 let owner = get_node(buf)?;
                 Ok(Msg::OpResp(OpRespMsg {
                     op,
@@ -370,7 +383,7 @@ impl WireCodec for Msg {
             5 => {
                 let op = get_op_id(buf)?;
                 let keys = get_keys(buf)?;
-                let vals = get_f32s(buf)?;
+                let vals = get_value_block(buf)?;
                 Ok(Msg::HandOver(HandOverMsg { op, keys, vals }))
             }
             6 => Ok(Msg::Shutdown),
@@ -395,7 +408,7 @@ impl WireCodec for Msg {
                 let round = get_u64(buf)?;
                 let ack = get_u64(buf)?;
                 let keys = get_keys(buf)?;
-                let vals = get_f32s(buf)?;
+                let vals = get_value_block(buf)?;
                 Ok(Msg::ReplicaRefresh(ReplicaRefreshMsg {
                     owner,
                     round,
@@ -433,7 +446,7 @@ mod tests {
                 op: OpId::new(NodeId(0), 1),
                 kind: OpKind::Pull,
                 keys: vec![Key(5)],
-                vals: vec![0.25, 0.5],
+                vals: ValueBlock::from_f32s(&[0.25, 0.5]),
                 owner: NodeId(3),
             }),
             Msg::LocalizeReq(LocalizeReqMsg {
@@ -448,7 +461,7 @@ mod tests {
             Msg::HandOver(HandOverMsg {
                 op: OpId::new(NodeId(1), 8),
                 keys: vec![Key(0)],
-                vals: vec![9.0, 8.0],
+                vals: ValueBlock::from_f32s(&[9.0, 8.0]),
             }),
             Msg::ReplicaReg(ReplicaRegMsg { node: NodeId(2) }),
             Msg::ReplicaPush(ReplicaPushMsg {
@@ -462,7 +475,7 @@ mod tests {
                 round: 9,
                 ack: 4,
                 keys: vec![Key(1)],
-                vals: vec![2.25],
+                vals: ValueBlock::from_f32s(&[2.25]),
             }),
             Msg::Shutdown,
         ]

@@ -18,6 +18,19 @@
 //!   location caches by piggybacking on responses and relocations only
 //!   (the paper sends no dedicated cache-maintenance messages).
 //!
+//! ## Lock-once dispatch (the value plane)
+//!
+//! Every grouped message is processed in the same three phases as the
+//! client issue path: keys are pre-grouped by shard (reusable scratch, no
+//! steady-state allocation), each shard latch is acquired **once per
+//! message**, and batch emission replays the per-key decisions in the
+//! message's **original key order** so outgoing messages are identical —
+//! in content and order — to the historical per-key path (the
+//! bit-identical experiment outputs depend on this). Outgoing value
+//! payloads are assembled into [`ValueBlockBuilder`]s: one buffer per
+//! message, zero per-key `Vec`s; hand-over installs copy message-block
+//! bytes straight into the store arena.
+//!
 //! All batching uses insertion-ordered maps so message emission order is
 //! deterministic and re-dispatched operations keep their arrival order.
 
@@ -25,21 +38,30 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
-use lapse_net::{Key, NodeId};
+use lapse_net::{Key, NodeId, ValueBlockBuilder};
 
 use crate::client::MsgSink;
-use crate::group::OrderedGroups;
+use crate::group::{OrderedGroups, ShardGroups};
 use crate::messages::{
     HandOverMsg, LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, OpRespMsg, RelocateMsg, ReplicaPushMsg,
     ReplicaRefreshMsg, ReplicaRegMsg,
 };
-use crate::shard::{NodeShared, Queued, QueuedOp};
+use crate::shard::{NodeShared, Queued, QueuedOp, Shard};
 
-/// A keys-plus-values accumulator.
+/// A keys-plus-values accumulator for forwarded requests (they become
+/// [`OpMsg`]s, whose push payloads stay `Vec<f32>`).
 #[derive(Debug, Default)]
 struct KeyVals {
     keys: Vec<Key>,
     vals: Vec<f32>,
+}
+
+/// A keys-plus-block accumulator for value-carrying emissions (responses
+/// and hand-overs): one contiguous buffer per outgoing message.
+#[derive(Debug, Default)]
+struct KeyBlock {
+    keys: Vec<Key>,
+    vals: ValueBlockBuilder,
 }
 
 /// Accumulates per-destination response/forward batches while one message
@@ -48,13 +70,13 @@ struct KeyVals {
 #[derive(Default)]
 struct Batches {
     /// Responses per (op, kind); destination is `op.node`.
-    resp: OrderedGroups<(OpId, OpKind), KeyVals>,
+    resp: OrderedGroups<(OpId, OpKind), KeyBlock>,
     /// Home-routed forwards per (owner, op, kind).
     fwd_owner: OrderedGroups<(NodeId, OpId, OpKind), KeyVals>,
     /// Double-forwards per (home, op, kind).
     fwd_home: OrderedGroups<(NodeId, OpId, OpKind), KeyVals>,
     /// Hand-overs per (new owner, op).
-    handover: OrderedGroups<(NodeId, OpId), KeyVals>,
+    handover: OrderedGroups<(NodeId, OpId), KeyBlock>,
     /// Relocate instructions, emitted in order.
     relocates: Vec<(NodeId, RelocateMsg)>,
     /// Replica refreshes, emitted in order (after everything else —
@@ -64,14 +86,14 @@ struct Batches {
 
 impl Batches {
     fn flush(self, node: NodeId, sink: &mut MsgSink) {
-        for ((op, kind), kv) in self.resp.into_iter() {
+        for ((op, kind), kb) in self.resp.into_iter() {
             sink.push((
                 op.node,
                 Msg::OpResp(OpRespMsg {
                     op,
                     kind,
-                    keys: kv.keys,
-                    vals: kv.vals,
+                    keys: kb.keys,
+                    vals: kb.vals.finish(),
                     owner: node,
                 }),
             ));
@@ -103,13 +125,13 @@ impl Batches {
         for (dst, reloc) in self.relocates {
             sink.push((dst, Msg::Relocate(reloc)));
         }
-        for ((dst, op), kv) in self.handover.into_iter() {
+        for ((dst, op), kb) in self.handover.into_iter() {
             sink.push((
                 dst,
                 Msg::HandOver(HandOverMsg {
                     op,
-                    keys: kv.keys,
-                    vals: kv.vals,
+                    keys: kb.keys,
+                    vals: kb.vals.finish(),
                 }),
             ));
         }
@@ -117,6 +139,84 @@ impl Batches {
             sink.push((dst, Msg::ReplicaRefresh(refresh)));
         }
     }
+}
+
+/// Per-key decision of one operation message, replayed in original key
+/// order during batch emission.
+#[derive(Debug, Clone, Copy, Default)]
+enum OpAction {
+    /// Handled entirely during the shard phase (local completion, park).
+    #[default]
+    Done,
+    /// Acknowledge a served push to a remote origin.
+    RespPush,
+    /// Answer a served pull to a remote origin; value staged in scratch.
+    RespPull {
+        /// Offset into the scratch value buffer (floats).
+        soff: u32,
+    },
+    /// Hand the key's value over to the new owner; value staged in
+    /// scratch (relocate messages).
+    HandOver {
+        /// Offset into the scratch value buffer (floats).
+        soff: u32,
+    },
+    /// Forward to the current owner (this node is the home).
+    FwdOwner(NodeId),
+    /// Double-forward to the home (stale location cache, Figure 5d).
+    FwdHome(NodeId),
+}
+
+/// Per-key replay action of a hand-over's queue drain. Ordered sub-steps
+/// of one key occupy a contiguous span of the action list. Tracker
+/// completions are replayed here too — not in the shard phase — because
+/// one hand-over can complete operations of **several** workers, and the
+/// order their wake notifications are enqueued must match the original
+/// per-key dispatch (the simulator's task schedule depends on it).
+#[derive(Debug, Default)]
+enum HoAction {
+    /// Nothing to emit.
+    #[default]
+    None,
+    /// Complete a waiting localize of this node.
+    LocalizeDone(OpId),
+    /// Complete a parked push issued by this node.
+    LocalPush(OpId),
+    /// Complete a parked pull issued by this node; value staged in
+    /// scratch.
+    LocalPull(OpId, u32),
+    /// Acknowledge a parked push of a remote origin.
+    RespPush(OpId),
+    /// Answer a parked pull of a remote origin; value staged in scratch.
+    RespPull(OpId, u32),
+    /// Re-dispatch an operation parked behind an onward relocation.
+    Redispatch {
+        op: OpId,
+        kind: OpKind,
+        val: Vec<f32>,
+        /// Forward to the owner (home here) or double-forward to home.
+        to_owner: bool,
+        dst: NodeId,
+    },
+    /// Hand the key onward to its next owner (parked relocation).
+    Onward(OpId, NodeId, u32),
+}
+
+/// Reusable per-server buffers for the shard-grouped message phases.
+#[derive(Debug, Default)]
+struct ServerScratch {
+    groups: ShardGroups,
+    /// Per-key `(value offset, value length)` into the message payload.
+    items: Vec<(u32, u32)>,
+    /// Per-key replay decision (operation messages).
+    actions: Vec<OpAction>,
+    /// Flat replay actions of a hand-over's queue drains.
+    ho_actions: Vec<HoAction>,
+    /// Per-key `(start, end)` span into `ho_actions`.
+    spans: Vec<(u32, u32)>,
+    /// Staged values (served pulls, hand-over payloads, fresh replica
+    /// values), copied on into the outgoing message block.
+    vals: Vec<f32>,
 }
 
 /// The server half of the protocol for one node.
@@ -134,6 +234,8 @@ pub struct ServerCore {
     /// Last refresh round received per owner; per-link FIFO makes the
     /// sequence strictly increasing (asserted in debug builds).
     replica_rounds_in: HashMap<NodeId, u64>,
+    /// Reusable dispatch buffers (amortized alloc-free).
+    scratch: ServerScratch,
 }
 
 impl ServerCore {
@@ -148,6 +250,7 @@ impl ServerCore {
             replica_subs: Vec::new(),
             replica_round: 0,
             replica_rounds_in: HashMap::new(),
+            scratch: ServerScratch::default(),
         }
     }
 
@@ -189,110 +292,168 @@ impl ServerCore {
     // ---- operations ------------------------------------------------------
 
     fn handle_op(&mut self, m: OpMsg, batches: &mut Batches) {
-        let layout = self.shared.cfg.layout.clone();
-        let mut val_off = 0usize;
-        for &k in &m.keys {
+        let cfg = self.shared.cfg.clone();
+        let policy = cfg.policy();
+
+        // Plan phase: group keys by shard, record payload spans.
+        let ServerScratch {
+            groups,
+            items,
+            actions,
+            vals,
+            ..
+        } = &mut self.scratch;
+        groups.clear();
+        items.clear();
+        actions.clear();
+        vals.clear();
+        let mut val_off = 0u32;
+        for (i, &k) in m.keys.iter().enumerate() {
             let len = match m.kind {
-                OpKind::Push => layout.len(k),
+                OpKind::Push => cfg.layout.len(k) as u32,
                 OpKind::Pull => 0,
             };
-            let val = &m.vals[val_off..val_off + len];
+            items.push((val_off, len));
+            actions.push(OpAction::Done);
+            groups.push(cfg.shard_of(k), i as u32);
             val_off += len;
-            self.dispatch_key(m.op, m.kind, k, val, m.routed_by_home, batches);
         }
-        debug_assert_eq!(val_off, m.vals.len(), "push payload length mismatch");
-    }
-
-    /// Routes one key of an operation (see module docs for the cases).
-    fn dispatch_key(
-        &mut self,
-        op: OpId,
-        kind: OpKind,
-        k: Key,
-        val: &[f32],
-        routed_by_home: bool,
-        batches: &mut Batches,
-    ) {
-        let cfg = &self.shared.cfg;
-        debug_assert!(
-            !cfg.policy().replicated(k),
-            "op message for replicated key {k} (replicated access is always local)"
+        debug_assert_eq!(
+            val_off as usize,
+            m.vals.len(),
+            "push payload length mismatch"
         );
-        let mut shard = self.shared.shard_for(k).lock();
-        if shard.store.contains(k) {
-            // Serve as owner.
-            match kind {
-                OpKind::Push => {
-                    let applied = shard.store.add(k, val);
-                    debug_assert!(applied);
-                    if op.node == self.shared.node {
-                        self.shared.tracker.complete_key(op.seq, k, None);
-                    } else {
-                        batches.resp.entry((op, kind)).keys.push(k);
+
+        // Shard phase: one latch per shard; route every key (see module
+        // docs for the cases).
+        let mut stale_forwards = 0u64;
+        for (shard_idx, idxs) in groups.iter() {
+            let mut shard = self.shared.shards[shard_idx].lock();
+            for &i in idxs {
+                let k = m.keys[i as usize];
+                let (off, len) = items[i as usize];
+                let val = &m.vals[off as usize..(off + len) as usize];
+                debug_assert!(
+                    !policy.replicated(k),
+                    "op message for replicated key {k} (replicated access is always local)"
+                );
+                if shard.store.contains(k) {
+                    // Serve as owner.
+                    match m.kind {
+                        OpKind::Push => {
+                            let applied = shard.store.add(k, val);
+                            debug_assert!(applied);
+                            if m.op.node == self.shared.node {
+                                self.shared.tracker.complete_key(m.op.seq, k, None);
+                            } else {
+                                actions[i as usize] = OpAction::RespPush;
+                            }
+                        }
+                        OpKind::Pull => {
+                            let v = shard.store.get(k).expect("contains implies get");
+                            if m.op.node == self.shared.node {
+                                self.shared.tracker.complete_key(m.op.seq, k, Some(v));
+                            } else {
+                                let soff = vals.len() as u32;
+                                vals.extend_from_slice(v);
+                                actions[i as usize] = OpAction::RespPull { soff };
+                            }
+                        }
                     }
-                }
-                OpKind::Pull => {
-                    let v = shard.store.get(k).expect("contains implies get");
-                    if op.node == self.shared.node {
-                        self.shared.tracker.complete_key(op.seq, k, Some(v));
-                    } else {
-                        let entry = batches.resp.entry((op, kind));
-                        entry.keys.push(k);
-                        entry.vals.extend_from_slice(v);
-                    }
+                } else if let Some(inc) = shard.incoming.get_mut(&k) {
+                    // Relocating towards this node: park until the
+                    // hand-over (Section 3.2).
+                    inc.queue.push_back(Queued::Op(QueuedOp {
+                        op: m.op,
+                        kind: m.kind,
+                        val: val.to_vec(),
+                    }));
+                } else if cfg.home(k) == self.shared.node {
+                    // Act as home: forward to the current owner.
+                    let owner = self.owner[cfg.home_slot(k)];
+                    debug_assert_ne!(
+                        owner, self.shared.node,
+                        "home believes it owns {k} but the store disagrees"
+                    );
+                    actions[i as usize] = OpAction::FwdOwner(owner);
+                } else {
+                    // Direct delivery based on a stale location cache:
+                    // forward to the home node (double-forward, Figure 5d).
+                    debug_assert!(
+                        !m.routed_by_home,
+                        "home-routed op for {k} reached a non-owner"
+                    );
+                    stale_forwards += 1;
+                    actions[i as usize] = OpAction::FwdHome(cfg.home(k));
                 }
             }
-        } else if let Some(inc) = shard.incoming.get_mut(&k) {
-            // Relocating towards this node: park until the hand-over
-            // (Section 3.2).
-            inc.queue.push_back(Queued::Op(QueuedOp {
-                op,
-                kind,
-                val: val.to_vec(),
-            }));
-        } else if cfg.home(k) == self.shared.node {
-            // Act as home: forward to the current owner.
-            let owner = self.owner[cfg.home_slot(k)];
-            debug_assert_ne!(
-                owner, self.shared.node,
-                "home believes it owns {k} but the store disagrees"
-            );
-            let entry = batches.fwd_owner.entry((owner, op, kind));
-            entry.keys.push(k);
-            entry.vals.extend_from_slice(val);
-        } else {
-            // Direct delivery based on a stale location cache: forward to
-            // the home node (double-forward, Figure 5d).
-            debug_assert!(
-                !routed_by_home,
-                "home-routed op for {k} reached a non-owner"
-            );
-            self.shared.stats.stale_cache_forwards.fetch_add(1, Relaxed);
-            let entry = batches.fwd_home.entry((cfg.home(k), op, kind));
-            entry.keys.push(k);
-            entry.vals.extend_from_slice(val);
+        }
+        if stale_forwards > 0 {
+            self.shared
+                .stats
+                .stale_cache_forwards
+                .fetch_add(stale_forwards, Relaxed);
+        }
+
+        // Emit phase: replay decisions in original key order so grouped
+        // replies are identical to the per-key dispatch path.
+        let mut resp_bytes = 0u64;
+        for (i, &k) in m.keys.iter().enumerate() {
+            let (off, len) = items[i];
+            match actions[i] {
+                OpAction::Done => {}
+                OpAction::HandOver { .. } => unreachable!("hand-over action in op dispatch"),
+                OpAction::RespPush => {
+                    batches.resp.entry((m.op, m.kind)).keys.push(k);
+                }
+                OpAction::RespPull { soff } => {
+                    let vlen = cfg.layout.len(k);
+                    let entry = batches.resp.entry((m.op, OpKind::Pull));
+                    entry.keys.push(k);
+                    entry
+                        .vals
+                        .push_slice(&vals[soff as usize..soff as usize + vlen]);
+                    resp_bytes += 4 * vlen as u64;
+                }
+                OpAction::FwdOwner(owner) => {
+                    let entry = batches.fwd_owner.entry((owner, m.op, m.kind));
+                    entry.keys.push(k);
+                    entry
+                        .vals
+                        .extend_from_slice(&m.vals[off as usize..(off + len) as usize]);
+                }
+                OpAction::FwdHome(home) => {
+                    let entry = batches.fwd_home.entry((home, m.op, m.kind));
+                    entry.keys.push(k);
+                    entry
+                        .vals
+                        .extend_from_slice(&m.vals[off as usize..(off + len) as usize]);
+                }
+            }
+        }
+        if resp_bytes > 0 {
+            self.shared
+                .stats
+                .value_bytes_moved
+                .fetch_add(resp_bytes, Relaxed);
         }
     }
 
     fn handle_resp(&mut self, m: OpRespMsg) {
         let cfg = self.shared.cfg.clone();
         debug_assert_eq!(m.op.node, self.shared.node, "response at wrong node");
-        let mut val_off = 0usize;
-        for &k in &m.keys {
-            cfg.policy()
-                .note_owner(&mut self.shared.shard_for(k).lock(), k, m.owner);
-            match m.kind {
-                OpKind::Pull => {
-                    let len = cfg.layout.len(k);
-                    let v = &m.vals[val_off..val_off + len];
-                    val_off += len;
-                    self.shared.tracker.complete_key(m.op.seq, k, Some(v));
-                }
-                OpKind::Push => {
-                    self.shared.tracker.complete_key(m.op.seq, k, None);
-                }
+        if cfg.location_caches {
+            for &k in &m.keys {
+                cfg.policy()
+                    .note_owner(&mut self.shared.shard_for(k).lock(), k, m.owner);
             }
         }
+        // One tracker lock completes the whole grouped response; pull
+        // values copy straight from the decoded block into the result
+        // buffer.
+        self.shared
+            .tracker
+            .complete_resp(m.op.seq, &m.keys, &m.vals);
     }
 
     // ---- relocation (Figure 4) --------------------------------------------
@@ -334,121 +495,251 @@ impl ServerCore {
     /// arrives (localization conflicts, Section 3.2).
     fn handle_relocate(&mut self, m: RelocateMsg, batches: &mut Batches) {
         let cfg = self.shared.cfg.clone();
-        for &k in &m.keys {
-            let mut shard = self.shared.shard_for(k).lock();
-            if let Some(v) = shard.store.remove(k) {
-                if m.new_owner == self.shared.node {
+        let policy = cfg.policy();
+        let ServerScratch {
+            groups,
+            items,
+            actions,
+            vals,
+            ..
+        } = &mut self.scratch;
+        groups.clear();
+        items.clear();
+        actions.clear();
+        vals.clear();
+        for (i, &k) in m.keys.iter().enumerate() {
+            items.push((0, cfg.layout.len(k) as u32));
+            actions.push(OpAction::Done);
+            groups.push(cfg.shard_of(k), i as u32);
+        }
+
+        let mut unexpected = 0u64;
+        for (shard_idx, idxs) in groups.iter() {
+            let mut shard = self.shared.shards[shard_idx].lock();
+            for &i in idxs {
+                let k = m.keys[i as usize];
+                if m.new_owner == self.shared.node && shard.store.contains(k) {
                     // Degenerate self-relocation (the requester already
                     // owned the key when the home processed its request):
-                    // keep the value and complete the localize.
-                    shard.store.insert(k, &v);
+                    // the value stays in place; complete the localize.
                     self.shared.tracker.complete_key(m.op.seq, k, None);
+                } else if let Some(slot) = shard.store.take(k) {
+                    policy.note_owner(&mut shard, k, m.new_owner);
+                    let soff = vals.len() as u32;
+                    vals.extend_from_slice(shard.store.slot_slice(slot));
+                    shard.store.release(slot);
+                    actions[i as usize] = OpAction::HandOver { soff };
+                } else if let Some(inc) = shard.incoming.get_mut(&k) {
+                    inc.queue.push_back(Queued::Relocate {
+                        op: m.op,
+                        new_owner: m.new_owner,
+                    });
                 } else {
-                    cfg.policy().note_owner(&mut shard, k, m.new_owner);
-                    let entry = batches.handover.entry((m.new_owner, m.op));
-                    entry.keys.push(k);
-                    entry.vals.extend_from_slice(&v);
+                    debug_assert!(
+                        false,
+                        "relocate for {k} which is neither owned nor expected"
+                    );
+                    unexpected += 1;
                 }
-            } else if let Some(inc) = shard.incoming.get_mut(&k) {
-                inc.queue.push_back(Queued::Relocate {
-                    op: m.op,
-                    new_owner: m.new_owner,
-                });
-            } else {
-                debug_assert!(
-                    false,
-                    "relocate for {k} which is neither owned nor expected"
-                );
-                self.shared.stats.unexpected_relocates.fetch_add(1, Relaxed);
             }
         }
+        if unexpected > 0 {
+            self.shared
+                .stats
+                .unexpected_relocates
+                .fetch_add(unexpected, Relaxed);
+        }
+
+        // Emit phase: hand-over payload in original key order.
+        let mut moved_bytes = 0u64;
+        for (i, &k) in m.keys.iter().enumerate() {
+            if let OpAction::HandOver { soff } = actions[i] {
+                let (_, len) = items[i];
+                let entry = batches.handover.entry((m.new_owner, m.op));
+                entry.keys.push(k);
+                entry
+                    .vals
+                    .push_slice(&vals[soff as usize..(soff + len) as usize]);
+                moved_bytes += 4 * len as u64;
+            }
+        }
+        if moved_bytes > 0 {
+            self.shared
+                .stats
+                .value_bytes_moved
+                .fetch_add(moved_bytes, Relaxed);
+        }
     }
 
-    /// Message 3, at the new owner: install the value, complete waiting
-    /// localizes, and drain parked operations in arrival order.
+    /// Message 3, at the new owner: install the values straight from the
+    /// message block into the store arena, complete waiting localizes,
+    /// and drain parked operations in arrival order.
     fn handle_handover(&mut self, m: HandOverMsg, batches: &mut Batches) {
-        let layout = self.shared.cfg.layout.clone();
-        let mut val_off = 0usize;
-        for &k in &m.keys {
-            let len = layout.len(k);
-            let val = &m.vals[val_off..val_off + len];
-            val_off += len;
-            self.install_key(k, val, batches);
-        }
-        debug_assert_eq!(val_off, m.vals.len(), "handover payload length mismatch");
-    }
-
-    fn install_key(&mut self, k: Key, val: &[f32], batches: &mut Batches) {
         let cfg = self.shared.cfg.clone();
-        let mut shard = self.shared.shard_for(k).lock();
-        shard.store.insert(k, val);
-        self.shared.stats.handovers_in.fetch_add(1, Relaxed);
-        let Some(entry) = shard.incoming.remove(&k) else {
-            debug_assert!(false, "hand-over for {k} without incoming entry");
-            return;
-        };
-        for op in &entry.waiting_localize {
-            debug_assert_eq!(op.node, self.shared.node);
-            self.shared.tracker.complete_key(op.seq, k, None);
+        let policy = cfg.policy();
+        let ServerScratch {
+            groups,
+            items,
+            ho_actions,
+            spans,
+            vals,
+            ..
+        } = &mut self.scratch;
+        groups.clear();
+        items.clear();
+        ho_actions.clear();
+        spans.clear();
+        vals.clear();
+        let mut block_off = 0u32;
+        for (i, &k) in m.keys.iter().enumerate() {
+            let len = cfg.layout.len(k) as u32;
+            items.push((block_off, len));
+            spans.push((0, 0));
+            groups.push(cfg.shard_of(k), i as u32);
+            block_off += len;
         }
-        // Drain parked work in arrival order. A parked Relocate moves the
-        // key onward; operations parked after it are re-dispatched through
-        // normal routing and will reach the key's current owner via home.
-        let mut moved_on = false;
-        for item in entry.queue {
-            match item {
-                Queued::Op(q) => {
-                    if !moved_on {
-                        self.serve_parked(&mut shard, k, q, batches);
-                    } else {
-                        self.redispatch_parked(k, q, batches);
+        debug_assert_eq!(
+            block_off as usize,
+            m.vals.len(),
+            "handover payload length mismatch"
+        );
+
+        let mut installed = 0u64;
+        for (shard_idx, idxs) in groups.iter() {
+            let mut shard = self.shared.shards[shard_idx].lock();
+            for &i in idxs {
+                let k = m.keys[i as usize];
+                let (off, _) = items[i as usize];
+                // Install: block bytes copy directly into the arena slot.
+                shard
+                    .store
+                    .insert_with(k, |dst| m.vals.copy_to(off as usize, dst));
+                installed += 1;
+                let Some(entry) = shard.incoming.remove(&k) else {
+                    debug_assert!(false, "hand-over for {k} without incoming entry");
+                    continue;
+                };
+                let start = ho_actions.len() as u32;
+                for op in &entry.waiting_localize {
+                    debug_assert_eq!(op.node, self.shared.node);
+                    ho_actions.push(HoAction::LocalizeDone(*op));
+                }
+                // Drain parked work in arrival order, recording state
+                // changes now (under the latch) and emissions/completions
+                // for the in-order replay below. A parked Relocate moves
+                // the key onward; operations parked after it are
+                // re-dispatched through normal routing and will reach the
+                // key's current owner via home.
+                let mut moved_on = false;
+                for item in entry.queue {
+                    match item {
+                        Queued::Op(q) => {
+                            if !moved_on {
+                                ho_actions.push(serve_parked(&self.shared, &mut shard, k, q, vals));
+                            } else {
+                                let (to_owner, dst) = if cfg.home(k) == self.shared.node {
+                                    (true, self.owner[cfg.home_slot(k)])
+                                } else {
+                                    (false, cfg.home(k))
+                                };
+                                ho_actions.push(HoAction::Redispatch {
+                                    op: q.op,
+                                    kind: q.kind,
+                                    val: q.val,
+                                    to_owner,
+                                    dst,
+                                });
+                            }
+                        }
+                        Queued::Relocate { op, new_owner } => {
+                            debug_assert!(!moved_on, "second parked relocate for {k}");
+                            debug_assert_ne!(new_owner, self.shared.node);
+                            let slot = shard
+                                .store
+                                .take(k)
+                                .expect("parked relocate found missing key");
+                            policy.note_owner(&mut shard, k, new_owner);
+                            let soff = vals.len() as u32;
+                            vals.extend_from_slice(shard.store.slot_slice(slot));
+                            shard.store.release(slot);
+                            ho_actions.push(HoAction::Onward(op, new_owner, soff));
+                            moved_on = true;
+                        }
                     }
                 }
-                Queued::Relocate { op, new_owner } => {
-                    debug_assert!(!moved_on, "second parked relocate for {k}");
-                    debug_assert_ne!(new_owner, self.shared.node);
-                    let v = shard
-                        .store
-                        .remove(k)
-                        .expect("parked relocate found missing key");
-                    cfg.policy().note_owner(&mut shard, k, new_owner);
-                    let entry = batches.handover.entry((new_owner, op));
-                    entry.keys.push(k);
-                    entry.vals.extend_from_slice(&v);
-                    moved_on = true;
+                spans[i as usize] = (start, ho_actions.len() as u32);
+            }
+        }
+        if installed > 0 {
+            self.shared.stats.handovers_in.fetch_add(installed, Relaxed);
+        }
+
+        // Emit phase: replay each key's recorded emissions in original
+        // key order (and per key in queue-arrival order).
+        let mut moved_bytes = 0u64;
+        for (i, &k) in m.keys.iter().enumerate() {
+            let (start, end) = spans[i];
+            for j in start..end {
+                match std::mem::take(&mut ho_actions[j as usize]) {
+                    HoAction::None => {}
+                    HoAction::LocalizeDone(op) => {
+                        self.shared.tracker.complete_key(op.seq, k, None);
+                    }
+                    HoAction::LocalPush(op) => {
+                        self.shared.tracker.complete_key(op.seq, k, None);
+                    }
+                    HoAction::LocalPull(op, soff) => {
+                        let vlen = cfg.layout.len(k);
+                        self.shared.tracker.complete_key(
+                            op.seq,
+                            k,
+                            Some(&vals[soff as usize..soff as usize + vlen]),
+                        );
+                    }
+                    HoAction::RespPush(op) => {
+                        batches.resp.entry((op, OpKind::Push)).keys.push(k);
+                    }
+                    HoAction::RespPull(op, soff) => {
+                        let vlen = cfg.layout.len(k);
+                        let entry = batches.resp.entry((op, OpKind::Pull));
+                        entry.keys.push(k);
+                        entry
+                            .vals
+                            .push_slice(&vals[soff as usize..soff as usize + vlen]);
+                        moved_bytes += 4 * vlen as u64;
+                    }
+                    HoAction::Redispatch {
+                        op,
+                        kind,
+                        val,
+                        to_owner,
+                        dst,
+                    } => {
+                        let entry = if to_owner {
+                            batches.fwd_owner.entry((dst, op, kind))
+                        } else {
+                            batches.fwd_home.entry((dst, op, kind))
+                        };
+                        entry.keys.push(k);
+                        entry.vals.extend_from_slice(&val);
+                    }
+                    HoAction::Onward(op, new_owner, soff) => {
+                        let vlen = cfg.layout.len(k);
+                        let entry = batches.handover.entry((new_owner, op));
+                        entry.keys.push(k);
+                        entry
+                            .vals
+                            .push_slice(&vals[soff as usize..soff as usize + vlen]);
+                        moved_bytes += 4 * vlen as u64;
+                    }
                 }
             }
         }
-    }
-
-    /// Serves a parked operation now that the key is owned.
-    fn serve_parked(
-        &self,
-        shard: &mut crate::shard::Shard,
-        k: Key,
-        q: QueuedOp,
-        batches: &mut Batches,
-    ) {
-        match q.kind {
-            OpKind::Push => {
-                let applied = shard.store.add(k, &q.val);
-                debug_assert!(applied);
-                if q.op.node == self.shared.node {
-                    self.shared.tracker.complete_key(q.op.seq, k, None);
-                } else {
-                    batches.resp.entry((q.op, OpKind::Push)).keys.push(k);
-                }
-            }
-            OpKind::Pull => {
-                let v = shard.store.get(k).expect("just served key");
-                if q.op.node == self.shared.node {
-                    self.shared.tracker.complete_key(q.op.seq, k, Some(v));
-                } else {
-                    let entry = batches.resp.entry((q.op, OpKind::Pull));
-                    entry.keys.push(k);
-                    entry.vals.extend_from_slice(v);
-                }
-            }
+        if moved_bytes > 0 {
+            self.shared
+                .stats
+                .value_bytes_moved
+                .fetch_add(moved_bytes, Relaxed);
         }
     }
 
@@ -465,7 +756,7 @@ impl ServerCore {
         let cfg = self.shared.cfg.clone();
         let policy = cfg.policy();
         let mut keys = Vec::new();
-        let mut vals = Vec::new();
+        let mut vals = ValueBlockBuilder::default();
         for key in cfg.home_keys(self.shared.node) {
             if !policy.replicated(key) {
                 continue;
@@ -473,7 +764,7 @@ impl ServerCore {
             let shard = self.shared.shard_for(key).lock();
             let v = shard.store.get(key).expect("owner stores replicated key");
             keys.push(key);
-            vals.extend_from_slice(v);
+            vals.push_slice(v);
         }
         if keys.is_empty() {
             return;
@@ -486,7 +777,7 @@ impl ServerCore {
                 round: self.replica_round,
                 ack: 0, // a snapshot, not an answer to any flush
                 keys,
-                vals,
+                vals: vals.finish(),
             },
         ));
     }
@@ -502,51 +793,79 @@ impl ServerCore {
         let cfg = self.shared.cfg.clone();
         let policy = cfg.policy();
         let own_flush = m.node == self.shared.node;
+        let broadcast = !self.replica_subs.is_empty();
         // Group by shard so each shard's deltas are applied — and, for the
         // owner's own flushes, its in-flight batch retired — under one
         // latch: the owned store is the owner's replica view, so a local
         // reader must never see a shard's batch retired while some of its
         // deltas are still unapplied (dropped writes) or vice versa
         // (double count).
-        let mut per_shard: OrderedGroups<usize, Vec<(Key, std::ops::Range<usize>)>> =
-            OrderedGroups::new();
-        let mut val_off = 0usize;
-        for &k in &m.keys {
+        let ServerScratch {
+            groups,
+            items,
+            vals,
+            ..
+        } = &mut self.scratch;
+        groups.clear();
+        items.clear();
+        vals.clear();
+        let mut val_off = 0u32;
+        for (i, &k) in m.keys.iter().enumerate() {
             debug_assert!(policy.replicated(k), "replica push for unreplicated {k}");
             debug_assert_eq!(cfg.home(k), self.shared.node, "replica push at wrong owner");
-            let len = cfg.layout.len(k);
-            per_shard
-                .entry(cfg.shard_of(k))
-                .push((k, val_off..val_off + len));
+            let len = cfg.layout.len(k) as u32;
+            items.push((val_off, len));
+            groups.push(cfg.shard_of(k), i as u32);
             val_off += len;
         }
-        debug_assert_eq!(val_off, m.vals.len(), "replica push payload mismatch");
-        let broadcast = !self.replica_subs.is_empty();
-        let mut fresh_by_key: std::collections::HashMap<Key, Vec<f32>> = Default::default();
-        for (shard_idx, keys) in per_shard.into_iter() {
+        debug_assert_eq!(
+            val_off as usize,
+            m.vals.len(),
+            "replica push payload mismatch"
+        );
+        if broadcast {
+            // Stage the fresh values at the same offsets as the incoming
+            // deltas, so the broadcast block is in `m.keys` order.
+            vals.resize(val_off as usize, 0.0);
+        }
+        let mut applied_keys = 0u64;
+        for (shard_idx, idxs) in groups.iter() {
             let mut shard = self.shared.shards[shard_idx].lock();
-            for (k, range) in keys {
-                let applied = shard.store.add(k, &m.vals[range]);
+            for &i in idxs {
+                let k = m.keys[i as usize];
+                let (off, len) = items[i as usize];
+                let applied = shard
+                    .store
+                    .add(k, &m.vals[off as usize..(off + len) as usize]);
                 debug_assert!(applied, "owner lost replicated key {k}");
                 if broadcast {
-                    fresh_by_key.insert(k, shard.store.get(k).expect("just updated").to_vec());
+                    let fresh = shard.store.get(k).expect("just updated");
+                    vals[off as usize..(off + len) as usize].copy_from_slice(fresh);
                 }
-                self.shared
-                    .stats
-                    .replica_pushes_applied
-                    .fetch_add(1, Relaxed);
+                applied_keys += 1;
             }
             if own_flush {
                 shard.replica.retire(self.shared.node, m.flush_seq);
             }
         }
+        if applied_keys > 0 {
+            self.shared
+                .stats
+                .replica_pushes_applied
+                .fetch_add(applied_keys, Relaxed);
+        }
         if !broadcast {
             return;
         }
-        let mut fresh = Vec::with_capacity(m.vals.len());
-        for &k in &m.keys {
-            fresh.extend_from_slice(&fresh_by_key[&k]);
-        }
+        // Build the broadcast payload once; every subscriber's refresh
+        // clones the same block (a reference-count bump, not a copy).
+        let mut block = ValueBlockBuilder::with_capacity(vals.len());
+        block.push_slice(vals);
+        let block = block.finish();
+        self.shared
+            .stats
+            .value_bytes_moved
+            .fetch_add(4 * vals.len() as u64, Relaxed);
         self.replica_round += 1;
         for &sub in &self.replica_subs {
             batches.refreshes.push((
@@ -556,7 +875,7 @@ impl ServerCore {
                     round: self.replica_round,
                     ack: if sub == m.node { m.flush_seq } else { 0 },
                     keys: m.keys.clone(),
-                    vals: fresh.clone(),
+                    vals: block.clone(),
                 },
             ));
         }
@@ -581,24 +900,31 @@ impl ServerCore {
             m.owner
         );
         *last_round = m.round;
-        let mut per_shard: OrderedGroups<usize, Vec<(Key, std::ops::Range<usize>)>> =
-            OrderedGroups::new();
-        let mut val_off = 0usize;
-        for &k in &m.keys {
+        let ServerScratch { groups, items, .. } = &mut self.scratch;
+        groups.clear();
+        items.clear();
+        let mut val_off = 0u32;
+        for (i, &k) in m.keys.iter().enumerate() {
             debug_assert!(policy.replicated(k), "refresh for unreplicated {k}");
             debug_assert_eq!(cfg.home(k), m.owner, "refresh from non-owner");
-            let len = cfg.layout.len(k);
-            per_shard
-                .entry(cfg.shard_of(k))
-                .push((k, val_off..val_off + len));
+            let len = cfg.layout.len(k) as u32;
+            items.push((val_off, len));
+            groups.push(cfg.shard_of(k), i as u32);
             val_off += len;
         }
-        debug_assert_eq!(val_off, m.vals.len(), "refresh payload mismatch");
-        for (shard_idx, keys) in per_shard.into_iter() {
+        debug_assert_eq!(val_off as usize, m.vals.len(), "refresh payload mismatch");
+        let mut refreshed = 0u64;
+        for (shard_idx, idxs) in groups.iter() {
             let mut shard = self.shared.shards[shard_idx].lock();
-            for (k, range) in keys {
-                shard.replica.refresh(k, &m.vals[range]);
-                self.shared.stats.replica_refreshes.fetch_add(1, Relaxed);
+            for &i in idxs {
+                let k = m.keys[i as usize];
+                let (off, len) = items[i as usize];
+                // Fresh values copy straight from the message block into
+                // the replica view.
+                shard
+                    .replica
+                    .refresh_with(k, len as usize, |dst| m.vals.copy_to(off as usize, dst));
+                refreshed += 1;
             }
             if m.ack > 0 {
                 // An acked batch's keys are exactly the refreshed keys, so
@@ -606,20 +932,43 @@ impl ServerCore {
                 shard.replica.retire(m.owner, m.ack);
             }
         }
+        if refreshed > 0 {
+            self.shared
+                .stats
+                .replica_refreshes
+                .fetch_add(refreshed, Relaxed);
+        }
     }
+}
 
-    /// Re-dispatches an operation parked behind an onward relocation.
-    fn redispatch_parked(&self, k: Key, q: QueuedOp, batches: &mut Batches) {
-        let cfg = &self.shared.cfg;
-        if cfg.home(k) == self.shared.node {
-            let owner = self.owner[cfg.home_slot(k)];
-            let entry = batches.fwd_owner.entry((owner, q.op, q.kind));
-            entry.keys.push(k);
-            entry.vals.extend_from_slice(&q.val);
-        } else {
-            let entry = batches.fwd_home.entry((cfg.home(k), q.op, q.kind));
-            entry.keys.push(k);
-            entry.vals.extend_from_slice(&q.val);
+/// Serves a parked operation now that the key is owned: applies state
+/// under the latch, returns the completion/emission to replay in order.
+fn serve_parked(
+    shared: &NodeShared,
+    shard: &mut Shard,
+    k: Key,
+    q: QueuedOp,
+    vals: &mut Vec<f32>,
+) -> HoAction {
+    match q.kind {
+        OpKind::Push => {
+            let applied = shard.store.add(k, &q.val);
+            debug_assert!(applied);
+            if q.op.node == shared.node {
+                HoAction::LocalPush(q.op)
+            } else {
+                HoAction::RespPush(q.op)
+            }
+        }
+        OpKind::Pull => {
+            let v = shard.store.get(k).expect("just served key");
+            let soff = vals.len() as u32;
+            vals.extend_from_slice(v);
+            if q.op.node == shared.node {
+                HoAction::LocalPull(q.op, soff)
+            } else {
+                HoAction::RespPull(q.op, soff)
+            }
         }
     }
 }

@@ -124,12 +124,17 @@ impl ReplicaSlice {
 
     /// Installs refreshed values for `key` (overwrites the last refresh).
     pub fn refresh(&mut self, key: Key, vals: &[f32]) {
-        match self.values.get_mut(&key) {
-            Some(v) => v.copy_from_slice(vals),
-            None => {
-                self.values.insert(key, vals.to_vec());
-            }
-        }
+        self.refresh_with(key, vals.len(), |dst| dst.copy_from_slice(vals));
+    }
+
+    /// Installs refreshed values for `key` by filling the stored buffer
+    /// in place — the alloc-free path for refreshes decoded from a
+    /// [`ValueBlock`](lapse_net::ValueBlock): bytes copy straight from
+    /// the message block into the replica view.
+    pub fn refresh_with(&mut self, key: Key, len: usize, fill: impl FnOnce(&mut [f32])) {
+        let dst = self.values.entry(key).or_insert_with(|| vec![0.0; len]);
+        debug_assert_eq!(dst.len(), len, "refresh length mismatch for {key}");
+        fill(dst);
     }
 
     /// Retires the in-flight batch towards `owner` with exactly flush
@@ -211,6 +216,18 @@ pub struct AccessStats {
     pub replica_pushes_applied: AtomicU64,
     /// Replicated keys refreshed on this node by owner broadcasts.
     pub replica_refreshes: AtomicU64,
+    /// Bytes of parameter values moved through this node's value plane:
+    /// local/replica pull serves into caller buffers plus value payloads
+    /// assembled into outgoing responses, hand-overs, and refreshes
+    /// (counted once per broadcast). Incremented once per operation or
+    /// message, never per key.
+    pub value_bytes_moved: AtomicU64,
+    /// Per-value heap allocations on the hot paths (e.g. parked-operation
+    /// payload copies). The arena/heap allocation split of the stores
+    /// themselves is collected separately from the store arenas; owned
+    /// local serves contribute **zero** here — the property the
+    /// value-plane stress test pins down.
+    pub value_allocs_heap: AtomicU64,
 }
 
 impl AccessStats {
@@ -345,6 +362,16 @@ impl NodeShared {
     /// Number of keys currently relocating to this node.
     pub fn incoming_keys(&self) -> usize {
         self.shards.iter().map(|s| s.lock().incoming.len()).sum()
+    }
+
+    /// Aggregated arena-vs-heap allocation counters of all shard stores
+    /// (takes each latch once; diagnostics/statistics).
+    pub fn store_alloc_stats(&self) -> crate::storage::ArenaStats {
+        let mut total = crate::storage::ArenaStats::default();
+        for s in &self.shards {
+            total.merge(s.lock().store.alloc_stats());
+        }
+        total
     }
 }
 

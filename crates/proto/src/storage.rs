@@ -7,6 +7,16 @@
 //! during relocations), and a **sparse** store backed by a hash map that
 //! only materializes currently-owned keys.
 //!
+//! Both flavours keep their values in one per-shard [`ValueArena`]: a
+//! contiguous `f32` slab addressed by [`ValueSlot`] handles. The dense
+//! store's arena is fully preallocated (one fixed slot per key); the
+//! sparse store's arena grows on demand and recycles freed spans through
+//! per-length free lists, so steady-state churn (relocations moving keys
+//! in and out) allocates nothing. Values never travel as owned `Vec<f32>`:
+//! reads hand out borrows, and a relocation hand-over *takes* the slot
+//! ([`ShardStore::take`]), copies the value out of the arena into the
+//! outgoing message block, and then releases it.
+//!
 //! A store holds only the keys its node currently *owns*; ownership moves
 //! between nodes as parameters relocate.
 
@@ -15,6 +25,125 @@ use std::collections::HashMap;
 use lapse_net::Key;
 
 use crate::layout::Layout;
+
+/// Handle to one value's span inside a store's [`ValueArena`].
+///
+/// A slot stays readable (via [`ShardStore::slot_slice`]) from the moment
+/// it is returned by [`ShardStore::take`] until it is passed to
+/// [`ShardStore::release`]; no insertion may happen in between. All
+/// offsets are in floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueSlot {
+    off: u32,
+    len: u32,
+}
+
+impl ValueSlot {
+    /// Value length in floats.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the slot holds no floats.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn range(&self) -> std::ops::Range<usize> {
+        self.off as usize..(self.off + self.len) as usize
+    }
+}
+
+/// Allocation counters of a store's arena, for the value-plane accounting
+/// (`ClusterStats::value_allocs_*`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ArenaStats {
+    /// Value slots served without touching the heap: preallocated dense
+    /// slots, free-list reuse, and in-capacity arena growth.
+    pub arena: u64,
+    /// Value slots whose allocation had to grow the arena's heap backing.
+    pub heap: u64,
+}
+
+impl ArenaStats {
+    /// Adds another store's counters into this one (aggregation across
+    /// shards and nodes).
+    pub fn merge(&mut self, other: ArenaStats) {
+        self.arena += other.arena;
+        self.heap += other.heap;
+    }
+}
+
+/// A contiguous `f32` slab with per-length free lists.
+#[derive(Debug)]
+struct ValueArena {
+    data: Vec<f32>,
+    /// Free spans per length class. Shards see very few distinct value
+    /// lengths (one or two per [`Layout`]), so a linear-scan vector map
+    /// beats a hash map here.
+    free: Vec<(u32, Vec<u32>)>,
+    stats: ArenaStats,
+}
+
+impl ValueArena {
+    fn with_capacity(floats: usize) -> Self {
+        ValueArena {
+            data: Vec::with_capacity(floats),
+            free: Vec::new(),
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Preallocates `floats` zeroed floats (dense stores).
+    fn prealloc(floats: usize) -> Self {
+        ValueArena {
+            data: vec![0.0; floats],
+            free: Vec::new(),
+            stats: ArenaStats::default(),
+        }
+    }
+
+    fn alloc(&mut self, len: u32) -> ValueSlot {
+        if let Some((_, list)) = self.free.iter_mut().find(|(l, _)| *l == len) {
+            if let Some(off) = list.pop() {
+                self.stats.arena += 1;
+                return ValueSlot { off, len };
+            }
+        }
+        let off = self.data.len() as u32;
+        let grew = self.data.len() + len as usize > self.data.capacity();
+        self.data.resize(self.data.len() + len as usize, 0.0);
+        if grew {
+            self.stats.heap += 1;
+        } else {
+            self.stats.arena += 1;
+        }
+        ValueSlot { off, len }
+    }
+
+    /// Returns a span to the free list. The span is zeroed so stale data
+    /// cannot leak through a partial later fill.
+    fn free(&mut self, slot: ValueSlot) {
+        self.data[slot.range()].fill(0.0);
+        match self.free.iter_mut().find(|(l, _)| *l == slot.len) {
+            Some((_, list)) => list.push(slot.off),
+            None => self.free.push((slot.len, vec![slot.off])),
+        }
+    }
+
+    #[inline]
+    fn slice(&self, slot: ValueSlot) -> &[f32] {
+        &self.data[slot.range()]
+    }
+
+    #[inline]
+    fn slice_mut(&mut self, slot: ValueSlot) -> &mut [f32] {
+        &mut self.data[slot.range()]
+    }
+}
 
 /// One shard's parameter store.
 #[derive(Debug)]
@@ -70,17 +199,55 @@ impl ShardStore {
     /// Panics if the value length does not match the layout, or the key is
     /// outside the shard's range (dense), or the key is already owned.
     pub fn insert(&mut self, key: Key, vals: &[f32]) {
+        let expected = match self {
+            ShardStore::Dense(s) => s.value_len(key),
+            ShardStore::Sparse(s) => s.layout.len(key),
+        };
+        assert_eq!(vals.len(), expected, "insert length mismatch for {key}");
+        self.insert_with(key, |dst| dst.copy_from_slice(vals));
+    }
+
+    /// Inserts an owned value by filling its arena slot in place: `fill`
+    /// receives the zeroed destination slice of the key's layout length.
+    /// This is the alloc-free install path for hand-overs (values are
+    /// copied straight from the message block into the arena).
+    ///
+    /// # Panics
+    /// Panics if the key is outside the shard's range (dense) or already
+    /// owned.
+    pub fn insert_with(&mut self, key: Key, fill: impl FnOnce(&mut [f32])) {
         match self {
-            ShardStore::Dense(s) => s.insert(key, vals),
-            ShardStore::Sparse(s) => s.insert(key, vals),
+            ShardStore::Dense(s) => s.insert_with(key, fill),
+            ShardStore::Sparse(s) => s.insert_with(key, fill),
         }
     }
 
-    /// Removes an owned value, returning it (relocation hand-over).
-    pub fn remove(&mut self, key: Key) -> Option<Vec<f32>> {
+    /// Stops owning `key` and returns its arena slot (relocation
+    /// hand-over). The value stays readable via
+    /// [`ShardStore::slot_slice`] until the slot is passed to
+    /// [`ShardStore::release`]; no insertion may happen in between.
+    pub fn take(&mut self, key: Key) -> Option<ValueSlot> {
         match self {
-            ShardStore::Dense(s) => s.remove(key),
-            ShardStore::Sparse(s) => s.remove(key),
+            ShardStore::Dense(s) => s.take(key),
+            ShardStore::Sparse(s) => s.take(key),
+        }
+    }
+
+    /// Reads a slot returned by [`ShardStore::take`].
+    #[inline]
+    pub fn slot_slice(&self, slot: ValueSlot) -> &[f32] {
+        match self {
+            ShardStore::Dense(s) => s.arena.slice(slot),
+            ShardStore::Sparse(s) => s.arena.slice(slot),
+        }
+    }
+
+    /// Reclaims a taken slot: zeroes it (dense) or returns it to the
+    /// arena's free list (sparse).
+    pub fn release(&mut self, slot: ValueSlot) {
+        match self {
+            ShardStore::Dense(s) => s.arena.data[slot.range()].fill(0.0),
+            ShardStore::Sparse(s) => s.arena.free(slot),
         }
     }
 
@@ -96,9 +263,17 @@ impl ShardStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// This store's arena allocation counters.
+    pub fn alloc_stats(&self) -> ArenaStats {
+        match self {
+            ShardStore::Dense(s) => s.arena.stats,
+            ShardStore::Sparse(s) => s.arena.stats,
+        }
+    }
 }
 
-/// Dense store: one preallocated slot per key in `[start, end)`.
+/// Dense store: one preallocated arena slot per key in `[start, end)`.
 #[derive(Debug)]
 pub struct DenseStore {
     start: u64,
@@ -106,7 +281,7 @@ pub struct DenseStore {
     /// Offset of key `start + i` is `offsets[i]`; length is
     /// `offsets[i+1] - offsets[i]`.
     offsets: Vec<u32>,
-    data: Vec<f32>,
+    arena: ValueArena,
     owned: Vec<bool>,
     owned_count: usize,
 }
@@ -126,14 +301,14 @@ impl DenseStore {
             start,
             end,
             offsets,
-            data: vec![0.0; acc as usize],
+            arena: ValueArena::prealloc(acc as usize),
             owned: vec![false; n],
             owned_count: 0,
         }
     }
 
     #[inline]
-    fn slot(&self, key: Key) -> usize {
+    fn index(&self, key: Key) -> usize {
         debug_assert!(
             key.0 >= self.start && key.0 < self.end,
             "key {key} outside dense shard [{}, {})",
@@ -144,8 +319,17 @@ impl DenseStore {
     }
 
     #[inline]
-    fn span(&self, slot: usize) -> std::ops::Range<usize> {
-        self.offsets[slot] as usize..self.offsets[slot + 1] as usize
+    fn slot(&self, idx: usize) -> ValueSlot {
+        let off = self.offsets[idx];
+        ValueSlot {
+            off,
+            len: self.offsets[idx + 1] - off,
+        }
+    }
+
+    #[inline]
+    fn value_len(&self, key: Key) -> usize {
+        self.slot(self.index(key)).len()
     }
 
     #[inline]
@@ -153,14 +337,14 @@ impl DenseStore {
         if key.0 < self.start || key.0 >= self.end {
             return false;
         }
-        self.owned[self.slot(key)]
+        self.owned[self.index(key)]
     }
 
     #[inline]
     fn get(&self, key: Key) -> Option<&[f32]> {
-        let slot = self.slot(key);
-        if self.owned[slot] {
-            Some(&self.data[self.span(slot)])
+        let idx = self.index(key);
+        if self.owned[idx] {
+            Some(self.arena.slice(self.slot(idx)))
         } else {
             None
         }
@@ -168,12 +352,12 @@ impl DenseStore {
 
     #[inline]
     fn add(&mut self, key: Key, delta: &[f32]) -> bool {
-        let slot = self.slot(key);
-        if !self.owned[slot] {
+        let idx = self.index(key);
+        if !self.owned[idx] {
             return false;
         }
-        let span = self.span(slot);
-        let dst = &mut self.data[span];
+        let slot = self.slot(idx);
+        let dst = self.arena.slice_mut(slot);
         assert_eq!(dst.len(), delta.len(), "push length mismatch for {key}");
         for (d, &x) in dst.iter_mut().zip(delta) {
             *d += x;
@@ -181,37 +365,33 @@ impl DenseStore {
         true
     }
 
-    fn insert(&mut self, key: Key, vals: &[f32]) {
-        let slot = self.slot(key);
-        assert!(!self.owned[slot], "dense insert of already-owned {key}");
-        let span = self.span(slot);
-        let dst = &mut self.data[span];
-        assert_eq!(dst.len(), vals.len(), "insert length mismatch for {key}");
-        dst.copy_from_slice(vals);
-        self.owned[slot] = true;
+    fn insert_with(&mut self, key: Key, fill: impl FnOnce(&mut [f32])) {
+        let idx = self.index(key);
+        assert!(!self.owned[idx], "dense insert of already-owned {key}");
+        let slot = self.slot(idx);
+        fill(self.arena.slice_mut(slot));
+        self.arena.stats.arena += 1; // the slot was preallocated
+        self.owned[idx] = true;
         self.owned_count += 1;
     }
 
-    fn remove(&mut self, key: Key) -> Option<Vec<f32>> {
-        let slot = self.slot(key);
-        if !self.owned[slot] {
+    fn take(&mut self, key: Key) -> Option<ValueSlot> {
+        let idx = self.index(key);
+        if !self.owned[idx] {
             return None;
         }
-        let span = self.span(slot);
-        let out = self.data[span.clone()].to_vec();
-        // Zero the slot so stale data cannot leak to a later insert.
-        self.data[span].fill(0.0);
-        self.owned[slot] = false;
+        self.owned[idx] = false;
         self.owned_count -= 1;
-        Some(out)
+        Some(self.slot(idx))
     }
 }
 
-/// Sparse store: owned keys only, boxed values.
+/// Sparse store: owned keys only, values in a growing arena.
 #[derive(Debug)]
 pub struct SparseStore {
     layout: Layout,
-    map: HashMap<Key, Box<[f32]>>,
+    map: HashMap<Key, ValueSlot>,
+    arena: ValueArena,
 }
 
 impl SparseStore {
@@ -219,6 +399,7 @@ impl SparseStore {
         SparseStore {
             layout,
             map: HashMap::new(),
+            arena: ValueArena::with_capacity(0),
         }
     }
 
@@ -229,15 +410,16 @@ impl SparseStore {
 
     #[inline]
     fn get(&self, key: Key) -> Option<&[f32]> {
-        self.map.get(&key).map(|v| &**v)
+        self.map.get(&key).map(|&slot| self.arena.slice(slot))
     }
 
     #[inline]
     fn add(&mut self, key: Key, delta: &[f32]) -> bool {
-        match self.map.get_mut(&key) {
-            Some(v) => {
-                assert_eq!(v.len(), delta.len(), "push length mismatch for {key}");
-                for (d, &x) in v.iter_mut().zip(delta) {
+        match self.map.get(&key) {
+            Some(&slot) => {
+                let dst = self.arena.slice_mut(slot);
+                assert_eq!(dst.len(), delta.len(), "push length mismatch for {key}");
+                for (d, &x) in dst.iter_mut().zip(delta) {
                     *d += x;
                 }
                 true
@@ -246,18 +428,18 @@ impl SparseStore {
         }
     }
 
-    fn insert(&mut self, key: Key, vals: &[f32]) {
-        assert_eq!(
-            vals.len(),
-            self.layout.len(key),
-            "insert length mismatch for {key}"
+    fn insert_with(&mut self, key: Key, fill: impl FnOnce(&mut [f32])) {
+        assert!(
+            !self.map.contains_key(&key),
+            "sparse insert of already-owned {key}"
         );
-        let prev = self.map.insert(key, vals.into());
-        assert!(prev.is_none(), "sparse insert of already-owned {key}");
+        let slot = self.arena.alloc(self.layout.len(key) as u32);
+        fill(self.arena.slice_mut(slot));
+        self.map.insert(key, slot);
     }
 
-    fn remove(&mut self, key: Key) -> Option<Vec<f32>> {
-        self.map.remove(&key).map(|v| v.into_vec())
+    fn take(&mut self, key: Key) -> Option<ValueSlot> {
+        self.map.remove(&key)
     }
 }
 
@@ -272,8 +454,17 @@ mod tests {
         ]
     }
 
+    /// Reads a key's value, takes the slot, and releases it — the
+    /// hand-over access pattern.
+    fn take_vec(s: &mut ShardStore, key: Key) -> Option<Vec<f32>> {
+        let slot = s.take(key)?;
+        let out = s.slot_slice(slot).to_vec();
+        s.release(slot);
+        Some(out)
+    }
+
     #[test]
-    fn insert_get_add_remove() {
+    fn insert_get_add_take() {
         let layout = Layout::Uniform(2);
         for mut s in both(&layout, 0, 10) {
             assert!(!s.contains(Key(3)));
@@ -288,21 +479,67 @@ mod tests {
             assert!(s.add(Key(3), &[0.5, -1.0]));
             assert_eq!(s.get(Key(3)).unwrap(), &[1.5, 1.0]);
 
-            assert_eq!(s.remove(Key(3)).unwrap(), vec![1.5, 1.0]);
+            assert_eq!(take_vec(&mut s, Key(3)).unwrap(), vec![1.5, 1.0]);
             assert!(!s.contains(Key(3)));
-            assert!(s.remove(Key(3)).is_none());
+            assert!(s.take(Key(3)).is_none());
             assert!(s.is_empty());
         }
     }
 
     #[test]
-    fn dense_zeroes_removed_slots() {
+    fn taken_slot_readable_until_release() {
         let layout = Layout::Uniform(2);
-        let mut s = ShardStore::dense(&layout, 0, 4);
-        s.insert(Key(1), &[7.0, 8.0]);
-        s.remove(Key(1));
-        s.insert(Key(1), &[1.0, 1.0]);
-        assert_eq!(s.get(Key(1)).unwrap(), &[1.0, 1.0]);
+        for mut s in both(&layout, 0, 4) {
+            s.insert(Key(1), &[7.0, 8.0]);
+            let slot = s.take(Key(1)).unwrap();
+            assert!(!s.contains(Key(1)), "taken key no longer owned");
+            assert_eq!(s.slot_slice(slot), &[7.0, 8.0]);
+            s.release(slot);
+        }
+    }
+
+    #[test]
+    fn released_slots_zeroed_before_reuse() {
+        let layout = Layout::Uniform(2);
+        for mut s in both(&layout, 0, 4) {
+            s.insert(Key(1), &[7.0, 8.0]);
+            let slot = s.take(Key(1)).unwrap();
+            s.release(slot);
+            // A partial fill must observe zeroed memory, not stale data.
+            s.insert_with(Key(1), |dst| dst[0] = 1.0);
+            assert_eq!(s.get(Key(1)).unwrap(), &[1.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn sparse_arena_recycles_slots() {
+        let layout = Layout::Uniform(4);
+        let mut s = ShardStore::sparse(&layout);
+        s.insert(Key(0), &[1.0; 4]);
+        let grown = s.alloc_stats();
+        let slot = s.take(Key(0)).unwrap();
+        s.release(slot);
+        // Steady-state churn: the freed span is reused, not re-allocated.
+        for k in 1..100 {
+            s.insert(Key(k), &[2.0; 4]);
+            let slot = s.take(Key(k)).unwrap();
+            s.release(slot);
+        }
+        let after = s.alloc_stats();
+        assert_eq!(after.heap, grown.heap, "churn must not grow the heap");
+        assert_eq!(after.arena, grown.arena + 99);
+    }
+
+    #[test]
+    fn dense_inserts_count_as_arena_allocs() {
+        let layout = Layout::Uniform(2);
+        let mut s = ShardStore::dense(&layout, 0, 8);
+        for k in 0..8 {
+            s.insert(Key(k), &[1.0, 1.0]);
+        }
+        let stats = s.alloc_stats();
+        assert_eq!(stats.arena, 8);
+        assert_eq!(stats.heap, 0);
     }
 
     #[test]

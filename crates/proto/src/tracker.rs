@@ -17,7 +17,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lapse_net::Key;
+use lapse_net::{Key, ValueBlock};
 use lapse_utils::stats::LogHistogram;
 
 /// What kind of operation an entry tracks.
@@ -166,6 +166,70 @@ impl OpTracker {
         debug_assert!(!op.sealed, "add_key after seal");
         let res_off = op.result.len() as u32;
         op.result.resize(res_off as usize + len as usize, 0.0);
+        Self::push_dest(op, key, res_off, len, out_off, remote);
+        res_off
+    }
+
+    /// Pre-sizes the result buffer of operation `seq` to `len` floats so
+    /// keys can be registered at fixed offsets with
+    /// [`OpTracker::add_key_at`]. Used by async pulls: the result buffer
+    /// is laid out in caller key order up front, so registration order
+    /// (which follows shard grouping, not key order) stops mattering.
+    pub fn reserve(&self, seq: u64, len: u32) {
+        let mut shard = self.shard(seq).lock();
+        let op = shard.get_mut(&seq).expect("reserve on unknown op");
+        debug_assert!(op.result.is_empty(), "reserve on non-empty result");
+        op.result.resize(len as usize, 0.0);
+    }
+
+    /// Registers one pending key of operation `seq` whose result offset
+    /// equals its caller-buffer offset (requires a prior
+    /// [`OpTracker::reserve`] covering `out_off + len`).
+    pub fn add_key_at(&self, seq: u64, key: Key, len: u32, out_off: u32, remote: bool) {
+        let mut shard = self.shard(seq).lock();
+        let op = shard.get_mut(&seq).expect("add_key_at on unknown op");
+        debug_assert!(!op.sealed, "add_key_at after seal");
+        debug_assert!(
+            (out_off + len) as usize <= op.result.len(),
+            "add_key_at past reserved result"
+        );
+        Self::push_dest(op, key, out_off, len, out_off, remote);
+    }
+
+    /// Registers a batch of pending keys of operation `seq` under a
+    /// **single** tracker lock (the per-key `add_key`/`add_key_at` loop
+    /// costs one lock acquisition per key). `pinned` selects
+    /// [`OpTracker::add_key_at`] semantics (result offset = caller-buffer
+    /// offset into the reserved result) instead of compact append;
+    /// `remote` marks all keys as network-routed (guard accounting).
+    /// Items are `(key, len, out_off)` in registration order.
+    pub fn add_keys(
+        &self,
+        seq: u64,
+        pinned: bool,
+        remote: bool,
+        items: impl Iterator<Item = (Key, u32, u32)>,
+    ) {
+        let mut shard = self.shard(seq).lock();
+        let op = shard.get_mut(&seq).expect("add_keys on unknown op");
+        debug_assert!(!op.sealed, "add_keys after seal");
+        for (key, len, out_off) in items {
+            let res_off = if pinned {
+                debug_assert!(
+                    (out_off + len) as usize <= op.result.len(),
+                    "add_keys past reserved result"
+                );
+                out_off
+            } else {
+                let r = op.result.len() as u32;
+                op.result.resize(r as usize + len as usize, 0.0);
+                r
+            };
+            Self::push_dest(op, key, res_off, len, out_off, remote);
+        }
+    }
+
+    fn push_dest(op: &mut OpState, key: Key, res_off: u32, len: u32, out_off: u32, remote: bool) {
         let idx = op.dests.len() as u32;
         op.dests.push(KeyDest {
             res_off,
@@ -176,7 +240,6 @@ impl OpTracker {
         });
         op.by_key.entry(key).or_default().push_back(idx);
         op.pending += 1;
-        res_off
     }
 
     /// Marks registration complete. Returns `true` if the operation is
@@ -241,6 +304,81 @@ impl OpTracker {
                 if op.abandoned {
                     // The issuing worker dropped its handle; reclaim the
                     // entry now instead of waking anyone.
+                    shard.remove(&seq);
+                    (false, 0)
+                } else {
+                    (true, op.waiter)
+                }
+            } else {
+                (false, 0)
+            }
+        };
+        if wake {
+            let waker = self.waker.lock().clone();
+            if let Some(w) = waker {
+                w(waiter, seq);
+            }
+        }
+    }
+
+    /// Completes every key of one grouped response under a **single**
+    /// tracker lock, copying pull values straight from the decoded
+    /// message block into the result buffer (no per-key staging) and
+    /// batching all guard decrements under one guard-lock acquisition.
+    ///
+    /// `block` carries the concatenated values in `keys` order for pulls
+    /// and is empty for push acknowledgements (every push key was
+    /// registered with length 0). Fires the wake callback at most once.
+    pub fn complete_resp(&self, seq: u64, keys: &[Key], block: &ValueBlock) {
+        let (wake, waiter) = {
+            let mut shard = self.shard(seq).lock();
+            let op = match shard.get_mut(&seq) {
+                Some(op) => op,
+                None => {
+                    debug_assert!(false, "response for unknown op {seq}");
+                    return;
+                }
+            };
+            let guard_arc = op.guard.clone();
+            let mut guard = guard_arc.as_ref().map(|g| g.lock());
+            let mut block_off = 0usize;
+            for &key in keys {
+                let idx = op
+                    .by_key
+                    .get_mut(&key)
+                    .and_then(|q| q.pop_front())
+                    .unwrap_or_else(|| panic!("completion for unregistered key {key} of op {seq}"));
+                let dest = &mut op.dests[idx as usize];
+                debug_assert!(!dest.done, "double completion of {key} in op {seq}");
+                dest.done = true;
+                if dest.len > 0 {
+                    let off = dest.res_off as usize;
+                    let len = dest.len as usize;
+                    debug_assert!(
+                        block_off + len <= block.len(),
+                        "response block too short at {key}"
+                    );
+                    block.copy_to(block_off, &mut op.result[off..off + len]);
+                    block_off += len;
+                }
+                if dest.remote {
+                    if let Some(g) = guard.as_mut() {
+                        if let Some(n) = g.get_mut(&key) {
+                            *n -= 1;
+                            if *n == 0 {
+                                g.remove(&key);
+                            }
+                        }
+                    }
+                }
+                op.pending -= 1;
+            }
+            debug_assert_eq!(block_off, block.len(), "response block not consumed");
+            drop(guard);
+            if op.sealed && op.pending == 0 {
+                op.done = true;
+                self.finish_timing(op);
+                if op.abandoned {
                     shard.remove(&seq);
                     (false, 0)
                 } else {
@@ -472,5 +610,67 @@ mod tests {
         t.add_key(seq, Key(0), 1, 0, true);
         t.seal(seq);
         let _ = t.take(seq);
+    }
+
+    #[test]
+    fn reserved_result_pins_offsets_regardless_of_registration_order() {
+        let t = tracker();
+        let seq = t.begin(TrackedKind::Pull, 0, None);
+        t.reserve(seq, 4);
+        // Registered out of key order (shard grouping); offsets pin the
+        // layout.
+        t.add_key_at(seq, Key(9), 2, 2, false);
+        t.add_key_at(seq, Key(8), 2, 0, false);
+        t.seal(seq);
+        t.complete_key(seq, Key(9), Some(&[3.0, 4.0]));
+        t.complete_key(seq, Key(8), Some(&[1.0, 2.0]));
+        let res = t.take(seq);
+        assert_eq!(res.result, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn complete_resp_fills_results_and_balances_guard() {
+        let t = tracker();
+        let guard: GuardMap = Arc::new(Mutex::new(HashMap::new()));
+        let seq = t.begin(TrackedKind::Pull, 0, Some(guard.clone()));
+        guard.lock().insert(Key(1), 1);
+        guard.lock().insert(Key(2), 2);
+        t.add_keys(
+            seq,
+            false,
+            true,
+            [(Key(1), 1, 0), (Key(2), 2, 1)].into_iter(),
+        );
+        t.seal(seq);
+        let block = ValueBlock::from_f32s(&[5.0, 6.0, 7.0]);
+        t.complete_resp(seq, &[Key(1), Key(2)], &block);
+        assert!(t.is_done(seq));
+        let res = t.take(seq);
+        assert_eq!(res.result, vec![5.0, 6.0, 7.0]);
+        // One decrement per completed key, under a single lock.
+        assert!(guard.lock().get(&Key(1)).is_none());
+        assert_eq!(guard.lock().get(&Key(2)), Some(&1));
+    }
+
+    #[test]
+    fn complete_resp_acks_pushes_with_empty_block() {
+        let t = tracker();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        t.set_waker(Arc::new(move |_, _| {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        }));
+        let seq = t.begin(TrackedKind::Push, 0, None);
+        t.add_keys(
+            seq,
+            false,
+            true,
+            [(Key(3), 0, 0), (Key(4), 0, 0)].into_iter(),
+        );
+        t.seal(seq);
+        t.complete_resp(seq, &[Key(3), Key(4)], &ValueBlock::empty());
+        assert!(t.is_done(seq));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "exactly one wake");
+        t.discard(seq);
     }
 }

@@ -6,7 +6,7 @@ use bytes::BytesMut;
 use proptest::prelude::*;
 
 use lapse_net::codec::WireCodec;
-use lapse_net::{Key, NodeId, WireSize};
+use lapse_net::{Key, NodeId, ValueBlock, WireSize};
 use lapse_proto::messages::{
     HandOverMsg, LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, OpRespMsg, RelocateMsg, ReplicaPushMsg,
     ReplicaRefreshMsg, ReplicaRegMsg,
@@ -46,7 +46,11 @@ fn msg() -> impl Strategy<Value = Msg> {
                     op,
                     kind: if push { OpKind::Push } else { OpKind::Pull },
                     keys,
-                    vals: if push { Vec::new() } else { vals },
+                    vals: if push {
+                        ValueBlock::empty()
+                    } else {
+                        ValueBlock::from_f32s(&vals)
+                    },
                     owner: NodeId(owner),
                 })
             }
@@ -59,8 +63,13 @@ fn msg() -> impl Strategy<Value = Msg> {
                 new_owner: NodeId(n),
             })
         }),
-        (op_id(), keys(), vals(80))
-            .prop_map(|(op, keys, vals)| { Msg::HandOver(HandOverMsg { op, keys, vals }) }),
+        (op_id(), keys(), vals(80)).prop_map(|(op, keys, vals)| {
+            Msg::HandOver(HandOverMsg {
+                op,
+                keys,
+                vals: ValueBlock::from_f32s(&vals),
+            })
+        }),
         any::<u16>().prop_map(|n| Msg::ReplicaReg(ReplicaRegMsg { node: NodeId(n) })),
         (any::<u16>(), any::<u64>(), keys(), vals(80)).prop_map(|(n, flush_seq, keys, vals)| {
             Msg::ReplicaPush(ReplicaPushMsg {
@@ -77,7 +86,7 @@ fn msg() -> impl Strategy<Value = Msg> {
                     round,
                     ack,
                     keys,
-                    vals,
+                    vals: ValueBlock::from_f32s(&vals),
                 })
             }
         ),

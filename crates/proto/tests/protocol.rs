@@ -47,7 +47,7 @@ fn remote_push_then_pull_round_trips() {
 
 #[test]
 fn fast_local_access_sends_no_messages() {
-    let c = TestCluster::new(cfg(3, 12), 1);
+    let mut c = TestCluster::new(cfg(3, 12), 1);
     let k = home_key(0); // local to n0
     let mut sink = Vec::new();
     let h = c.nodes[0].clients[0].push(&[k], &[1.0, 1.0], &mut sink);
@@ -596,7 +596,7 @@ fn grouped_localize_across_homes() {
 
 #[test]
 fn localize_of_already_local_key_is_free() {
-    let c = TestCluster::new(cfg(3, 12), 1);
+    let mut c = TestCluster::new(cfg(3, 12), 1);
     let k = home_key(0);
     let mut sink = Vec::new();
     let h = c.nodes[0].clients[0].localize(&[k], &mut sink);
@@ -631,7 +631,7 @@ fn replication_cfg(nodes: u16, keys: u64) -> ProtoConfig {
 
 #[test]
 fn replicated_ops_complete_locally_without_op_messages() {
-    let c = TestCluster::new(replication_cfg(3, 12), 1);
+    let mut c = TestCluster::new(replication_cfg(3, 12), 1);
     let k = home_key(1); // homed at n1, replicated everywhere
     let mut sink = Vec::new();
     let h = c.nodes[0].clients[0].push(&[k], &[1.0, 2.0], &mut sink);
@@ -797,5 +797,123 @@ fn hybrid_mixed_op_splits_by_technique() {
     let stats = &c.nodes[1].shared.stats;
     assert_eq!(stats.push_replica.load(Relaxed), 1);
     assert_eq!(stats.push_remote.load(Relaxed), 1);
+    c.check_ownership_invariant();
+}
+
+// ---------------------------------------------------------------------------
+// value plane: guard balance and allocation accounting
+// ---------------------------------------------------------------------------
+
+/// The ordered-async guard map is locked once per operation (issue) and
+/// once per grouped response (completion). After mixed sync/async traffic
+/// — including guard-forced rerouting of later ops on the same keys —
+/// every worker's guard count must balance back to zero.
+#[test]
+fn guard_counts_balance_after_mixed_sync_async_traffic() {
+    let mut c = TestCluster::new(cfg(3, 12), 2);
+    let remote = [home_key(1), home_key(2), Key(9)];
+    // Async pulls and pushes on remote keys, not yet delivered: both
+    // workers of n0 guard their keys.
+    let p0 = c.issue(N0, 0, IssueOp::Pull(&remote), None);
+    let p1 = c.issue(N0, 1, IssueOp::Pull(&remote), None);
+    let q0 = c.issue(N0, 0, IssueOp::Push(&remote, &[0.5; 6]), None);
+    assert_eq!(c.nodes[0].clients[0].guarded_keys(), 3);
+    assert_eq!(c.nodes[0].clients[1].guarded_keys(), 3);
+    // A second op of worker 0 on the same keys is guard-forced onto the
+    // remote path (no new guarded keys, higher counts).
+    let q1 = c.issue(N0, 0, IssueOp::Push(&remote, &[0.25; 6]), None);
+    assert_eq!(c.nodes[0].clients[0].guarded_keys(), 3);
+    // Mix in a sync-style pull served locally (no guard interaction).
+    let mut out = [0.0f32; 2];
+    let h = c.issue(N0, 0, IssueOp::Pull(&[home_key(0)]), Some(&mut out));
+    assert!(matches!(h, IssueHandle::Ready(_)));
+    c.run_until_quiet();
+    for (h, slot) in [(p0, 0), (p1, 1)] {
+        if let IssueHandle::Pending(seq) = h {
+            let _ = c.nodes[0].clients[slot].take_pull(seq);
+        }
+    }
+    for (h, slot) in [(q0, 0), (q1, 0)] {
+        if let IssueHandle::Pending(seq) = h {
+            c.nodes[0].clients[slot].finish_ack(seq);
+        }
+    }
+    for node in &c.nodes {
+        for client in &node.clients {
+            assert_eq!(
+                client.guarded_keys(),
+                0,
+                "guard map must balance to zero at quiescence"
+            );
+        }
+    }
+    c.check_ownership_invariant();
+}
+
+/// The owned-local sync pull path must be allocation-free: no per-value
+/// heap allocation is recorded and the store arenas see no traffic, while
+/// the value-plane byte counter advances by exactly the bytes served.
+#[test]
+fn owned_local_sync_pull_allocates_nothing() {
+    let mut c = TestCluster::new(cfg(3, 12), 1);
+    let keys = [Key(0), Key(1), Key(2), Key(3)]; // all homed at n0
+    let mut out = [0.0f32; 8];
+    // Warm the issue scratch (first use may grow reusable buffers).
+    let h = c.issue(N0, 0, IssueOp::Pull(&keys), Some(&mut out));
+    assert!(matches!(h, IssueHandle::Ready(_)));
+
+    let stats = &c.nodes[0].shared.stats;
+    let heap_before = stats.value_allocs_heap.load(Relaxed);
+    let bytes_before = stats.value_bytes_moved.load(Relaxed);
+    let arena_before = c.nodes[0].shared.store_alloc_stats();
+    for _ in 0..100 {
+        let h = c.issue(N0, 0, IssueOp::Pull(&keys), Some(&mut out));
+        assert!(matches!(h, IssueHandle::Ready(_)), "stayed local");
+    }
+    let stats = &c.nodes[0].shared.stats;
+    assert_eq!(
+        stats.value_allocs_heap.load(Relaxed),
+        heap_before,
+        "owned-local sync pulls must not allocate per value"
+    );
+    let arena_after = c.nodes[0].shared.store_alloc_stats();
+    assert_eq!(arena_after.arena, arena_before.arena, "no store traffic");
+    assert_eq!(arena_after.heap, arena_before.heap);
+    // 100 ops × 4 keys × 2 floats × 4 bytes.
+    assert_eq!(
+        stats.value_bytes_moved.load(Relaxed) - bytes_before,
+        100 * 4 * 2 * 4,
+        "value-plane byte accounting"
+    );
+    assert_eq!(c.pending_total(), 0, "no messages for local pulls");
+}
+
+/// Relocation keeps the value plane heap-quiet in steady state: bouncing
+/// a key between two sparse-store nodes reuses arena slots instead of
+/// allocating fresh values.
+#[test]
+fn relocation_churn_reuses_arena_slots() {
+    let mut base = cfg(3, 12);
+    base.dense = false;
+    let mut c = TestCluster::new(base, 1);
+    let k = home_key(2);
+    // Warm: both nodes own the key once, so both arenas hold a free span.
+    c.localize_now(N0, 0, &[k]);
+    c.localize_now(N1, 0, &[k]);
+    let total = |c: &TestCluster| {
+        let mut t = lapse_proto::storage::ArenaStats::default();
+        for n in &c.nodes {
+            t.merge(n.shared.store_alloc_stats());
+        }
+        t
+    };
+    let before = total(&c);
+    for _ in 0..50 {
+        c.localize_now(N0, 0, &[k]);
+        c.localize_now(N1, 0, &[k]);
+    }
+    let after = total(&c);
+    assert_eq!(after.heap, before.heap, "churn must not hit the heap");
+    assert_eq!(after.arena, before.arena + 100, "one arena slot per move");
     c.check_ownership_invariant();
 }

@@ -16,6 +16,17 @@ pub struct SimReport {
     /// Messages whose source and destination coincide (the classic PS's
     /// local-access IPC path).
     pub self_messages: u64,
+    /// Value-plane accounting injected by the protocol layer after the
+    /// run (the simulator itself only moves messages): bytes of parameter
+    /// values copied through the value plane, and value-slot allocations
+    /// served from store arenas vs the heap. Zero until the runner fills
+    /// them in.
+    pub value_bytes_moved: u64,
+    /// Value-slot allocations served by store arenas (no heap traffic).
+    pub value_allocs_arena: u64,
+    /// Value allocations that hit the heap (arena growth + per-value
+    /// copies such as parked-operation payloads).
+    pub value_allocs_heap: u64,
 }
 
 impl SimReport {
@@ -24,13 +35,23 @@ impl SimReport {
         self.virtual_time_ns as f64 / 1e9
     }
 
-    /// Human-readable one-liner.
+    /// Human-readable one-liner. The value-plane counters appear once a
+    /// runner has filled them in.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "virtual time {}, {} msgs, {}",
             fmt::duration_ns(self.virtual_time_ns),
             fmt::count(self.messages),
             fmt::bytes(self.bytes)
-        )
+        );
+        if self.value_bytes_moved > 0 || self.value_allocs_arena > 0 {
+            s.push_str(&format!(
+                ", value plane {} moved / {} arena / {} heap allocs",
+                fmt::bytes(self.value_bytes_moved),
+                fmt::count(self.value_allocs_arena),
+                fmt::count(self.value_allocs_heap)
+            ));
+        }
+        s
     }
 }

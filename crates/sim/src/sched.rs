@@ -344,6 +344,11 @@ impl<P: SimProtocol> SimCluster<P> {
             messages: self.shared.messages.load(Ordering::Relaxed),
             bytes: self.shared.bytes.load(Ordering::Relaxed),
             self_messages: self.shared.self_messages.load(Ordering::Relaxed),
+            // Filled in by the protocol runner (the simulator itself has
+            // no view of the value plane).
+            value_bytes_moved: 0,
+            value_allocs_arena: 0,
+            value_allocs_heap: 0,
         };
         let results = Arc::try_unwrap(results)
             .unwrap_or_else(|_| panic!("worker result references leaked"))

@@ -143,7 +143,7 @@ fn delayed_links_do_not_lose_updates() {
     }
 
     // One client on node 0 pushes with interleaved localizes.
-    let client = ClientCore::new(shareds[0].clone(), 0);
+    let mut client = ClientCore::new(shareds[0].clone(), 0);
     let mut pending = Vec::new();
     for i in 0..200u64 {
         let k = Key(i % 8);

@@ -100,22 +100,32 @@ impl BytesMut {
         }
     }
 
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
 
+    #[inline]
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
 
+    /// Reserves capacity for at least `additional` more bytes.
+    #[inline]
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
     /// Converts into an immutable, cheaply-cloneable [`Bytes`].
+    /// Zero-copy: the buffer moves into the shared allocation.
     pub fn freeze(self) -> Bytes {
         Bytes {
-            data: Arc::from(self.data),
+            data: Arc::new(self.data),
             start: 0,
             end_offset: 0,
         }
@@ -129,12 +139,14 @@ impl BytesMut {
         self.data.clear();
     }
 
+    #[inline]
     pub fn as_slice(&self) -> &[u8] {
         &self.data
     }
 }
 
 impl BufMut for BytesMut {
+    #[inline]
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
@@ -166,7 +178,7 @@ impl From<&[u8]> for BytesMut {
 /// shorten without copying).
 #[derive(Debug, Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end_offset: usize,
 }
@@ -174,24 +186,28 @@ pub struct Bytes {
 impl Bytes {
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(Vec::new()),
+            data: Arc::new(Vec::new()),
             start: 0,
             end_offset: 0,
         }
     }
 
+    #[inline]
     fn end(&self) -> usize {
         self.data.len() - self.end_offset
     }
 
+    #[inline]
     pub fn len(&self) -> usize {
         self.end() - self.start
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    #[inline]
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end()]
     }
@@ -245,6 +261,7 @@ impl Buf for Bytes {
         self.len()
     }
 
+    #[inline]
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
         assert!(dst.len() <= self.len(), "buffer underflow");
         dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
@@ -255,7 +272,7 @@ impl Buf for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data),
             start: 0,
             end_offset: 0,
         }
