@@ -21,9 +21,11 @@ bench-check:
 ## Execute deterministic bench targets end-to-end at a tiny scale and
 ## check that their output is bit-identical across two runs — catches
 ## runtime panics and nondeterminism that bench-check cannot. Covers the
-## simulator (table_nups_techniques, virtual time) and the protocol value
+## simulator (table_nups_techniques, virtual time), the protocol value
 ## plane (micro_protocol in LAPSE_SMOKE mode: fixed op mix, hop counts,
-## value-plane accounting).
+## value-plane accounting), and the adaptive technique-transition
+## machinery (table_adaptive in LAPSE_SMOKE mode: sketch-driven
+## promotions/demotions must replay bit-identically in virtual time).
 bench-smoke:
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-1.txt 2>/dev/null
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-2.txt 2>/dev/null
@@ -31,6 +33,9 @@ bench-smoke:
 	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_protocol > /tmp/lapse-bench-smoke-3.txt 2>/dev/null
 	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_protocol > /tmp/lapse-bench-smoke-4.txt 2>/dev/null
 	diff /tmp/lapse-bench-smoke-3.txt /tmp/lapse-bench-smoke-4.txt
+	LAPSE_SMOKE=1 $(CARGO) bench --bench table_adaptive > /tmp/lapse-bench-smoke-5.txt 2>/dev/null
+	LAPSE_SMOKE=1 $(CARGO) bench --bench table_adaptive > /tmp/lapse-bench-smoke-6.txt 2>/dev/null
+	diff /tmp/lapse-bench-smoke-5.txt /tmp/lapse-bench-smoke-6.txt
 	@echo "bench-smoke: output bit-identical across runs"
 
 fmt:

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use lapse_core::{run_sim, CostModel, HotSet, PsConfig, PsWorker, Variant};
+use lapse_core::{run_sim, AdaptiveConfig, CostModel, HotSet, PsConfig, PsWorker, Variant};
 use lapse_ml::data::corpus::{Corpus, CorpusConfig};
 use lapse_ml::data::kg::{KgConfig, KnowledgeGraph};
 use lapse_ml::data::matrix::{MatrixConfig, SparseMatrix};
@@ -24,6 +24,7 @@ use lapse_ml::kge::{KgeConfig, KgeModel, KgePal, KgeTask};
 use lapse_ml::metrics::{combine_runs, EpochStats};
 use lapse_ml::mf::{MfConfig, MfTask};
 use lapse_ml::w2v::{W2vConfig, W2vTask};
+use lapse_net::Key;
 use lapse_utils::table::Table;
 
 /// One cluster shape of a scaling experiment.
@@ -273,6 +274,78 @@ pub fn nups_hot_set(block: u64) -> HotSet {
     }
 }
 
+/// Oracle hot set for the W2V workload: the top words by **measured**
+/// corpus frequency (same key budget as [`nups_hot_set`], but ranked by
+/// actual counts instead of assuming hot ids are low — an
+/// [`HotSet::Explicit`] the Blocks form cannot express in general).
+pub fn oracle_hot_set_w2v(corpus: &Corpus) -> HotSet {
+    let vocab = corpus.cfg.vocab as u64;
+    let budget = (vocab / NUPS_HOT_FRACTION).max(1) as usize;
+    let mut ranked: Vec<(u64, u32)> = corpus
+        .counts
+        .iter()
+        .enumerate()
+        .map(|(w, &c)| (c, w as u32))
+        .collect();
+    ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut keys = Vec::with_capacity(2 * budget);
+    for &(_, w) in ranked.iter().take(budget) {
+        keys.push(Key(w as u64)); // input vector
+        keys.push(Key(vocab + w as u64)); // output vector
+    }
+    HotSet::explicit(keys)
+}
+
+/// Oracle hot set for the KGE workload: the top keys (entities and
+/// relations in one ranking) by measured training-triple access counts,
+/// with the same key budget as [`nups_hot_set`] over the task's key
+/// space.
+pub fn oracle_hot_set_kge(kg: &KnowledgeGraph) -> HotSet {
+    let entities = kg.cfg.entities as u64;
+    let num_keys = entities + kg.cfg.relations as u64;
+    let blocks = nups_hot_set(entities);
+    let budget = (0..num_keys)
+        .map(Key)
+        .filter(|&k| blocks.contains(k))
+        .count();
+    let mut counts = vec![0u64; num_keys as usize];
+    for t in &kg.train {
+        counts[t.s as usize] += 1;
+        counts[t.o as usize] += 1;
+        counts[entities as usize + t.r as usize] += 1;
+    }
+    let mut ranked: Vec<(u64, u64)> = counts
+        .into_iter()
+        .enumerate()
+        .map(|(k, c)| (c, k as u64))
+        .collect();
+    ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    HotSet::explicit(
+        ranked
+            .into_iter()
+            .take(budget)
+            .map(|(_, k)| Key(k))
+            .collect(),
+    )
+}
+
+/// Adaptive-management knobs used by the experiment harness: sample
+/// every 8th access, tick every 4096 samples, and promote keys whose
+/// corrected sketch estimate reaches 3 in the decayed window — on the
+/// harness's Zipf workloads this finds roughly the same hot mass the
+/// NuPS 2% budget names, without being told.
+pub fn adaptive_bench_config() -> AdaptiveConfig {
+    AdaptiveConfig {
+        sample_every: 8,
+        tick_every: 4096,
+        sketch_capacity: 2048,
+        promote_count: 3,
+        demote_count: 0,
+        max_promotes_per_tick: 256,
+        request_ttl_ticks: 8,
+    }
+}
+
 /// Runs the KGE workload under the given PS variant and PAL mode.
 /// `dim` is the trained dimension, `virtual_dim` the paper dimension used
 /// for compute accounting. Under [`Variant::Hybrid`] the hot entity tier
@@ -287,17 +360,46 @@ pub fn measure_kge(
     variant: Variant,
 ) -> Measured {
     let entities = kg.cfg.entities as u64;
-    let task = KgeTask::new(
+    measure_kge_tuned(
         kg,
-        kge_config(model, dim, virtual_dim, pal),
-        p.nodes as usize,
-        p.workers,
-    );
+        model,
+        dim,
+        virtual_dim,
+        pal,
+        p,
+        variant,
+        nups_hot_set(entities),
+        AdaptiveConfig::default(),
+        epochs(),
+    )
+}
+
+/// [`measure_kge`] with explicit hot set, adaptive knobs, and epoch
+/// count — the adaptive-vs-oracle comparison needs all three.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_kge_tuned(
+    kg: Arc<KnowledgeGraph>,
+    model: KgeModel,
+    dim: usize,
+    virtual_dim: usize,
+    pal: KgePal,
+    p: Parallelism,
+    variant: Variant,
+    hot_set: HotSet,
+    adaptive: AdaptiveConfig,
+    epochs: usize,
+) -> Measured {
+    let cfg = KgeConfig {
+        epochs,
+        ..kge_config(model, dim, virtual_dim, pal)
+    };
+    let task = KgeTask::new(kg, cfg, p.nodes as usize, p.workers);
     let init = task.initializer();
     let cfg = PsConfig::new(p.nodes, task.num_keys(), 1)
         .layout(task.layout())
         .variant(variant)
-        .hot_set(nups_hot_set(entities))
+        .hot_set(hot_set)
+        .adaptive(adaptive)
         .latches(1000);
     let t2 = task.clone();
     let (results, stats) = run_sim(cfg, p.workers, CostModel::default(), init, move |w| {
@@ -316,16 +418,38 @@ pub fn measure_w2v(
     variant: Variant,
 ) -> Measured {
     let vocab = corpus.cfg.vocab as u64;
-    let task = W2vTask::new(
+    measure_w2v_tuned(
         corpus,
-        w2v_config(latency_hiding),
-        p.nodes as usize,
-        p.workers,
-    );
+        latency_hiding,
+        p,
+        variant,
+        nups_hot_set(vocab),
+        AdaptiveConfig::default(),
+        epochs(),
+    )
+}
+
+/// [`measure_w2v`] with explicit hot set, adaptive knobs, and epoch
+/// count.
+pub fn measure_w2v_tuned(
+    corpus: Arc<Corpus>,
+    latency_hiding: bool,
+    p: Parallelism,
+    variant: Variant,
+    hot_set: HotSet,
+    adaptive: AdaptiveConfig,
+    epochs: usize,
+) -> Measured {
+    let cfg = W2vConfig {
+        epochs,
+        ..w2v_config(latency_hiding)
+    };
+    let task = W2vTask::new(corpus, cfg, p.nodes as usize, p.workers);
     let init = task.initializer();
     let cfg = PsConfig::new(p.nodes, task.num_keys(), task.cfg.dim as u32)
         .variant(variant)
-        .hot_set(nups_hot_set(vocab))
+        .hot_set(hot_set)
+        .adaptive(adaptive)
         .latches(1000);
     let t2 = task.clone();
     let (results, stats) = run_sim(cfg, p.workers, CostModel::default(), init, move |w| {

@@ -82,6 +82,12 @@ impl PsConfig {
         self
     }
 
+    /// Tunes the adaptive management technique ([`Variant::Adaptive`]).
+    pub fn adaptive(mut self, cfg: lapse_proto::AdaptiveConfig) -> Self {
+        self.proto.adaptive = cfg;
+        self
+    }
+
     /// Sets the automatic replica-flush threshold (accumulated replicated
     /// pushes per node before propagation; `advance_clock` flushes early).
     pub fn replica_flush_every(mut self, n: u64) -> Self {

@@ -18,10 +18,11 @@
 //!   machine.
 //!
 //! Which PS architecture runs — Classic (PS-Lite-like), Classic with fast
-//! local access, full Lapse, NuPS-style Replication, or the Hybrid of
-//! both techniques — is selected by [`Variant`](lapse_proto::Variant) in
-//! the [`PsConfig`]; the per-key decisions live in the technique policy
-//! layer of `lapse-proto`.
+//! local access, full Lapse, NuPS-style Replication, the Hybrid of both
+//! techniques, or the Adaptive variant that detects hot keys online and
+//! switches techniques at runtime — is selected by
+//! [`Variant`](lapse_proto::Variant) in the [`PsConfig`]; the per-key
+//! decisions live in the technique policy layer of `lapse-proto`.
 //!
 //! ```
 //! use lapse_core::{PsConfig, run_threaded, PsWorker};
@@ -49,5 +50,7 @@ pub use api::{api_internals, OpToken, PsWorker};
 pub use cluster::{run_sim, run_threaded, PsConfig};
 pub use stats::ClusterStats;
 
-pub use lapse_proto::{HomePartition, HotSet, Layout, ProtoConfig, Technique, Variant};
+pub use lapse_proto::{
+    AdaptiveConfig, HomePartition, HotSet, Layout, ProtoConfig, Technique, Variant,
+};
 pub use lapse_sim::CostModel;

@@ -29,6 +29,11 @@ impl SimProtocol for LapseProto {
             Msg::ReplicaReg(_) => (0, 0),
             Msg::ReplicaPush(m) => (m.keys.len() as u64, m.vals.len() as u64),
             Msg::ReplicaRefresh(m) => (m.keys.len() as u64, m.vals.len() as u64),
+            Msg::TechniquePromote(m) => (m.keys.len() as u64, 0),
+            Msg::TechniquePromoteAck(m) => (m.keys.len() as u64, m.vals.len() as u64),
+            Msg::TechniqueDemote(m) => (m.keys.len() as u64, 0),
+            Msg::TechniqueDemoteAck(m) => (m.keys.len() as u64, 0),
+            Msg::TechniqueDrained(m) => (m.keys.len() as u64, m.vals.len() as u64),
             Msg::Shutdown => (0, 0),
         }
     }
@@ -218,10 +223,12 @@ impl PsWorker for SimPsWorker<'_> {
 
     fn advance_clock(&mut self) {
         // The replication technique's propagation tick: flush this node's
-        // accumulated replicated pushes to the owners. A no-op (and free)
-        // under the relocation-only variants.
+        // accumulated replicated pushes to the owners, and run the
+        // adaptive transition controller. A no-op (and free) under the
+        // relocation-only variants.
         let mut sink = Vec::new();
         self.client.flush_replicas(&mut sink);
+        self.client.run_controller(&mut sink);
         self.ctx.send_sink(sink);
     }
 

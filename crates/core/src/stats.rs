@@ -29,8 +29,10 @@ pub struct ClusterStats {
     pub relocations: u64,
     /// Keys received via hand-over.
     pub handovers: u64,
+    /// Remote keys routed via a location-cache entry (cache hits).
+    pub loc_cache_hits: u64,
     /// Stale-location-cache double-forwards.
-    pub stale_cache_forwards: u64,
+    pub loc_cache_stale_forwards: u64,
     /// Protocol-invariant violations (must be 0).
     pub unexpected_relocates: u64,
     /// Pull keys served from the local replica view (replication).
@@ -43,6 +45,16 @@ pub struct ClusterStats {
     pub replica_pushes_applied: u64,
     /// Replicated keys refreshed by owner broadcasts.
     pub replica_refreshes: u64,
+    /// Accesses sampled into the adaptive sketches (Variant::Adaptive).
+    pub sketch_samples: u64,
+    /// Promotion requests sent by the adaptive controllers.
+    pub tech_promote_reqs: u64,
+    /// Demotion votes sent by the adaptive controllers.
+    pub tech_demote_reqs: u64,
+    /// Keys promoted to replication at runtime (counted at homes).
+    pub tech_promotions: u64,
+    /// Keys demoted back to relocation at runtime (counted at homes).
+    pub tech_demotions: u64,
     /// Tracker entries still registered when the run ended (leaked or
     /// abandoned-but-incomplete operations; 0 for clean runs).
     pub tracker_in_flight: u64,
@@ -84,13 +96,19 @@ impl ClusterStats {
             localize_sent: 0,
             relocations: 0,
             handovers: 0,
-            stale_cache_forwards: 0,
+            loc_cache_hits: 0,
+            loc_cache_stale_forwards: 0,
             unexpected_relocates: 0,
             pull_replica: 0,
             push_replica: 0,
             replica_flushes: 0,
             replica_pushes_applied: 0,
             replica_refreshes: 0,
+            sketch_samples: 0,
+            tech_promote_reqs: 0,
+            tech_demote_reqs: 0,
+            tech_promotions: 0,
+            tech_demotions: 0,
             tracker_in_flight: 0,
             value_bytes_moved: 0,
             value_allocs_arena: 0,
@@ -112,13 +130,19 @@ impl ClusterStats {
             s.localize_sent += a.localize_sent.load(Relaxed);
             s.relocations += a.relocations.load(Relaxed);
             s.handovers += a.handovers_in.load(Relaxed);
-            s.stale_cache_forwards += a.stale_cache_forwards.load(Relaxed);
+            s.loc_cache_hits += a.loc_cache_hits.load(Relaxed);
+            s.loc_cache_stale_forwards += a.loc_cache_stale_forwards.load(Relaxed);
             s.unexpected_relocates += a.unexpected_relocates.load(Relaxed);
             s.pull_replica += a.pull_replica.load(Relaxed);
             s.push_replica += a.push_replica.load(Relaxed);
             s.replica_flushes += a.replica_flushes.load(Relaxed);
             s.replica_pushes_applied += a.replica_pushes_applied.load(Relaxed);
             s.replica_refreshes += a.replica_refreshes.load(Relaxed);
+            s.sketch_samples += a.sketch_samples.load(Relaxed);
+            s.tech_promote_reqs += a.tech_promote_reqs.load(Relaxed);
+            s.tech_demote_reqs += a.tech_demote_reqs.load(Relaxed);
+            s.tech_promotions += a.tech_promotions.load(Relaxed);
+            s.tech_demotions += a.tech_demotions.load(Relaxed);
             s.tracker_in_flight += n.tracker.in_flight() as u64;
             s.value_bytes_moved += a.value_bytes_moved.load(Relaxed);
             let arena = n.store_alloc_stats();
@@ -142,6 +166,11 @@ impl ClusterStats {
             value_bytes_moved: self.value_bytes_moved,
             value_allocs_arena: self.value_allocs_arena,
             value_allocs_heap: self.value_allocs_heap,
+            loc_cache_hits: self.loc_cache_hits,
+            loc_cache_stale_forwards: self.loc_cache_stale_forwards,
+            sketch_samples: self.sketch_samples,
+            tech_promotions: self.tech_promotions,
+            tech_demotions: self.tech_demotions,
         })
     }
 

@@ -232,10 +232,12 @@ impl PsWorker for ThreadedPsWorker {
 
     fn advance_clock(&mut self) {
         // The replication technique's propagation tick: flush this node's
-        // accumulated replicated pushes to the owners. A no-op (and free)
-        // under the relocation-only variants.
+        // accumulated replicated pushes to the owners, and run the
+        // adaptive transition controller. A no-op (and free) under the
+        // relocation-only variants.
         let mut sink = Vec::new();
         self.client.flush_replicas(&mut sink);
+        self.client.run_controller(&mut sink);
         self.send_sink(sink);
     }
 

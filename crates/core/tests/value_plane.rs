@@ -105,9 +105,21 @@ fn workload(w: &mut dyn PsWorker) -> Vec<f32> {
 
 fn run_variant(variant: Variant) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, ClusterStats) {
     let cfg = move || {
+        // Aggressive adaptive knobs so the Zipf head actually transitions
+        // mid-run (promotions and — on cooled keys — demotions exercise
+        // the fencing on both backends, not just the static routes).
+        let adaptive = lapse_core::AdaptiveConfig {
+            sample_every: 1,
+            tick_every: 64,
+            sketch_capacity: 16,
+            promote_count: 8,
+            demote_count: 0,
+            ..Default::default()
+        };
         PsConfig::new(NODES, KEYS, DIM as u32)
             .variant(variant)
             .hot_set(HotSet::Prefix(8))
+            .adaptive(adaptive)
             .latches(8)
     };
     let (threaded, _) = run_threaded(cfg(), WORKERS_PER_NODE, |_| None, workload);
@@ -130,6 +142,7 @@ fn final_state_identical_across_backends_for_all_variants() {
         Variant::Lapse,
         Variant::Replication,
         Variant::Hybrid,
+        Variant::Adaptive,
     ] {
         let (threaded, sim, sim_stats) = run_variant(variant);
         for (gid, state) in threaded.iter().enumerate() {
@@ -146,6 +159,17 @@ fn final_state_identical_across_backends_for_all_variants() {
             sim_stats.unexpected_relocates, 0,
             "{variant:?}: protocol invariant violated"
         );
+        if variant == Variant::Adaptive {
+            // The knobs above make the Zipf head hot enough to promote
+            // during the run (the transitions themselves are what this
+            // stress exercises).
+            assert!(
+                sim_stats.tech_promotions > 0,
+                "adaptive run promoted nothing (sketch_samples={})",
+                sim_stats.sketch_samples
+            );
+            assert!(sim_stats.sketch_samples > 0);
+        }
     }
 }
 

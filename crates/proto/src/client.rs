@@ -54,9 +54,13 @@ use std::sync::Arc;
 
 use lapse_net::{Key, NodeId};
 
+use crate::adaptive::controller_tick;
 use crate::config::ProtoConfig;
 use crate::group::{OrderedGroups, ShardGroups};
-use crate::messages::{LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, ReplicaPushMsg, ReplicaRegMsg};
+use crate::messages::{
+    LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, ReplicaPushMsg, ReplicaRegMsg, TechniqueDemoteMsg,
+    TechniquePromoteMsg,
+};
 use crate::shard::{IncomingState, NodeShared, Queued, QueuedOp};
 use crate::technique::IssueRoute;
 use crate::tracker::{GuardMap, TrackedKind};
@@ -184,8 +188,9 @@ impl ClientCore {
     }
 
     /// Plan phase: clears the scratch, computes per-key offsets and guard
-    /// bits (one guard-map lock for the whole operation), and groups key
-    /// indices by shard. Returns `(total value length, any replicated)`.
+    /// bits (one guard-map lock for the whole operation), groups key
+    /// indices by shard, and feeds the adaptive access sampler. Returns
+    /// `(total value length, any possibly-replicated key)`.
     fn plan(&mut self, keys: &[Key]) -> (u32, bool) {
         let ClientCore {
             shared,
@@ -198,9 +203,13 @@ impl ClientCore {
         scratch.plan.clear();
         scratch.groups.clear();
         let mut any_replicated = false;
+        let mut sampled = 0u64;
         // One guard-map lock per operation (hoisted out of the per-key
-        // loop); the plan phase takes no other lock, so holding it across
-        // the loop cannot deadlock with completions.
+        // loop). Lock order inside the loop: guard map → adaptive
+        // sketch (`AdaptiveShared::inner`); the sketch is a leaf lock —
+        // nothing acquires the guard map (or any latch) while holding
+        // it — so holding the guard map across the loop cannot deadlock
+        // with completions.
         let g = cfg.ordered_async_guard.then(|| guard.lock());
         let mut off = 0u32;
         for (i, &k) in keys.iter().enumerate() {
@@ -208,7 +217,10 @@ impl ClientCore {
             let forced = g
                 .as_ref()
                 .is_some_and(|g| g.get(&k).is_some_and(|&n| n > 0));
-            any_replicated |= policy.replicated(k);
+            any_replicated |= policy.may_replicate(k);
+            if let Some(ad) = &shared.adaptive {
+                sampled += ad.sample(k, &cfg.adaptive) as u64;
+            }
             scratch.plan.push(KeyPlan {
                 key: k,
                 len,
@@ -219,7 +231,70 @@ impl ClientCore {
             scratch.groups.push(cfg.shard_of(k), i as u32);
             off += len;
         }
+        if sampled > 0 {
+            shared.stats.sketch_samples.fetch_add(sampled, Relaxed);
+        }
         (off, any_replicated)
+    }
+
+    /// Runs the adaptive controller if a tick is pending: turns the
+    /// sketch into promotion requests and demotion votes, grouped per
+    /// home node, and appends them to `sink`. Called in band from the
+    /// issue paths (so ticks fire mid-epoch) and from the backends'
+    /// `advance_clock`. A no-op under the static variants.
+    pub fn tick_adaptive(&self, sink: &mut MsgSink) {
+        let Some(ad) = &self.shared.adaptive else {
+            return;
+        };
+        if !ad.take_tick() {
+            return;
+        }
+        self.run_controller(sink);
+    }
+
+    /// Runs one controller tick unconditionally (`advance_clock` path and
+    /// tests; [`ClientCore::tick_adaptive`] gates on the sample counter).
+    pub fn run_controller(&self, sink: &mut MsgSink) {
+        let Some(ad) = &self.shared.adaptive else {
+            return;
+        };
+        let replicated = self.shared.replicated_keys();
+        let decision = {
+            let mut inner = ad.inner.lock();
+            controller_tick(&mut inner, &replicated, &self.cfg().adaptive)
+        };
+        // Group a decision's keys per home node and emit one request
+        // message each, in deterministic (first-appearance) order.
+        let emit = |keys: Vec<Key>,
+                    counter: &std::sync::atomic::AtomicU64,
+                    msg: &dyn Fn(Vec<Key>) -> Msg,
+                    sink: &mut MsgSink| {
+            if keys.is_empty() {
+                return;
+            }
+            counter.fetch_add(keys.len() as u64, Relaxed);
+            let mut per_home: OrderedGroups<NodeId, Vec<Key>> = OrderedGroups::new();
+            for k in keys {
+                per_home.entry(self.cfg().home(k)).push(k);
+            }
+            for (home, keys) in per_home.into_iter() {
+                sink.push((home, msg(keys)));
+            }
+        };
+        let node = self.shared.node;
+        let stats = &self.shared.stats;
+        emit(
+            decision.promote,
+            &stats.tech_promote_reqs,
+            &|keys| Msg::TechniquePromote(TechniquePromoteMsg { node, keys }),
+            sink,
+        );
+        emit(
+            decision.demote,
+            &stats.tech_demote_reqs,
+            &|keys| Msg::TechniqueDemote(TechniqueDemoteMsg { node, keys }),
+            sink,
+        );
     }
 
     /// Emit-phase epilogue: records all guard-map increments for the
@@ -310,6 +385,7 @@ impl ClientCore {
         if any_replicated {
             ensure_registered(&self.shared, sink);
         }
+        self.tick_adaptive(sink);
         // Async pulls register every key so the result buffer is in key
         // order (reserved up front, offsets fixed by the plan); sync pulls
         // register lazily (a fully-local sync pull never touches the
@@ -338,7 +414,7 @@ impl ClientCore {
             for &i in items {
                 let p = &mut scratch.plan[i as usize];
                 let (off, len) = (p.off as usize, p.len as usize);
-                match policy.issue_route(p.key, &shard, p.forced) {
+                match policy.issue_route(p.key, &shard, p.forced, &shared.stats) {
                     IssueRoute::OwnedLocal => {
                         let v = shard.store.get(p.key).expect("routed to owned store");
                         n_local += 1;
@@ -445,6 +521,7 @@ impl ClientCore {
         if any_replicated {
             ensure_registered(&self.shared, sink);
         }
+        self.tick_adaptive(sink);
         let mut seq: Option<u64> = None;
 
         let ClientCore {
@@ -463,7 +540,7 @@ impl ClientCore {
             for &i in items {
                 let p = &mut scratch.plan[i as usize];
                 let val = &vals[p.off as usize..(p.off + p.len) as usize];
-                match policy.issue_route(p.key, &shard, p.forced) {
+                match policy.issue_route(p.key, &shard, p.forced, &shared.stats) {
                     IssueRoute::OwnedLocal => {
                         let applied = shard.store.add(p.key, val);
                         debug_assert!(applied);
@@ -581,6 +658,11 @@ impl ClientCore {
             let mut shard = shared.shards[shard_idx].lock();
             for &i in items {
                 let p = &mut scratch.plan[i as usize];
+                if policy.adaptive() && shard.techniques.replicated(p.key) {
+                    // Currently promoted to replication: localize is a
+                    // no-op, like a statically replicated key.
+                    continue;
+                }
                 if shard.store.contains(p.key) {
                     // Already local: nothing to do.
                     continue;
@@ -648,7 +730,7 @@ impl ClientCore {
             return false;
         }
         let shard = self.shared.shard_for(key).lock();
-        if policy.replicated(key) {
+        if policy.replicated_in(key, &shard) {
             let ok = shard.read_replicated(key, out);
             debug_assert!(ok, "replicated key {key} without replica state");
             self.shared.stats.pull_replica.fetch_add(1, Relaxed);

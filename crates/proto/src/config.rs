@@ -30,6 +30,15 @@ pub enum Variant {
     /// [`ProtoConfig::hot_set`] are replicated, the long tail is managed
     /// by relocation as under [`Variant::Lapse`].
     Hybrid,
+    /// Adaptive management: every key starts under relocation, and the
+    /// per-node controllers (fed by an online space-saving sketch of the
+    /// access stream, see [`AdaptiveConfig`]) promote hot keys to
+    /// replication and demote cooled keys back to relocation **while
+    /// training runs** — hybrid management without a pre-declared hot
+    /// set. The per-key technique lives in the per-shard dynamic table
+    /// ([`Shard::techniques`](crate::shard::Shard)); transitions are
+    /// coordinated by the key's home node and epoch-fenced.
+    Adaptive,
 }
 
 impl Variant {
@@ -41,6 +50,53 @@ impl Variant {
             Variant::Lapse => "Lapse",
             Variant::Replication => "Replication",
             Variant::Hybrid => "Hybrid (replicate hot)",
+            Variant::Adaptive => "Adaptive (online hot detection)",
+        }
+    }
+}
+
+/// Knobs of the adaptive management technique ([`Variant::Adaptive`]).
+///
+/// Per node, every `sample_every`-th accessed key of the pull/push plan
+/// phase feeds a space-saving sketch; every `tick_every` samples the
+/// controller runs: sketch entries whose decayed estimate reaches
+/// `promote_count` become promotion requests to their home nodes, and
+/// currently-replicated keys whose local estimate has fallen to
+/// `demote_count` or below become demotion votes (the home node demotes
+/// once every node has voted). The spread between the two thresholds is
+/// the hysteresis that keeps borderline keys from thrashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Sample every n-th planned key into the sketch (1 = every access).
+    pub sample_every: u64,
+    /// Run the controller every n-th sample (per node).
+    pub tick_every: u64,
+    /// Space-saving sketch capacity (tracked keys per node).
+    pub sketch_capacity: usize,
+    /// Promote when a key's decayed estimate (minus its overestimation
+    /// error) reaches this many samples.
+    pub promote_count: u64,
+    /// Vote to demote a replicated key when its local estimate falls to
+    /// this many samples or below.
+    pub demote_count: u64,
+    /// Upper bound on promotion requests per controller tick (churn cap).
+    pub max_promotes_per_tick: usize,
+    /// Re-send a promotion request after this many ticks without a
+    /// transition (requests can be dropped while a demotion of the same
+    /// key is still draining).
+    pub request_ttl_ticks: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            sample_every: 4,
+            tick_every: 512,
+            sketch_capacity: 1024,
+            promote_count: 24,
+            demote_count: 1,
+            max_promotes_per_tick: 64,
+            request_ttl_ticks: 8,
         }
     }
 }
@@ -49,8 +105,9 @@ impl Variant {
 ///
 /// Skewed workloads in this repo map popular entities to low ids within
 /// each id space (the corpus/graph generators sample Zipf ranks), so hot
-/// sets are id prefixes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// sets are id prefixes; [`HotSet::Explicit`] names arbitrary key sets
+/// (e.g. an oracle hot set computed from measured access frequencies).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HotSet {
     /// Keys `0..n`.
     Prefix(u64),
@@ -64,22 +121,37 @@ pub enum HotSet {
         /// Hot ids per block.
         hot: u64,
     },
+    /// An explicit key set, sorted ascending (membership is a binary
+    /// search). Build with [`HotSet::explicit`].
+    Explicit(Vec<Key>),
 }
 
 impl HotSet {
+    /// An explicit hot set from arbitrary keys (sorted and deduplicated).
+    pub fn explicit(mut keys: Vec<Key>) -> Self {
+        keys.sort_unstable();
+        keys.dedup();
+        HotSet::Explicit(keys)
+    }
+
     /// Whether `key` is in the hot set.
     #[inline]
     pub fn contains(&self, key: Key) -> bool {
         match *self {
             HotSet::Prefix(n) => key.0 < n,
             HotSet::Blocks { block, hot } => key.0 % block.max(1) < hot,
+            HotSet::Explicit(ref keys) => keys.binary_search(&key).is_ok(),
         }
     }
 
     /// Whether the hot set contains no keys at all.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        matches!(*self, HotSet::Prefix(0) | HotSet::Blocks { hot: 0, .. })
+        match *self {
+            HotSet::Prefix(n) => n == 0,
+            HotSet::Blocks { hot, .. } => hot == 0,
+            HotSet::Explicit(ref keys) => keys.is_empty(),
+        }
     }
 }
 
@@ -118,8 +190,12 @@ pub struct ProtoConfig {
     /// Use dense (preallocated) stores instead of sparse maps.
     pub dense: bool,
     /// Hot keys replicated under [`Variant::Hybrid`] (ignored by the
-    /// other variants; [`Variant::Replication`] replicates everything).
+    /// other variants; [`Variant::Replication`] replicates everything,
+    /// [`Variant::Adaptive`] discovers its hot set online).
     pub hot_set: HotSet,
+    /// Knobs of the adaptive management technique (used only by
+    /// [`Variant::Adaptive`]).
+    pub adaptive: AdaptiveConfig,
     /// Replicated pushes accumulated on a node before it propagates them
     /// to the owners automatically (a worker's `advance_clock` flushes
     /// earlier). Counted per node across all workers.
@@ -152,6 +228,7 @@ impl ProtoConfig {
             partition: HomePartition::Range,
             dense: true,
             hot_set: HotSet::Prefix(0),
+            adaptive: AdaptiveConfig::default(),
             replica_flush_every: 64,
             ordered_async_guard: true,
         }
@@ -320,5 +397,19 @@ mod tests {
         let blocks = HotSet::Blocks { block: 10, hot: 2 };
         assert!(blocks.contains(Key(1)) && blocks.contains(Key(11)));
         assert!(!blocks.contains(Key(2)) && !blocks.contains(Key(19)));
+    }
+
+    #[test]
+    fn explicit_hot_set_sorts_and_binary_searches() {
+        let set = HotSet::explicit(vec![Key(9), Key(2), Key(40), Key(2)]);
+        assert!(set.contains(Key(2)) && set.contains(Key(9)) && set.contains(Key(40)));
+        assert!(!set.contains(Key(3)) && !set.contains(Key(41)));
+        assert!(!set.is_empty());
+        assert!(HotSet::explicit(Vec::new()).is_empty());
+        // Sorted representation regardless of input order.
+        match set {
+            HotSet::Explicit(keys) => assert_eq!(keys, vec![Key(2), Key(9), Key(40)]),
+            _ => unreachable!(),
+        }
     }
 }

@@ -34,11 +34,15 @@
 //! * [`technique`] — the management-technique policy layer: per-key
 //!   choice of static allocation, relocation, or replication, and every
 //!   routing decision derived from it.
+//! * [`adaptive`] — online access statistics (space-saving sketch) and
+//!   the controller that drives runtime technique transitions under
+//!   [`Variant::Adaptive`](config::Variant).
 //! * [`consistency`] — sequential-consistency witnesses used by tests and
 //!   the Table 1 experiment.
 //! * [`strategies`] — the four location-management strategies of Table 3
 //!   in isolation, for the Table 3 experiment.
 
+pub mod adaptive;
 pub mod client;
 pub mod config;
 pub mod consistency;
@@ -53,7 +57,7 @@ pub mod technique;
 pub mod testkit;
 pub mod tracker;
 
-pub use config::{HomePartition, HotSet, ProtoConfig, Variant};
+pub use config::{AdaptiveConfig, HomePartition, HotSet, ProtoConfig, Variant};
 pub use layout::Layout;
 pub use messages::{Msg, OpId, OpKind};
 pub use shard::NodeShared;

@@ -1,7 +1,8 @@
 //! The wire protocol.
 //!
-//! Nine message kinds implement the full protocol of Section 3 plus the
-//! NuPS-style replication technique:
+//! Fourteen message kinds implement the full protocol of Section 3, the
+//! NuPS-style replication technique, and the adaptive technique-transition
+//! protocol:
 //!
 //! * [`OpMsg`] — a grouped pull or push request travelling from a client
 //!   to the home node (forward strategy), from the home node to the owner
@@ -23,6 +24,17 @@
 //! * [`ReplicaRefreshMsg`] — replica-sync 3: fresh values broadcast from
 //!   the owner to every subscribed replica holder, acknowledging the
 //!   receiver's propagated flushes up to `ack`.
+//! * [`TechniquePromoteMsg`] / [`TechniqueDemoteMsg`] — adaptive
+//!   management: a node's controller asks the home node to switch a hot
+//!   relocated key to replication / votes to switch a cooled replicated
+//!   key back to relocation.
+//! * [`TechniquePromoteAckMsg`] / [`TechniqueDemoteAckMsg`] — the home
+//!   node's epoch-fenced transition broadcasts: "these keys are now
+//!   replicated (here are the authoritative values)" / "these keys are
+//!   relocation-managed again".
+//! * [`TechniqueDrainedMsg`] — demotion drain confirmation: a node's last
+//!   accumulated deltas for a demoted batch, closing the transition at
+//!   the home node.
 //! * [`Msg::Shutdown`] — terminates a server loop (threaded backend only).
 //!
 //! Every message implements [`WireSize`] (used by the simulator's
@@ -189,6 +201,78 @@ pub struct ReplicaRefreshMsg {
     pub vals: ValueBlock,
 }
 
+/// Technique-transition message 1 (adaptive management): a node's
+/// controller detected a hot relocated key and asks the home node to
+/// promote it to replication. The home node coordinates the transition;
+/// duplicate or stale requests are ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechniquePromoteMsg {
+    /// The requesting node.
+    pub node: NodeId,
+    /// Keys to promote, all homed at the destination node.
+    pub keys: Vec<Key>,
+}
+
+/// Technique-transition message 2: the home node's promotion broadcast,
+/// sent to every other node once the key's value has been relocated back
+/// home. Carries the authoritative values so receivers can install their
+/// replicas; `epoch` fences transitions (strictly increasing per home).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechniquePromoteAckMsg {
+    /// The coordinating home node (all `keys` are homed there).
+    pub home: NodeId,
+    /// The home's transition epoch (strictly increasing per home; fencing
+    /// witness — per-link FIFO makes it strictly increasing per receiver).
+    pub epoch: u64,
+    /// Promoted keys.
+    pub keys: Vec<Key>,
+    /// Concatenated authoritative values in `keys` order (one refcounted
+    /// block shared by the whole broadcast).
+    pub vals: ValueBlock,
+}
+
+/// Technique-transition message 3: a node's controller votes to demote a
+/// cooled replicated key back to relocation. The home node demotes once
+/// every node has voted (any promotion request clears the votes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechniqueDemoteMsg {
+    /// The voting node.
+    pub node: NodeId,
+    /// Cooled keys, all homed at the destination node.
+    pub keys: Vec<Key>,
+}
+
+/// Technique-transition message 4: the home node's demotion broadcast.
+/// Receivers drop their replicas and answer with a [`TechniqueDrainedMsg`]
+/// carrying their final accumulated deltas; the home node keeps the keys
+/// pinned (no relocation) until every node has drained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechniqueDemoteAckMsg {
+    /// The coordinating home node.
+    pub home: NodeId,
+    /// The home's transition epoch (see [`TechniquePromoteAckMsg`]).
+    pub epoch: u64,
+    /// Demoted keys.
+    pub keys: Vec<Key>,
+}
+
+/// Technique-transition message 5: a node's drain confirmation for one
+/// demotion epoch — the deltas it had accumulated for the demoted keys
+/// when the [`TechniqueDemoteAckMsg`] arrived (possibly none). The home
+/// node applies them and, once every node has confirmed, re-enables
+/// relocation for the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechniqueDrainedMsg {
+    /// The confirming node.
+    pub node: NodeId,
+    /// The demotion epoch being confirmed.
+    pub epoch: u64,
+    /// Keys with final deltas (a subset of the epoch's demoted keys).
+    pub keys: Vec<Key>,
+    /// Concatenated final update terms in `keys` order.
+    pub vals: Vec<f32>,
+}
+
 /// All protocol messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
@@ -208,6 +292,16 @@ pub enum Msg {
     ReplicaPush(ReplicaPushMsg),
     /// Replica-sync message 3 (owner → replica holder).
     ReplicaRefresh(ReplicaRefreshMsg),
+    /// Technique transition 1 (controller → home): promote request.
+    TechniquePromote(TechniquePromoteMsg),
+    /// Technique transition 2 (home → all): promotion broadcast.
+    TechniquePromoteAck(TechniquePromoteAckMsg),
+    /// Technique transition 3 (controller → home): demote vote.
+    TechniqueDemote(TechniqueDemoteMsg),
+    /// Technique transition 4 (home → all): demotion broadcast.
+    TechniqueDemoteAck(TechniqueDemoteAckMsg),
+    /// Technique transition 5 (node → home): demotion drain confirmation.
+    TechniqueDrained(TechniqueDrainedMsg),
     /// Stop the receiving server loop.
     Shutdown,
 }
@@ -227,6 +321,11 @@ impl Msg {
             Msg::ReplicaReg(_) => "repl.reg",
             Msg::ReplicaPush(_) => "repl.push",
             Msg::ReplicaRefresh(_) => "repl.refresh",
+            Msg::TechniquePromote(_) => "tech.promote",
+            Msg::TechniquePromoteAck(_) => "tech.promote_ack",
+            Msg::TechniqueDemote(_) => "tech.demote",
+            Msg::TechniqueDemoteAck(_) => "tech.demote_ack",
+            Msg::TechniqueDrained(_) => "tech.drained",
             Msg::Shutdown => "shutdown",
         }
     }
@@ -263,6 +362,13 @@ impl WireSize for Msg {
             Msg::ReplicaRefresh(m) => {
                 2 + 8 + 8 + keys_wire_bytes(&m.keys) + value_block_wire_bytes(&m.vals)
             }
+            Msg::TechniquePromote(m) => 2 + keys_wire_bytes(&m.keys),
+            Msg::TechniquePromoteAck(m) => {
+                2 + 8 + keys_wire_bytes(&m.keys) + value_block_wire_bytes(&m.vals)
+            }
+            Msg::TechniqueDemote(m) => 2 + keys_wire_bytes(&m.keys),
+            Msg::TechniqueDemoteAck(m) => 2 + 8 + keys_wire_bytes(&m.keys),
+            Msg::TechniqueDrained(m) => 2 + 8 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals),
             Msg::Shutdown => 0,
         }
     }
@@ -322,6 +428,36 @@ impl WireCodec for Msg {
                 put_u64(buf, m.ack);
                 put_keys(buf, &m.keys);
                 put_value_block(buf, &m.vals);
+            }
+            Msg::TechniquePromote(m) => {
+                put_u8(buf, 10);
+                put_node(buf, m.node);
+                put_keys(buf, &m.keys);
+            }
+            Msg::TechniquePromoteAck(m) => {
+                put_u8(buf, 11);
+                put_node(buf, m.home);
+                put_u64(buf, m.epoch);
+                put_keys(buf, &m.keys);
+                put_value_block(buf, &m.vals);
+            }
+            Msg::TechniqueDemote(m) => {
+                put_u8(buf, 12);
+                put_node(buf, m.node);
+                put_keys(buf, &m.keys);
+            }
+            Msg::TechniqueDemoteAck(m) => {
+                put_u8(buf, 13);
+                put_node(buf, m.home);
+                put_u64(buf, m.epoch);
+                put_keys(buf, &m.keys);
+            }
+            Msg::TechniqueDrained(m) => {
+                put_u8(buf, 14);
+                put_node(buf, m.node);
+                put_u64(buf, m.epoch);
+                put_keys(buf, &m.keys);
+                put_f32s(buf, &m.vals);
             }
             Msg::Shutdown => put_u8(buf, 6),
         }
@@ -417,6 +553,50 @@ impl WireCodec for Msg {
                     vals,
                 }))
             }
+            10 => {
+                let node = get_node(buf)?;
+                let keys = get_keys(buf)?;
+                Ok(Msg::TechniquePromote(TechniquePromoteMsg { node, keys }))
+            }
+            11 => {
+                let home = get_node(buf)?;
+                let epoch = get_u64(buf)?;
+                let keys = get_keys(buf)?;
+                let vals = get_value_block(buf)?;
+                Ok(Msg::TechniquePromoteAck(TechniquePromoteAckMsg {
+                    home,
+                    epoch,
+                    keys,
+                    vals,
+                }))
+            }
+            12 => {
+                let node = get_node(buf)?;
+                let keys = get_keys(buf)?;
+                Ok(Msg::TechniqueDemote(TechniqueDemoteMsg { node, keys }))
+            }
+            13 => {
+                let home = get_node(buf)?;
+                let epoch = get_u64(buf)?;
+                let keys = get_keys(buf)?;
+                Ok(Msg::TechniqueDemoteAck(TechniqueDemoteAckMsg {
+                    home,
+                    epoch,
+                    keys,
+                }))
+            }
+            14 => {
+                let node = get_node(buf)?;
+                let epoch = get_u64(buf)?;
+                let keys = get_keys(buf)?;
+                let vals = get_f32s(buf)?;
+                Ok(Msg::TechniqueDrained(TechniqueDrainedMsg {
+                    node,
+                    epoch,
+                    keys,
+                    vals,
+                }))
+            }
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -476,6 +656,31 @@ mod tests {
                 ack: 4,
                 keys: vec![Key(1)],
                 vals: ValueBlock::from_f32s(&[2.25]),
+            }),
+            Msg::TechniquePromote(TechniquePromoteMsg {
+                node: NodeId(3),
+                keys: vec![Key(7), Key(8)],
+            }),
+            Msg::TechniquePromoteAck(TechniquePromoteAckMsg {
+                home: NodeId(0),
+                epoch: 3,
+                keys: vec![Key(7)],
+                vals: ValueBlock::from_f32s(&[1.5, -0.5]),
+            }),
+            Msg::TechniqueDemote(TechniqueDemoteMsg {
+                node: NodeId(1),
+                keys: vec![Key(7)],
+            }),
+            Msg::TechniqueDemoteAck(TechniqueDemoteAckMsg {
+                home: NodeId(0),
+                epoch: 4,
+                keys: vec![Key(7)],
+            }),
+            Msg::TechniqueDrained(TechniqueDrainedMsg {
+                node: NodeId(2),
+                epoch: 4,
+                keys: vec![Key(7)],
+                vals: vec![0.75, 0.25],
             }),
             Msg::Shutdown,
         ]

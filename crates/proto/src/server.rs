@@ -34,19 +34,20 @@
 //! All batching uses insertion-ordered maps so message emission order is
 //! deterministic and re-dispatched operations keep their arrival order.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
-use lapse_net::{Key, NodeId, ValueBlockBuilder};
+use lapse_net::{Key, NodeId, ValueBlock, ValueBlockBuilder};
 
 use crate::client::MsgSink;
 use crate::group::{OrderedGroups, ShardGroups};
 use crate::messages::{
     HandOverMsg, LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, OpRespMsg, RelocateMsg, ReplicaPushMsg,
-    ReplicaRefreshMsg, ReplicaRegMsg,
+    ReplicaRefreshMsg, ReplicaRegMsg, TechniqueDemoteAckMsg, TechniqueDemoteMsg,
+    TechniqueDrainedMsg, TechniquePromoteAckMsg, TechniquePromoteMsg,
 };
-use crate::shard::{NodeShared, Queued, QueuedOp, Shard};
+use crate::shard::{IncomingState, NodeShared, Queued, QueuedOp, Shard};
 
 /// A keys-plus-values accumulator for forwarded requests (they become
 /// [`OpMsg`]s, whose push payloads stay `Vec<f32>`).
@@ -82,6 +83,9 @@ struct Batches {
     /// Replica refreshes, emitted in order (after everything else —
     /// replicated keys never interact with relocation traffic).
     refreshes: Vec<(NodeId, ReplicaRefreshMsg)>,
+    /// Technique-transition traffic (adaptive management), emitted last:
+    /// promotion/demotion broadcasts and drain confirmations.
+    tech: Vec<(NodeId, Msg)>,
 }
 
 impl Batches {
@@ -137,6 +141,9 @@ impl Batches {
         }
         for (dst, refresh) in self.refreshes {
             sink.push((dst, Msg::ReplicaRefresh(refresh)));
+        }
+        for (dst, msg) in self.tech {
+            sink.push((dst, msg));
         }
     }
 }
@@ -219,6 +226,21 @@ struct ServerScratch {
     vals: Vec<f32>,
 }
 
+/// One draining demotion batch at its coordinating home node: the keys
+/// stay pinned (no relocation) until every other node has confirmed its
+/// drain and every already-flushed self batch has been delivered.
+#[derive(Debug)]
+struct DemoteDrain {
+    /// The demoted keys of this epoch.
+    keys: Vec<Key>,
+    /// Nodes whose [`TechniqueDrainedMsg`] is still outstanding.
+    awaiting: BTreeSet<NodeId>,
+    /// Home's own flushed-but-undelivered replica batches that still
+    /// carry one of `keys` (they arrive over the self link and are
+    /// applied to the owned store on delivery).
+    self_flushes: u64,
+}
+
 /// The server half of the protocol for one node.
 pub struct ServerCore {
     shared: Arc<NodeShared>,
@@ -234,6 +256,25 @@ pub struct ServerCore {
     /// Last refresh round received per owner; per-link FIFO makes the
     /// sequence strictly increasing (asserted in debug builds).
     replica_rounds_in: HashMap<NodeId, u64>,
+    /// Technique-transition epoch of this home (adaptive management),
+    /// bumped per promotion/demotion broadcast.
+    tech_epoch: u64,
+    /// Last transition epoch seen per coordinating home; per-link FIFO
+    /// makes the sequence strictly increasing (the fencing witness,
+    /// asserted in debug builds).
+    tech_epochs_in: HashMap<NodeId, u64>,
+    /// Keys whose promotion awaits the relocation-to-home hand-over.
+    pending_promote: HashSet<Key>,
+    /// Demotion votes per key homed here; a key demotes once every node
+    /// has voted, and any promotion interest clears its votes.
+    demote_votes: HashMap<Key, BTreeSet<NodeId>>,
+    /// Draining demotion batches by epoch.
+    demote_draining: HashMap<u64, DemoteDrain>,
+    /// Keys pinned by a draining demotion → their epoch.
+    demote_pinned: HashMap<Key, u64>,
+    /// Localize requests for pinned keys, deferred in arrival order and
+    /// replayed when their key's drain completes.
+    deferred_localizes: Vec<(OpId, Key)>,
     /// Reusable dispatch buffers (amortized alloc-free).
     scratch: ServerScratch,
 }
@@ -250,8 +291,29 @@ impl ServerCore {
             replica_subs: Vec::new(),
             replica_round: 0,
             replica_rounds_in: HashMap::new(),
+            tech_epoch: 0,
+            tech_epochs_in: HashMap::new(),
+            pending_promote: HashSet::new(),
+            demote_votes: HashMap::new(),
+            demote_draining: HashMap::new(),
+            demote_pinned: HashMap::new(),
+            deferred_localizes: Vec::new(),
             scratch: ServerScratch::default(),
         }
+    }
+
+    /// Whether no technique transition is in progress at this node (all
+    /// promotions finished, all demotions drained; diagnostics/tests).
+    pub fn transitions_idle(&self) -> bool {
+        self.pending_promote.is_empty()
+            && self.demote_draining.is_empty()
+            && self.demote_pinned.is_empty()
+            && self.deferred_localizes.is_empty()
+    }
+
+    /// The transition epoch of this home node (diagnostics/tests).
+    pub fn tech_epoch(&self) -> u64 {
+        self.tech_epoch
     }
 
     /// The node this server runs on.
@@ -284,6 +346,11 @@ impl ServerCore {
             Msg::ReplicaReg(m) => self.handle_replica_reg(m, &mut batches),
             Msg::ReplicaPush(m) => self.handle_replica_push(m, &mut batches),
             Msg::ReplicaRefresh(m) => self.handle_replica_refresh(m),
+            Msg::TechniquePromote(m) => self.handle_technique_promote(m, &mut batches),
+            Msg::TechniquePromoteAck(m) => self.handle_technique_promote_ack(m, &mut batches),
+            Msg::TechniqueDemote(m) => self.handle_technique_demote(m, &mut batches),
+            Msg::TechniqueDemoteAck(m) => self.handle_technique_demote_ack(m, &mut batches),
+            Msg::TechniqueDrained(m) => self.handle_technique_drained(m, &mut batches),
             Msg::Shutdown => {}
         }
         batches.flush(self.shared.node, sink);
@@ -327,6 +394,11 @@ impl ServerCore {
         // Shard phase: one latch per shard; route every key (see module
         // docs for the cases).
         let mut stale_forwards = 0u64;
+        // Under adaptive management, ops routed before a promotion
+        // broadcast reached their issuer legitimately arrive here for
+        // now-replicated keys; the owning home serves them, and served
+        // pushes are re-broadcast as refreshes so replicas converge.
+        let mut repl_fresh: Vec<(Key, u32)> = Vec::new();
         for (shard_idx, idxs) in groups.iter() {
             let mut shard = self.shared.shards[shard_idx].lock();
             for &i in idxs {
@@ -334,7 +406,7 @@ impl ServerCore {
                 let (off, len) = items[i as usize];
                 let val = &m.vals[off as usize..(off + len) as usize];
                 debug_assert!(
-                    !policy.replicated(k),
+                    policy.adaptive() || !policy.replicated(k),
                     "op message for replicated key {k} (replicated access is always local)"
                 );
                 if shard.store.contains(k) {
@@ -343,6 +415,15 @@ impl ServerCore {
                         OpKind::Push => {
                             let applied = shard.store.add(k, val);
                             debug_assert!(applied);
+                            if policy.adaptive()
+                                && shard.techniques.replicated(k)
+                                && !self.replica_subs.is_empty()
+                            {
+                                let fresh = shard.store.get(k).expect("just updated");
+                                let soff = vals.len() as u32;
+                                vals.extend_from_slice(fresh);
+                                repl_fresh.push((k, soff));
+                            }
                             if m.op.node == self.shared.node {
                                 self.shared.tracker.complete_key(m.op.seq, k, None);
                             } else {
@@ -391,7 +472,7 @@ impl ServerCore {
         if stale_forwards > 0 {
             self.shared
                 .stats
-                .stale_cache_forwards
+                .loc_cache_stale_forwards
                 .fetch_add(stale_forwards, Relaxed);
         }
 
@@ -437,6 +518,20 @@ impl ServerCore {
                 .value_bytes_moved
                 .fetch_add(resp_bytes, Relaxed);
         }
+
+        // Adaptive: broadcast refreshes for replicated keys that were
+        // just pushed directly (drained in-flight traffic), so replica
+        // holders see the update without waiting for an unrelated flush.
+        if !repl_fresh.is_empty() {
+            let mut keys = Vec::with_capacity(repl_fresh.len());
+            let mut block = ValueBlockBuilder::default();
+            for &(k, soff) in &repl_fresh {
+                let vlen = cfg.layout.len(k);
+                keys.push(k);
+                block.push_slice(&self.scratch.vals[soff as usize..soff as usize + vlen]);
+            }
+            self.broadcast_refresh(keys, block.finish(), None, batches);
+        }
     }
 
     fn handle_resp(&mut self, m: OpRespMsg) {
@@ -459,13 +554,43 @@ impl ServerCore {
     // ---- relocation (Figure 4) --------------------------------------------
 
     /// Message 1, at the home node: update the owner table immediately and
-    /// instruct each old owner.
+    /// instruct each old owner. Under adaptive management, keys that are
+    /// currently replicated (or promoting) refuse relocation — the
+    /// requester's parked localize completes when the promotion broadcast
+    /// drains its incoming entry — and keys pinned by a draining demotion
+    /// are deferred until the drain completes.
     fn handle_localize(&mut self, m: LocalizeReqMsg, batches: &mut Batches) {
         let cfg = self.shared.cfg.clone();
+        let policy = cfg.policy();
         let requester = m.op.node;
         let mut per_old: OrderedGroups<NodeId, Vec<Key>> = OrderedGroups::new();
         for &k in &m.keys {
             debug_assert_eq!(cfg.home(k), self.shared.node, "localize at wrong home");
+            if policy.adaptive() {
+                if self.pending_promote.contains(&k)
+                    || self.shared.shard_for(k).lock().techniques.replicated(k)
+                {
+                    continue;
+                }
+                if let Some(&epoch) = self.demote_pinned.get(&k) {
+                    let drain = self
+                        .demote_draining
+                        .get(&epoch)
+                        .expect("pinned key without drain state");
+                    if drain.awaiting.contains(&requester) {
+                        // Stale: issued before the requester learned of
+                        // the demotion (its drain confirmation has not
+                        // arrived on this FIFO link yet), so the request
+                        // already completed at the requester when the
+                        // promotion broadcast drained its incoming entry.
+                        // Relocating for it would hand the key to a node
+                        // that no longer expects it.
+                        continue;
+                    }
+                    self.deferred_localizes.push((m.op, k));
+                    continue;
+                }
+            }
             let slot = cfg.home_slot(k);
             let old = self.owner[slot];
             self.owner[slot] = requester;
@@ -667,6 +792,12 @@ impl ServerCore {
                         }
                     }
                 }
+                if moved_on && self.pending_promote.contains(&k) {
+                    // A pre-promotion relocation chain is still playing
+                    // out; the promote coordinator's relocation-to-home
+                    // chases it, so expect the key to come back.
+                    shard.incoming.insert(k, IncomingState::default());
+                }
                 spans[i as usize] = (start, ho_actions.len() as u32);
             }
         }
@@ -676,70 +807,38 @@ impl ServerCore {
 
         // Emit phase: replay each key's recorded emissions in original
         // key order (and per key in queue-arrival order).
-        let mut moved_bytes = 0u64;
-        for (i, &k) in m.keys.iter().enumerate() {
-            let (start, end) = spans[i];
-            for j in start..end {
-                match std::mem::take(&mut ho_actions[j as usize]) {
-                    HoAction::None => {}
-                    HoAction::LocalizeDone(op) => {
-                        self.shared.tracker.complete_key(op.seq, k, None);
-                    }
-                    HoAction::LocalPush(op) => {
-                        self.shared.tracker.complete_key(op.seq, k, None);
-                    }
-                    HoAction::LocalPull(op, soff) => {
-                        let vlen = cfg.layout.len(k);
-                        self.shared.tracker.complete_key(
-                            op.seq,
-                            k,
-                            Some(&vals[soff as usize..soff as usize + vlen]),
-                        );
-                    }
-                    HoAction::RespPush(op) => {
-                        batches.resp.entry((op, OpKind::Push)).keys.push(k);
-                    }
-                    HoAction::RespPull(op, soff) => {
-                        let vlen = cfg.layout.len(k);
-                        let entry = batches.resp.entry((op, OpKind::Pull));
-                        entry.keys.push(k);
-                        entry
-                            .vals
-                            .push_slice(&vals[soff as usize..soff as usize + vlen]);
-                        moved_bytes += 4 * vlen as u64;
-                    }
-                    HoAction::Redispatch {
-                        op,
-                        kind,
-                        val,
-                        to_owner,
-                        dst,
-                    } => {
-                        let entry = if to_owner {
-                            batches.fwd_owner.entry((dst, op, kind))
-                        } else {
-                            batches.fwd_home.entry((dst, op, kind))
-                        };
-                        entry.keys.push(k);
-                        entry.vals.extend_from_slice(&val);
-                    }
-                    HoAction::Onward(op, new_owner, soff) => {
-                        let vlen = cfg.layout.len(k);
-                        let entry = batches.handover.entry((new_owner, op));
-                        entry.keys.push(k);
-                        entry
-                            .vals
-                            .push_slice(&vals[soff as usize..soff as usize + vlen]);
-                        moved_bytes += 4 * vlen as u64;
-                    }
-                }
-            }
-        }
+        let moved_bytes = replay_drain(
+            &self.shared,
+            &cfg,
+            &m.keys,
+            spans,
+            ho_actions,
+            vals,
+            batches,
+        );
         if moved_bytes > 0 {
             self.shared
                 .stats
                 .value_bytes_moved
                 .fetch_add(moved_bytes, Relaxed);
+        }
+
+        // Adaptive: promotions that were waiting for this relocation to
+        // bring their key home can now finish (unless the drain moved the
+        // key onward — then a later hand-over finishes them).
+        if !self.pending_promote.is_empty() {
+            let finish: Vec<Key> = m
+                .keys
+                .iter()
+                .copied()
+                .filter(|&k| {
+                    self.pending_promote.contains(&k)
+                        && self.shared.shard_for(k).lock().store.contains(k)
+                })
+                .collect();
+            if !finish.is_empty() {
+                self.finish_promotion(&finish, batches);
+            }
         }
     }
 
@@ -757,14 +856,30 @@ impl ServerCore {
         let policy = cfg.policy();
         let mut keys = Vec::new();
         let mut vals = ValueBlockBuilder::default();
-        for key in cfg.home_keys(self.shared.node) {
-            if !policy.replicated(key) {
-                continue;
+        if policy.adaptive() {
+            // The dynamic tables name the replicated set directly (one
+            // latch per shard), instead of probing every home key.
+            for key in self.shared.replicated_keys() {
+                if cfg.home(key) != self.shared.node {
+                    continue; // a replica held here, homed elsewhere
+                }
+                let shard = self.shared.shard_for(key).lock();
+                let v = shard.store.get(key).expect("owner stores replicated key");
+                keys.push(key);
+                vals.push_slice(v);
             }
-            let shard = self.shared.shard_for(key).lock();
-            let v = shard.store.get(key).expect("owner stores replicated key");
-            keys.push(key);
-            vals.push_slice(v);
+        } else {
+            for key in cfg.home_keys(self.shared.node) {
+                // The static hot set answers from the configuration
+                // alone — no latch for the (typically vast) tail.
+                if !policy.replicated(key) {
+                    continue;
+                }
+                let shard = self.shared.shard_for(key).lock();
+                let v = shard.store.get(key).expect("owner stores replicated key");
+                keys.push(key);
+                vals.push_slice(v);
+            }
         }
         if keys.is_empty() {
             return;
@@ -782,6 +897,42 @@ impl ServerCore {
         ));
     }
 
+    /// Broadcasts fresh values of `keys` (one refcounted block, `keys`
+    /// order) to every subscribed replica holder, closing one
+    /// propagation round. `ack` names the pusher whose flush this
+    /// refresh acknowledges, and the flush sequence it retires.
+    fn broadcast_refresh(
+        &mut self,
+        keys: Vec<Key>,
+        block: ValueBlock,
+        ack: Option<(NodeId, u64)>,
+        batches: &mut Batches,
+    ) {
+        if keys.is_empty() || self.replica_subs.is_empty() {
+            return;
+        }
+        self.shared
+            .stats
+            .value_bytes_moved
+            .fetch_add(4 * block.len() as u64, Relaxed);
+        self.replica_round += 1;
+        for &sub in &self.replica_subs {
+            batches.refreshes.push((
+                sub,
+                ReplicaRefreshMsg {
+                    owner: self.shared.node,
+                    round: self.replica_round,
+                    ack: match ack {
+                        Some((n, s)) if n == sub => s,
+                        _ => 0,
+                    },
+                    keys: keys.clone(),
+                    vals: block.clone(),
+                },
+            ));
+        }
+    }
+
     /// Replica-sync message 2, at the owner: apply the accumulated update
     /// terms exactly once, then broadcast the fresh values to every
     /// subscriber (the propagation step closing this round). The refresh
@@ -793,7 +944,13 @@ impl ServerCore {
         let cfg = self.shared.cfg.clone();
         let policy = cfg.policy();
         let own_flush = m.node == self.shared.node;
+        let adaptive = policy.adaptive();
         let broadcast = !self.replica_subs.is_empty();
+        // Under adaptive management, keys demoted since the flush left
+        // its sender still apply here (the home owns them while pinned)
+        // but are excluded from the refresh broadcast — the subscribers
+        // have dropped (or are about to drop) their replicas.
+        let mut included: Vec<bool> = Vec::new();
         // Group by shard so each shard's deltas are applied — and, for the
         // owner's own flushes, its in-flight batch retired — under one
         // latch: the owned store is the owner's replica view, so a local
@@ -811,12 +968,18 @@ impl ServerCore {
         vals.clear();
         let mut val_off = 0u32;
         for (i, &k) in m.keys.iter().enumerate() {
-            debug_assert!(policy.replicated(k), "replica push for unreplicated {k}");
+            debug_assert!(
+                adaptive || policy.replicated(k),
+                "replica push for unreplicated {k}"
+            );
             debug_assert_eq!(cfg.home(k), self.shared.node, "replica push at wrong owner");
             let len = cfg.layout.len(k) as u32;
             items.push((val_off, len));
             groups.push(cfg.shard_of(k), i as u32);
             val_off += len;
+        }
+        if adaptive && broadcast {
+            included.resize(m.keys.len(), false);
         }
         debug_assert_eq!(
             val_off as usize,
@@ -829,6 +992,13 @@ impl ServerCore {
             vals.resize(val_off as usize, 0.0);
         }
         let mut applied_keys = 0u64;
+        // Straggler deltas (adaptive, threaded backend): a worker records
+        // a flush's in-flight batch under the latch before its message is
+        // actually enqueued on the link, so a demotion drain can complete
+        // — and the key relocate away — with that flush still undelivered.
+        // The home then no longer owns the key; the delta is forwarded to
+        // the current owner below instead of being dropped.
+        let mut stragglers: Vec<(Key, u32, u32)> = Vec::new();
         for (shard_idx, idxs) in groups.iter() {
             let mut shard = self.shared.shards[shard_idx].lock();
             for &i in idxs {
@@ -837,10 +1007,20 @@ impl ServerCore {
                 let applied = shard
                     .store
                     .add(k, &m.vals[off as usize..(off + len) as usize]);
-                debug_assert!(applied, "owner lost replicated key {k}");
+                if !applied {
+                    debug_assert!(adaptive, "owner lost replicated key {k}");
+                    stragglers.push((k, off, len));
+                    if broadcast && adaptive {
+                        included[i as usize] = false;
+                    }
+                    continue;
+                }
                 if broadcast {
                     let fresh = shard.store.get(k).expect("just updated");
                     vals[off as usize..(off + len) as usize].copy_from_slice(fresh);
+                    if adaptive {
+                        included[i as usize] = shard.techniques.replicated(k);
+                    }
                 }
                 applied_keys += 1;
             }
@@ -854,30 +1034,72 @@ impl ServerCore {
                 .replica_pushes_applied
                 .fetch_add(applied_keys, Relaxed);
         }
-        if !broadcast {
-            return;
+        for (k, off, len) in stragglers {
+            let owner = self.owner[cfg.home_slot(k)];
+            // Fire-and-forget tracked push: the abandoned entry is
+            // reclaimed when the owner's acknowledgement completes it,
+            // so nothing leaks and nobody is woken.
+            let seq = self
+                .shared
+                .tracker
+                .begin(crate::tracker::TrackedKind::Push, 0, None);
+            self.shared.tracker.add_key(seq, k, 0, 0, false);
+            self.shared.tracker.seal(seq);
+            self.shared.tracker.abandon(seq);
+            let entry =
+                batches
+                    .fwd_owner
+                    .entry((owner, OpId::new(self.shared.node, seq), OpKind::Push));
+            entry.keys.push(k);
+            entry
+                .vals
+                .extend_from_slice(&m.vals[off as usize..(off + len) as usize]);
         }
-        // Build the broadcast payload once; every subscriber's refresh
-        // clones the same block (a reference-count bump, not a copy).
-        let mut block = ValueBlockBuilder::with_capacity(vals.len());
-        block.push_slice(vals);
-        let block = block.finish();
-        self.shared
-            .stats
-            .value_bytes_moved
-            .fetch_add(4 * vals.len() as u64, Relaxed);
-        self.replica_round += 1;
-        for &sub in &self.replica_subs {
-            batches.refreshes.push((
-                sub,
-                ReplicaRefreshMsg {
-                    owner: self.shared.node,
-                    round: self.replica_round,
-                    ack: if sub == m.node { m.flush_seq } else { 0 },
-                    keys: m.keys.clone(),
-                    vals: block.clone(),
-                },
-            ));
+        if broadcast {
+            // Build the broadcast payload once; every subscriber's
+            // refresh clones the same block (a reference-count bump, not
+            // a copy). Under adaptive management only keys that are still
+            // replicated broadcast (possibly none).
+            let (bkeys, block) = if adaptive {
+                let mut keys: Vec<Key> = Vec::new();
+                let mut blk = ValueBlockBuilder::default();
+                for (i, &k) in m.keys.iter().enumerate() {
+                    if included[i] {
+                        let (off, len) = items[i];
+                        keys.push(k);
+                        blk.push_slice(&vals[off as usize..(off + len) as usize]);
+                    }
+                }
+                (keys, blk.finish())
+            } else {
+                let mut blk = ValueBlockBuilder::with_capacity(vals.len());
+                blk.push_slice(vals);
+                (m.keys.clone(), blk.finish())
+            };
+            self.broadcast_refresh(bkeys, block, Some((m.node, m.flush_seq)), batches);
+        }
+        // A delivered self flush releases its hold on keys pinned by a
+        // draining demotion (their deltas were applied above). Done last:
+        // completing a drain replays deferred localizes, which reuse the
+        // dispatch scratch this handler has finished with.
+        if own_flush && adaptive && !self.demote_pinned.is_empty() {
+            let mut touched: Vec<u64> = Vec::new();
+            for &k in &m.keys {
+                if let Some(&epoch) = self.demote_pinned.get(&k) {
+                    let drain = self
+                        .demote_draining
+                        .get_mut(&epoch)
+                        .expect("pinned key without drain state");
+                    debug_assert!(drain.self_flushes > 0, "self-flush underflow for {k}");
+                    drain.self_flushes -= 1;
+                    if !touched.contains(&epoch) {
+                        touched.push(epoch);
+                    }
+                }
+            }
+            for epoch in touched {
+                self.maybe_complete_demotion(epoch, batches);
+            }
         }
     }
 
@@ -905,7 +1127,10 @@ impl ServerCore {
         items.clear();
         let mut val_off = 0u32;
         for (i, &k) in m.keys.iter().enumerate() {
-            debug_assert!(policy.replicated(k), "refresh for unreplicated {k}");
+            debug_assert!(
+                policy.adaptive() || policy.replicated(k),
+                "refresh for unreplicated {k}"
+            );
             debug_assert_eq!(cfg.home(k), m.owner, "refresh from non-owner");
             let len = cfg.layout.len(k) as u32;
             items.push((val_off, len));
@@ -919,6 +1144,13 @@ impl ServerCore {
             for &i in idxs {
                 let k = m.keys[i as usize];
                 let (off, len) = items[i as usize];
+                // Per-link FIFO fences refreshes against transition
+                // broadcasts: a refresh for a key this node demoted (or
+                // has not promoted yet) cannot arrive.
+                debug_assert!(
+                    policy.replicated_in(k, &shard),
+                    "refresh for unreplicated {k}"
+                );
                 // Fresh values copy straight from the message block into
                 // the replica view.
                 shard
@@ -939,6 +1171,573 @@ impl ServerCore {
                 .fetch_add(refreshed, Relaxed);
         }
     }
+
+    // ---- technique transitions (adaptive management) ----------------------
+
+    /// Transition message 1, at the home node: promote hot keys to
+    /// replication. A key whose value already sits at home promotes
+    /// immediately; otherwise the home first relocates it to itself
+    /// (reusing the relocation protocol with itself as requester) and the
+    /// promotion finishes when the hand-over arrives. Requests for keys
+    /// already replicated, already promoting, or draining a demotion are
+    /// dropped (the controller re-sends after its TTL); any promotion
+    /// interest clears stale demotion votes.
+    fn handle_technique_promote(&mut self, m: TechniquePromoteMsg, batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        debug_assert!(
+            cfg.policy().adaptive(),
+            "technique transition without adaptive variant"
+        );
+        let mut finish: Vec<Key> = Vec::new();
+        let mut per_old: OrderedGroups<NodeId, Vec<Key>> = OrderedGroups::new();
+        let mut started = 0u64;
+        for &k in &m.keys {
+            debug_assert_eq!(
+                cfg.home(k),
+                self.shared.node,
+                "promote request at wrong home"
+            );
+            self.demote_votes.remove(&k);
+            if self.pending_promote.contains(&k) || self.demote_pinned.contains_key(&k) {
+                continue;
+            }
+            let slot = cfg.home_slot(k);
+            let owner = self.owner[slot];
+            let mut shard = self.shared.shard_for(k).lock();
+            if shard.techniques.replicated(k) {
+                continue;
+            }
+            if owner == self.shared.node {
+                if shard.store.contains(k) {
+                    drop(shard);
+                    finish.push(k);
+                } else {
+                    // Already relocating here (a home worker's localize);
+                    // the hand-over finishes the promotion.
+                    debug_assert!(
+                        shard.incoming.contains_key(&k),
+                        "home owns {k} without value or pending hand-over"
+                    );
+                    drop(shard);
+                    self.pending_promote.insert(k);
+                }
+                continue;
+            }
+            // Relocate the key home first: owner-table update now,
+            // instruct the old owner, park everything else meanwhile.
+            shard.incoming.entry(k).or_default();
+            drop(shard);
+            self.owner[slot] = self.shared.node;
+            self.pending_promote.insert(k);
+            started += 1;
+            per_old.entry(owner).push(k);
+        }
+        if started > 0 {
+            self.shared.stats.relocations.fetch_add(started, Relaxed);
+        }
+        for (old, keys) in per_old.into_iter() {
+            batches.relocates.push((
+                old,
+                RelocateMsg {
+                    // Synthetic op: nothing waits on it (the promotion has
+                    // no requesting worker); hand-over batching only.
+                    op: OpId::new(self.shared.node, 0),
+                    keys,
+                    new_owner: self.shared.node,
+                },
+            ));
+        }
+        if !finish.is_empty() {
+            self.finish_promotion(&finish, batches);
+        }
+    }
+
+    /// Finishes promotions for keys whose value is at home: flips the
+    /// local technique table and broadcasts the epoch-fenced
+    /// [`TechniquePromoteAckMsg`] with the authoritative values to every
+    /// other node.
+    fn finish_promotion(&mut self, keys: &[Key], batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        let mut block = ValueBlockBuilder::default();
+        for &k in keys {
+            self.pending_promote.remove(&k);
+            self.demote_votes.remove(&k);
+            let mut shard = self.shared.shard_for(k).lock();
+            let promoted = shard.techniques.promote(k);
+            debug_assert!(promoted, "double promotion of {k}");
+            let v = shard
+                .store
+                .get(k)
+                .expect("promotion finishing without the value at home");
+            block.push_slice(v);
+            shard.loc_cache.remove(&k);
+        }
+        self.shared
+            .stats
+            .tech_promotions
+            .fetch_add(keys.len() as u64, Relaxed);
+        self.tech_epoch += 1;
+        let vals = block.finish();
+        self.shared
+            .stats
+            .value_bytes_moved
+            .fetch_add(vals.len() as u64 * 4, Relaxed);
+        for n in 0..cfg.nodes {
+            let dst = NodeId(n);
+            if dst != self.shared.node {
+                batches.tech.push((
+                    dst,
+                    Msg::TechniquePromoteAck(TechniquePromoteAckMsg {
+                        home: self.shared.node,
+                        epoch: self.tech_epoch,
+                        keys: keys.to_vec(),
+                        vals: vals.clone(),
+                    }),
+                ));
+            }
+        }
+        // The home's own controller bookkeeping (it may have requested).
+        if let Some(ad) = &self.shared.adaptive {
+            ad.transition_applied(keys);
+        }
+    }
+
+    /// Transition message 2, at every other node: install the replicas
+    /// and flip the local technique table. If a refused localize left an
+    /// incoming entry here, drain it: waiting localizes complete, parked
+    /// local pushes accumulate into the replica (visible to subsequent
+    /// local reads), parked local pulls serve from the fresh replica
+    /// view, and parked remote-origin operations re-dispatch to the
+    /// owning home — not a single update is lost or applied twice.
+    fn handle_technique_promote_ack(&mut self, m: TechniquePromoteAckMsg, batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        debug_assert_ne!(m.home, self.shared.node, "self-addressed promote broadcast");
+        // Epoch fencing: transitions from one home arrive strictly
+        // increasing (per-link FIFO); a violation means a stale broadcast
+        // could overwrite a newer technique decision.
+        let last = self.tech_epochs_in.entry(m.home).or_insert(0);
+        debug_assert!(
+            m.epoch > *last,
+            "transition epoch {} from {} after epoch {last}",
+            m.epoch,
+            m.home
+        );
+        *last = m.epoch;
+
+        let ServerScratch {
+            groups,
+            items,
+            ho_actions,
+            spans,
+            vals,
+            ..
+        } = &mut self.scratch;
+        groups.clear();
+        items.clear();
+        ho_actions.clear();
+        spans.clear();
+        vals.clear();
+        let mut block_off = 0u32;
+        for (i, &k) in m.keys.iter().enumerate() {
+            debug_assert_eq!(cfg.home(k), m.home, "promote broadcast from non-home");
+            let len = cfg.layout.len(k) as u32;
+            items.push((block_off, len));
+            spans.push((0, 0));
+            groups.push(cfg.shard_of(k), i as u32);
+            block_off += len;
+        }
+        debug_assert_eq!(block_off as usize, m.vals.len(), "promote payload mismatch");
+
+        let mut accumulated = 0u64;
+        for (shard_idx, idxs) in groups.iter() {
+            let mut shard = self.shared.shards[shard_idx].lock();
+            for &i in idxs {
+                let k = m.keys[i as usize];
+                let (off, len) = items[i as usize];
+                let promoted = shard.techniques.promote(k);
+                debug_assert!(promoted, "promote broadcast for already-promoted {k}");
+                shard
+                    .replica
+                    .refresh_with(k, len as usize, |dst| m.vals.copy_to(off as usize, dst));
+                shard.loc_cache.remove(&k);
+                let start = ho_actions.len() as u32;
+                if let Some(entry) = shard.incoming.remove(&k) {
+                    // A localize raced the promotion and was refused at
+                    // home; complete it (the key is as local as it gets)
+                    // and drain everything parked behind it.
+                    for op in &entry.waiting_localize {
+                        debug_assert_eq!(op.node, self.shared.node);
+                        ho_actions.push(HoAction::LocalizeDone(*op));
+                    }
+                    for item in entry.queue {
+                        match item {
+                            Queued::Op(q) => {
+                                if q.op.node == self.shared.node {
+                                    match q.kind {
+                                        OpKind::Push => {
+                                            shard.replica.accumulate(k, &q.val);
+                                            accumulated += 1;
+                                            ho_actions.push(HoAction::LocalPush(q.op));
+                                        }
+                                        OpKind::Pull => {
+                                            let vlen = cfg.layout.len(k);
+                                            let soff = vals.len() as u32;
+                                            vals.resize(soff as usize + vlen, 0.0);
+                                            let ok = shard.read_replicated(
+                                                k,
+                                                &mut vals[soff as usize..soff as usize + vlen],
+                                            );
+                                            debug_assert!(ok, "promoted {k} without replica view");
+                                            ho_actions.push(HoAction::LocalPull(q.op, soff));
+                                        }
+                                    }
+                                } else {
+                                    // Remote-origin operations re-route to
+                                    // the owning home.
+                                    ho_actions.push(HoAction::Redispatch {
+                                        op: q.op,
+                                        kind: q.kind,
+                                        val: q.val,
+                                        to_owner: false,
+                                        dst: m.home,
+                                    });
+                                }
+                            }
+                            Queued::Relocate { .. } => {
+                                // Home refuses localizes for promoting
+                                // keys, so no relocate instruction can be
+                                // parked here.
+                                debug_assert!(false, "parked relocate for promoted {k}");
+                            }
+                        }
+                    }
+                }
+                spans[i as usize] = (start, ho_actions.len() as u32);
+            }
+        }
+        if accumulated > 0 {
+            // Keep the auto-flush trigger honest about the drained
+            // pushes (the issuing workers flush after completion anyway).
+            self.shared
+                .replica_unflushed
+                .fetch_add(accumulated, Relaxed);
+        }
+
+        let moved_bytes = replay_drain(
+            &self.shared,
+            &cfg,
+            &m.keys,
+            spans,
+            ho_actions,
+            vals,
+            batches,
+        );
+        if moved_bytes > 0 {
+            self.shared
+                .stats
+                .value_bytes_moved
+                .fetch_add(moved_bytes, Relaxed);
+        }
+        if let Some(ad) = &self.shared.adaptive {
+            ad.transition_applied(&m.keys);
+        }
+    }
+
+    /// Transition message 3, at the home node: a demotion vote. The key
+    /// demotes once every node (including this one — its controller votes
+    /// over the self link) has voted; promotion interest clears votes.
+    fn handle_technique_demote(&mut self, m: TechniqueDemoteMsg, batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        debug_assert!(
+            cfg.policy().adaptive(),
+            "technique transition without adaptive variant"
+        );
+        let mut demote: Vec<Key> = Vec::new();
+        for &k in &m.keys {
+            debug_assert_eq!(cfg.home(k), self.shared.node, "demote vote at wrong home");
+            if self.pending_promote.contains(&k) || self.demote_pinned.contains_key(&k) {
+                continue;
+            }
+            if !self.shared.shard_for(k).lock().techniques.replicated(k) {
+                continue;
+            }
+            let votes = self.demote_votes.entry(k).or_default();
+            votes.insert(m.node);
+            if votes.len() == cfg.nodes as usize {
+                demote.push(k);
+            }
+        }
+        if !demote.is_empty() {
+            self.start_demotion(demote, batches);
+        }
+    }
+
+    /// Starts a demotion batch: flips the home's technique table (its own
+    /// accumulated deltas apply directly — it is the owner), broadcasts
+    /// the epoch-fenced [`TechniqueDemoteAckMsg`], and pins the keys —
+    /// relocation stays disabled until every node has drained and every
+    /// already-flushed self batch has been delivered, so no delta can
+    /// chase a key that has moved away.
+    fn start_demotion(&mut self, keys: Vec<Key>, batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        self.tech_epoch += 1;
+        let epoch = self.tech_epoch;
+        let mut self_flushes = 0u64;
+        for &k in &keys {
+            self.demote_votes.remove(&k);
+            let mut shard = self.shared.shard_for(k).lock();
+            let was = shard.techniques.demote(k);
+            debug_assert!(was, "demotion of unreplicated {k}");
+            debug_assert!(
+                !shard.replica.values.contains_key(&k),
+                "home holds a replica of its own key {k}"
+            );
+            if let Some(delta) = shard.replica.pending.remove(&k) {
+                let applied = shard.store.add(k, &delta);
+                debug_assert!(applied, "home lost demoted key {k}");
+            }
+            self_flushes += shard
+                .replica
+                .in_flight
+                .iter()
+                .filter(|(o, _, b)| *o == self.shared.node && b.contains_key(&k))
+                .count() as u64;
+            shard.loc_cache.remove(&k);
+            drop(shard);
+            self.demote_pinned.insert(k, epoch);
+        }
+        self.shared
+            .stats
+            .tech_demotions
+            .fetch_add(keys.len() as u64, Relaxed);
+        let awaiting: BTreeSet<NodeId> = (0..cfg.nodes)
+            .map(NodeId)
+            .filter(|&n| n != self.shared.node)
+            .collect();
+        for &dst in &awaiting {
+            batches.tech.push((
+                dst,
+                Msg::TechniqueDemoteAck(TechniqueDemoteAckMsg {
+                    home: self.shared.node,
+                    epoch,
+                    keys: keys.clone(),
+                }),
+            ));
+        }
+        if let Some(ad) = &self.shared.adaptive {
+            ad.transition_applied(&keys);
+        }
+        self.demote_draining.insert(
+            epoch,
+            DemoteDrain {
+                keys,
+                awaiting,
+                self_flushes,
+            },
+        );
+        // Single-node clusters (and batches with no outstanding self
+        // flushes and no peers) complete immediately.
+        self.maybe_complete_demotion(epoch, batches);
+    }
+
+    /// Transition message 4, at every other node: drop the replica state
+    /// and confirm with the final accumulated deltas. Pending deltas ship
+    /// in the [`TechniqueDrainedMsg`]; already-flushed batches are on the
+    /// wire to the home (which owns the key and applies them regardless
+    /// of technique), so their records drop from the in-flight overlay.
+    fn handle_technique_demote_ack(&mut self, m: TechniqueDemoteAckMsg, batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        debug_assert_ne!(m.home, self.shared.node, "self-addressed demote broadcast");
+        let last = self.tech_epochs_in.entry(m.home).or_insert(0);
+        debug_assert!(
+            m.epoch > *last,
+            "transition epoch {} from {} after epoch {last}",
+            m.epoch,
+            m.home
+        );
+        *last = m.epoch;
+
+        let mut drained_keys: Vec<Key> = Vec::new();
+        let mut drained_vals: Vec<f32> = Vec::new();
+        for &k in &m.keys {
+            debug_assert_eq!(cfg.home(k), m.home, "demote broadcast from non-home");
+            let mut shard = self.shared.shard_for(k).lock();
+            let was = shard.techniques.demote(k);
+            debug_assert!(was, "demote broadcast for unreplicated {k}");
+            shard.replica.values.remove(&k);
+            if let Some(delta) = shard.replica.pending.remove(&k) {
+                drained_keys.push(k);
+                drained_vals.extend_from_slice(&delta);
+            }
+            for (o, _, batch) in shard.replica.in_flight.iter_mut() {
+                if *o == m.home {
+                    batch.remove(&k);
+                }
+            }
+            shard.replica.in_flight.retain(|(_, _, b)| !b.is_empty());
+            shard.loc_cache.remove(&k);
+            debug_assert!(
+                !shard.incoming.contains_key(&k),
+                "replicated {k} had a relocation in flight"
+            );
+        }
+        if let Some(ad) = &self.shared.adaptive {
+            ad.transition_applied(&m.keys);
+        }
+        batches.tech.push((
+            m.home,
+            Msg::TechniqueDrained(TechniqueDrainedMsg {
+                node: self.shared.node,
+                epoch: m.epoch,
+                keys: drained_keys,
+                vals: drained_vals,
+            }),
+        ));
+    }
+
+    /// Transition message 5, at the home node: apply a node's final
+    /// deltas (the home owns every demoted key while it is pinned) and
+    /// mark the node drained; the batch completes — re-enabling
+    /// relocation and replaying deferred localizes — once every node has
+    /// confirmed and the home's own flushed batches have been delivered.
+    fn handle_technique_drained(&mut self, m: TechniqueDrainedMsg, batches: &mut Batches) {
+        let cfg = self.shared.cfg.clone();
+        let mut off = 0usize;
+        let mut applied_keys = 0u64;
+        for &k in &m.keys {
+            debug_assert_eq!(cfg.home(k), self.shared.node, "drain at wrong home");
+            let len = cfg.layout.len(k);
+            let mut shard = self.shared.shard_for(k).lock();
+            let applied = shard.store.add(k, &m.vals[off..off + len]);
+            debug_assert!(applied, "home lost pinned key {k}");
+            off += len;
+            applied_keys += 1;
+        }
+        debug_assert_eq!(off, m.vals.len(), "drain payload mismatch");
+        if applied_keys > 0 {
+            self.shared
+                .stats
+                .replica_pushes_applied
+                .fetch_add(applied_keys, Relaxed);
+        }
+        if let Some(drain) = self.demote_draining.get_mut(&m.epoch) {
+            let removed = drain.awaiting.remove(&m.node);
+            debug_assert!(removed, "duplicate drain confirmation from {}", m.node);
+            self.maybe_complete_demotion(m.epoch, batches);
+        } else {
+            debug_assert!(false, "drain confirmation for unknown epoch {}", m.epoch);
+        }
+    }
+
+    /// Completes a demotion batch once fully drained: unpins its keys and
+    /// replays localizes deferred while they were pinned (in arrival
+    /// order).
+    fn maybe_complete_demotion(&mut self, epoch: u64, batches: &mut Batches) {
+        let done = self
+            .demote_draining
+            .get(&epoch)
+            .is_some_and(|d| d.awaiting.is_empty() && d.self_flushes == 0);
+        if !done {
+            return;
+        }
+        let drain = self.demote_draining.remove(&epoch).expect("checked above");
+        for k in &drain.keys {
+            let pinned = self.demote_pinned.remove(k);
+            debug_assert_eq!(pinned, Some(epoch), "pin epoch mismatch for {k}");
+        }
+        if self.deferred_localizes.is_empty() {
+            return;
+        }
+        let unpinned: Vec<(OpId, Key)> = {
+            let keys = &drain.keys;
+            let (ready, still): (Vec<_>, Vec<_>) = self
+                .deferred_localizes
+                .drain(..)
+                .partition(|(_, k)| keys.contains(k));
+            self.deferred_localizes = still;
+            ready
+        };
+        for (op, k) in unpinned {
+            self.handle_localize(LocalizeReqMsg { op, keys: vec![k] }, batches);
+        }
+    }
+}
+
+/// Replays recorded per-key drain actions in original key order (and per
+/// key in queue-arrival order): tracker completions, response/forward
+/// batching, onward hand-overs. Shared by the hand-over path and the
+/// promotion-broadcast drain. Returns the value bytes moved into
+/// outgoing messages.
+#[allow(clippy::too_many_arguments)]
+fn replay_drain(
+    shared: &NodeShared,
+    cfg: &crate::config::ProtoConfig,
+    keys: &[Key],
+    spans: &[(u32, u32)],
+    ho_actions: &mut [HoAction],
+    vals: &[f32],
+    batches: &mut Batches,
+) -> u64 {
+    let mut moved_bytes = 0u64;
+    for (i, &k) in keys.iter().enumerate() {
+        let (start, end) = spans[i];
+        for j in start..end {
+            match std::mem::take(&mut ho_actions[j as usize]) {
+                HoAction::None => {}
+                HoAction::LocalizeDone(op) => {
+                    shared.tracker.complete_key(op.seq, k, None);
+                }
+                HoAction::LocalPush(op) => {
+                    shared.tracker.complete_key(op.seq, k, None);
+                }
+                HoAction::LocalPull(op, soff) => {
+                    let vlen = cfg.layout.len(k);
+                    shared.tracker.complete_key(
+                        op.seq,
+                        k,
+                        Some(&vals[soff as usize..soff as usize + vlen]),
+                    );
+                }
+                HoAction::RespPush(op) => {
+                    batches.resp.entry((op, OpKind::Push)).keys.push(k);
+                }
+                HoAction::RespPull(op, soff) => {
+                    let vlen = cfg.layout.len(k);
+                    let entry = batches.resp.entry((op, OpKind::Pull));
+                    entry.keys.push(k);
+                    entry
+                        .vals
+                        .push_slice(&vals[soff as usize..soff as usize + vlen]);
+                    moved_bytes += 4 * vlen as u64;
+                }
+                HoAction::Redispatch {
+                    op,
+                    kind,
+                    val,
+                    to_owner,
+                    dst,
+                } => {
+                    let entry = if to_owner {
+                        batches.fwd_owner.entry((dst, op, kind))
+                    } else {
+                        batches.fwd_home.entry((dst, op, kind))
+                    };
+                    entry.keys.push(k);
+                    entry.vals.extend_from_slice(&val);
+                }
+                HoAction::Onward(op, new_owner, soff) => {
+                    let vlen = cfg.layout.len(k);
+                    let entry = batches.handover.entry((new_owner, op));
+                    entry.keys.push(k);
+                    entry
+                        .vals
+                        .push_slice(&vals[soff as usize..soff as usize + vlen]);
+                    moved_bytes += 4 * vlen as u64;
+                }
+            }
+        }
+    }
+    moved_bytes
 }
 
 /// Serves a parked operation now that the key is owned: applies state

@@ -17,13 +17,14 @@
 //! (`ProtoConfig::latches`).
 
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lapse_net::{Key, NodeId};
 
-use crate::config::ProtoConfig;
+use crate::adaptive::AdaptiveShared;
+use crate::config::{ProtoConfig, Variant};
 use crate::messages::{OpId, OpKind};
 use crate::storage::ShardStore;
 use crate::tracker::{ClockFn, OpTracker};
@@ -147,6 +148,56 @@ impl ReplicaSlice {
     }
 }
 
+/// The shard's slice of the **dynamic technique table** of the adaptive
+/// management technique ([`Variant::Adaptive`]): the keys of this shard
+/// currently promoted to replication. Every other key of an adaptive
+/// cluster is relocation-managed. Sorted (`BTreeSet`) so controller
+/// scans iterate deterministically.
+///
+/// The table is node-local state kept in sync by the home-coordinated
+/// transition broadcasts; between a broadcast's send and its arrival a
+/// node may briefly route a promoted key remotely (the home node, which
+/// owns every replicated key, serves it) — never the other way around
+/// (demotion re-routes through home, which also owns demoted keys until
+/// relocation is re-enabled).
+#[derive(Debug, Default)]
+pub struct TechniqueTable {
+    replicated: BTreeSet<Key>,
+}
+
+impl TechniqueTable {
+    /// Whether `key` is currently managed by replication.
+    #[inline]
+    pub fn replicated(&self, key: Key) -> bool {
+        self.replicated.contains(&key)
+    }
+
+    /// Promotes `key` to replication; returns false if already promoted.
+    pub fn promote(&mut self, key: Key) -> bool {
+        self.replicated.insert(key)
+    }
+
+    /// Demotes `key` back to relocation; returns false if not promoted.
+    pub fn demote(&mut self, key: Key) -> bool {
+        self.replicated.remove(&key)
+    }
+
+    /// The replicated keys of this shard, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = Key> + '_ {
+        self.replicated.iter().copied()
+    }
+
+    /// Number of replicated keys in this shard.
+    pub fn len(&self) -> usize {
+        self.replicated.len()
+    }
+
+    /// Whether the shard has no replicated keys.
+    pub fn is_empty(&self) -> bool {
+        self.replicated.is_empty()
+    }
+}
+
 /// One latch-guarded shard of node state.
 #[derive(Debug)]
 pub struct Shard {
@@ -158,6 +209,9 @@ pub struct Shard {
     pub loc_cache: HashMap<Key, NodeId>,
     /// Replica state of the replication technique.
     pub replica: ReplicaSlice,
+    /// Dynamic technique table ([`Variant::Adaptive`] only; empty and
+    /// never consulted under the static variants).
+    pub techniques: TechniqueTable,
 }
 
 impl Shard {
@@ -201,8 +255,11 @@ pub struct AccessStats {
     pub relocations: AtomicU64,
     /// Keys received via hand-over.
     pub handovers_in: AtomicU64,
+    /// Remote keys routed to a location-cache entry instead of the home
+    /// node (cache hits; only meaningful with `location_caches` on).
+    pub loc_cache_hits: AtomicU64,
     /// Operations double-forwarded due to a stale location cache.
-    pub stale_cache_forwards: AtomicU64,
+    pub loc_cache_stale_forwards: AtomicU64,
     /// Relocate messages for keys this node neither owned nor expected
     /// (protocol-invariant violations; must stay 0).
     pub unexpected_relocates: AtomicU64,
@@ -216,6 +273,16 @@ pub struct AccessStats {
     pub replica_pushes_applied: AtomicU64,
     /// Replicated keys refreshed on this node by owner broadcasts.
     pub replica_refreshes: AtomicU64,
+    /// Accesses sampled into this node's adaptive sketch.
+    pub sketch_samples: AtomicU64,
+    /// Promotion requests this node's controller sent.
+    pub tech_promote_reqs: AtomicU64,
+    /// Demotion votes this node's controller sent.
+    pub tech_demote_reqs: AtomicU64,
+    /// Keys this node promoted to replication, acting as home.
+    pub tech_promotions: AtomicU64,
+    /// Keys this node demoted back to relocation, acting as home.
+    pub tech_demotions: AtomicU64,
     /// Bytes of parameter values moved through this node's value plane:
     /// local/replica pull serves into caller buffers plus value payloads
     /// assembled into outgoing responses, hand-overs, and refreshes
@@ -270,6 +337,9 @@ pub struct NodeShared {
     pub replica_unflushed: AtomicU64,
     /// Flush sequence numbers for this node's replica propagation.
     pub replica_flush_seq: AtomicU64,
+    /// Online access statistics + transition controller of the adaptive
+    /// technique (`Some` only under [`Variant::Adaptive`]).
+    pub adaptive: Option<AdaptiveShared>,
 }
 
 impl NodeShared {
@@ -301,6 +371,7 @@ impl NodeShared {
                 incoming: HashMap::new(),
                 loc_cache: HashMap::new(),
                 replica: ReplicaSlice::default(),
+                techniques: TechniqueTable::default(),
             };
             // Initially every key is owned by its home node (Section 3.5);
             // replicated keys homed elsewhere start as local replicas of
@@ -317,6 +388,8 @@ impl NodeShared {
             }
             shards.push(Mutex::new(shard));
         }
+        let adaptive =
+            matches!(cfg.variant, Variant::Adaptive).then(|| AdaptiveShared::new(&cfg.adaptive));
         Arc::new(NodeShared {
             cfg: cfg.clone(),
             node,
@@ -326,6 +399,7 @@ impl NodeShared {
             replica_registered: AtomicBool::new(false),
             replica_unflushed: AtomicU64::new(0),
             replica_flush_seq: AtomicU64::new(0),
+            adaptive,
         })
     }
 
@@ -362,6 +436,16 @@ impl NodeShared {
     /// Number of keys currently relocating to this node.
     pub fn incoming_keys(&self) -> usize {
         self.shards.iter().map(|s| s.lock().incoming.len()).sum()
+    }
+
+    /// The keys this node currently manages by replication, ascending
+    /// ([`Variant::Adaptive`]; takes each latch once).
+    pub fn replicated_keys(&self) -> Vec<Key> {
+        let mut keys = Vec::new();
+        for s in &self.shards {
+            keys.extend(s.lock().techniques.iter());
+        }
+        keys
     }
 
     /// Aggregated arena-vs-heap allocation counters of all shard stores

@@ -12,7 +12,12 @@
 //! * **per-key technique** — [`Policy::technique`] maps a key to
 //!   [`Technique::Static`], [`Technique::Relocation`], or
 //!   [`Technique::Replication`] according to the configured
-//!   [`Variant`](crate::config::Variant) and hot set;
+//!   [`Variant`](crate::config::Variant) and hot set. Under
+//!   [`Variant::Adaptive`] the technique is no longer a pure function of
+//!   the configuration: [`Policy::technique_in`] additionally consults
+//!   the shard's **dynamic technique table**
+//!   ([`Shard::techniques`](crate::shard::Shard)), which the
+//!   home-coordinated transition protocol rewrites at runtime;
 //! * **client routing** — [`Policy::issue_route`] turns one key of an
 //!   operation into an [`IssueRoute`] (shared-memory serve, replica
 //!   serve/accumulate, park on a relocation queue, or ship remotely),
@@ -22,11 +27,12 @@
 //!   piggybacked cache refreshes of Section 3.3.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering::Relaxed;
 
 use lapse_net::{Key, NodeId};
 
 use crate::config::{ProtoConfig, Variant};
-use crate::shard::Shard;
+use crate::shard::{AccessStats, Shard};
 
 /// How one key's parameter is managed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,12 +73,15 @@ impl<'c> Policy<'c> {
         Policy { cfg }
     }
 
-    /// The technique managing `key`.
+    /// The technique managing `key` according to the static configuration
+    /// alone. Under [`Variant::Adaptive`] this is the **base** technique
+    /// (relocation); the authoritative per-key answer additionally
+    /// consults the shard's dynamic table via [`Policy::technique_in`].
     #[inline]
     pub fn technique(&self, key: Key) -> Technique {
         match self.cfg.variant {
             Variant::Classic | Variant::ClassicFastLocal => Technique::Static,
-            Variant::Lapse => Technique::Relocation,
+            Variant::Lapse | Variant::Adaptive => Technique::Relocation,
             Variant::Replication => Technique::Replication,
             Variant::Hybrid => {
                 if self.cfg.hot_set.contains(key) {
@@ -84,6 +93,23 @@ impl<'c> Policy<'c> {
         }
     }
 
+    /// The technique currently managing `key`, consulting `shard`'s
+    /// dynamic technique table under [`Variant::Adaptive`] (the caller
+    /// holds the shard latch; `key` must belong to `shard`).
+    #[inline]
+    pub fn technique_in(&self, key: Key, shard: &Shard) -> Technique {
+        if self.adaptive() && shard.techniques.replicated(key) {
+            return Technique::Replication;
+        }
+        self.technique(key)
+    }
+
+    /// Whether this configuration manages techniques dynamically.
+    #[inline]
+    pub fn adaptive(&self) -> bool {
+        matches!(self.cfg.variant, Variant::Adaptive)
+    }
+
     /// Whether workers may access node-local parameters via shared
     /// memory (everything but the classic message-only PS).
     #[inline]
@@ -91,16 +117,37 @@ impl<'c> Policy<'c> {
         !matches!(self.cfg.variant, Variant::Classic)
     }
 
-    /// Whether `localize` actually relocates `key`.
+    /// Whether `localize` can ever relocate `key` under this
+    /// configuration. Under [`Variant::Adaptive`] this is a pre-filter
+    /// only — a currently-promoted key is additionally skipped per shard
+    /// ([`Policy::replicated_in`]).
     #[inline]
     pub fn relocation_enabled(&self, key: Key) -> bool {
         self.technique(key) == Technique::Relocation
     }
 
-    /// Whether `key` is replicated on every node.
+    /// Whether `key` is statically replicated on every node
+    /// ([`Variant::Replication`] / [`Variant::Hybrid`]; always false
+    /// under [`Variant::Adaptive`], whose replicated set is dynamic —
+    /// see [`Policy::replicated_in`]).
     #[inline]
     pub fn replicated(&self, key: Key) -> bool {
         self.technique(key) == Technique::Replication
+    }
+
+    /// Whether `key` is currently replicated, consulting `shard`'s
+    /// dynamic table under [`Variant::Adaptive`].
+    #[inline]
+    pub fn replicated_in(&self, key: Key, shard: &Shard) -> bool {
+        self.technique_in(key, shard) == Technique::Replication
+    }
+
+    /// Whether `key` could be served by the replication technique at some
+    /// point of the run — the plan-phase trigger for replica-refresh
+    /// registration (which must not take shard latches).
+    #[inline]
+    pub fn may_replicate(&self, key: Key) -> bool {
+        self.adaptive() || self.replicated(key)
     }
 
     /// Whether the variant replicates any keys at all (fast pre-check
@@ -108,7 +155,7 @@ impl<'c> Policy<'c> {
     #[inline]
     pub fn any_replication(&self) -> bool {
         match self.cfg.variant {
-            Variant::Replication => true,
+            Variant::Replication | Variant::Adaptive => true,
             Variant::Hybrid => !self.cfg.hot_set.is_empty(),
             _ => false,
         }
@@ -116,11 +163,18 @@ impl<'c> Policy<'c> {
 
     /// Routes one key of a client operation. `forced` is the
     /// ordered-async guard (see `ProtoConfig::ordered_async_guard`):
-    /// guard-forced keys always take the remote path via home.
+    /// guard-forced keys always take the remote path via home. `stats`
+    /// receives the location-cache hit accounting of the remote path.
     #[inline]
-    pub fn issue_route(&self, key: Key, shard: &Shard, forced: bool) -> IssueRoute {
+    pub fn issue_route(
+        &self,
+        key: Key,
+        shard: &Shard,
+        forced: bool,
+        stats: &AccessStats,
+    ) -> IssueRoute {
         if !forced {
-            match self.technique(key) {
+            match self.technique_in(key, shard) {
                 Technique::Replication => return IssueRoute::Replica,
                 Technique::Relocation => {
                     if self.shared_memory() && shard.store.contains(key) {
@@ -137,17 +191,26 @@ impl<'c> Policy<'c> {
                 }
             }
         }
-        IssueRoute::Remote(self.remote_dst(key, &shard.loc_cache, forced))
+        IssueRoute::Remote(self.remote_dst(key, &shard.loc_cache, forced, Some(stats)))
     }
 
     /// Remote destination for `key`: the home node, or the cached owner
     /// when location caches are enabled. Guard-forced operations always
     /// travel via the home node so they share one FIFO path with the
-    /// outstanding operation.
+    /// outstanding operation. Cache hits are counted into `stats`.
     #[inline]
-    pub fn remote_dst(&self, key: Key, loc_cache: &HashMap<Key, NodeId>, forced: bool) -> NodeId {
+    pub fn remote_dst(
+        &self,
+        key: Key,
+        loc_cache: &HashMap<Key, NodeId>,
+        forced: bool,
+        stats: Option<&AccessStats>,
+    ) -> NodeId {
         if !forced && self.cfg.location_caches {
             if let Some(&owner) = loc_cache.get(&key) {
+                if let Some(stats) = stats {
+                    stats.loc_cache_hits.fetch_add(1, Relaxed);
+                }
                 return owner;
             }
         }
@@ -225,5 +288,48 @@ mod tests {
             assert!(!c.policy().any_replication());
             assert!(!c.policy().replicated(Key(0)));
         }
+    }
+
+    #[test]
+    fn explicit_hot_set_drives_hybrid() {
+        let mut c = cfg(Variant::Hybrid);
+        c.hot_set = HotSet::explicit(vec![Key(11), Key(3)]);
+        let p = c.policy();
+        assert_eq!(p.technique(Key(3)), Technique::Replication);
+        assert_eq!(p.technique(Key(11)), Technique::Replication);
+        assert_eq!(p.technique(Key(4)), Technique::Relocation);
+        assert!(p.any_replication());
+    }
+
+    #[test]
+    fn adaptive_consults_the_dynamic_table() {
+        use crate::shard::NodeShared;
+        use lapse_net::NodeId;
+        use std::sync::Arc;
+
+        let mut c = cfg(Variant::Adaptive);
+        c.latches = 4;
+        let cfg = Arc::new(c);
+        let node = NodeShared::new(cfg.clone(), NodeId(0), Arc::new(|| 0));
+        let p = cfg.policy();
+        // Statically everything relocates; replication is dynamic.
+        assert_eq!(p.technique(Key(5)), Technique::Relocation);
+        assert!(p.relocation_enabled(Key(5)));
+        assert!(!p.replicated(Key(5)));
+        assert!(p.any_replication() && p.adaptive());
+        assert!(p.may_replicate(Key(5)));
+        {
+            let shard = node.shard_for(Key(5)).lock();
+            assert_eq!(p.technique_in(Key(5), &shard), Technique::Relocation);
+        }
+        // A promotion rewrites the per-shard table, not the config.
+        node.shard_for(Key(5)).lock().techniques.promote(Key(5));
+        {
+            let shard = node.shard_for(Key(5)).lock();
+            assert_eq!(p.technique_in(Key(5), &shard), Technique::Replication);
+            assert!(p.replicated_in(Key(5), &shard));
+            assert_eq!(p.technique_in(Key(6), &shard), Technique::Relocation);
+        }
+        assert_eq!(node.replicated_keys(), vec![Key(5)]);
     }
 }

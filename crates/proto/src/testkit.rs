@@ -86,6 +86,38 @@ impl TestCluster {
         }
     }
 
+    /// Enqueues one hand-crafted message on the `(src, dst)` link —
+    /// used by transition tests and fuzzers to stand in for a node's
+    /// adaptive controller (requests are exactly what it would send).
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, msg: Msg) {
+        self.queues[src.idx()][dst.idx()].push_back(msg);
+    }
+
+    /// Runs the adaptive controller of `node` (one tick) and enqueues its
+    /// transition requests.
+    pub fn run_controller(&mut self, node: NodeId) {
+        let mut sink = Vec::new();
+        self.nodes[node.idx()].clients[0].run_controller(&mut sink);
+        self.send_all(node, sink);
+    }
+
+    /// Whether `node` currently manages `key` by replication (dynamic
+    /// technique table; adaptive management).
+    pub fn replicated_on(&self, node: NodeId, key: Key) -> bool {
+        self.nodes[node.idx()]
+            .shared
+            .shard_for(key)
+            .lock()
+            .techniques
+            .replicated(key)
+    }
+
+    /// Whether every node's transition machinery is idle (no pending
+    /// promotions, draining demotions, or deferred localizes).
+    pub fn transitions_idle(&self) -> bool {
+        self.nodes.iter().all(|n| n.server.transitions_idle())
+    }
+
     /// Number of undelivered messages on the `(src, dst)` link.
     pub fn pending(&self, src: NodeId, dst: NodeId) -> usize {
         self.queues[src.idx()][dst.idx()].len()

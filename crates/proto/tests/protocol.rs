@@ -379,6 +379,43 @@ fn warm_cache_contacts_owner_directly() {
     assert_eq!(out, [8.0, 0.0]);
 }
 
+/// Location-cache observability: hits and stale double-forwards are
+/// counted — cold accesses and cache-off configurations count nothing.
+#[test]
+fn loc_cache_counters_observe_hits_and_staleness() {
+    let mut c = TestCluster::with_init(cached_cfg(4, 16), 1, |k| Some(vec![k.0 as f32, 0.0]));
+    let k = Key(8); // homed at n2
+    c.localize_now(N3, 0, &[k]);
+    let hits = |c: &TestCluster| c.nodes[0].shared.stats.loc_cache_hits.load(Relaxed);
+    // Cold access: routed via home — no hit counted.
+    let _ = c.pull_now(N0, 0, &[k]);
+    assert_eq!(hits(&c), 0, "cold access is not a cache hit");
+    // Warm accesses: each one routed straight to the cached owner.
+    let _ = c.pull_now(N0, 0, &[k]);
+    c.push_now(N0, 0, &[k], &[1.0, 1.0]);
+    assert_eq!(hits(&c), 2, "warm accesses count as hits");
+    // A stale entry still counts as a hit at the issuer — the cost shows
+    // up as a double-forward at the stale destination.
+    c.localize_now(N1, 0, &[k]);
+    let _ = c.pull_now(N0, 0, &[k]);
+    assert_eq!(hits(&c), 3);
+    assert_eq!(
+        c.nodes[3]
+            .shared
+            .stats
+            .loc_cache_stale_forwards
+            .load(Relaxed),
+        1
+    );
+
+    // Caches off: nothing is ever counted.
+    let mut c = TestCluster::with_init(cfg(4, 16), 1, |k| Some(vec![k.0 as f32, 0.0]));
+    c.localize_now(N3, 0, &[Key(8)]);
+    let _ = c.pull_now(N0, 0, &[Key(8)]);
+    let _ = c.pull_now(N0, 0, &[Key(8)]);
+    assert_eq!(c.nodes[0].shared.stats.loc_cache_hits.load(Relaxed), 0);
+}
+
 #[test]
 fn stale_cache_double_forwards() {
     let mut c = TestCluster::with_init(cached_cfg(4, 16), 1, |k| Some(vec![k.0 as f32, 0.0]));
@@ -395,7 +432,11 @@ fn stale_cache_double_forwards() {
     c.run_until_quiet_counting(&mut hops);
     assert_eq!(hops, 4, "stale cache: double-forward");
     assert_eq!(
-        c.nodes[3].shared.stats.stale_cache_forwards.load(Relaxed),
+        c.nodes[3]
+            .shared
+            .stats
+            .loc_cache_stale_forwards
+            .load(Relaxed),
         1
     );
     c.nodes[0].clients[0].finish_pull(h.seq().unwrap(), &mut out);

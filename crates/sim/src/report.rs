@@ -27,6 +27,17 @@ pub struct SimReport {
     /// Value allocations that hit the heap (arena growth + per-value
     /// copies such as parked-operation payloads).
     pub value_allocs_heap: u64,
+    /// Location-cache hits (remote keys routed via a cached owner);
+    /// injected by the protocol layer, zero until a runner fills it in.
+    pub loc_cache_hits: u64,
+    /// Stale-location-cache double-forwards.
+    pub loc_cache_stale_forwards: u64,
+    /// Accesses sampled into the adaptive management sketches.
+    pub sketch_samples: u64,
+    /// Runtime technique promotions (relocation → replication).
+    pub tech_promotions: u64,
+    /// Runtime technique demotions (replication → relocation).
+    pub tech_demotions: u64,
 }
 
 impl SimReport {

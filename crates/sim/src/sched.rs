@@ -345,10 +345,15 @@ impl<P: SimProtocol> SimCluster<P> {
             bytes: self.shared.bytes.load(Ordering::Relaxed),
             self_messages: self.shared.self_messages.load(Ordering::Relaxed),
             // Filled in by the protocol runner (the simulator itself has
-            // no view of the value plane).
+            // no view of the value plane or the protocol counters).
             value_bytes_moved: 0,
             value_allocs_arena: 0,
             value_allocs_heap: 0,
+            loc_cache_hits: 0,
+            loc_cache_stale_forwards: 0,
+            sketch_samples: 0,
+            tech_promotions: 0,
+            tech_demotions: 0,
         };
         let results = Arc::try_unwrap(results)
             .unwrap_or_else(|_| panic!("worker result references leaked"))

@@ -8,6 +8,11 @@
 //! hiding). Prints the share of parameter reads that stayed local.
 //!
 //! Run with: `cargo run --release --example knowledge_graph`
+//!
+//! `LAPSE_VARIANT` selects the PS architecture (`classic`,
+//! `classic_fast`, `lapse`, `replication`, `hybrid`, `adaptive`);
+//! default `lapse`. Hybrid replicates the top-2% entity tier by id;
+//! adaptive discovers the hot entities and relations online.
 
 use std::sync::Arc;
 
@@ -15,6 +20,7 @@ use lapse::core::{run_sim, CostModel, PsConfig};
 use lapse::ml::data::kg::{KgConfig, KnowledgeGraph};
 use lapse::ml::kge::{KgeConfig, KgeModel, KgePal, KgeTask};
 use lapse::ml::metrics::combine_runs;
+use lapse::{HotSet, Variant};
 
 fn main() {
     let kg = Arc::new(KnowledgeGraph::generate(KgConfig {
@@ -57,7 +63,14 @@ fn main() {
         };
         let task = KgeTask::new(kg.clone(), cfg, 4, 2);
         let init = task.initializer();
-        let ps = PsConfig::new(4, task.num_keys(), 1).layout(task.layout());
+        let entities = kg.cfg.entities as u64;
+        let ps = PsConfig::new(4, task.num_keys(), 1)
+            .layout(task.layout())
+            .variant(lapse::variant_from_env(Variant::Lapse))
+            .hot_set(HotSet::Blocks {
+                block: entities,
+                hot: (entities / 50).max(1),
+            });
         let t = task.clone();
         let (results, stats) = run_sim(ps, 2, CostModel::default(), init, move |w| t.run(w));
         let epochs = combine_runs(&results);

@@ -7,6 +7,10 @@
 //! relocates parameters.
 //!
 //! Run with: `cargo run --release --example matrix_factorization`
+//!
+//! `LAPSE_VARIANT` selects the architecture compared against the classic
+//! PS (`classic_fast`, `lapse`, `replication`, `hybrid`, `adaptive`);
+//! default `lapse`.
 
 use std::sync::Arc;
 
@@ -28,7 +32,10 @@ fn train(variant: Variant, data: Arc<SparseMatrix>) -> (f64, Vec<f64>) {
     };
     let task = MfTask::new(data, cfg, 4, 2);
     let init = task.initializer();
-    let ps = PsConfig::new(4, task.num_keys(), 16).variant(variant);
+    let num_keys = task.num_keys();
+    let ps = PsConfig::new(4, num_keys, 16)
+        .variant(variant)
+        .hot_set(lapse::HotSet::Prefix((num_keys / 50).max(1)));
     let t = task.clone();
     let (results, stats) = run_sim(ps, 2, CostModel::default(), init, move |w| t.run(w));
     let epochs = combine_runs(&results);
@@ -58,7 +65,7 @@ fn main() {
         data.mean_square()
     );
 
-    for variant in [Variant::Classic, Variant::Lapse] {
+    for variant in [Variant::Classic, lapse::variant_from_env(Variant::Lapse)] {
         let (time, losses) = train(variant, data.clone());
         println!("{:?}:", variant);
         println!("  total virtual training time: {time:.2} s");

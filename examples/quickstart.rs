@@ -5,14 +5,22 @@
 //! `pull_if_local` and the barrier, and prints where accesses landed.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! `LAPSE_VARIANT` selects the PS architecture (`classic`,
+//! `classic_fast`, `lapse`, `replication`, `hybrid`, `adaptive`);
+//! default `lapse`.
 
 use lapse::core::{run_threaded, PsConfig};
-use lapse::{Key, Variant};
+use lapse::{HotSet, Key, Variant};
 
 fn main() {
-    // A tiny model: 64 parameters of 8 floats each, Lapse variant
-    // (dynamic parameter allocation + shared-memory local access).
-    let cfg = PsConfig::new(2, 64, 8).variant(Variant::Lapse);
+    // A tiny model: 64 parameters of 8 floats each; the variant comes
+    // from LAPSE_VARIANT (default: Lapse — dynamic parameter allocation
+    // + shared-memory local access). Hybrid replicates the first 8 keys.
+    let variant = lapse::variant_from_env(Variant::Lapse);
+    let cfg = PsConfig::new(2, 64, 8)
+        .variant(variant)
+        .hot_set(HotSet::Prefix(8));
 
     let (results, stats) = run_threaded(
         cfg,
@@ -68,6 +76,15 @@ fn main() {
         100 * stats.pull_local_total() / stats.pull_total().max(1)
     );
     // Key 63 was initialized to 63.0 and received 1.0 from each of the
-    // four workers.
-    assert!(results.iter().all(|&v| v == 67.0));
+    // four workers. Under the relocation-managed variants every worker
+    // observes the full sum after the barrier; the replication-capable
+    // variants trade that read freshness for locality (replica views
+    // converge with the propagation rounds), so the exact-sum assertion
+    // applies to the former only.
+    if matches!(
+        variant,
+        Variant::Classic | Variant::ClassicFastLocal | Variant::Lapse
+    ) {
+        assert!(results.iter().all(|&v| v == 67.0));
+    }
 }

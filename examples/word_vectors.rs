@@ -8,6 +8,11 @@
 //! ranking error per epoch (0.5 = untrained chance level).
 //!
 //! Run with: `cargo run --release --example word_vectors`
+//!
+//! `LAPSE_VARIANT` selects the PS architecture (`classic`,
+//! `classic_fast`, `lapse`, `replication`, `hybrid`, `adaptive`);
+//! default `lapse`. Hybrid replicates the top-2% word tier by id;
+//! adaptive discovers the hot words online.
 
 use std::sync::Arc;
 
@@ -15,6 +20,7 @@ use lapse::core::{run_sim, CostModel, PsConfig};
 use lapse::ml::data::corpus::{Corpus, CorpusConfig};
 use lapse::ml::metrics::combine_runs;
 use lapse::ml::w2v::{W2vConfig, W2vTask};
+use lapse::{HotSet, Variant};
 
 fn main() {
     let corpus = Arc::new(Corpus::generate(CorpusConfig {
@@ -49,13 +55,20 @@ fn main() {
         compute: Default::default(),
         virtual_dim: None,
     };
+    let variant = lapse::variant_from_env(Variant::Lapse);
+    let vocab = corpus.cfg.vocab as u64;
     let task = W2vTask::new(corpus, cfg, 4, 2);
     let init = task.initializer();
-    let ps = PsConfig::new(4, task.num_keys(), task.cfg.dim as u32);
+    let ps = PsConfig::new(4, task.num_keys(), task.cfg.dim as u32)
+        .variant(variant)
+        .hot_set(HotSet::Blocks {
+            block: vocab,
+            hot: (vocab / 50).max(1),
+        });
     let t = task.clone();
     let (results, stats) = run_sim(ps, 2, CostModel::default(), init, move |w| t.run(w));
 
-    println!("\ntraining (Lapse, latency hiding on):");
+    println!("\ntraining ({}, latency hiding on):", variant.label());
     for e in combine_runs(&results) {
         println!(
             "  epoch {}: loss/pair {:.4}, held-out ranking error {:.3}, {:.2} virtual s",

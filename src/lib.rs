@@ -63,4 +63,32 @@ pub use lapse_core::{
     run_sim, run_threaded, ClusterStats, CostModel, OpToken, PsConfig, PsWorker, Variant,
 };
 pub use lapse_net::{Key, NodeId, WorkerId};
-pub use lapse_proto::{HomePartition, Layout, ProtoConfig};
+pub use lapse_proto::{AdaptiveConfig, HomePartition, HotSet, Layout, ProtoConfig};
+
+/// Selects the PS variant from the `LAPSE_VARIANT` environment variable,
+/// falling back to `default` when unset. Accepted values: `classic`,
+/// `classic_fast`, `lapse`, `replication`, `hybrid`, `adaptive`
+/// (case-insensitive). Every example reads this, so any variant —
+/// including the adaptive one — is runnable without editing code, e.g.
+/// `LAPSE_VARIANT=adaptive cargo run --release --example quickstart`.
+///
+/// # Panics
+/// Panics on an unrecognized value, listing the accepted names (typos
+/// should fail loudly, not silently fall back).
+pub fn variant_from_env(default: Variant) -> Variant {
+    match std::env::var("LAPSE_VARIANT") {
+        Err(_) => default,
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "classic" => Variant::Classic,
+            "classic_fast" | "classic-fast" | "classicfastlocal" => Variant::ClassicFastLocal,
+            "lapse" => Variant::Lapse,
+            "replication" => Variant::Replication,
+            "hybrid" => Variant::Hybrid,
+            "adaptive" => Variant::Adaptive,
+            other => panic!(
+                "LAPSE_VARIANT={other:?} not recognized; use one of classic, classic_fast, \
+                 lapse, replication, hybrid, adaptive"
+            ),
+        },
+    }
+}
