@@ -6,7 +6,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench-check bench-smoke fmt fmt-check clippy lint doc ci clean
+.PHONY: build test bench-check bench-smoke fmt fmt-check clippy lint-check lint tsan doc ci clean
 
 build:
 	$(CARGO) build --release
@@ -47,12 +47,29 @@ fmt-check:
 clippy:
 	$(CARGO) clippy --all-targets -- -D warnings
 
-lint: fmt-check clippy
+## Run the workspace invariant checker (wire-schema sync, determinism,
+## lock discipline, wire-const drift — see DESIGN.md "Static invariants").
+lint-check:
+	$(CARGO) run --release -q -p lapse-lint -- check
+
+lint: fmt-check clippy lint-check
+
+## Best-effort ThreadSanitizer pass over the threaded-backend tests.
+## Requires a nightly toolchain with rust-src; skipped gracefully when
+## unavailable (the container pins stable).
+tsan:
+	@if rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then \
+		RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+		$(CARGO) +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+			-p lapse-core -q; \
+	else \
+		echo "tsan: no nightly toolchain with rust-src; skipping (best-effort target)"; \
+	fi
 
 doc:
 	$(CARGO) doc --no-deps
 
-ci: fmt-check clippy build test bench-check bench-smoke
+ci: fmt-check clippy lint-check build test bench-check bench-smoke
 
 clean:
 	$(CARGO) clean

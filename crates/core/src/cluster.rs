@@ -171,6 +171,7 @@ where
     F: Fn(&mut dyn PsWorker) -> R + Send + Sync + 'static,
 {
     let proto = Arc::new(cfg.proto);
+    // lint:allow(wall-clock, threaded backend timestamps real elapsed time; it never feeds message contents or ordering)
     let start = Instant::now();
     let clock: ClockFn = Arc::new(move || start.elapsed().as_nanos() as u64);
     let shareds = build_shareds(&proto, clock, init);

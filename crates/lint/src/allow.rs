@@ -1,0 +1,126 @@
+//! The `// lint:allow(<rule>, <reason>)` escape hatch.
+//!
+//! An allow annotation suppresses findings of `<rule>` on the same line
+//! or the line directly below the comment. The reason is mandatory: an
+//! allow without one is itself a finding (`allow-missing-reason`) — the
+//! annotation documents *why* the flagged pattern is safe, not merely
+//! that someone wanted the warning gone.
+
+use crate::findings::Finding;
+use crate::lexer::LineComment;
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Extracts allow annotations from a file's line comments. Malformed or
+/// reason-less annotations are reported as findings.
+pub fn parse_allows(file: &str, comments: &[LineComment]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("lint:allow") else {
+            continue;
+        };
+        let rest = &c.text[at + "lint:allow".len()..];
+        let Some(inner) = rest
+            .trim_start()
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .map(|(inner, _)| inner)
+        else {
+            findings.push(Finding::new(
+                "allow-missing-reason",
+                file,
+                c.line,
+                "malformed lint:allow — expected `lint:allow(<rule>, <reason>)`",
+            ));
+            continue;
+        };
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        if rule.is_empty() || reason.is_empty() {
+            findings.push(Finding::new(
+                "allow-missing-reason",
+                file,
+                c.line,
+                format!(
+                    "lint:allow({rule}) has no reason — write `lint:allow({rule}, <why this is safe>)`"
+                ),
+            ));
+            continue;
+        }
+        allows.push(Allow {
+            line: c.line,
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+    (allows, findings)
+}
+
+/// True if `finding` is suppressed by one of `allows` (same line, or the
+/// annotation sits on the line above).
+pub fn suppressed(finding: &Finding, allows: &[Allow]) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == finding.rule && (a.line == finding.line || a.line + 1 == finding.line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(line: u32, text: &str) -> LineComment {
+        LineComment {
+            line,
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_rule_and_reason() {
+        let (allows, findings) = parse_allows(
+            "f.rs",
+            &[comment(
+                4,
+                " lint:allow(nondet-iter, drained into a sorted Vec below)",
+            )],
+        );
+        assert!(findings.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "nondet-iter");
+    }
+
+    #[test]
+    fn missing_reason_is_a_finding() {
+        let (allows, findings) = parse_allows("f.rs", &[comment(2, " lint:allow(wall-clock)")]);
+        assert!(allows.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "allow-missing-reason");
+    }
+
+    #[test]
+    fn suppression_window() {
+        let allow = Allow {
+            line: 10,
+            rule: "wall-clock".to_string(),
+            reason: "r".to_string(),
+        };
+        let same = Finding::new("wall-clock", "f.rs", 10, "m");
+        let below = Finding::new("wall-clock", "f.rs", 11, "m");
+        let far = Finding::new("wall-clock", "f.rs", 12, "m");
+        let other = Finding::new("nondet-iter", "f.rs", 10, "m");
+        let allows = vec![allow];
+        assert!(suppressed(&same, &allows));
+        assert!(suppressed(&below, &allows));
+        assert!(!suppressed(&far, &allows));
+        assert!(!suppressed(&other, &allows));
+    }
+}

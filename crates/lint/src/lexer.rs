@@ -1,0 +1,556 @@
+//! A hand-rolled Rust lexer.
+//!
+//! Produces a flat token stream plus the list of line comments (the
+//! allow-annotation escape hatch lives in comments, so they are not
+//! discarded). The lexer understands everything the workspace throws at
+//! it — raw/byte strings, nested block comments, lifetimes vs. char
+//! literals, numeric suffixes — but deliberately does **not** build an
+//! AST: the passes work on token patterns plus brace matching, which is
+//! robust against the subset of Rust this repo uses and keeps the crate
+//! dependency-free (no `syn`).
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (value saturated to `u64`, suffix stripped).
+    Int(u64),
+    /// Float literal.
+    Float,
+    /// String literal (regular, raw, or byte).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`) or loop label.
+    Lifetime,
+    /// Punctuation; multi-character operators that matter to scanning
+    /// (`::`, `->`, `=>`, `==`, `!=`, `<=`, `>=`, `&&`, `||`, `..`) are
+    /// joined, everything else is one character per token.
+    Punct(&'static str),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+
+    /// True if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(p) if *p == s)
+    }
+}
+
+/// One `// ...` comment (doc comments included), text after the slashes.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: tokens plus line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexing failure (unterminated literal, stray character, ...).
+#[derive(Debug, Clone)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Interns single-character punctuation as `&'static str`.
+fn punct1(c: char) -> Option<&'static str> {
+    Some(match c {
+        '{' => "{",
+        '}' => "}",
+        '(' => "(",
+        ')' => ")",
+        '[' => "[",
+        ']' => "]",
+        ',' => ",",
+        ';' => ";",
+        ':' => ":",
+        '.' => ".",
+        '#' => "#",
+        '!' => "!",
+        '?' => "?",
+        '&' => "&",
+        '|' => "|",
+        '+' => "+",
+        '-' => "-",
+        '*' => "*",
+        '/' => "/",
+        '%' => "%",
+        '^' => "^",
+        '<' => "<",
+        '>' => ">",
+        '=' => "=",
+        '@' => "@",
+        '$' => "$",
+        '~' => "~",
+        _ => return None,
+    })
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied();
+        if let Some(b) = c {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    /// Consumes a `"..."` body (opening quote already consumed).
+    fn string_body(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(b'"') => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body starting at `r` (already consumed);
+    /// `hashes` is the number of `#` characters.
+    fn raw_string_body(&mut self, hashes: usize) -> Result<(), LexError> {
+        for _ in 0..hashes {
+            if self.bump() != Some(b'#') {
+                return Err(self.err("malformed raw string opening"));
+            }
+        }
+        if self.bump() != Some(b'"') {
+            return Err(self.err("malformed raw string opening"));
+        }
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated raw string")),
+                Some(b'"') => {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if self.peek(k) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Counts `#` characters starting at offset `ahead`.
+    fn count_hashes(&self, mut ahead: usize) -> usize {
+        let mut n = 0;
+        while self.peek(ahead) == Some(b'#') {
+            n += 1;
+            ahead += 1;
+        }
+        n
+    }
+
+    fn lex_number(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == b'_') {
+                self.bump();
+            }
+            // Fractional part: a `.` followed by a digit, or a trailing
+            // `.` not followed by `.` (range) or an identifier (method
+            // call on a literal).
+            if self.peek(0) == Some(b'.') {
+                match self.peek(1) {
+                    Some(c) if c.is_ascii_digit() => {
+                        is_float = true;
+                        self.bump();
+                        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == b'_') {
+                            self.bump();
+                        }
+                    }
+                    Some(b'.') => {}
+                    Some(c) if is_ident_start(c as char) => {}
+                    _ => {
+                        is_float = true;
+                        self.bump();
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some(b'e') | Some(b'E')) {
+                let sign = matches!(self.peek(1), Some(b'+') | Some(b'-'));
+                let digit_at = if sign { 2 } else { 1 };
+                if matches!(self.peek(digit_at), Some(c) if c.is_ascii_digit()) {
+                    is_float = true;
+                    self.bump();
+                    if sign {
+                        self.bump();
+                    }
+                    while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == b'_') {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        let digits_end = self.pos;
+        // Type suffix (`u8`, `usize`, `f32`, ...).
+        let mut suffix = String::new();
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c as char)) {
+            suffix.push(self.bump().unwrap() as char);
+        }
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        if is_float {
+            self.push(Tok::Float, line);
+            return Ok(());
+        }
+        let text: String = std::str::from_utf8(&self.src[start..digits_end])
+            .map_err(|_| self.err("non-utf8 number"))?
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        let value = if let Some(hex) = text.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else if let Some(oct) = text.strip_prefix("0o") {
+            u64::from_str_radix(oct, 8)
+        } else if let Some(bin) = text.strip_prefix("0b") {
+            u64::from_str_radix(bin, 2)
+        } else {
+            text.parse()
+        }
+        .unwrap_or(u64::MAX);
+        self.push(Tok::Int(value), line);
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<Lexed, LexError> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.bump();
+                    self.bump();
+                    let start = self.pos;
+                    while matches!(self.peek(0), Some(b) if b != b'\n') {
+                        self.bump();
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos])
+                        .unwrap_or("")
+                        .to_string();
+                    self.out.comments.push(LineComment { line, text });
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match self.peek(0) {
+                            None => return Err(self.err("unterminated block comment")),
+                            Some(b'/') if self.peek(1) == Some(b'*') => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            Some(b'*') if self.peek(1) == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    self.string_body()?;
+                    self.push(Tok::Str, line);
+                }
+                b'\'' => {
+                    // Lifetime vs char literal.
+                    let c1 = self.peek(1);
+                    let c2 = self.peek(2);
+                    let is_lifetime =
+                        matches!(c1, Some(a) if is_ident_start(a as char)) && c2 != Some(b'\'');
+                    if is_lifetime {
+                        self.bump();
+                        while matches!(self.peek(0), Some(a) if is_ident_continue(a as char)) {
+                            self.bump();
+                        }
+                        self.push(Tok::Lifetime, line);
+                    } else {
+                        self.bump();
+                        loop {
+                            match self.bump() {
+                                None => return Err(self.err("unterminated char literal")),
+                                Some(b'\\') => {
+                                    self.bump();
+                                }
+                                Some(b'\'') => break,
+                                Some(_) => {}
+                            }
+                        }
+                        self.push(Tok::Char, line);
+                    }
+                }
+                b'r' if self.peek(1) == Some(b'"') || self.peek(1) == Some(b'#') => {
+                    let hashes = self.count_hashes(1);
+                    if self.peek(1 + hashes) == Some(b'"') {
+                        self.bump(); // r
+                        self.raw_string_body(hashes)?;
+                        self.push(Tok::Str, line);
+                    } else {
+                        self.lex_ident();
+                    }
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.bump();
+                    self.bump();
+                    self.string_body()?;
+                    self.push(Tok::Str, line);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.err("unterminated byte literal")),
+                            Some(b'\\') => {
+                                self.bump();
+                            }
+                            Some(b'\'') => break,
+                            Some(_) => {}
+                        }
+                    }
+                    self.push(Tok::Char, line);
+                }
+                b'b' if self.peek(1) == Some(b'r')
+                    && (self.peek(2) == Some(b'"') || self.peek(2) == Some(b'#')) =>
+                {
+                    let hashes = self.count_hashes(2);
+                    if self.peek(2 + hashes) == Some(b'"') {
+                        self.bump(); // b
+                        self.bump(); // r
+                        self.raw_string_body(hashes)?;
+                        self.push(Tok::Str, line);
+                    } else {
+                        self.lex_ident();
+                    }
+                }
+                c if c.is_ascii_digit() => self.lex_number()?,
+                c if is_ident_start(c as char) => self.lex_ident(),
+                _ => {
+                    let two: Option<&'static str> = match (c, self.peek(1)) {
+                        (b':', Some(b':')) => Some("::"),
+                        (b'-', Some(b'>')) => Some("->"),
+                        (b'=', Some(b'>')) => Some("=>"),
+                        (b'=', Some(b'=')) => Some("=="),
+                        (b'!', Some(b'=')) => Some("!="),
+                        (b'<', Some(b'=')) => Some("<="),
+                        (b'>', Some(b'=')) => Some(">="),
+                        (b'&', Some(b'&')) => Some("&&"),
+                        (b'|', Some(b'|')) => Some("||"),
+                        (b'.', Some(b'.')) => Some(".."),
+                        _ => None,
+                    };
+                    if let Some(p) = two {
+                        self.bump();
+                        self.bump();
+                        // `..=` folds into `..`-then-`=`; scanning never
+                        // needs to distinguish inclusive ranges.
+                        self.push(Tok::Punct(p), line);
+                    } else if let Some(p) = punct1(c as char) {
+                        self.bump();
+                        self.push(Tok::Punct(p), line);
+                    } else if (c as char).is_ascii() {
+                        return Err(self.err(format!("unexpected character {:?}", c as char)));
+                    } else {
+                        // Non-ASCII outside strings/comments: consume the
+                        // full UTF-8 char (only appears in identifiers,
+                        // which the workspace does not use non-ASCII for).
+                        return Err(self.err("unexpected non-ascii character"));
+                    }
+                }
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn lex_ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c as char)) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or("")
+            .to_string();
+        self.push(Tok::Ident(text), line);
+    }
+}
+
+/// Lexes `src` into tokens and line comments.
+pub fn lex(src: &str) -> Result<Lexed, LexError> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(|s| s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let l = lex("fn foo(x: u32) -> u32 { x + 0x1F }").unwrap();
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("->")));
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::Int(31)));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").unwrap();
+        let lifetimes = l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = l.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        let l =
+            lex("// lint:allow(x, y)\nlet s = \"a // not a comment\"; /* b /* c */ d */").unwrap();
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("lint:allow"));
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let l =
+            lex(r###"let a = r#"raw "quoted" body"#; let b = b"bytes"; let c = b'x';"###).unwrap();
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Str).count(), 2);
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Char).count(), 1);
+    }
+
+    #[test]
+    fn numbers() {
+        let l = lex("let x = 1.5; let y = 1e3; let z = 10_000u64; let r = 0..5; let m = 1.max(2);")
+            .unwrap();
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Float).count(), 2);
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::Int(10_000)));
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::Int(1)));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let l = lex("a\nb\nc").unwrap();
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn keywords_are_idents() {
+        assert_eq!(idents("match self { _ => {} }"), vec!["match", "self", "_"]);
+    }
+}

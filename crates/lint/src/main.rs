@@ -1,0 +1,77 @@
+//! CLI: `lapse-lint check [--format=json|text] [--root=PATH]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lapse_lint::workspace::{find_root, load_workspace};
+use lapse_lint::{check_workspace, findings::render_json};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lapse-lint check [--format=json|text] [--root=PATH]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if cmd != "check" {
+        return usage();
+    }
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    for arg in args {
+        if let Some(f) = arg.strip_prefix("--format=") {
+            format = f.to_string();
+        } else if let Some(r) = arg.strip_prefix("--root=") {
+            root = Some(PathBuf::from(r));
+        } else {
+            return usage();
+        }
+    }
+    if format != "text" && format != "json" {
+        return usage();
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("lapse-lint: no workspace root found (Cargo.toml + crates/)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let ws = match load_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("lapse-lint: failed to read workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = check_workspace(&ws);
+
+    if format == "json" {
+        println!("{}", render_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render_text());
+        }
+        println!(
+            "lapse-lint: {} file(s) checked, {} finding(s)",
+            ws.files.len(),
+            findings.len()
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

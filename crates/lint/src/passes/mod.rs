@@ -1,0 +1,6 @@
+//! The four invariant passes.
+
+pub mod determinism;
+pub mod locks;
+pub mod wire_consts;
+pub mod wire_schema;

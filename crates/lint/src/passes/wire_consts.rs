@@ -1,0 +1,220 @@
+//! Pass 4: wire-const drift.
+//!
+//! Wire-size constants like `OP_ID_BYTES` summarize the serialized size
+//! of a struct; when a field is added to the struct but the constant is
+//! not updated, every `WireSize` computation built on it silently drifts
+//! from the codec. This pass recomputes each `<NAME>_BYTES` constant
+//! from the field list of the struct whose name is the CamelCase form of
+//! `<NAME>` (declared in the same file) and flags mismatches.
+//!
+//! Only primitives with a fixed wire width participate; a struct with
+//! any variable-width field (Vec, ValueBlock, ...) is skipped — such
+//! types cannot have a meaningful `_BYTES` constant in the first place.
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::scan::match_bracket;
+use crate::workspace::LexedFile;
+
+/// Fixed wire widths, mirroring `lapse-net`'s codec primitives: NodeId is
+/// a `u16` on the wire, Key a `u64`.
+fn wire_width(ty: &str) -> Option<u64> {
+    Some(match ty {
+        "u8" | "i8" | "bool" => 1,
+        "u16" | "i16" | "NodeId" => 2,
+        "u32" | "i32" | "f32" => 4,
+        "u64" | "i64" | "f64" | "usize" | "Key" => 8,
+        "OpId" => 10, // NodeId + u64
+        _ => return None,
+    })
+}
+
+pub fn run(files: &[LexedFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| f.path.contains("/src/")) {
+        let toks = &f.lexed.tokens;
+        for (name, value, line) in byte_consts(toks) {
+            let struct_name = camelize(name.trim_end_matches("_BYTES"));
+            let Some(fields) = struct_fields(toks, &struct_name) else {
+                continue;
+            };
+            let mut sum = 0u64;
+            let mut computable = true;
+            for ty in &fields {
+                match wire_width(ty) {
+                    Some(w) => sum += w,
+                    None => {
+                        computable = false;
+                        break;
+                    }
+                }
+            }
+            if computable && sum != value {
+                out.push(Finding::new(
+                    "wire-const",
+                    &f.path,
+                    line,
+                    format!(
+                        "{name} is {value} but struct {struct_name}'s fields \
+                         serialize to {sum} bytes"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `const <NAME>_BYTES: usize = <int-sum>;` declarations with their
+/// evaluated value.
+fn byte_consts(toks: &[Token]) -> Vec<(String, u64, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("const") {
+            if let Some(name) = toks[i + 1].ident() {
+                if name.ends_with("_BYTES") {
+                    // Find `=`, then evaluate `int (+ int)*` up to `;`.
+                    let mut j = i + 2;
+                    while j < toks.len() && !toks[j].is_punct("=") && !toks[j].is_punct(";") {
+                        j += 1;
+                    }
+                    if j < toks.len() && toks[j].is_punct("=") {
+                        let mut sum = 0u64;
+                        let mut ok = true;
+                        let mut k = j + 1;
+                        while k < toks.len() && !toks[k].is_punct(";") {
+                            match &toks[k].tok {
+                                Tok::Int(v) => sum += v,
+                                Tok::Punct("+") => {}
+                                _ => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            k += 1;
+                        }
+                        if ok {
+                            out.push((name.to_string(), sum, toks[i].line));
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The field type names of `struct <name> { ... }` (named fields only).
+fn struct_fields(toks: &[Token], name: &str) -> Option<Vec<String>> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("struct") && toks[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") {
+                if toks[j].is_punct(";") || toks[j].is_punct("(") {
+                    return None; // tuple/unit struct
+                }
+                j += 1;
+            }
+            let close = match_bracket(toks, j)?;
+            let mut fields = Vec::new();
+            let mut k = j + 1;
+            while k < close {
+                match &toks[k].tok {
+                    Tok::Punct("#") if toks.get(k + 1).map(|t| t.is_punct("[")) == Some(true) => {
+                        k = match_bracket(toks, k + 1)? + 1;
+                    }
+                    Tok::Ident(_) if toks.get(k + 1).map(|t| t.is_punct(":")) == Some(true) => {
+                        // Field: take the last path segment before `,`/`<`.
+                        let mut m = k + 2;
+                        let mut ty = None;
+                        while m < close {
+                            match &toks[m].tok {
+                                Tok::Ident(s) => {
+                                    ty = Some(s.clone());
+                                    m += 1;
+                                }
+                                Tok::Punct("::") => m += 1,
+                                _ => break,
+                            }
+                        }
+                        if let Some(t) = ty {
+                            fields.push(t);
+                        }
+                        // Skip to the comma.
+                        while m < close && !toks[m].is_punct(",") {
+                            match &toks[m].tok {
+                                Tok::Punct("(")
+                                | Tok::Punct("[")
+                                | Tok::Punct("{")
+                                | Tok::Punct("<") => {
+                                    m = skip_angle_or_bracket(toks, m, close);
+                                }
+                                _ => m += 1,
+                            }
+                        }
+                        k = m + 1;
+                    }
+                    _ => k += 1,
+                }
+            }
+            return Some(fields);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Skips a balanced `<...>` (by counting) or a bracket group.
+fn skip_angle_or_bracket(toks: &[Token], i: usize, limit: usize) -> usize {
+    match &toks[i].tok {
+        Tok::Punct("<") => {
+            let mut depth = 0i64;
+            let mut j = i;
+            while j < limit {
+                match &toks[j].tok {
+                    Tok::Punct("<") => depth += 1,
+                    Tok::Punct(">") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return j + 1;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            limit
+        }
+        _ => match_bracket(toks, i).map(|c| c + 1).unwrap_or(limit),
+    }
+}
+
+/// `OP_ID` -> `OpId`.
+fn camelize(upper_snake: &str) -> String {
+    upper_snake
+        .split('_')
+        .map(|seg| {
+            let mut c = seg.chars();
+            match c.next() {
+                Some(first) => {
+                    first.to_ascii_uppercase().to_string() + &c.as_str().to_ascii_lowercase()
+                }
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camelize_names() {
+        assert_eq!(camelize("OP_ID"), "OpId");
+        assert_eq!(camelize("HEADER"), "Header");
+    }
+}

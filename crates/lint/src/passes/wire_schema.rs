@@ -1,0 +1,290 @@
+//! Pass 1: wire-schema sync.
+//!
+//! The `Msg` enum in `crates/proto/src/messages.rs` is the single source
+//! of truth for the wire protocol. This pass verifies that every variant
+//! is covered by each surface that must enumerate it:
+//!
+//! * the codec `encode` arm assigns a **unique, dense** tag byte;
+//! * the codec `decode` arm exists for that tag and constructs the same
+//!   variant, and a wildcard arm maps unknown tags to `UnknownTag`;
+//! * every *coverage function* (`wire_bytes`, `label`, `msg_load` —
+//!   anywhere in the workspace `src` trees) that matches over `Msg`
+//!   mentions every variant.
+//!
+//! Adding tag 15 in three of the five places is a lint failure, not a
+//! latent decode bug.
+
+use crate::findings::Finding;
+use crate::lexer::Tok;
+use crate::scan::{enum_variants, find_matches, functions, referenced_variants, Arm};
+use crate::workspace::LexedFile;
+
+/// Path suffix of the file holding the `Msg` enum and its codec impls.
+pub const MESSAGES_SUFFIX: &str = "crates/proto/src/messages.rs";
+
+/// Functions that must enumerate every `Msg` variant wherever they match
+/// over `Msg` (`label` is this workspace's message-kind accessor).
+const COVERAGE_FNS: &[&str] = &["wire_bytes", "label", "msg_load"];
+
+pub fn run(files: &[LexedFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(msgs) = files.iter().find(|f| f.path.ends_with(MESSAGES_SUFFIX)) else {
+        // Without the protocol definition there is nothing to check
+        // (fixture workspaces for other passes hit this path).
+        return out;
+    };
+    let toks = &msgs.lexed.tokens;
+    let Some((variants, enum_line)) = enum_variants(toks, "Msg") else {
+        out.push(Finding::new(
+            "wire-schema",
+            &msgs.path,
+            1,
+            "could not find `enum Msg` in the protocol messages file",
+        ));
+        return out;
+    };
+    if variants.is_empty() {
+        out.push(Finding::new(
+            "wire-schema",
+            &msgs.path,
+            enum_line,
+            "`enum Msg` has no variants",
+        ));
+        return out;
+    }
+
+    let fns = functions(toks);
+
+    // --- encode: per-variant tag extraction ---
+    let mut encode_tags: Vec<(String, u64, u32)> = Vec::new(); // (variant, tag, line)
+    if let Some(encode) = fns.iter().find(|f| f.name == "encode") {
+        let matches = find_matches(toks, encode.body.clone());
+        if let Some(m) = matches
+            .iter()
+            .find(|m| toks[m.head.clone()].iter().any(|t| t.is_ident("self")))
+        {
+            for arm in &m.arms {
+                let vs = referenced_variants(toks, arm.pat.clone(), "Msg", &variants);
+                let Some(variant) = vs.first() else { continue };
+                match arm_tag(toks, arm) {
+                    Some(tag) => encode_tags.push((variant.clone(), tag, arm.line)),
+                    None => out.push(Finding::new(
+                        "wire-schema",
+                        &msgs.path,
+                        arm.line,
+                        format!("encode arm for `Msg::{variant}` writes no literal tag byte (`put_u8(buf, <tag>)`)"),
+                    )),
+                }
+            }
+        } else {
+            out.push(Finding::new(
+                "wire-schema",
+                &msgs.path,
+                encode.line,
+                "fn encode has no `match self` over `Msg`",
+            ));
+        }
+    } else {
+        out.push(Finding::new(
+            "wire-schema",
+            &msgs.path,
+            enum_line,
+            "no `fn encode` found for `Msg`",
+        ));
+    }
+
+    // Every variant must have an encode arm with a tag.
+    for v in &variants {
+        if !encode_tags.iter().any(|(ev, _, _)| ev == v) {
+            out.push(Finding::new(
+                "wire-schema",
+                &msgs.path,
+                enum_line,
+                format!("`Msg::{v}` has no encode arm assigning a tag byte"),
+            ));
+        }
+    }
+
+    // Unique tags.
+    for (i, (v, tag, line)) in encode_tags.iter().enumerate() {
+        if let Some((prev_v, _, _)) = encode_tags[..i].iter().find(|(_, t, _)| t == tag) {
+            out.push(Finding::new(
+                "wire-schema",
+                &msgs.path,
+                *line,
+                format!("tag {tag} assigned to both `Msg::{prev_v}` and `Msg::{v}`"),
+            ));
+        }
+    }
+
+    // Dense tags: the assigned tag set must be contiguous.
+    if !encode_tags.is_empty() {
+        let mut tags: Vec<u64> = encode_tags.iter().map(|(_, t, _)| *t).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        let (lo, hi) = (tags[0], tags[tags.len() - 1]);
+        if hi - lo + 1 != tags.len() as u64 {
+            let missing: Vec<String> = (lo..=hi)
+                .filter(|t| !tags.contains(t))
+                .map(|t| t.to_string())
+                .collect();
+            out.push(Finding::new(
+                "wire-schema",
+                &msgs.path,
+                enum_line,
+                format!(
+                    "tag bytes are not dense: {}..={} assigned but {} unused",
+                    lo,
+                    hi,
+                    missing.join(", ")
+                ),
+            ));
+        }
+    }
+
+    // --- decode: tag -> variant, plus the UnknownTag wildcard ---
+    let mut decode_tags: Vec<(u64, Option<String>, u32)> = Vec::new();
+    let mut has_wildcard = false;
+    if let Some(decode) = fns.iter().find(|f| f.name == "decode") {
+        let matches = find_matches(toks, decode.body.clone());
+        if let Some(m) = matches.iter().find(|m| {
+            toks[m.head.clone()]
+                .iter()
+                .any(|t| t.is_ident("get_u8") || t.is_ident("tag"))
+        }) {
+            for arm in &m.arms {
+                let pat = &toks[arm.pat.clone()];
+                if let Some(Tok::Int(tag)) = pat.first().map(|t| &t.tok) {
+                    let vs = referenced_variants(toks, arm.body.clone(), "Msg", &variants);
+                    decode_tags.push((*tag, vs.first().cloned(), arm.line));
+                } else if pat.iter().all(|t| matches!(t.tok, Tok::Ident(_))) {
+                    has_wildcard = true;
+                    if !toks[arm.body.clone()]
+                        .iter()
+                        .any(|t| t.is_ident("UnknownTag"))
+                    {
+                        out.push(Finding::new(
+                            "wire-schema",
+                            &msgs.path,
+                            arm.line,
+                            "decode wildcard arm does not produce `CodecError::UnknownTag`",
+                        ));
+                    }
+                }
+            }
+        } else {
+            out.push(Finding::new(
+                "wire-schema",
+                &msgs.path,
+                decode.line,
+                "fn decode has no `match` over the tag byte",
+            ));
+        }
+        if !has_wildcard {
+            out.push(Finding::new(
+                "wire-schema",
+                &msgs.path,
+                decode.line,
+                "fn decode has no wildcard arm rejecting unknown tags",
+            ));
+        }
+    } else {
+        out.push(Finding::new(
+            "wire-schema",
+            &msgs.path,
+            enum_line,
+            "no `fn decode` found for `Msg`",
+        ));
+    }
+
+    // Cross-check encode vs decode.
+    for (v, tag, line) in &encode_tags {
+        match decode_tags.iter().find(|(t, _, _)| t == tag) {
+            None => out.push(Finding::new(
+                "wire-schema",
+                &msgs.path,
+                *line,
+                format!("tag {tag} (`Msg::{v}`) is encoded but has no decode arm"),
+            )),
+            Some((_, Some(dv), dline)) if dv != v => out.push(Finding::new(
+                "wire-schema",
+                &msgs.path,
+                *dline,
+                format!("tag {tag} encodes `Msg::{v}` but decodes `Msg::{dv}`"),
+            )),
+            Some((_, None, dline)) => out.push(Finding::new(
+                "wire-schema",
+                &msgs.path,
+                *dline,
+                format!("decode arm for tag {tag} constructs no `Msg` variant"),
+            )),
+            _ => {}
+        }
+    }
+    for (tag, _, line) in &decode_tags {
+        if !encode_tags.iter().any(|(_, t, _)| t == tag) {
+            out.push(Finding::new(
+                "wire-schema",
+                &msgs.path,
+                *line,
+                format!("decode arm for tag {tag} has no matching encode arm"),
+            ));
+        }
+    }
+
+    // --- coverage functions anywhere in src trees ---
+    for file in files {
+        if !file.path.contains("/src/") {
+            continue;
+        }
+        for f in functions(&file.lexed.tokens) {
+            if !COVERAGE_FNS.contains(&f.name.as_str()) {
+                continue;
+            }
+            let seen = referenced_variants(&file.lexed.tokens, f.body.clone(), "Msg", &variants);
+            if seen.is_empty() {
+                continue; // matches over some other message type
+            }
+            for v in &variants {
+                if !seen.iter().any(|s| s == v) {
+                    out.push(Finding::new(
+                        "wire-schema",
+                        &file.path,
+                        f.line,
+                        format!(
+                            "fn {} matches over `Msg` but has no arm for `Msg::{v}`",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// First literal written via `put_u8(buf, <int>)` in an encode arm body.
+fn arm_tag(toks: &[crate::lexer::Token], arm: &Arm) -> Option<u64> {
+    let mut i = arm.body.start;
+    while i < arm.body.end {
+        if toks[i].is_ident("put_u8") {
+            // Scan the argument list for an integer literal.
+            let mut j = i + 1;
+            if j < arm.body.end && toks[j].is_punct("(") {
+                let close = crate::scan::match_bracket(toks, j)?;
+                j += 1;
+                while j < close {
+                    if let Tok::Int(v) = toks[j].tok {
+                        return Some(v);
+                    }
+                    j += 1;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    None
+}

@@ -1,0 +1,453 @@
+//! Lightweight item/block scanning over token streams.
+//!
+//! No AST: items are located by keyword patterns and delimited by
+//! balanced-bracket matching. This is exactly as much structure as the
+//! passes need (enum variant lists, function bodies, match arms,
+//! receiver chains) and nothing more.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use crate::lexer::{Tok, Token};
+
+/// Returns the index of the token closing the bracket opened at `open`
+/// (`{`/`(`/`[`). `None` if unbalanced.
+pub fn match_bracket(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match &t.tok {
+            Tok::Punct("{") | Tok::Punct("(") | Tok::Punct("[") => depth += 1,
+            Tok::Punct("}") | Tok::Punct(")") | Tok::Punct("]") => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts the variant names of `enum <name> { ... }`, with the line of
+/// the enum keyword. Tuple/struct variant payloads and attributes are
+/// skipped.
+pub fn enum_variants(toks: &[Token], name: &str) -> Option<(Vec<String>, u32)> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(name) {
+            let line = toks[i].line;
+            // Find the opening brace (skipping generics).
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") {
+                j += 1;
+            }
+            let close = match_bracket(toks, j)?;
+            let mut variants = Vec::new();
+            let mut k = j + 1;
+            while k < close {
+                // Skip attributes.
+                if toks[k].is_punct("#") {
+                    if k + 1 < close && toks[k + 1].is_punct("[") {
+                        k = match_bracket(toks, k + 1)? + 1;
+                        continue;
+                    }
+                    k += 1;
+                    continue;
+                }
+                // A variant name is an identifier at this depth.
+                if let Some(id) = toks[k].ident() {
+                    variants.push(id.to_string());
+                    k += 1;
+                    // Skip the payload and discriminant up to the comma.
+                    while k < close {
+                        match &toks[k].tok {
+                            Tok::Punct("(") | Tok::Punct("{") | Tok::Punct("[") => {
+                                k = match_bracket(toks, k)? + 1;
+                            }
+                            Tok::Punct(",") => {
+                                k += 1;
+                                break;
+                            }
+                            _ => k += 1,
+                        }
+                    }
+                } else {
+                    k += 1;
+                }
+            }
+            return Some((variants, line));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// A function item: its name and body token range.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    pub body: Range<usize>,
+    pub line: u32,
+}
+
+/// Finds every `fn` item with a body. Nested functions are reported both
+/// standalone and as part of the enclosing body; the workspace does not
+/// nest functions, so passes need not care.
+pub fn functions(toks: &[Token]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") {
+            if let Some(name) = toks[i + 1].ident() {
+                // Scan forward for the body `{` — a `;` at bracket depth 0
+                // first means a bodyless trait method.
+                let mut j = i + 2;
+                let mut found = None;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct("(") | Tok::Punct("[") => {
+                            j = match match_bracket(toks, j) {
+                                Some(c) => c + 1,
+                                None => break,
+                            };
+                        }
+                        Tok::Punct("{") => {
+                            found = Some(j);
+                            break;
+                        }
+                        Tok::Punct(";") => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(open) = found {
+                    if let Some(close) = match_bracket(toks, open) {
+                        out.push(FnItem {
+                            name: name.to_string(),
+                            body: open + 1..close,
+                            line: toks[i].line,
+                        });
+                        i = open + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One arm of a `match` expression.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    pub pat: Range<usize>,
+    pub body: Range<usize>,
+    pub line: u32,
+}
+
+/// A `match` expression: the scrutinee ("head") tokens and its arms.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    pub head: Range<usize>,
+    pub arms: Vec<Arm>,
+}
+
+/// Finds `match` expressions inside `range` (including nested ones).
+pub fn find_matches(toks: &[Token], range: Range<usize>) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    let mut i = range.start;
+    while i < range.end {
+        if toks[i].is_ident("match") {
+            // Head: up to the `{` at bracket depth 0 relative to here.
+            let mut j = i + 1;
+            while j < range.end {
+                match &toks[j].tok {
+                    Tok::Punct("(") | Tok::Punct("[") => {
+                        j = match match_bracket(toks, j) {
+                            Some(c) => c + 1,
+                            None => return out,
+                        };
+                    }
+                    Tok::Punct("{") => break,
+                    _ => j += 1,
+                }
+            }
+            if j >= range.end {
+                break;
+            }
+            let open = j;
+            let close = match match_bracket(toks, open) {
+                Some(c) => c,
+                None => return out,
+            };
+            let mut arms = Vec::new();
+            let mut k = open + 1;
+            while k < close {
+                // Skip attributes on arms.
+                if toks[k].is_punct("#") && k + 1 < close && toks[k + 1].is_punct("[") {
+                    k = match_bracket(toks, k + 1).unwrap_or(close) + 1;
+                    continue;
+                }
+                let pat_start = k;
+                // Pattern: up to `=>` at depth 0.
+                while k < close && !toks[k].is_punct("=>") {
+                    match &toks[k].tok {
+                        Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("{") => {
+                            k = match_bracket(toks, k).unwrap_or(close) + 1;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                if k >= close {
+                    break;
+                }
+                let pat = pat_start..k;
+                let line = toks[pat_start].line;
+                k += 1; // past `=>`
+                let body_start = k;
+                let body_end;
+                if k < close && toks[k].is_punct("{") {
+                    let b = match_bracket(toks, k).unwrap_or(close);
+                    body_end = b;
+                    k = b + 1;
+                    if k < close && toks[k].is_punct(",") {
+                        k += 1;
+                    }
+                } else {
+                    while k < close && !toks[k].is_punct(",") {
+                        match &toks[k].tok {
+                            Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("{") => {
+                                k = match_bracket(toks, k).unwrap_or(close) + 1;
+                            }
+                            _ => k += 1,
+                        }
+                    }
+                    body_end = k;
+                    if k < close {
+                        k += 1; // past `,`
+                    }
+                }
+                arms.push(Arm {
+                    pat,
+                    body: body_start..body_end,
+                    line,
+                });
+            }
+            out.push(MatchExpr {
+                head: i + 1..open,
+                arms,
+            });
+            i = open + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collects the variant names referenced as `<enum>::<Variant>` inside
+/// `range`, restricted to names in `variants`.
+pub fn referenced_variants(
+    toks: &[Token],
+    range: Range<usize>,
+    enum_name: &str,
+    variants: &[String],
+) -> Vec<String> {
+    let mut found = Vec::new();
+    let mut i = range.start;
+    while i + 2 < range.end {
+        if toks[i].is_ident(enum_name) && toks[i + 1].is_punct("::") {
+            if let Some(v) = toks[i + 2].ident() {
+                if variants.iter().any(|x| x == v) && !found.iter().any(|x: &String| x == v) {
+                    found.push(v.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    found
+}
+
+/// Token index ranges (inclusive of the braces) of `#[cfg(test)] mod`
+/// blocks. Test modules embedded in `src` files exercise determinism
+/// rather than threaten it, so passes skip them.
+pub fn test_ranges(toks: &[Token]) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_punct("#") && toks[i + 1].is_punct("[") {
+            let Some(close) = match_bracket(toks, i + 1) else {
+                break;
+            };
+            let attr = &toks[i + 2..close];
+            let is_cfg_test = attr.first().map(|t| t.is_ident("cfg")).unwrap_or(false)
+                && attr.iter().any(|t| t.is_ident("test"));
+            if is_cfg_test {
+                // Skip further attributes, then require `mod name {`.
+                let mut j = close + 1;
+                while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+                    match match_bracket(toks, j + 1) {
+                        Some(c) => j = c + 1,
+                        None => break,
+                    }
+                }
+                if toks.get(j).map(|t| t.is_ident("mod")).unwrap_or(false) {
+                    let mut k = j + 1;
+                    while k < toks.len() && !toks[k].is_punct("{") && !toks[k].is_punct(";") {
+                        k += 1;
+                    }
+                    if k < toks.len() && toks[k].is_punct("{") {
+                        if let Some(end) = match_bracket(toks, k) {
+                            out.push(k..end + 1);
+                            i = end + 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True if token index `idx` falls inside any of `ranges`.
+pub fn in_ranges(ranges: &[Range<usize>], idx: usize) -> bool {
+    ranges.iter().any(|r| r.contains(&idx))
+}
+
+/// Method names that forward their receiver (for receiver resolution a
+/// chain like `self.guard.lock().iter()` resolves to `guard`).
+const FORWARDING_METHODS: &[&str] = &[
+    "lock",
+    "read",
+    "write",
+    "borrow",
+    "borrow_mut",
+    "as_ref",
+    "as_mut",
+    "unwrap",
+    "expect",
+    "clone",
+    "get_mut",
+    "entry",
+];
+
+/// Resolves the receiver of a method call whose `.` is at `dot`: walks
+/// backwards over balanced `()`/`[]` groups and forwarding methods to the
+/// last meaningful path segment. `aliases` maps loop/let-bound names to
+/// the field they borrow from.
+pub fn resolve_receiver(
+    toks: &[Token],
+    dot: usize,
+    aliases: &HashMap<String, String>,
+) -> Option<String> {
+    resolve_receiver_at(toks, dot, aliases).map(|(name, _)| name)
+}
+
+/// Like [`resolve_receiver`], but also returns the token index of the
+/// resolved segment — `toks[idx..dot]` is the receiver expression
+/// (including any call arguments, e.g. `shard_for ( k )`).
+pub fn resolve_receiver_at(
+    toks: &[Token],
+    dot: usize,
+    aliases: &HashMap<String, String>,
+) -> Option<(String, usize)> {
+    let mut i = dot;
+    loop {
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+        match &toks[i].tok {
+            Tok::Punct(")") | Tok::Punct("]") => {
+                // Walk back to the matching opener.
+                let mut depth = 0i64;
+                loop {
+                    match &toks[i].tok {
+                        Tok::Punct(")") | Tok::Punct("]") => depth += 1,
+                        Tok::Punct("(") | Tok::Punct("[") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if i == 0 {
+                        return None;
+                    }
+                    i -= 1;
+                }
+                // `i` is at the opener; continue leftwards.
+            }
+            Tok::Punct("?") => {}
+            Tok::Ident(name) => {
+                // A forwarding method directly before a consumed call
+                // group keeps walking; otherwise this is the segment.
+                if FORWARDING_METHODS.contains(&name.as_str())
+                    && i + 1 < toks.len()
+                    && toks[i + 1].is_punct("(")
+                {
+                    // Preceded by a `.`? Then skip the method and its dot.
+                    if i > 0 && toks[i - 1].is_punct(".") {
+                        i -= 1; // now at the `.`; loop decrements further
+                        continue;
+                    }
+                }
+                let name = name.clone();
+                return Some((aliases.get(&name).cloned().unwrap_or(name), i));
+            }
+            Tok::Punct(".") | Tok::Punct("::") => {}
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn enum_extraction() {
+        let l = lex("pub enum Msg { A(Foo), #[cfg(test)] B { x: u32 }, C, }").unwrap();
+        let (vars, _) = enum_variants(&l.tokens, "Msg").unwrap();
+        assert_eq!(vars, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn fn_bodies() {
+        let l = lex("impl T for S { fn a(&self) -> u32 { 1 } fn b(); fn c(&self) { 2 } }").unwrap();
+        let fns = functions(&l.tokens);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn match_arm_split() {
+        let src = "fn f(m: &Msg) { match m { Msg::A(x) => put(1), Msg::B { .. } => { put(2); } _ => other(), } }";
+        let l = lex(src).unwrap();
+        let fns = functions(&l.tokens);
+        let ms = find_matches(&l.tokens, fns[0].body.clone());
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].arms.len(), 3);
+    }
+
+    #[test]
+    fn receiver_resolution() {
+        let l = lex("self.guard.lock().iter()").unwrap();
+        // Find the `.` before `iter`.
+        let dot = l.tokens.iter().position(|t| t.is_ident("iter")).unwrap() - 1;
+        let r = resolve_receiver(&l.tokens, dot, &HashMap::new()).unwrap();
+        assert_eq!(r, "guard");
+
+        let l2 = lex("self.shards[i].lock()").unwrap();
+        let dot2 = l2.tokens.iter().position(|t| t.is_ident("lock")).unwrap() - 1;
+        let r2 = resolve_receiver(&l2.tokens, dot2, &HashMap::new()).unwrap();
+        assert_eq!(r2, "shards");
+    }
+}

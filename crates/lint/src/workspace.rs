@@ -1,0 +1,102 @@
+//! Workspace file collection and lexing.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::Lexed;
+
+/// One source file: workspace-relative path + text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    pub path: String,
+    pub text: String,
+}
+
+/// A set of source files to check (real tree or test fixture).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Builds a workspace from (virtual path, text) pairs — the fixture
+    /// entry point.
+    pub fn from_sources(sources: Vec<(&str, &str)>) -> Self {
+        Workspace {
+            files: sources
+                .into_iter()
+                .map(|(path, text)| SourceFile {
+                    path: path.to_string(),
+                    text: text.to_string(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A lexed source file.
+pub struct LexedFile {
+    pub path: String,
+    pub lexed: Lexed,
+}
+
+/// Directories never descended into. `fixtures` holds the linter's own
+/// adversarial test snippets, which fail lint rules by construction.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules", "fixtures"];
+
+/// Loads every `.rs` file under `root/crates`, `root/src`, `root/tests`,
+/// and `root/examples`, with paths relative to `root`. Deterministic
+/// order (sorted).
+pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::new();
+    for p in paths {
+        let text = fs::read_to_string(&p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile { path: rel, text });
+    }
+    Ok(Workspace { files })
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root: walks up from `start` to the first directory
+/// containing both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

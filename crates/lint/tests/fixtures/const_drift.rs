@@ -1,0 +1,10 @@
+// Fixture: a field was added to `Header` but `HEADER_BYTES` was not
+// updated — the constant drifted from the struct.
+
+pub struct Header {
+    pub node: NodeId,
+    pub seq: u64,
+    pub ttl: u8,
+}
+
+pub const HEADER_BYTES: usize = 2 + 8;

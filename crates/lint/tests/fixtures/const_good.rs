@@ -1,0 +1,9 @@
+// Fixture: `HEADER_BYTES` agrees with the field widths of `Header`
+// (NodeId = 2, u64 = 8).
+
+pub struct Header {
+    pub node: NodeId,
+    pub seq: u64,
+}
+
+pub const HEADER_BYTES: usize = 2 + 8;

@@ -1,0 +1,15 @@
+// Fixture: a nondeterministic iteration carrying a well-formed allow
+// annotation with a reason — suppressed, zero findings.
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    by_key: HashMap<u64, usize>,
+}
+
+impl Registry {
+    pub fn sum(&self) -> usize {
+        // lint:allow(nondet-iter, summation is order-independent)
+        self.by_key.iter().map(|(_, v)| v).sum()
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: an allow annotation without a reason — the annotation itself
+// is a finding (allow-missing-reason) and does not suppress the site.
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    by_key: HashMap<u64, usize>,
+}
+
+impl Registry {
+    pub fn sum(&self) -> usize {
+        // lint:allow(nondet-iter)
+        self.by_key.iter().map(|(_, v)| v).sum()
+    }
+}

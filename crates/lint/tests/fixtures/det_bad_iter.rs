@@ -1,0 +1,30 @@
+// Fixture: HashMap iteration order reaching output — both the method
+// form (`.iter()`) and the `for`-over-path form must be flagged, and a
+// guard binding from `.lock()` inherits the classification.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub struct Registry {
+    by_key: HashMap<u64, usize>,
+    guarded: Mutex<HashMap<u64, usize>>,
+}
+
+impl Registry {
+    pub fn emit_all(&self) -> Vec<(u64, usize)> {
+        self.by_key.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    pub fn emit_for(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (k, _) in &self.by_key {
+            out.push(*k);
+        }
+        out
+    }
+
+    pub fn emit_guarded(&self) -> Vec<u64> {
+        let g = self.guarded.lock();
+        g.keys().copied().collect()
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads and entropy-seeded RNG in protocol code.
+
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,30 @@
+// Fixture: deterministic patterns the pass must NOT flag — BTreeMap
+// iteration, HashMap point lookups, and values merely derived from a
+// hash map (lengths, elements).
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Registry {
+    by_key: HashMap<u64, usize>,
+    ordered: BTreeMap<u64, usize>,
+}
+
+impl Registry {
+    pub fn lookup(&self, k: u64) -> Option<usize> {
+        self.by_key.get(&k).copied()
+    }
+
+    pub fn emit_all(&self) -> Vec<(u64, usize)> {
+        self.ordered.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    pub fn derived(&self) -> usize {
+        let n = self.by_key.len();
+        let slot = self.index(n);
+        slot + 1
+    }
+
+    fn index(&self, n: usize) -> usize {
+        n
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: two functions acquire `alpha` and `beta` in opposite orders
+// while holding the first — a static deadlock (lock-order cycle).
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let g = self.alpha.lock();
+        let h = self.beta.lock();
+        *h += *g;
+    }
+
+    pub fn backward(&self) {
+        let g = self.beta.lock();
+        let h = self.alpha.lock();
+        *h += *g;
+    }
+}

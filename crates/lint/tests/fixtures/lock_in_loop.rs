@@ -1,0 +1,21 @@
+// Fixture: a loop-invariant tracker lock acquired once per key (flagged:
+// hoistable to once per op) next to a key-dependent shard latch (not
+// flagged: `shard_for(k)` names a different lock each iteration).
+
+pub struct Server {
+    tracker: Mutex<Tracker>,
+}
+
+impl Server {
+    pub fn touch_all(&self, keys: &[u64]) {
+        for &k in keys {
+            self.tracker.lock().touch(k);
+        }
+    }
+
+    pub fn bump_all(&self, keys: &[u64]) {
+        for &k in keys {
+            self.shard_for(k).lock().bump();
+        }
+    }
+}

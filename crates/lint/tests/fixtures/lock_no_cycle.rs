@@ -1,0 +1,25 @@
+// Fixture: the same two locks, but the first guard is dropped before the
+// second acquisition — no edge, no cycle.
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let g = self.alpha.lock();
+        let a = *g;
+        drop(g);
+        let h = self.beta.lock();
+        *h += a;
+    }
+
+    pub fn backward(&self) {
+        let g = self.beta.lock();
+        let b = *g;
+        drop(g);
+        let h = self.alpha.lock();
+        *h += b;
+    }
+}

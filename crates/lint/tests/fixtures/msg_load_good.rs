@@ -1,0 +1,11 @@
+// Fixture: a backend `msg_load` covering every `Msg` variant — paired
+// with `wire_good.rs` as the messages file.
+
+impl SimProtocol for LapseProto {
+    fn msg_load(&self, msg: &Msg) -> (u64, u64) {
+        match msg {
+            Msg::Ping => (1, 1),
+            Msg::Pong => (1, 1),
+        }
+    }
+}

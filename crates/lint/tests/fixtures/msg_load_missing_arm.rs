@@ -1,0 +1,12 @@
+// Fixture: a backend `msg_load` that matches over `Msg` but forgot
+// `Msg::Pong` (hidden behind a wildcard) — the cost model silently
+// defaults for the new message type.
+
+impl SimProtocol for LapseProto {
+    fn msg_load(&self, msg: &Msg) -> (u64, u64) {
+        match msg {
+            Msg::Ping => (1, 1),
+            _ => (0, 0),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+// Fixture: tags 1 and 3 with 2 unused — the tag space must stay dense.
+
+pub enum Msg {
+    Ping,
+    Pong,
+}
+
+impl Msg {
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Msg::Ping => 1,
+            Msg::Pong => 1,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Msg::Ping => "ping",
+            Msg::Pong => "pong",
+        }
+    }
+}
+
+impl WireCodec for Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Msg::Ping => put_u8(buf, 1),
+            Msg::Pong => put_u8(buf, 3),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match get_u8(buf)? {
+            1 => Ok(Msg::Ping),
+            3 => Ok(Msg::Pong),
+            t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Fixture-driven rule tests: every rule has at least one passing and one
+//! failing snippet. Fixtures are lexed through the same front end as the
+//! real tree, with virtual paths chosen to land in each pass's scope.
+
+use lapse_lint::check_workspace;
+use lapse_lint::findings::Finding;
+use lapse_lint::workspace::Workspace;
+
+const WIRE_GOOD: &str = include_str!("fixtures/wire_good.rs");
+const WIRE_MISSING_DECODE: &str = include_str!("fixtures/wire_missing_decode.rs");
+const WIRE_DUP_TAG: &str = include_str!("fixtures/wire_dup_tag.rs");
+const WIRE_SPARSE_TAG: &str = include_str!("fixtures/wire_sparse_tag.rs");
+const WIRE_DECODE_MISMATCH: &str = include_str!("fixtures/wire_decode_mismatch.rs");
+const MSG_LOAD_GOOD: &str = include_str!("fixtures/msg_load_good.rs");
+const MSG_LOAD_MISSING: &str = include_str!("fixtures/msg_load_missing_arm.rs");
+const DET_GOOD: &str = include_str!("fixtures/det_good.rs");
+const DET_BAD: &str = include_str!("fixtures/det_bad_iter.rs");
+const DET_ALLOW: &str = include_str!("fixtures/det_allow.rs");
+const DET_ALLOW_NO_REASON: &str = include_str!("fixtures/det_allow_no_reason.rs");
+const DET_CLOCK_ENTROPY: &str = include_str!("fixtures/det_clock_entropy.rs");
+const LOCK_CYCLE: &str = include_str!("fixtures/lock_cycle.rs");
+const LOCK_NO_CYCLE: &str = include_str!("fixtures/lock_no_cycle.rs");
+const LOCK_IN_LOOP: &str = include_str!("fixtures/lock_in_loop.rs");
+const CONST_GOOD: &str = include_str!("fixtures/const_good.rs");
+const CONST_DRIFT: &str = include_str!("fixtures/const_drift.rs");
+
+/// Virtual path that makes a fixture the protocol messages file.
+const MESSAGES: &str = "crates/proto/src/messages.rs";
+/// Virtual path in the determinism/lock scope.
+const PROTO_SRC: &str = "crates/proto/src/fixture.rs";
+/// Virtual path for a backend cost model.
+const BACKEND: &str = "crates/core/src/sim_backend.rs";
+
+fn check(files: Vec<(&str, &str)>) -> Vec<Finding> {
+    check_workspace(&Workspace::from_sources(files))
+}
+
+fn has(findings: &[Finding], rule: &str, needle: &str) -> bool {
+    findings
+        .iter()
+        .any(|f| f.rule == rule && f.message.contains(needle))
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+// ---- wire-schema ----
+
+#[test]
+fn synced_schema_is_clean() {
+    let f = check(vec![(MESSAGES, WIRE_GOOD), (BACKEND, MSG_LOAD_GOOD)]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+#[test]
+fn missing_decode_arm_detected() {
+    let f = check(vec![(MESSAGES, WIRE_MISSING_DECODE)]);
+    assert!(
+        has(
+            &f,
+            "wire-schema",
+            "tag 2 (`Msg::Pong`) is encoded but has no decode arm"
+        ),
+        "got: {f:?}"
+    );
+}
+
+#[test]
+fn duplicate_tag_detected() {
+    let f = check(vec![(MESSAGES, WIRE_DUP_TAG)]);
+    assert!(has(&f, "wire-schema", "assigned to both"), "got: {f:?}");
+}
+
+#[test]
+fn sparse_tags_detected() {
+    let f = check(vec![(MESSAGES, WIRE_SPARSE_TAG)]);
+    assert!(has(&f, "wire-schema", "not dense"), "got: {f:?}");
+}
+
+#[test]
+fn decode_variant_mismatch_detected() {
+    let f = check(vec![(MESSAGES, WIRE_DECODE_MISMATCH)]);
+    assert!(
+        has(
+            &f,
+            "wire-schema",
+            "encodes `Msg::Pong` but decodes `Msg::Ping`"
+        ),
+        "got: {f:?}"
+    );
+}
+
+#[test]
+fn msg_load_missing_variant_detected() {
+    let f = check(vec![(MESSAGES, WIRE_GOOD), (BACKEND, MSG_LOAD_MISSING)]);
+    assert!(
+        has(
+            &f,
+            "wire-schema",
+            "fn msg_load matches over `Msg` but has no arm for `Msg::Pong`"
+        ),
+        "got: {f:?}"
+    );
+}
+
+#[test]
+fn deleting_a_wire_bytes_arm_is_detected() {
+    // The acceptance drill: drop one `wire_bytes` arm from an otherwise
+    // synced schema and the linter must go red.
+    let mutated = WIRE_GOOD.replacen("Msg::Pong => 1,", "", 1);
+    let f = check(vec![(MESSAGES, &mutated), (BACKEND, MSG_LOAD_GOOD)]);
+    assert!(
+        has(
+            &f,
+            "wire-schema",
+            "fn wire_bytes matches over `Msg` but has no arm for `Msg::Pong`"
+        ),
+        "got: {f:?}"
+    );
+}
+
+#[test]
+fn deleting_an_encode_arm_is_detected() {
+    let mutated = WIRE_GOOD.replacen("Msg::Pong => put_u8(buf, 2),", "", 1);
+    let f = check(vec![(MESSAGES, &mutated), (BACKEND, MSG_LOAD_GOOD)]);
+    assert!(
+        has(&f, "wire-schema", "`Msg::Pong` has no encode arm"),
+        "got: {f:?}"
+    );
+}
+
+#[test]
+fn missing_unknown_tag_wildcard_detected() {
+    let mutated = WIRE_GOOD.replacen("t => Err(CodecError::UnknownTag(t)),", "", 1);
+    let f = check(vec![(MESSAGES, &mutated), (BACKEND, MSG_LOAD_GOOD)]);
+    assert!(
+        has(&f, "wire-schema", "no wildcard arm rejecting unknown tags"),
+        "got: {f:?}"
+    );
+}
+
+// ---- determinism ----
+
+#[test]
+fn deterministic_patterns_are_clean() {
+    let f = check(vec![(PROTO_SRC, DET_GOOD)]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+#[test]
+fn hash_iteration_detected_in_all_forms() {
+    let f = check(vec![(PROTO_SRC, DET_BAD)]);
+    // `.iter()` on a field, `for` over a path, and `.keys()` through a
+    // lock guard binding.
+    assert_eq!(count(&f, "nondet-iter"), 3, "got: {f:?}");
+    assert!(has(&f, "nondet-iter", "`by_key`"), "got: {f:?}");
+    assert!(has(&f, "nondet-iter", "`g`"), "got: {f:?}");
+}
+
+#[test]
+fn allow_with_reason_suppresses() {
+    let f = check(vec![(PROTO_SRC, DET_ALLOW)]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+#[test]
+fn allow_without_reason_is_itself_a_finding() {
+    let f = check(vec![(PROTO_SRC, DET_ALLOW_NO_REASON)]);
+    assert_eq!(count(&f, "allow-missing-reason"), 1, "got: {f:?}");
+    // And the reason-less allow does not suppress the site.
+    assert_eq!(count(&f, "nondet-iter"), 1, "got: {f:?}");
+}
+
+#[test]
+fn wall_clock_and_entropy_detected() {
+    let f = check(vec![(PROTO_SRC, DET_CLOCK_ENTROPY)]);
+    assert!(has(&f, "wall-clock", "Instant::now"), "got: {f:?}");
+    assert!(has(&f, "entropy", "thread_rng"), "got: {f:?}");
+}
+
+#[test]
+fn out_of_scope_crates_are_ignored() {
+    // The same nondeterministic code in a bench crate is not protocol
+    // surface.
+    let f = check(vec![("crates/bench/src/fixture.rs", DET_BAD)]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+// ---- lock discipline ----
+
+#[test]
+fn lock_order_cycle_detected() {
+    let f = check(vec![(PROTO_SRC, LOCK_CYCLE)]);
+    assert!(has(&f, "lock-cycle", "alpha"), "got: {f:?}");
+    assert!(has(&f, "lock-cycle", "beta"), "got: {f:?}");
+}
+
+#[test]
+fn dropped_guard_breaks_the_cycle() {
+    let f = check(vec![(PROTO_SRC, LOCK_NO_CYCLE)]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+#[test]
+fn loop_invariant_lock_in_key_loop_detected() {
+    let f = check(vec![(PROTO_SRC, LOCK_IN_LOOP)]);
+    // `tracker.lock()` is hoistable and flagged; `shard_for(k).lock()`
+    // names a different lock per key and is not.
+    assert_eq!(count(&f, "lock-in-loop"), 1, "got: {f:?}");
+    assert!(has(&f, "lock-in-loop", "`tracker.lock()`"), "got: {f:?}");
+}
+
+// ---- wire-const ----
+
+#[test]
+fn matching_const_is_clean() {
+    let f = check(vec![(PROTO_SRC, CONST_GOOD)]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+#[test]
+fn drifted_const_detected() {
+    let f = check(vec![(PROTO_SRC, CONST_DRIFT)]);
+    assert!(
+        has(
+            &f,
+            "wire-const",
+            "HEADER_BYTES is 10 but struct Header's fields"
+        ),
+        "got: {f:?}"
+    );
+}
+
+// ---- output formats ----
+
+#[test]
+fn json_output_is_well_formed() {
+    let f = check(vec![(MESSAGES, WIRE_SPARSE_TAG)]);
+    let json = lapse_lint::findings::render_json(&f);
+    assert!(json.starts_with('['), "got: {json}");
+    assert!(json.contains("\"rule\":\"wire-schema\""), "got: {json}");
+    assert!(
+        json.contains("\"file\":\"crates/proto/src/messages.rs\""),
+        "got: {json}"
+    );
+}

@@ -23,7 +23,7 @@
 //! * **Read your writes** — a worker's read must be at least the sum of
 //!   its own earlier pushes to that key (client-centric consistency).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use lapse_net::{Key, WorkerId};
 
@@ -84,7 +84,9 @@ const EPS: f64 = 1e-3;
 /// (no lost updates). `finals` maps keys to final values; keys never
 /// pushed may be omitted.
 pub fn check_no_lost_updates(finals: &HashMap<Key, f64>, logs: &[WorkerLog]) -> Vec<Violation> {
-    let mut sums: HashMap<Key, f64> = HashMap::new();
+    // BTreeMap: violations are reported in key order, independent of
+    // hasher state.
+    let mut sums: BTreeMap<Key, f64> = BTreeMap::new();
     for log in logs {
         for &(key, ev) in &log.events {
             if let LogEvent::Push(delta) = ev {

@@ -1,0 +1,253 @@
+//! Adversarial codec tests: exhaustive tag coverage, the unknown-tag
+//! boundary, byte-by-byte truncation of the technique-transition frames
+//! (tags 10–14), and absurd length prefixes. Complements the proptest
+//! suite with deterministic, boundary-targeted cases.
+
+use bytes::{Bytes, BytesMut};
+
+use lapse_net::codec::{CodecError, WireCodec};
+use lapse_net::{Key, NodeId, ValueBlock, WireSize};
+use lapse_proto::messages::{
+    HandOverMsg, LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, OpRespMsg, RelocateMsg, ReplicaPushMsg,
+    ReplicaRefreshMsg, ReplicaRegMsg, TechniqueDemoteAckMsg, TechniqueDemoteMsg,
+    TechniqueDrainedMsg, TechniquePromoteAckMsg, TechniquePromoteMsg,
+};
+
+/// One sample per variant, ordered by wire tag (1..=14).
+fn samples_by_tag() -> Vec<(u8, Msg)> {
+    vec![
+        (
+            1,
+            Msg::Op(OpMsg {
+                op: OpId::new(NodeId(1), 42),
+                kind: OpKind::Push,
+                keys: vec![Key(3), Key(9)],
+                vals: vec![1.0, -2.0],
+                routed_by_home: true,
+            }),
+        ),
+        (
+            2,
+            Msg::OpResp(OpRespMsg {
+                op: OpId::new(NodeId(0), 1),
+                kind: OpKind::Pull,
+                keys: vec![Key(5)],
+                vals: ValueBlock::from_f32s(&[0.25, 0.5]),
+                owner: NodeId(3),
+            }),
+        ),
+        (
+            3,
+            Msg::LocalizeReq(LocalizeReqMsg {
+                op: OpId::new(NodeId(1), 8),
+                keys: vec![Key(0), Key(1)],
+            }),
+        ),
+        (
+            4,
+            Msg::Relocate(RelocateMsg {
+                op: OpId::new(NodeId(1), 8),
+                keys: vec![Key(0)],
+                new_owner: NodeId(1),
+            }),
+        ),
+        (
+            5,
+            Msg::HandOver(HandOverMsg {
+                op: OpId::new(NodeId(1), 8),
+                keys: vec![Key(0)],
+                vals: ValueBlock::from_f32s(&[9.0]),
+            }),
+        ),
+        (6, Msg::Shutdown),
+        (7, Msg::ReplicaReg(ReplicaRegMsg { node: NodeId(2) })),
+        (
+            8,
+            Msg::ReplicaPush(ReplicaPushMsg {
+                node: NodeId(2),
+                flush_seq: 4,
+                keys: vec![Key(1), Key(2)],
+                vals: vec![0.5, -1.5],
+            }),
+        ),
+        (
+            9,
+            Msg::ReplicaRefresh(ReplicaRefreshMsg {
+                owner: NodeId(0),
+                round: 9,
+                ack: 4,
+                keys: vec![Key(1)],
+                vals: ValueBlock::from_f32s(&[2.25]),
+            }),
+        ),
+        (
+            10,
+            Msg::TechniquePromote(TechniquePromoteMsg {
+                node: NodeId(3),
+                keys: vec![Key(7), Key(8)],
+            }),
+        ),
+        (
+            11,
+            Msg::TechniquePromoteAck(TechniquePromoteAckMsg {
+                home: NodeId(0),
+                epoch: 3,
+                keys: vec![Key(7)],
+                vals: ValueBlock::from_f32s(&[1.5, -0.5]),
+            }),
+        ),
+        (
+            12,
+            Msg::TechniqueDemote(TechniqueDemoteMsg {
+                node: NodeId(1),
+                keys: vec![Key(7)],
+            }),
+        ),
+        (
+            13,
+            Msg::TechniqueDemoteAck(TechniqueDemoteAckMsg {
+                home: NodeId(0),
+                epoch: 4,
+                keys: vec![Key(7)],
+            }),
+        ),
+        (
+            14,
+            Msg::TechniqueDrained(TechniqueDrainedMsg {
+                node: NodeId(2),
+                epoch: 4,
+                keys: vec![Key(7)],
+                vals: vec![0.75, 0.25],
+            }),
+        ),
+    ]
+}
+
+fn encode(msg: &Msg) -> Bytes {
+    let mut buf = BytesMut::new();
+    msg.encode(&mut buf);
+    buf.freeze()
+}
+
+#[test]
+fn every_tag_round_trips_with_its_tag_byte() {
+    let samples = samples_by_tag();
+    // The sample list itself must be exhaustive over the tag space.
+    let tags: Vec<u8> = samples.iter().map(|(t, _)| *t).collect();
+    assert_eq!(tags, (1..=14).collect::<Vec<u8>>());
+
+    for (tag, msg) in &samples {
+        let bytes = encode(msg);
+        assert_eq!(bytes[0], *tag, "first byte of {} is the tag", msg.label());
+        assert_eq!(
+            bytes.len(),
+            msg.wire_bytes(),
+            "wire_bytes for {}",
+            msg.label()
+        );
+        let mut rest = bytes.clone();
+        let back = Msg::decode(&mut rest).expect("decode");
+        assert_eq!(&back, msg);
+        assert_eq!(rest.len(), 0, "decode consumed the frame exactly");
+    }
+}
+
+#[test]
+fn unknown_tag_at_both_boundaries() {
+    // Tag 0 (below the dense range) and 15 (max assigned + 1): both must
+    // fail with UnknownTag, not EOF or garbage decoding.
+    for bad in [0u8, 15, 16, 0xFF] {
+        let mut bytes = Bytes::from(vec![bad, 0, 0, 0, 0, 0, 0, 0]);
+        match Msg::decode(&mut bytes) {
+            Err(CodecError::UnknownTag(t)) => assert_eq!(t, bad),
+            other => panic!("tag {bad}: expected UnknownTag, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn empty_input_is_eof() {
+    let mut bytes = Bytes::new();
+    assert!(matches!(
+        Msg::decode(&mut bytes),
+        Err(CodecError::UnexpectedEof)
+    ));
+}
+
+#[test]
+fn truncated_technique_frames_error_at_every_cut() {
+    // Tags 10..=14 are the adaptive-management arms; cut each encoded
+    // frame at every byte boundary and require a clean error (never a
+    // panic, never a bogus success).
+    for (tag, msg) in samples_by_tag() {
+        if !(10..=14).contains(&tag) {
+            continue;
+        }
+        let full = encode(&msg);
+        for cut in 0..full.len() {
+            let mut prefix = full.slice(0..cut);
+            match Msg::decode(&mut prefix) {
+                Err(_) => {}
+                Ok(got) => panic!(
+                    "tag {tag}: {}-byte prefix of a {}-byte frame decoded as {}",
+                    cut,
+                    full.len(),
+                    got.label()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_frames_never_succeed_for_any_tag() {
+    // The same guarantee for the whole tag space, at the frame level.
+    for (_, msg) in samples_by_tag() {
+        let full = encode(&msg);
+        for cut in 0..full.len() {
+            let mut prefix = full.slice(0..cut);
+            assert!(
+                Msg::decode(&mut prefix).is_err(),
+                "{}: truncated frame decoded successfully",
+                msg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn absurd_key_count_is_length_out_of_range() {
+    // TechniquePromote: tag, node (u16 LE), then the key-list length as
+    // u32 LE. A length of u32::MAX (> MAX_LEN = 1 << 30) must be rejected
+    // by range check, not by attempting a 32 GiB allocation.
+    let frame = vec![10u8, 3, 0, 0xFF, 0xFF, 0xFF, 0xFF];
+    let mut bytes = Bytes::from(frame);
+    match Msg::decode(&mut bytes) {
+        Err(CodecError::LengthOutOfRange(n)) => assert_eq!(n, u32::MAX as u64),
+        other => panic!("expected LengthOutOfRange, got {other:?}"),
+    }
+
+    // Same probe through the drained path (tag 14: node, epoch u64, keys).
+    let mut frame = vec![14u8, 2, 0];
+    frame.extend_from_slice(&4u64.to_le_bytes());
+    frame.extend_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+    let mut bytes = Bytes::from(frame);
+    assert!(matches!(
+        Msg::decode(&mut bytes),
+        Err(CodecError::LengthOutOfRange(_))
+    ));
+}
+
+#[test]
+fn plausible_length_with_missing_payload_is_eof() {
+    // A key count that passes the range check but exceeds the remaining
+    // bytes must be EOF — the boundary between the two error classes.
+    let mut frame = vec![12u8, 1, 0]; // TechniqueDemote { node: 1, .. }
+    frame.extend_from_slice(&2u32.to_le_bytes()); // claims 2 keys
+    frame.extend_from_slice(&7u64.to_le_bytes()); // provides only 1
+    let mut bytes = Bytes::from(frame);
+    assert!(matches!(
+        Msg::decode(&mut bytes),
+        Err(CodecError::UnexpectedEof)
+    ));
+}

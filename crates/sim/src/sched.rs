@@ -2,7 +2,7 @@
 
 use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -252,7 +252,7 @@ impl<P: SimProtocol> SimCluster<P> {
 
         // ---- event loop ----
         let mut server_free = vec![0u64; self.nodes as usize];
-        let mut waiting: HashSet<TaskId> = HashSet::new();
+        let mut waiting: BTreeSet<TaskId> = BTreeSet::new();
         let mut finished = vec![false; n_tasks];
         let mut finished_count = 0usize;
         let mut barrier_waiting: Vec<(TaskId, u64)> = Vec::new();
@@ -364,7 +364,7 @@ impl<P: SimProtocol> SimCluster<P> {
         (report, results, self.servers)
     }
 
-    fn drain_notifies(&self, waiting: &mut HashSet<TaskId>, at: u64, finished: &[bool]) {
+    fn drain_notifies(&self, waiting: &mut BTreeSet<TaskId>, at: u64, finished: &[bool]) {
         let mut pending = self.shared.pending_notifies.lock();
         for task in pending.drain(..) {
             if !finished[task] && waiting.remove(&task) {
