@@ -26,6 +26,13 @@ bench-check:
 ## value-plane accounting), and the adaptive technique-transition
 ## machinery (table_adaptive in LAPSE_SMOKE mode: sketch-driven
 ## promotions/demotions must replay bit-identically in virtual time).
+## The contended-access bench (micro_contended in LAPSE_SMOKE mode:
+## fixed-schedule threaded run, schedule-independent counters) must print
+## identical lines in latched and wait-free mode — the seqlock fast path
+## may change timing only, never results. table1_consistency and
+## table5_relocation double-run at a small scale for the same reason:
+## their simulator tables must stay byte-identical with the read fast
+## path and vectorized kernels in the tree.
 bench-smoke:
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-1.txt 2>/dev/null
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-2.txt 2>/dev/null
@@ -36,6 +43,15 @@ bench-smoke:
 	LAPSE_SMOKE=1 $(CARGO) bench --bench table_adaptive > /tmp/lapse-bench-smoke-5.txt 2>/dev/null
 	LAPSE_SMOKE=1 $(CARGO) bench --bench table_adaptive > /tmp/lapse-bench-smoke-6.txt 2>/dev/null
 	diff /tmp/lapse-bench-smoke-5.txt /tmp/lapse-bench-smoke-6.txt
+	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_contended > /tmp/lapse-bench-smoke-7.txt 2>/dev/null
+	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_contended > /tmp/lapse-bench-smoke-8.txt 2>/dev/null
+	diff /tmp/lapse-bench-smoke-7.txt /tmp/lapse-bench-smoke-8.txt
+	LAPSE_SCALE=0.05 $(CARGO) bench --bench table1_consistency > /tmp/lapse-bench-smoke-9.txt 2>/dev/null
+	LAPSE_SCALE=0.05 $(CARGO) bench --bench table1_consistency > /tmp/lapse-bench-smoke-10.txt 2>/dev/null
+	diff /tmp/lapse-bench-smoke-9.txt /tmp/lapse-bench-smoke-10.txt
+	LAPSE_SCALE=0.05 $(CARGO) bench --bench table5_relocation > /tmp/lapse-bench-smoke-11.txt 2>/dev/null
+	LAPSE_SCALE=0.05 $(CARGO) bench --bench table5_relocation > /tmp/lapse-bench-smoke-12.txt 2>/dev/null
+	diff /tmp/lapse-bench-smoke-11.txt /tmp/lapse-bench-smoke-12.txt
 	@echo "bench-smoke: output bit-identical across runs"
 
 fmt:
@@ -56,10 +72,13 @@ lint: fmt-check clippy lint-check
 
 ## Best-effort ThreadSanitizer pass over the threaded-backend tests.
 ## Requires a nightly toolchain with rust-src; skipped gracefully when
-## unavailable (the container pins stable).
+## unavailable (the container pins stable). LAPSE_NO_SEQLOCK=1 disables
+## the wait-free read path: its volatile racy reads are benign by the
+## seqlock argument (DESIGN.md §7) but are exactly what tsan reports, so
+## the sanitizer pass exercises the latched configuration.
 tsan:
 	@if rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then \
-		RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+		LAPSE_NO_SEQLOCK=1 RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
 		$(CARGO) +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
 			-p lapse-core -q; \
 	else \

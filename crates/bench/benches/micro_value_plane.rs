@@ -18,6 +18,7 @@
 use std::time::Instant;
 
 use lapse_bench::banner;
+use lapse_ml::opt::{AdaGrad, Sgd};
 use lapse_net::{Key, NodeId, ValueBlockBuilder};
 use lapse_proto::testkit::TestCluster;
 use lapse_proto::{Layout, ProtoConfig};
@@ -43,6 +44,15 @@ fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
         f();
     }
     start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Best-of-`reps` timing: the minimum is robust against scheduler
+/// interference on loaded hosts, where a single preemption inside one
+/// timing window can double a nanosecond-scale mean.
+fn time_ns_min(reps: u32, iters: u64, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| time_ns(iters, &mut f))
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn block_probes(dim: usize) -> (f64, f64) {
@@ -71,6 +81,88 @@ fn block_probes(dim: usize) -> (f64, f64) {
         std::hint::black_box(&out);
     });
     (build, read)
+}
+
+/// Scalar reference for [`Sgd::delta`]: same per-element arithmetic,
+/// bounds-checked indexed form (the shape the optimizer had before the
+/// kernel split). `inline(never)` keeps the comparison honest.
+#[inline(never)]
+fn sgd_ref(lr: f32, grad: &[f32], delta: &mut [f32]) {
+    for i in 0..delta.len().min(grad.len()) {
+        delta[i] = -lr * grad[i];
+    }
+}
+
+/// Scalar reference for [`AdaGrad::delta`]: the fused loop with strided
+/// `delta[i]` / `delta[d + i]` writes that the split-pass kernel
+/// replaced. Identical per-element arithmetic.
+#[inline(never)]
+fn adagrad_ref(lr: f32, eps: f32, pulled: &[f32], grad: &[f32], delta: &mut [f32]) {
+    let d = grad.len();
+    for i in 0..d {
+        let g = grad[i];
+        let g2 = g * g;
+        let a = pulled[d + i] + g2;
+        delta[i] = -lr * g / (a + eps).sqrt();
+        delta[d + i] = g2;
+    }
+}
+
+/// Times the vectorized update kernels against their scalar references
+/// at dimension `dim` and returns `(kernel, kernel ns/op, ref ns/op)`
+/// rows. When `strict`, asserts the restructured kernels keep at least
+/// 0.8x of the reference throughput — the kernel split exists to speed
+/// these loops up, so falling *behind* the fused form is a regression.
+fn kernel_probes(dim: usize, strict: bool) -> Vec<(String, f64, f64)> {
+    let iters = (2_000_000 / dim.max(1)) as u64;
+    let grad = vec![0.125f32; dim];
+    let mut delta = vec![0.0f32; 2 * dim];
+    let pulled = vec![0.25f32; 2 * dim];
+
+    let sgd = Sgd { lr: 0.1 };
+    let sgd_ns = time_ns_min(5, iters, || {
+        sgd.delta(std::hint::black_box(&grad), &mut delta[..dim]);
+        std::hint::black_box(&delta);
+    });
+    let sgd_ref_ns = time_ns_min(5, iters, || {
+        sgd_ref(0.1, std::hint::black_box(&grad), &mut delta[..dim]);
+        std::hint::black_box(&delta);
+    });
+
+    let ada = AdaGrad { lr: 0.1, eps: 1e-8 };
+    let ada_ns = time_ns_min(5, iters, || {
+        ada.delta(
+            std::hint::black_box(&pulled),
+            std::hint::black_box(&grad),
+            &mut delta,
+        );
+        std::hint::black_box(&delta);
+    });
+    let ada_ref_ns = time_ns_min(5, iters, || {
+        adagrad_ref(
+            0.1,
+            1e-8,
+            std::hint::black_box(&pulled),
+            std::hint::black_box(&grad),
+            &mut delta,
+        );
+        std::hint::black_box(&delta);
+    });
+
+    let rows = vec![
+        ("sgd".to_string(), sgd_ns, sgd_ref_ns),
+        ("adagrad".to_string(), ada_ns, ada_ref_ns),
+    ];
+    if strict {
+        for (name, ns, ref_ns) in &rows {
+            assert!(
+                *ns <= ref_ns / 0.8,
+                "{name} kernel at dim {dim} slower than 0.8x its scalar \
+                 reference: {ns:.1} ns vs {ref_ns:.1} ns"
+            );
+        }
+    }
+    rows
 }
 
 struct PathResult {
@@ -165,6 +257,27 @@ fn main() {
         "note: ops are 64-key groups; local pull must allocate nothing per key \
          (arena → caller buffer); remote pulls move one contiguous block per response"
     );
+
+    // Update-kernel throughput: the split-pass optimizer kernels vs their
+    // scalar/fused references (assertions are skipped under LAPSE_SMOKE —
+    // timing ratios are meaningless on a starved smoke machine).
+    let strict = std::env::var("LAPSE_SMOKE").is_err();
+    let mut ktable = Table::new(
+        "update kernels — ns/op vs scalar reference",
+        &["dim", "kernel", "ns/op", "ref ns/op", "speedup"],
+    );
+    for dim in [64usize, 512] {
+        for (name, ns, ref_ns) in kernel_probes(dim, strict) {
+            ktable.row(vec![
+                format!("{dim}"),
+                name,
+                format!("{ns:.1}"),
+                format!("{ref_ns:.1}"),
+                format!("{:.2}x", ref_ns / ns),
+            ]);
+        }
+    }
+    ktable.print();
 
     // A small simulated run, to show the value-plane accounting as
     // surfaced through the simulation report (deterministic output).

@@ -23,6 +23,12 @@ use crate::threaded::{spawn_server, ThreadedPsWorker, WakeCell};
 pub struct PsConfig {
     /// The underlying protocol configuration.
     pub proto: ProtoConfig,
+    /// Seqlock read fast path: `None` leaves the backend default (sim:
+    /// off — its schedules and outputs must stay bit-identical to the
+    /// latched path; threaded: on), `Some(v)` forces it. The
+    /// `LAPSE_NO_SEQLOCK` environment variable overrides both to off
+    /// (ThreadSanitizer runs, latched baselines).
+    pub wait_free_reads: Option<bool>,
 }
 
 impl PsConfig {
@@ -31,6 +37,7 @@ impl PsConfig {
     pub fn new(nodes: u16, keys: u64, value_len: u32) -> Self {
         PsConfig {
             proto: ProtoConfig::new(nodes, keys, Layout::Uniform(value_len)),
+            wait_free_reads: None,
         }
     }
 
@@ -94,6 +101,20 @@ impl PsConfig {
         self.proto.replica_flush_every = n;
         self
     }
+
+    /// Forces the seqlock read fast path on or off (default: backend
+    /// decides — off for the simulator, on for the threaded backend).
+    pub fn wait_free_reads(mut self, on: bool) -> Self {
+        self.wait_free_reads = Some(on);
+        self
+    }
+}
+
+/// `LAPSE_NO_SEQLOCK=1` disables the wait-free read path everywhere:
+/// ThreadSanitizer cannot reason about seqlocks (intentional benign
+/// races), and the contended benchmark uses it for a latched baseline.
+fn seqlock_disabled_by_env() -> bool {
+    std::env::var_os("LAPSE_NO_SEQLOCK").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 fn build_shareds(
@@ -121,7 +142,13 @@ where
     R: Send + 'static,
     F: Fn(&mut dyn PsWorker) -> R + Send + Sync + 'static,
 {
-    let proto = Arc::new(cfg.proto);
+    let mut proto = cfg.proto;
+    // The simulator stays on the latched path unconditionally: its
+    // virtual-time schedules and deterministic experiment outputs are
+    // specified against latched serving, and a single-threaded run gains
+    // nothing from optimistic reads.
+    proto.wait_free_reads = false;
+    let proto = Arc::new(proto);
     let clock_cell = Arc::new(AtomicU64::new(0));
     let clock: ClockFn = {
         let c = clock_cell.clone();
@@ -170,7 +197,9 @@ where
     R: Send + 'static,
     F: Fn(&mut dyn PsWorker) -> R + Send + Sync + 'static,
 {
-    let proto = Arc::new(cfg.proto);
+    let mut proto = cfg.proto;
+    proto.wait_free_reads = cfg.wait_free_reads.unwrap_or(true) && !seqlock_disabled_by_env();
+    let proto = Arc::new(proto);
     // lint:allow(wall-clock, threaded backend timestamps real elapsed time; it never feeds message contents or ordering)
     let start = Instant::now();
     let clock: ClockFn = Arc::new(move || start.elapsed().as_nanos() as u64);

@@ -1,6 +1,6 @@
 //! `lapse-lint` — the workspace invariant checker.
 //!
-//! Four static passes keep the protocol crates honest (see DESIGN.md
+//! Five static passes keep the protocol crates honest (see DESIGN.md
 //! "Static invariants"):
 //!
 //! 1. **wire-schema** — every `Msg` variant covered by codec
@@ -10,9 +10,13 @@
 //!    iteration order, wall-clock read, or entropy-seeded RNG in the
 //!    protocol/scheduling crates;
 //! 3. **lock-cycle / lock-in-loop** — no lock-order cycles, no shard
-//!    latch/guard-map/tracker acquisition inside per-key loops;
+//!    latch/guard-map/tracker acquisition inside per-key loops
+//!    (`.lock()`, `.read()`, and `.write()` all count as acquisitions);
 //! 4. **wire-const** — `<NAME>_BYTES` constants agree with the field
-//!    lists of their structs.
+//!    lists of their structs;
+//! 5. **seqlock-write** — no mutation of seqlock-protected shard state
+//!    through a `.read()` guard (read guards do not bump the shard
+//!    sequence, so such writes are invisible to optimistic readers).
 //!
 //! Benign sites carry `// lint:allow(<rule>, <reason>)`; the reason is
 //! mandatory. The binary (`cargo run -p lapse-lint -- check`) exits
@@ -57,6 +61,7 @@ pub fn check_workspace(ws: &Workspace) -> Vec<Finding> {
     raw.extend(passes::wire_schema::run(&lexed));
     raw.extend(passes::determinism::run(&lexed));
     raw.extend(passes::locks::run(&lexed));
+    raw.extend(passes::seqlock::run(&lexed));
     raw.extend(passes::wire_consts::run(&lexed));
 
     for f in raw {

@@ -2,16 +2,18 @@
 //!
 //! Two rules over the protocol/scheduler crates:
 //!
-//! * **`lock-cycle`** — per function, the sequence of `.lock()`
-//!   acquisitions is extracted (tracking `let`-bound guard lifetimes by
-//!   block depth and explicit `drop(guard)`), edges `held → acquired`
-//!   feed one global lock-order graph, and every cycle is reported:
-//!   static deadlock detection by lock *name* (the field/variable the
-//!   mutex lives in).
-//! * **`lock-in-loop`** — a `.lock()` inside a per-key loop (`for ... in
-//!   ... keys ...`) re-acquires a shard latch / guard map / tracker once
-//!   per key; the PR 3 value-plane refactor hoists these to once per op,
-//!   and this rule keeps it that way.
+//! * **`lock-cycle`** — per function, the sequence of `.lock()` /
+//!   `.read()` / `.write()` acquisitions is extracted (tracking
+//!   `let`-bound guard lifetimes by block depth and explicit
+//!   `drop(guard)`), edges `held → acquired` feed one global lock-order
+//!   graph, and every cycle is reported: static deadlock detection by
+//!   lock *name* (the field/variable the mutex lives in). `ShardCell`'s
+//!   seqlock guards both take the shard latch, so they participate in
+//!   lock ordering exactly like plain mutex guards.
+//! * **`lock-in-loop`** — an acquisition inside a per-key loop (`for ...
+//!   in ... keys ...`) re-acquires a shard latch / guard map / tracker
+//!   once per key; the PR 3 value-plane refactor hoists these to once
+//!   per op, and this rule keeps it that way.
 //!
 //! Limitations (documented, deliberate): analysis is intra-procedural
 //! and name-based — two mutexes stored in fields of the same name are
@@ -147,8 +149,10 @@ fn scan_fn(
                     held.retain(|h| h.binding.as_deref() != Some(g));
                 }
             }
-            Tok::Ident(id) if id == "lock" => {
-                // `.lock()` call?
+            Tok::Ident(id) if matches!(id.as_str(), "lock" | "read" | "write") => {
+                // `.lock()` / `.read()` / `.write()` call? (The seqlock
+                // guards hold the same shard latch as `.lock()` did, so
+                // they are acquisitions for ordering purposes.)
                 let is_call = i > 0
                     && toks[i - 1].is_punct(".")
                     && i + 1 < body.end
@@ -188,7 +192,7 @@ fn scan_fn(
                             &file.path,
                             line,
                             format!(
-                                "`{name}.lock()` inside a per-key loop in fn {func} — \
+                                "`{name}.{id}()` inside a per-key loop in fn {func} — \
                                  acquire shard latches/guard maps/trackers once per op, \
                                  not once per key"
                             ),
@@ -245,8 +249,8 @@ fn scan_fn(
 }
 
 /// If the statement containing token `at` is `let [mut] g = ...`, returns
-/// `g`.
-fn let_binding_for(toks: &[Token], lo: usize, at: usize) -> Option<String> {
+/// `g`. Shared with the seqlock pass, which tracks read-guard bindings.
+pub(crate) fn let_binding_for(toks: &[Token], lo: usize, at: usize) -> Option<String> {
     let mut i = at;
     while i > lo {
         i -= 1;

@@ -1,6 +1,7 @@
-//! The four invariant passes.
+//! The five invariant passes.
 
 pub mod determinism;
 pub mod locks;
+pub mod seqlock;
 pub mod wire_consts;
 pub mod wire_schema;

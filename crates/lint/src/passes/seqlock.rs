@@ -1,0 +1,159 @@
+//! Pass 5: seqlock write discipline.
+//!
+//! **`seqlock-write`** — mutating seqlock-protected shard state through
+//! a read guard. `ShardCell::read()` takes the shard latch but does
+//! *not* bump the sequence counter, so a write made through it is
+//! invisible to concurrent optimistic readers: they validate against an
+//! even, unchanged sequence and can hand back a torn snapshot. Every
+//! mutation of `Shard` state must go through `ShardCell::write()`, whose
+//! guard brackets the critical section with the odd/even sequence
+//! transitions (see DESIGN.md §7).
+//!
+//! Detection is name-based and intra-procedural like the other passes: a
+//! guard obtained from a `.read()` call — either `let`-bound or used as
+//! a chained temporary — whose member chain then invokes a known
+//! mutating method (`store.add`, `incoming.remove`,
+//! `techniques.promote`, `replica.accumulate`, ...) is flagged. The
+//! guard types make most of these a compile error already; the lint
+//! keeps the invariant visible when guards are smuggled through raw
+//! pointers, interior mutability, or future refactors the type system
+//! cannot see.
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::passes::determinism::in_scope;
+use crate::passes::locks::let_binding_for;
+use crate::scan::{functions, in_ranges, match_bracket, test_ranges};
+use crate::workspace::LexedFile;
+
+/// Method names that mutate shard state. Reads (`get`, `replicated`,
+/// `read_replicated`, iteration) are absent by construction.
+const MUTATORS: &[&str] = &[
+    // Store / arena.
+    "add",
+    "insert",
+    "insert_with",
+    "take",
+    "release",
+    // Replica plane.
+    "accumulate",
+    "refresh",
+    "refresh_with",
+    "retire",
+    // Technique transitions.
+    "promote",
+    "demote",
+    // Queue / map surgery (incoming, loc_cache, techniques).
+    "remove",
+    "push_back",
+    "pop_front",
+    "clear",
+    "drain",
+    "get_mut",
+];
+
+pub fn run(files: &[LexedFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| in_scope(&f.path)) {
+        let tests = test_ranges(&f.lexed.tokens);
+        for item in functions(&f.lexed.tokens) {
+            if in_ranges(&tests, item.body.start) {
+                continue;
+            }
+            scan_fn(f, &item.name, item.body.clone(), &mut out);
+        }
+    }
+    out
+}
+
+/// A live read-guard binding: its name and the brace depth it was bound
+/// at (it dies when that block closes).
+struct ReadGuard {
+    name: String,
+    depth: i64,
+}
+
+fn scan_fn(file: &LexedFile, func: &str, body: std::ops::Range<usize>, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    let mut depth: i64 = 0;
+    let mut guards: Vec<ReadGuard> = Vec::new();
+
+    let mut i = body.start;
+    while i < body.end {
+        match &toks[i].tok {
+            Tok::Punct("{") => depth += 1,
+            Tok::Punct("}") => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            Tok::Ident(id) if id == "drop" && i + 2 < body.end && toks[i + 1].is_punct("(") => {
+                if let Some(g) = toks[i + 2].ident() {
+                    guards.retain(|x| x.name != g);
+                }
+            }
+            Tok::Ident(id) if id == "read" => {
+                // `.read()` call?
+                let is_call = i > 0
+                    && toks[i - 1].is_punct(".")
+                    && i + 1 < body.end
+                    && toks[i + 1].is_punct("(");
+                if is_call {
+                    if let Some(bound) = let_binding_for(toks, body.start, i) {
+                        guards.push(ReadGuard { name: bound, depth });
+                    } else if let Some(close) = match_bracket(toks, i + 1) {
+                        // Chained temporary:
+                        // `self.shard_for(k).read().techniques.promote(k)`.
+                        if let Some((m, line)) = mutator_in_chain(toks, close + 1, body.end) {
+                            report(out, file, func, line, "<read guard>", &m);
+                        }
+                    }
+                }
+            }
+            Tok::Ident(id) => {
+                // A bound read guard at the head of a member chain.
+                let head = i == body.start || !toks[i - 1].is_punct(".");
+                if head && guards.iter().any(|g| &g.name == id) {
+                    if let Some((m, line)) = mutator_in_chain(toks, i + 1, body.end) {
+                        report(out, file, func, line, id, &m);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Walks a member chain starting at `start` (which must be a `.` for the
+/// chain to continue) and returns the first mutating method call in it,
+/// with its line. Field accesses are stepped over; non-mutating call
+/// arguments are skipped wholesale (a mutator inside an argument list has
+/// its own receiver and is someone else's chain).
+fn mutator_in_chain(toks: &[Token], start: usize, end: usize) -> Option<(String, u32)> {
+    let mut j = start;
+    while j + 1 < end && toks[j].is_punct(".") {
+        let name = toks[j + 1].ident()?;
+        if j + 2 < end && toks[j + 2].is_punct("(") {
+            if MUTATORS.contains(&name) {
+                return Some((name.to_string(), toks[j + 1].line));
+            }
+            j = match_bracket(toks, j + 2)? + 1;
+        } else {
+            j += 2;
+        }
+    }
+    None
+}
+
+fn report(out: &mut Vec<Finding>, file: &LexedFile, func: &str, line: u32, guard: &str, m: &str) {
+    out.push(Finding::new(
+        "seqlock-write",
+        &file.path,
+        line,
+        format!(
+            "`.{m}(..)` mutates shard state through read guard `{guard}` in fn {func} — \
+             `.read()` does not bump the shard sequence, so concurrent optimistic \
+             readers can validate a torn snapshot; use `.write()`"
+        ),
+    ));
+}

@@ -1,0 +1,14 @@
+// Fixture: shard state mutated through a read guard — the sequence is
+// never bumped, so a concurrent optimistic reader can validate a torn
+// snapshot. Both the let-bound and the chained-temporary form.
+
+impl Node {
+    pub fn sneak_add(&self, k: u64, v: &[f32]) {
+        let shard = self.shard_for(k).read();
+        shard.store.add(k, v);
+    }
+
+    pub fn sneak_promote(&self, k: u64) {
+        self.shard_for(k).read().techniques.promote(k);
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: the seqlock contract held — mutation goes through the write
+// guard (which brackets the critical section with sequence bumps), reads
+// go through the read guard.
+
+impl Node {
+    pub fn apply(&self, k: u64, v: &[f32]) {
+        let mut shard = self.shard_for(k).write();
+        shard.store.add(k, v);
+        shard.techniques.promote(k);
+    }
+
+    pub fn peek(&self, k: u64, out: &mut [f32]) {
+        let shard = self.shard_for(k).read();
+        if let Some(vals) = shard.store.get(k) {
+            out.copy_from_slice(vals);
+        }
+        let _owned = shard.techniques.replicated(k);
+    }
+}

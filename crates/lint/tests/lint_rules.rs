@@ -23,6 +23,8 @@ const LOCK_NO_CYCLE: &str = include_str!("fixtures/lock_no_cycle.rs");
 const LOCK_IN_LOOP: &str = include_str!("fixtures/lock_in_loop.rs");
 const CONST_GOOD: &str = include_str!("fixtures/const_good.rs");
 const CONST_DRIFT: &str = include_str!("fixtures/const_drift.rs");
+const SEQLOCK_GOOD: &str = include_str!("fixtures/seqlock_write_good.rs");
+const SEQLOCK_BAD: &str = include_str!("fixtures/seqlock_write_bad.rs");
 
 /// Virtual path that makes a fixture the protocol messages file.
 const MESSAGES: &str = "crates/proto/src/messages.rs";
@@ -209,6 +211,51 @@ fn loop_invariant_lock_in_key_loop_detected() {
     // names a different lock per key and is not.
     assert_eq!(count(&f, "lock-in-loop"), 1, "got: {f:?}");
     assert!(has(&f, "lock-in-loop", "`tracker.lock()`"), "got: {f:?}");
+}
+
+#[test]
+fn seqlock_guards_participate_in_lock_order() {
+    // `.read()`/`.write()` hold the shard latch like `.lock()`, so a
+    // cycle through the seqlock guards is still a lock-order cycle.
+    let mutated = LOCK_CYCLE
+        .replacen(".lock()", ".write()", 1)
+        .replace(".lock()", ".read()");
+    let f = check(vec![(PROTO_SRC, &mutated)]);
+    assert!(has(&f, "lock-cycle", "alpha"), "got: {f:?}");
+    assert!(has(&f, "lock-cycle", "beta"), "got: {f:?}");
+}
+
+#[test]
+fn seqlock_guard_in_key_loop_detected() {
+    let mutated = LOCK_IN_LOOP.replace(".lock()", ".write()");
+    let f = check(vec![(PROTO_SRC, &mutated)]);
+    assert_eq!(count(&f, "lock-in-loop"), 1, "got: {f:?}");
+    assert!(has(&f, "lock-in-loop", "`tracker.write()`"), "got: {f:?}");
+}
+
+// ---- seqlock write discipline ----
+
+#[test]
+fn write_guard_mutation_is_clean() {
+    let f = check(vec![(PROTO_SRC, SEQLOCK_GOOD)]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+#[test]
+fn read_guard_mutation_detected() {
+    let f = check(vec![(PROTO_SRC, SEQLOCK_BAD)]);
+    // Once through the let-bound guard, once through the chained
+    // temporary.
+    assert_eq!(count(&f, "seqlock-write"), 2, "got: {f:?}");
+    assert!(
+        has(
+            &f,
+            "seqlock-write",
+            "`.add(..)` mutates shard state through read guard `shard`"
+        ),
+        "got: {f:?}"
+    );
+    assert!(has(&f, "seqlock-write", "`.promote(..)`"), "got: {f:?}");
 }
 
 // ---- wire-const ----

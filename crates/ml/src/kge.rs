@@ -428,27 +428,46 @@ impl KgeTask {
 
         match self.cfg.model {
             KgeModel::Rescal => {
-                // score = esᵀ R eo; R row-major d×d.
+                // score = esᵀ R eo; R row-major d×d. The row dot keeps
+                // its sequential accumulation order (bit-identical
+                // scores); the `Rᵀ·es` update is split into its own
+                // elementwise pass per row — each `rts[j]` still receives
+                // the same terms in the same `i` order, but the pass now
+                // autovectorizes instead of sharing the dot's serial
+                // dependency chain.
                 let mut ro = vec![0.0f32; dim]; // R · eo
                 let mut rts = vec![0.0f32; dim]; // Rᵀ · es
                 let mut score = 0.0f32;
                 for i in 0..dim {
                     let row = &rel[i * dim..(i + 1) * dim];
                     let mut acc = 0.0f32;
-                    for j in 0..dim {
-                        acc += row[j] * eo[j];
-                        rts[j] += row[j] * es[i];
+                    for (&r, &o) in row.iter().zip(eo) {
+                        acc += r * o;
+                    }
+                    let ei = es[i];
+                    for (rt, &r) in rts.iter_mut().zip(row) {
+                        *rt += r * ei;
                     }
                     ro[i] = acc;
                     score += es[i] * acc;
                 }
                 let g = sigmoid(score) - label;
                 let (gs_off, go_off) = (g_of(subj_slot), g_of(obj_slot));
-                for i in 0..dim {
-                    s.grads[gs_off + i] += g * ro[i];
-                    s.grads[go_off + i] += g * rts[i];
-                    let gei = g * es[i];
-                    let row = &mut s.grads[g_rel + i * dim..g_rel + (i + 1) * dim];
+                // Three contiguous gradient passes instead of one loop
+                // with three strided write streams. Every element gets
+                // the same additions in the same order (the subject and
+                // object passes touch the same slot only for self-loop
+                // triples, and then in the original per-element order),
+                // so results stay bit-identical.
+                for (gg, &r) in s.grads[gs_off..gs_off + dim].iter_mut().zip(&ro) {
+                    *gg += g * r;
+                }
+                for (gg, &r) in s.grads[go_off..go_off + dim].iter_mut().zip(&rts) {
+                    *gg += g * r;
+                }
+                let rel_rows = s.grads[g_rel..g_rel + dim * dim].chunks_exact_mut(dim);
+                for (row, &esi) in rel_rows.zip(es) {
+                    let gei = g * esi;
                     for (gr, &eoj) in row.iter_mut().zip(eo) {
                         *gr += gei * eoj;
                     }
@@ -468,16 +487,49 @@ impl KgeTask {
                 }
                 let g = sigmoid(score) - label;
                 let (gs, go) = (g_of(subj_slot), g_of(obj_slot));
-                for i in 0..h {
-                    // d/d sr, d/d si
-                    s.grads[gs + i] += g * (rr[i] * or_[i] + ri[i] * oi[i]);
-                    s.grads[gs + h + i] += g * (rr[i] * oi[i] - ri[i] * or_[i]);
-                    // d/d or, d/d oi
-                    s.grads[go + i] += g * (rr[i] * sr[i] - ri[i] * si[i]);
-                    s.grads[go + h + i] += g * (rr[i] * si[i] + ri[i] * sr[i]);
-                    // d/d rr, d/d ri
-                    s.grads[g_rel + i] += g * (sr[i] * or_[i] + si[i] * oi[i]);
-                    s.grads[g_rel + h + i] += g * (sr[i] * oi[i] - si[i] * or_[i]);
+                // One contiguous pass per gradient half instead of six
+                // strided write streams in one loop: every slice has
+                // length exactly `h`, so the bound checks vanish and each
+                // pass autovectorizes. Per element the additions are the
+                // same values in the same order (subject and object slots
+                // coincide only for self-loop triples, where the original
+                // per-element order is preserved), so results stay
+                // bit-identical.
+                {
+                    let dst = &mut s.grads[gs..gs + h]; // d/d sr
+                    for i in 0..h {
+                        dst[i] += g * (rr[i] * or_[i] + ri[i] * oi[i]);
+                    }
+                }
+                {
+                    let dst = &mut s.grads[gs + h..gs + 2 * h]; // d/d si
+                    for i in 0..h {
+                        dst[i] += g * (rr[i] * oi[i] - ri[i] * or_[i]);
+                    }
+                }
+                {
+                    let dst = &mut s.grads[go..go + h]; // d/d or
+                    for i in 0..h {
+                        dst[i] += g * (rr[i] * sr[i] - ri[i] * si[i]);
+                    }
+                }
+                {
+                    let dst = &mut s.grads[go + h..go + 2 * h]; // d/d oi
+                    for i in 0..h {
+                        dst[i] += g * (rr[i] * si[i] + ri[i] * sr[i]);
+                    }
+                }
+                {
+                    let dst = &mut s.grads[g_rel..g_rel + h]; // d/d rr
+                    for i in 0..h {
+                        dst[i] += g * (sr[i] * or_[i] + si[i] * oi[i]);
+                    }
+                }
+                {
+                    let dst = &mut s.grads[g_rel + h..g_rel + 2 * h]; // d/d ri
+                    for i in 0..h {
+                        dst[i] += g * (sr[i] * oi[i] - si[i] * or_[i]);
+                    }
                 }
                 (score, ())
             }

@@ -234,11 +234,17 @@ impl MfTask {
                     let err = e.val - dot;
                     loss += (err as f64) * (err as f64);
                     examples += 1;
-                    // delta = lr·(2·err·other − 2·reg·own)
+                    // delta = lr·(2·err·other − 2·reg·own); one zipped
+                    // pass per factor half so both write streams are
+                    // contiguous and autovectorize (same per-element
+                    // arithmetic as the fused loop).
                     let (dw, dh) = delta.split_at_mut(rank);
-                    for k in 0..rank {
-                        dw[k] = self.cfg.lr * 2.0 * (err * hj[k] - self.cfg.reg * wi[k]);
-                        dh[k] = self.cfg.lr * 2.0 * (err * wi[k] - self.cfg.reg * hj[k]);
+                    let (lr2, reg) = (self.cfg.lr * 2.0, self.cfg.reg);
+                    for ((d, &h), &v) in dw.iter_mut().zip(hj).zip(wi) {
+                        *d = lr2 * (err * h - reg * v);
+                    }
+                    for ((d, &v), &h) in dh.iter_mut().zip(wi).zip(hj) {
+                        *d = lr2 * (err * v - reg * h);
                     }
                     w.push(&keys, &delta);
                     w.charge(step_ns);

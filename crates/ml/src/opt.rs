@@ -18,8 +18,13 @@ impl Sgd {
     /// Writes the push-delta for gradient `grad` into `delta`
     /// (`delta = -lr·grad`).
     pub fn delta(&self, grad: &[f32], delta: &mut [f32]) {
+        // Pre-slice to a common length: both bounds are loop-invariant,
+        // so the elementwise loop autovectorizes without bound checks.
+        let n = delta.len().min(grad.len());
+        let (delta, grad) = (&mut delta[..n], &grad[..n]);
+        let lr = self.lr;
         for (d, &g) in delta.iter_mut().zip(grad) {
-            *d = -self.lr * g;
+            *d = -lr * g;
         }
     }
 }
@@ -44,13 +49,23 @@ impl AdaGrad {
         let d = grad.len();
         debug_assert_eq!(pulled.len(), 2 * d, "value must be [param | accum]");
         debug_assert_eq!(delta.len(), 2 * d);
-        let accum = &pulled[d..];
-        for i in 0..d {
-            let g = grad[i];
+        // Split the `[Δparam | Δaccum]` halves so each pass writes one
+        // contiguous run (the fused `delta[i]`/`delta[d + i]` form makes
+        // the store stride opaque and defeats autovectorization). Both
+        // passes compute per element exactly what the fused loop did, so
+        // results stay bit-identical.
+        let accum = &pulled[d..2 * d];
+        let (dp, da) = delta.split_at_mut(d);
+        let (dp, da) = (&mut dp[..d], &mut da[..d]);
+        let grad = &grad[..d];
+        let (lr, eps) = (self.lr, self.eps);
+        for ((p, &g), &a0) in dp.iter_mut().zip(grad).zip(accum) {
             let g2 = g * g;
-            let a = accum[i] + g2;
-            delta[i] = -self.lr * g / (a + self.eps).sqrt();
-            delta[d + i] = g2;
+            let a = a0 + g2;
+            *p = -lr * g / (a + eps).sqrt();
+        }
+        for (a, &g) in da.iter_mut().zip(grad) {
+            *a = g * g;
         }
     }
 

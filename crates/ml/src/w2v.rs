@@ -306,10 +306,16 @@ impl W2vTask {
                        target_delta: &mut Vec<f32>,
                        loss: &mut f64| {
             let tk = self.output_key(target_word);
+            // Pre-slice once so the kernels below run without per-element
+            // bound checks. The dot keeps its strictly sequential
+            // accumulation order (bit-identical results); only the
+            // elementwise axpy passes are restructured for the
+            // autovectorizer.
+            let (cs, ts) = (&center[..dim], &target[..dim]);
             let score: f32 = {
                 let mut dot = 0.0f32;
-                for i in 0..dim {
-                    dot += center[i] * target[i];
+                for (&c, &t) in cs.iter().zip(ts) {
+                    dot += c * t;
                 }
                 dot
             };
@@ -320,9 +326,11 @@ impl W2vTask {
                 -((1.0 - pred).max(1e-7).ln()) as f64
             };
             let g = self.cfg.lr * (label - pred);
-            for i in 0..dim {
-                center_delta[i] += g * target[i];
-                target_delta[i] = g * center[i];
+            for (cd, &t) in center_delta[..dim].iter_mut().zip(ts) {
+                *cd += g * t;
+            }
+            for (td, &c) in target_delta[..dim].iter_mut().zip(cs) {
+                *td = g * c;
             }
             w.push(&[tk], target_delta);
         };

@@ -61,7 +61,7 @@ use crate::messages::{
     LocalizeReqMsg, Msg, OpId, OpKind, OpMsg, ReplicaPushMsg, ReplicaRegMsg, TechniqueDemoteMsg,
     TechniquePromoteMsg,
 };
-use crate::shard::{IncomingState, NodeShared, Queued, QueuedOp};
+use crate::shard::{IncomingState, NodeShared, OptRead, Queued, QueuedOp};
 use crate::technique::IssueRoute;
 use crate::tracker::{GuardMap, TrackedKind};
 
@@ -124,6 +124,43 @@ struct IssueScratch {
     groups: ShardGroups,
     /// Staging for async replica reads (reused, never per-key allocated).
     replica_buf: Vec<f32>,
+}
+
+/// Attempts to serve every key of one shard group of a sync pull via the
+/// wait-free seqlock path. Returns whether the whole group was served;
+/// on failure the caller takes the latch and re-routes the group
+/// (partially copied output regions are overwritten by the latched
+/// serve, so nothing torn can leak). Statistics are committed only on
+/// success, keeping the counters identical to the latched path.
+fn pull_group_optimistic(
+    shared: &NodeShared,
+    plan: &[KeyPlan],
+    items: &[u32],
+    buf: &mut [f32],
+    n_local: &mut u64,
+    n_replica: &mut u64,
+    bytes_moved: &mut u64,
+) -> bool {
+    let (mut local, mut replica, mut bytes) = (0u64, 0u64, 0u64);
+    for &i in items {
+        let p = &plan[i as usize];
+        let (off, len) = (p.off as usize, p.len as usize);
+        match shared.try_optimistic_read(p.key, p.forced, &mut buf[off..off + len]) {
+            Some(OptRead::Owned) => {
+                local += 1;
+                bytes += 4 * len as u64;
+            }
+            Some(OptRead::Replica) => {
+                replica += 1;
+                bytes += 4 * len as u64;
+            }
+            Some(OptRead::Absent) | None => return false,
+        }
+    }
+    *n_local += local;
+    *n_replica += replica;
+    *bytes_moved += bytes;
+    true
 }
 
 /// The client half of the protocol for one worker.
@@ -330,8 +367,13 @@ impl ClientCore {
         // the next auto-flush threshold check (an increment racing in
         // between merely triggers one extra empty — free — flush).
         self.shared.replica_unflushed.swap(0, Relaxed);
-        for shard in &self.shared.shards {
-            let mut shard = shard.lock();
+        for cell in &self.shared.shards {
+            // Pending deltas imply the hint (recomputed at every write
+            // commit), so untouched shards are skipped without latching.
+            if !cell.maybe_replica_deltas() {
+                continue;
+            }
+            let mut shard = cell.write();
             if shard.replica.pending.is_empty() {
                 continue;
             }
@@ -380,6 +422,9 @@ impl ClientCore {
         mut out: Option<&mut [f32]>,
         sink: &mut MsgSink,
     ) -> IssueHandle {
+        if keys.len() == 1 {
+            return self.pull1(keys[0], out, sink);
+        }
         let is_async = out.is_none();
         let (total, any_replicated) = self.plan(keys);
         if any_replicated {
@@ -409,8 +454,29 @@ impl ClientCore {
         let tracker = &shared.tracker;
         let (mut n_local, mut n_replica, mut n_queued) = (0u64, 0u64, 0u64);
         let mut bytes_moved = 0u64;
+        let wait_free = shared.cfg.wait_free_reads;
         for (shard_idx, items) in scratch.groups.iter() {
-            let mut shard = shared.shards[shard_idx].lock();
+            // Wait-free fast path (threaded backend): serve the whole
+            // group without the latch when every key is a validated
+            // owned/replica read. Async pulls stay latched — their
+            // tracker registration is a side effect that cannot be
+            // rolled back if a later key of the group bails.
+            if wait_free {
+                if let Some(buf) = out.as_deref_mut() {
+                    if pull_group_optimistic(
+                        shared,
+                        &scratch.plan,
+                        items,
+                        buf,
+                        &mut n_local,
+                        &mut n_replica,
+                        &mut bytes_moved,
+                    ) {
+                        continue;
+                    }
+                }
+            }
+            let mut shard = shared.shards[shard_idx].write();
             for &i in items {
                 let p = &mut scratch.plan[i as usize];
                 let (off, len) = (p.off as usize, p.len as usize);
@@ -517,6 +583,9 @@ impl ClientCore {
             self.cfg().layout.keys_len(keys),
             "push value length mismatch"
         );
+        if keys.len() == 1 {
+            return self.push1(keys[0], vals, sink);
+        }
         let (_, any_replicated) = self.plan(keys);
         if any_replicated {
             ensure_registered(&self.shared, sink);
@@ -536,7 +605,7 @@ impl ClientCore {
         let mut accumulated = 0u64;
         let mut park_allocs = 0u64;
         for (shard_idx, items) in scratch.groups.iter() {
-            let mut shard = shared.shards[shard_idx].lock();
+            let mut shard = shared.shards[shard_idx].write();
             for &i in items {
                 let p = &mut scratch.plan[i as usize];
                 let val = &vals[p.off as usize..(p.off + p.len) as usize];
@@ -621,6 +690,206 @@ impl ClientCore {
         self.flush(seq, OpKind::Push, groups, sink)
     }
 
+    /// Single-key pull fast path: bypasses the plan-phase scratch
+    /// (`ShardGroups` clear/regroup, ~15 ns of fixed overhead per op —
+    /// see EXPERIMENTS.md §value plane) and routes the one key directly.
+    /// Bookkeeping — adaptive sampling, guard bits, tracker traffic,
+    /// statistics, and emitted messages — is identical to the general
+    /// path for a one-key operation.
+    fn pull1(&mut self, key: Key, mut out: Option<&mut [f32]>, sink: &mut MsgSink) -> IssueHandle {
+        let is_async = out.is_none();
+        let len = self.cfg().layout.len(key) as u32;
+        let forced =
+            self.cfg().ordered_async_guard && self.guard.lock().get(&key).is_some_and(|&n| n > 0);
+        if let Some(ad) = &self.shared.adaptive {
+            if ad.sample(key, &self.cfg().adaptive) {
+                self.shared.stats.sketch_samples.fetch_add(1, Relaxed);
+            }
+        }
+        if self.cfg().policy().may_replicate(key) {
+            ensure_registered(&self.shared, sink);
+        }
+        self.tick_adaptive(sink);
+        let mut seq: Option<u64> = if is_async {
+            let s = begin(&self.shared, self.slot, &self.guard, TrackedKind::Pull);
+            self.shared.tracker.reserve(s, len);
+            Some(s)
+        } else {
+            None
+        };
+        // Wait-free fast path (sync only; async registration above is a
+        // side effect, but a single optimistic read either fully serves
+        // the op or leaves nothing half-done).
+        if !is_async {
+            if let Some(buf) = out.as_deref_mut() {
+                let stats = &self.shared.stats;
+                match self.shared.try_optimistic_read(key, forced, buf) {
+                    Some(OptRead::Owned) => {
+                        stats.pull_local.fetch_add(1, Relaxed);
+                        stats.value_bytes_moved.fetch_add(4 * len as u64, Relaxed);
+                        return IssueHandle::Ready(None);
+                    }
+                    Some(OptRead::Replica) => {
+                        stats.pull_replica.fetch_add(1, Relaxed);
+                        stats.value_bytes_moved.fetch_add(4 * len as u64, Relaxed);
+                        return IssueHandle::Ready(None);
+                    }
+                    Some(OptRead::Absent) | None => {}
+                }
+            }
+        }
+        let ClientCore {
+            shared,
+            slot,
+            guard,
+            scratch,
+        } = &mut *self;
+        let policy = shared.cfg.policy();
+        let tracker = &shared.tracker;
+        let stats = &shared.stats;
+        let mut remote: Option<NodeId> = None;
+        {
+            let mut shard = shared.shard_for(key).write();
+            match policy.issue_route(key, &shard, forced, stats) {
+                IssueRoute::OwnedLocal => {
+                    let v = shard.store.get(key).expect("routed to owned store");
+                    stats.pull_local.fetch_add(1, Relaxed);
+                    stats.value_bytes_moved.fetch_add(4 * len as u64, Relaxed);
+                    match &mut out {
+                        Some(buf) => buf.copy_from_slice(v),
+                        None => {
+                            let s = seq.expect("async op registered");
+                            tracker.add_key_at(s, key, len, 0, false);
+                            tracker.complete_key(s, key, Some(v));
+                        }
+                    }
+                }
+                IssueRoute::Replica => {
+                    stats.pull_replica.fetch_add(1, Relaxed);
+                    stats.value_bytes_moved.fetch_add(4 * len as u64, Relaxed);
+                    match &mut out {
+                        Some(buf) => {
+                            let ok = shard.read_replicated(key, buf);
+                            debug_assert!(ok, "replicated key {key} without replica state");
+                        }
+                        None => {
+                            scratch.replica_buf.clear();
+                            scratch.replica_buf.resize(len as usize, 0.0);
+                            let ok = shard.read_replicated(key, &mut scratch.replica_buf);
+                            debug_assert!(ok, "replicated key {key} without replica state");
+                            let s = seq.expect("async op registered");
+                            tracker.add_key_at(s, key, len, 0, false);
+                            tracker.complete_key(s, key, Some(&scratch.replica_buf));
+                        }
+                    }
+                }
+                IssueRoute::Park => {
+                    let s =
+                        *seq.get_or_insert_with(|| begin(shared, *slot, guard, TrackedKind::Pull));
+                    if is_async {
+                        tracker.add_key_at(s, key, len, 0, false);
+                    } else {
+                        tracker.add_key(s, key, len, 0, false);
+                    }
+                    let inc = shard.incoming.get_mut(&key).expect("routed to queue");
+                    inc.queue.push_back(Queued::Op(QueuedOp {
+                        op: OpId::new(shared.node, s),
+                        kind: OpKind::Pull,
+                        val: Vec::new(),
+                    }));
+                    stats.pull_queued.fetch_add(1, Relaxed);
+                }
+                IssueRoute::Remote(dst) => remote = Some(dst),
+            }
+        }
+        let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
+        if let Some(dst) = remote {
+            let s = *seq.get_or_insert_with(|| begin(shared, *slot, guard, TrackedKind::Pull));
+            tracker.add_keys(s, is_async, true, std::iter::once((key, len, 0)));
+            stats.pull_remote.fetch_add(1, Relaxed);
+            if shared.cfg.ordered_async_guard {
+                *guard.lock().entry(key).or_insert(0) += 1;
+            }
+            groups.entry(dst).keys.push(key);
+        }
+        self.flush(seq, OpKind::Pull, groups, sink)
+    }
+
+    /// Single-key push fast path; see [`ClientCore::pull1`].
+    fn push1(&mut self, key: Key, val: &[f32], sink: &mut MsgSink) -> IssueHandle {
+        let forced =
+            self.cfg().ordered_async_guard && self.guard.lock().get(&key).is_some_and(|&n| n > 0);
+        if let Some(ad) = &self.shared.adaptive {
+            if ad.sample(key, &self.cfg().adaptive) {
+                self.shared.stats.sketch_samples.fetch_add(1, Relaxed);
+            }
+        }
+        if self.cfg().policy().may_replicate(key) {
+            ensure_registered(&self.shared, sink);
+        }
+        self.tick_adaptive(sink);
+        let mut seq: Option<u64> = None;
+        let ClientCore {
+            shared,
+            slot,
+            guard,
+            ..
+        } = &mut *self;
+        let policy = shared.cfg.policy();
+        let tracker = &shared.tracker;
+        let stats = &shared.stats;
+        let mut remote: Option<NodeId> = None;
+        let mut accumulated = false;
+        {
+            let mut shard = shared.shard_for(key).write();
+            match policy.issue_route(key, &shard, forced, stats) {
+                IssueRoute::OwnedLocal => {
+                    let applied = shard.store.add(key, val);
+                    debug_assert!(applied);
+                    stats.push_local.fetch_add(1, Relaxed);
+                }
+                IssueRoute::Replica => {
+                    shard.replica.accumulate(key, val);
+                    stats.push_replica.fetch_add(1, Relaxed);
+                    accumulated = true;
+                }
+                IssueRoute::Park => {
+                    let s =
+                        *seq.get_or_insert_with(|| begin(shared, *slot, guard, TrackedKind::Push));
+                    tracker.add_key(s, key, 0, 0, false);
+                    let inc = shard.incoming.get_mut(&key).expect("routed to queue");
+                    inc.queue.push_back(Queued::Op(QueuedOp {
+                        op: OpId::new(shared.node, s),
+                        kind: OpKind::Push,
+                        val: val.to_vec(),
+                    }));
+                    stats.push_queued.fetch_add(1, Relaxed);
+                    stats.value_allocs_heap.fetch_add(1, Relaxed);
+                }
+                IssueRoute::Remote(dst) => remote = Some(dst),
+            }
+        }
+        let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
+        if let Some(dst) = remote {
+            let s = *seq.get_or_insert_with(|| begin(shared, *slot, guard, TrackedKind::Push));
+            tracker.add_keys(s, false, true, std::iter::once((key, 0, 0)));
+            stats.push_remote.fetch_add(1, Relaxed);
+            if shared.cfg.ordered_async_guard {
+                *guard.lock().entry(key).or_insert(0) += 1;
+            }
+            let group = groups.entry(dst);
+            group.keys.push(key);
+            group.vals.extend_from_slice(val);
+        }
+        if accumulated {
+            let unflushed = self.shared.replica_unflushed.fetch_add(1, Relaxed) + 1;
+            if unflushed >= self.cfg().replica_flush_every {
+                self.flush_replicas(sink);
+            }
+        }
+        self.flush(seq, OpKind::Push, groups, sink)
+    }
+
     /// Issues a localize of `keys`: requests that all of them be relocated
     /// to this node (Table 2). Keys whose technique does not relocate —
     /// all of them under the classic variants, replicated keys under the
@@ -655,7 +924,7 @@ impl ClientCore {
         let mut seq: Option<u64> = None;
         let mut n_sent = 0u64;
         for (shard_idx, items) in scratch.groups.iter() {
-            let mut shard = shared.shards[shard_idx].lock();
+            let mut shard = shared.shards[shard_idx].write();
             for &i in items {
                 let p = &mut scratch.plan[i as usize];
                 if policy.adaptive() && shard.techniques.replicated(p.key) {
@@ -729,7 +998,21 @@ impl ClientCore {
         if !policy.shared_memory() {
             return false;
         }
-        let shard = self.shared.shard_for(key).lock();
+        // Wait-free fast path: a validated optimistic snapshot answers
+        // the local-or-not question and copies the value in one pass.
+        match self.shared.try_optimistic_read(key, false, out) {
+            Some(OptRead::Owned) => {
+                self.shared.stats.pull_local.fetch_add(1, Relaxed);
+                return true;
+            }
+            Some(OptRead::Replica) => {
+                self.shared.stats.pull_replica.fetch_add(1, Relaxed);
+                return true;
+            }
+            Some(OptRead::Absent) => return false,
+            None => {}
+        }
+        let shard = self.shared.shard_for(key).read();
         if policy.replicated_in(key, &shard) {
             let ok = shard.read_replicated(key, out);
             debug_assert!(ok, "replicated key {key} without replica state");

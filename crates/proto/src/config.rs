@@ -213,6 +213,13 @@ pub struct ProtoConfig {
     /// (sequential consistency property 1). Enabled by default; disable to
     /// observe the reordering in tests.
     pub ordered_async_guard: bool,
+    /// Serve local pulls of owned and replicated keys as wait-free
+    /// seqlock reads (see [`ShardCell`](crate::shard::ShardCell)) instead
+    /// of taking the shard latch. Off by default: the simulator backend
+    /// must keep the latched path so its schedules and outputs stay
+    /// bit-identical, and the optimistic path only pays off with real
+    /// concurrent threads. The threaded backend enables it.
+    pub wait_free_reads: bool,
 }
 
 impl ProtoConfig {
@@ -231,6 +238,7 @@ impl ProtoConfig {
             adaptive: AdaptiveConfig::default(),
             replica_flush_every: 64,
             ordered_async_guard: true,
+            wait_free_reads: false,
         }
     }
 
@@ -247,9 +255,15 @@ impl ProtoConfig {
     }
 
     /// The (static) home node of `key`.
+    ///
+    /// Hard assert (not `debug_assert`): an out-of-range key that reaches
+    /// the routing layer otherwise maps to a location slot of a *different*
+    /// key, and a node can end up forwarding the request to itself forever.
+    /// One predictable branch here is cheap insurance on a path that is
+    /// already worth microseconds.
     #[inline]
     pub fn home(&self, key: Key) -> NodeId {
-        debug_assert!(key.0 < self.keys, "key {key} out of range");
+        assert!(key.0 < self.keys, "key {key} out of range");
         match self.partition {
             HomePartition::Range => {
                 NodeId(((key.0 / self.range_width()).min(self.nodes as u64 - 1)) as u16)

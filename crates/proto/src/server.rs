@@ -400,7 +400,7 @@ impl ServerCore {
         // pushes are re-broadcast as refreshes so replicas converge.
         let mut repl_fresh: Vec<(Key, u32)> = Vec::new();
         for (shard_idx, idxs) in groups.iter() {
-            let mut shard = self.shared.shards[shard_idx].lock();
+            let mut shard = self.shared.shards[shard_idx].write();
             for &i in idxs {
                 let k = m.keys[i as usize];
                 let (off, len) = items[i as usize];
@@ -540,7 +540,7 @@ impl ServerCore {
         if cfg.location_caches {
             for &k in &m.keys {
                 cfg.policy()
-                    .note_owner(&mut self.shared.shard_for(k).lock(), k, m.owner);
+                    .note_owner(&mut self.shared.shard_for(k).write(), k, m.owner);
             }
         }
         // One tracker lock completes the whole grouped response; pull
@@ -568,7 +568,7 @@ impl ServerCore {
             debug_assert_eq!(cfg.home(k), self.shared.node, "localize at wrong home");
             if policy.adaptive() {
                 if self.pending_promote.contains(&k)
-                    || self.shared.shard_for(k).lock().techniques.replicated(k)
+                    || self.shared.shard_for(k).read().techniques.replicated(k)
                 {
                     continue;
                 }
@@ -640,7 +640,7 @@ impl ServerCore {
 
         let mut unexpected = 0u64;
         for (shard_idx, idxs) in groups.iter() {
-            let mut shard = self.shared.shards[shard_idx].lock();
+            let mut shard = self.shared.shards[shard_idx].write();
             for &i in idxs {
                 let k = m.keys[i as usize];
                 if m.new_owner == self.shared.node && shard.store.contains(k) {
@@ -731,7 +731,7 @@ impl ServerCore {
 
         let mut installed = 0u64;
         for (shard_idx, idxs) in groups.iter() {
-            let mut shard = self.shared.shards[shard_idx].lock();
+            let mut shard = self.shared.shards[shard_idx].write();
             for &i in idxs {
                 let k = m.keys[i as usize];
                 let (off, _) = items[i as usize];
@@ -833,7 +833,7 @@ impl ServerCore {
                 .copied()
                 .filter(|&k| {
                     self.pending_promote.contains(&k)
-                        && self.shared.shard_for(k).lock().store.contains(k)
+                        && self.shared.shard_for(k).read().store.contains(k)
                 })
                 .collect();
             if !finish.is_empty() {
@@ -863,7 +863,7 @@ impl ServerCore {
                 if cfg.home(key) != self.shared.node {
                     continue; // a replica held here, homed elsewhere
                 }
-                let shard = self.shared.shard_for(key).lock();
+                let shard = self.shared.shard_for(key).read();
                 let v = shard.store.get(key).expect("owner stores replicated key");
                 keys.push(key);
                 vals.push_slice(v);
@@ -875,7 +875,7 @@ impl ServerCore {
                 if !policy.replicated(key) {
                     continue;
                 }
-                let shard = self.shared.shard_for(key).lock();
+                let shard = self.shared.shard_for(key).read();
                 let v = shard.store.get(key).expect("owner stores replicated key");
                 keys.push(key);
                 vals.push_slice(v);
@@ -1000,7 +1000,7 @@ impl ServerCore {
         // the current owner below instead of being dropped.
         let mut stragglers: Vec<(Key, u32, u32)> = Vec::new();
         for (shard_idx, idxs) in groups.iter() {
-            let mut shard = self.shared.shards[shard_idx].lock();
+            let mut shard = self.shared.shards[shard_idx].write();
             for &i in idxs {
                 let k = m.keys[i as usize];
                 let (off, len) = items[i as usize];
@@ -1140,7 +1140,7 @@ impl ServerCore {
         debug_assert_eq!(val_off as usize, m.vals.len(), "refresh payload mismatch");
         let mut refreshed = 0u64;
         for (shard_idx, idxs) in groups.iter() {
-            let mut shard = self.shared.shards[shard_idx].lock();
+            let mut shard = self.shared.shards[shard_idx].write();
             for &i in idxs {
                 let k = m.keys[i as usize];
                 let (off, len) = items[i as usize];
@@ -1203,7 +1203,7 @@ impl ServerCore {
             }
             let slot = cfg.home_slot(k);
             let owner = self.owner[slot];
-            let mut shard = self.shared.shard_for(k).lock();
+            let mut shard = self.shared.shard_for(k).write();
             if shard.techniques.replicated(k) {
                 continue;
             }
@@ -1262,7 +1262,7 @@ impl ServerCore {
         for &k in keys {
             self.pending_promote.remove(&k);
             self.demote_votes.remove(&k);
-            let mut shard = self.shared.shard_for(k).lock();
+            let mut shard = self.shared.shard_for(k).write();
             let promoted = shard.techniques.promote(k);
             debug_assert!(promoted, "double promotion of {k}");
             let v = shard
@@ -1350,7 +1350,7 @@ impl ServerCore {
 
         let mut accumulated = 0u64;
         for (shard_idx, idxs) in groups.iter() {
-            let mut shard = self.shared.shards[shard_idx].lock();
+            let mut shard = self.shared.shards[shard_idx].write();
             for &i in idxs {
                 let k = m.keys[i as usize];
                 let (off, len) = items[i as usize];
@@ -1458,7 +1458,7 @@ impl ServerCore {
             if self.pending_promote.contains(&k) || self.demote_pinned.contains_key(&k) {
                 continue;
             }
-            if !self.shared.shard_for(k).lock().techniques.replicated(k) {
+            if !self.shared.shard_for(k).read().techniques.replicated(k) {
                 continue;
             }
             let votes = self.demote_votes.entry(k).or_default();
@@ -1485,7 +1485,7 @@ impl ServerCore {
         let mut self_flushes = 0u64;
         for &k in &keys {
             self.demote_votes.remove(&k);
-            let mut shard = self.shared.shard_for(k).lock();
+            let mut shard = self.shared.shard_for(k).write();
             let was = shard.techniques.demote(k);
             debug_assert!(was, "demotion of unreplicated {k}");
             debug_assert!(
@@ -1561,7 +1561,7 @@ impl ServerCore {
         let mut drained_vals: Vec<f32> = Vec::new();
         for &k in &m.keys {
             debug_assert_eq!(cfg.home(k), m.home, "demote broadcast from non-home");
-            let mut shard = self.shared.shard_for(k).lock();
+            let mut shard = self.shared.shard_for(k).write();
             let was = shard.techniques.demote(k);
             debug_assert!(was, "demote broadcast for unreplicated {k}");
             shard.replica.values.remove(&k);
@@ -1607,7 +1607,7 @@ impl ServerCore {
         for &k in &m.keys {
             debug_assert_eq!(cfg.home(k), self.shared.node, "drain at wrong home");
             let len = cfg.layout.len(k);
-            let mut shard = self.shared.shard_for(k).lock();
+            let mut shard = self.shared.shard_for(k).write();
             let applied = shard.store.add(k, &m.vals[off..off + len]);
             debug_assert!(applied, "home lost pinned key {k}");
             off += len;

@@ -15,10 +15,24 @@
 //!
 //! The paper's default of 1000 latches per node is kept
 //! (`ProtoConfig::latches`).
+//!
+//! ## Seqlock read fast path
+//!
+//! Each shard's latch is paired with a **sequence counter** bumped around
+//! every writer critical section ([`ShardCell`]): writers still serialize
+//! through the latch ([`ShardCell::write`]), but local pulls of owned and
+//! replicated keys can run as wait-free optimistic reads
+//! ([`NodeShared::try_optimistic_read`]) — copy the value without any
+//! lock, then re-check the sequence number and retry (bounded, falling
+//! back to the latch) if a writer intervened. The simulator backend keeps
+//! `ProtoConfig::wait_free_reads` off so its schedules and outputs stay
+//! bit-identical; the threaded backend turns it on.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
+use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lapse_net::{Key, NodeId};
@@ -26,8 +40,11 @@ use lapse_net::{Key, NodeId};
 use crate::adaptive::AdaptiveShared;
 use crate::config::{ProtoConfig, Variant};
 use crate::messages::{OpId, OpKind};
-use crate::storage::ShardStore;
+use crate::storage::{RacyRead, ShardStore};
 use crate::tracker::{ClockFn, OpTracker};
+
+/// Optimistic-read retry budget before falling back to the latch.
+const SEQLOCK_RETRIES: usize = 4;
 
 /// An operation parked while its key relocates to this node.
 #[derive(Debug)]
@@ -315,6 +332,195 @@ impl AccessStats {
     }
 }
 
+/// A latch-guarded, seqlock-instrumented shard slot.
+///
+/// All mutation goes through [`ShardCell::write`], which serializes on
+/// the latch **and** bumps the sequence counter to odd on entry / even on
+/// exit (release-ordered), exactly the crossbeam-style seqlock write
+/// protocol. [`ShardCell::read`] takes the latch without bumping the
+/// sequence — read-only guard holders never invalidate concurrent
+/// optimistic readers. Optimistic readers load the sequence (acquire),
+/// copy racily out of *stable* memory only (see
+/// [`ShardStore::read_racy`]), and accept the snapshot iff the sequence
+/// is unchanged and even afterwards.
+///
+/// Three hint atomics summarize the shard state as of the last committed
+/// write: they let lock-free readers bail out to the latched path
+/// whenever the shard has parked operations, unpropagated replica
+/// deltas, or a non-empty dynamic technique table — the states whose
+/// data structures are not safe (or not meaningful) to read racily. The
+/// hints are recomputed under the latch at every write-guard drop, so a
+/// `false` hint observed under a validated sequence is authoritative.
+pub struct ShardCell {
+    /// Seqlock generation: odd while a write guard is live.
+    seq: AtomicU64,
+    /// Whether the shard had parked incoming keys at the last commit.
+    incoming_nonempty: AtomicBool,
+    /// Whether replica pending/in-flight deltas existed at the last commit.
+    replica_deltas: AtomicBool,
+    /// Whether the dynamic technique table was non-empty at the last commit.
+    techniques_nonempty: AtomicBool,
+    latch: Mutex<()>,
+    shard: UnsafeCell<Shard>,
+}
+
+// SAFETY: every `&mut Shard` is created under the latch (write guards);
+// `&Shard` access is either under the latch (read guards) or follows the
+// seqlock protocol, which touches only realloc-free memory and validates
+// the sequence number before trusting any observation.
+unsafe impl Sync for ShardCell {}
+
+impl ShardCell {
+    /// Wraps a shard, deriving the initial hint values from its state.
+    pub fn new(shard: Shard) -> Self {
+        let cell = ShardCell {
+            seq: AtomicU64::new(0),
+            incoming_nonempty: AtomicBool::new(false),
+            replica_deltas: AtomicBool::new(false),
+            techniques_nonempty: AtomicBool::new(false),
+            latch: Mutex::new(()),
+            shard: UnsafeCell::new(shard),
+        };
+        cell.store_hints();
+        cell
+    }
+
+    fn store_hints(&self) {
+        // Only called while no other thread can write (construction or
+        // write-guard drop, both serialized by the latch).
+        let shard = unsafe { &*self.shard.get() };
+        self.incoming_nonempty
+            .store(!shard.incoming.is_empty(), Ordering::Relaxed);
+        self.replica_deltas.store(
+            !(shard.replica.pending.is_empty() && shard.replica.in_flight.is_empty()),
+            Ordering::Relaxed,
+        );
+        self.techniques_nonempty
+            .store(!shard.techniques.is_empty(), Ordering::Relaxed);
+    }
+
+    /// Takes the latch for read-only access. Does **not** bump the
+    /// sequence counter, so concurrent optimistic readers stay valid.
+    pub fn read(&self) -> ShardReadGuard<'_> {
+        let latch = self.latch.lock();
+        // SAFETY: the latch excludes all writers (they hold it for their
+        // whole critical section), so a shared borrow is safe.
+        ShardReadGuard {
+            shard: unsafe { &*self.shard.get() },
+            _latch: latch,
+        }
+    }
+
+    /// Takes the latch for mutation, entering a seqlock write critical
+    /// section (sequence bumped to odd now, back to even on drop).
+    pub fn write(&self) -> ShardWriteGuard<'_> {
+        let latch = self.latch.lock();
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        ShardWriteGuard {
+            cell: self,
+            _latch: latch,
+        }
+    }
+
+    /// Whether the shard may have parked incoming keys (as of the last
+    /// committed write — authoritative while the latch or a validated
+    /// sequence is held).
+    #[inline]
+    pub fn maybe_incoming(&self) -> bool {
+        self.incoming_nonempty.load(Ordering::Relaxed)
+    }
+
+    /// Whether the shard may hold unpropagated replica deltas
+    /// (pending or in-flight).
+    #[inline]
+    pub fn maybe_replica_deltas(&self) -> bool {
+        self.replica_deltas.load(Ordering::Relaxed)
+    }
+
+    /// Whether the dynamic technique table may be non-empty.
+    #[inline]
+    pub fn maybe_techniques(&self) -> bool {
+        self.techniques_nonempty.load(Ordering::Relaxed)
+    }
+
+    /// Begins an optimistic read: the current sequence number (acquire).
+    #[inline]
+    fn seq_enter(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Ends an optimistic read: true iff no writer intervened since
+    /// `seq_enter` returned `s1` (and `s1` was even).
+    #[inline]
+    fn seq_validate(&self, s1: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.seq.load(Ordering::Relaxed) == s1
+    }
+}
+
+/// Read-only latch guard for a [`ShardCell`] (no sequence bump).
+pub struct ShardReadGuard<'a> {
+    shard: &'a Shard,
+    _latch: MutexGuard<'a, ()>,
+}
+
+impl Deref for ShardReadGuard<'_> {
+    type Target = Shard;
+    #[inline]
+    fn deref(&self) -> &Shard {
+        self.shard
+    }
+}
+
+/// Mutating latch guard for a [`ShardCell`]: a seqlock write critical
+/// section. Dropping it recomputes the hint atomics and releases the
+/// sequence (even, release-ordered) before the latch unlocks.
+pub struct ShardWriteGuard<'a> {
+    cell: &'a ShardCell,
+    _latch: MutexGuard<'a, ()>,
+}
+
+impl Deref for ShardWriteGuard<'_> {
+    type Target = Shard;
+    #[inline]
+    fn deref(&self) -> &Shard {
+        // SAFETY: the latch is held for the guard's whole lifetime.
+        unsafe { &*self.cell.shard.get() }
+    }
+}
+
+impl DerefMut for ShardWriteGuard<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Shard {
+        // SAFETY: the latch is held exclusively; optimistic readers
+        // tolerate the race via the sequence protocol.
+        unsafe { &mut *self.cell.shard.get() }
+    }
+}
+
+impl Drop for ShardWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.cell.store_hints();
+        let s = self.cell.seq.load(Ordering::Relaxed);
+        self.cell.seq.store(s.wrapping_add(1), Ordering::Release);
+    }
+}
+
+/// Outcome of a validated optimistic read
+/// ([`NodeShared::try_optimistic_read`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptRead {
+    /// Served from the owned store (the latched `OwnedLocal` route).
+    Owned,
+    /// Served from the replicated view (the latched `Replica` route).
+    Replica,
+    /// The key is validated to be neither owned nor replicated here —
+    /// the operation needs the network or a queue, not this fast path.
+    Absent,
+}
+
 /// The shared state of one node, accessed by its worker threads (fast
 /// local path) and its server logic.
 pub struct NodeShared {
@@ -322,8 +528,9 @@ pub struct NodeShared {
     pub cfg: Arc<ProtoConfig>,
     /// This node.
     pub node: NodeId,
-    /// Latch-guarded shards, indexed by `ProtoConfig::shard_of`.
-    pub shards: Vec<Mutex<Shard>>,
+    /// Latch-guarded, seqlock-instrumented shards, indexed by
+    /// `ProtoConfig::shard_of`.
+    pub shards: Vec<ShardCell>,
     /// Client operation tracker (shared so async tokens can reclaim
     /// their entries on drop).
     pub tracker: Arc<OpTracker>,
@@ -386,7 +593,7 @@ impl NodeShared {
                     shard.replica.values.insert(key, v);
                 }
             }
-            shards.push(Mutex::new(shard));
+            shards.push(ShardCell::new(shard));
         }
         let adaptive =
             matches!(cfg.variant, Variant::Adaptive).then(|| AdaptiveShared::new(&cfg.adaptive));
@@ -403,9 +610,9 @@ impl NodeShared {
         })
     }
 
-    /// The latch-guarded shard containing `key`.
+    /// The latch-guarded shard cell containing `key`.
     #[inline]
-    pub fn shard_for(&self, key: Key) -> &Mutex<Shard> {
+    pub fn shard_for(&self, key: Key) -> &ShardCell {
         &self.shards[self.cfg.shard_of(key)]
     }
 
@@ -413,7 +620,7 @@ impl NodeShared {
     /// latch).
     pub fn read_value(&self, key: Key) -> Option<Vec<f32>> {
         self.shard_for(key)
-            .lock()
+            .read()
             .store
             .get(key)
             .map(|v| v.to_vec())
@@ -423,19 +630,19 @@ impl NodeShared {
     /// refresh, plus unpropagated local deltas), if any — test/diagnostic
     /// helper; takes the latch.
     pub fn read_replica(&self, key: Key) -> Option<Vec<f32>> {
-        let shard = self.shard_for(key).lock();
+        let shard = self.shard_for(key).read();
         let mut out = vec![0.0; self.cfg.layout.len(key)];
         shard.read_replicated(key, &mut out).then_some(out)
     }
 
     /// Number of keys this node currently owns.
     pub fn owned_keys(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().store.len()).sum()
+        self.shards.iter().map(|s| s.read().store.len()).sum()
     }
 
     /// Number of keys currently relocating to this node.
     pub fn incoming_keys(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().incoming.len()).sum()
+        self.shards.iter().map(|s| s.read().incoming.len()).sum()
     }
 
     /// The keys this node currently manages by replication, ascending
@@ -443,7 +650,7 @@ impl NodeShared {
     pub fn replicated_keys(&self) -> Vec<Key> {
         let mut keys = Vec::new();
         for s in &self.shards {
-            keys.extend(s.lock().techniques.iter());
+            keys.extend(s.read().techniques.iter());
         }
         keys
     }
@@ -453,9 +660,96 @@ impl NodeShared {
     pub fn store_alloc_stats(&self) -> crate::storage::ArenaStats {
         let mut total = crate::storage::ArenaStats::default();
         for s in &self.shards {
-            total.merge(s.lock().store.alloc_stats());
+            total.merge(s.read().store.alloc_stats());
         }
         total
+    }
+
+    /// Wait-free optimistic read of `key`'s local value into `out`.
+    ///
+    /// Returns `None` when the attempt must fall back to the latched
+    /// path: the fast path is disabled (`ProtoConfig::wait_free_reads`
+    /// off, guard-forced key, or a message-only variant), the shard's
+    /// hints report state the fast path cannot serve (parked keys,
+    /// unpropagated replica deltas, a live dynamic technique table), the
+    /// store flavour is sparse, or the retry budget ran out under writer
+    /// pressure. A `Some` outcome is a **validated snapshot**: the
+    /// sequence number was even and unchanged across the whole
+    /// observation, so the routing decision and the copied floats are
+    /// exactly what a latched reader would have produced at that instant.
+    /// Callers are responsible for the access-statistics increments of
+    /// the corresponding latched route.
+    pub fn try_optimistic_read(&self, key: Key, forced: bool, out: &mut [f32]) -> Option<OptRead> {
+        if !self.cfg.wait_free_reads || forced {
+            return None;
+        }
+        let policy = self.cfg.policy();
+        if !policy.shared_memory() {
+            return None;
+        }
+        // Statically replicated keys ([`Variant::Replication`]/`Hybrid`)
+        // have a frozen replica-map structure (eagerly initialized, never
+        // resized), so their replica view is racy-readable. Adaptive
+        // promotion mutates the map structurally — those shards are
+        // excluded via the technique-table hint below.
+        let replicated = policy.replicated(key);
+        let at_home = self.cfg.home(key) == self.node;
+        let cell = self.shard_for(key);
+        for _ in 0..SEQLOCK_RETRIES {
+            let s1 = cell.seq_enter();
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            if cell.maybe_incoming() || cell.maybe_techniques() {
+                return None;
+            }
+            // SAFETY: reads under the seqlock protocol touch only memory
+            // that writers never reallocate (dense arena, frozen replica
+            // map); torn float values are rejected by `seq_validate`.
+            let shard = unsafe { &*cell.shard.get() };
+            let outcome = if replicated {
+                if cell.maybe_replica_deltas() {
+                    // The local view would need the pending/in-flight
+                    // overlay, whose BTreeMaps are not racy-readable.
+                    return None;
+                }
+                if at_home {
+                    // The home of a statically replicated key always owns
+                    // it; anything else is a torn observation or an
+                    // invariant violation — let the latched path decide.
+                    match shard.store.read_racy(key, out) {
+                        RacyRead::Copied => OptRead::Replica,
+                        RacyRead::NotOwned | RacyRead::Unsupported => return None,
+                    }
+                } else {
+                    match shard.replica.values.get(&key) {
+                        Some(v) => {
+                            debug_assert_eq!(v.len(), out.len());
+                            let src = v.as_ptr();
+                            for (i, o) in out.iter_mut().enumerate() {
+                                // SAFETY: the Vec is never resized after
+                                // eager initialization; only its floats
+                                // race with refresh writers.
+                                *o = unsafe { std::ptr::read_volatile(src.add(i)) };
+                            }
+                            OptRead::Replica
+                        }
+                        None => return None,
+                    }
+                }
+            } else {
+                match shard.store.read_racy(key, out) {
+                    RacyRead::Copied => OptRead::Owned,
+                    RacyRead::NotOwned => OptRead::Absent,
+                    RacyRead::Unsupported => return None,
+                }
+            };
+            if cell.seq_validate(s1) {
+                return Some(outcome);
+            }
+        }
+        None
     }
 }
 

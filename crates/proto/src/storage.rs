@@ -145,6 +145,20 @@ impl ValueArena {
     }
 }
 
+/// Outcome of a seqlock-optimistic store read
+/// ([`ShardStore::read_racy`]). The observation is only trustworthy once
+/// the caller has validated the shard's sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RacyRead {
+    /// The key was owned; its value was copied into the caller's buffer.
+    Copied,
+    /// The key is not currently owned by this store.
+    NotOwned,
+    /// The store flavour cannot serve unsynchronized reads (sparse stores
+    /// reallocate their arena; the caller must take the latch).
+    Unsupported,
+}
+
 /// One shard's parameter store.
 #[derive(Debug)]
 pub enum ShardStore {
@@ -271,6 +285,21 @@ impl ShardStore {
             ShardStore::Sparse(s) => s.arena.stats,
         }
     }
+
+    /// Unsynchronized (seqlock-optimistic) read of `key`'s value into
+    /// `out`, without holding the shard latch. Only dense stores support
+    /// it: their `offsets`, `owned`, and preallocated arena slab never
+    /// reallocate after construction, so a concurrent writer can tear the
+    /// floats (which the caller detects by re-checking the shard sequence
+    /// number) but can never dangle a pointer. Floats and the owned flag
+    /// are read volatilely so the torn intermediate states the seqlock
+    /// protocol tolerates are not compiled away.
+    pub(crate) fn read_racy(&self, key: Key, out: &mut [f32]) -> RacyRead {
+        match self {
+            ShardStore::Dense(s) => s.read_racy(key, out),
+            ShardStore::Sparse(_) => RacyRead::Unsupported,
+        }
+    }
 }
 
 /// Dense store: one preallocated arena slot per key in `[start, end)`.
@@ -383,6 +412,32 @@ impl DenseStore {
         self.owned[idx] = false;
         self.owned_count -= 1;
         Some(self.slot(idx))
+    }
+
+    /// See [`ShardStore::read_racy`]. `start`, `end`, and `offsets` are
+    /// immutable after construction, so the plain reads of the slot
+    /// geometry are safe; only the owned flag and the value floats race
+    /// with writers.
+    fn read_racy(&self, key: Key, out: &mut [f32]) -> RacyRead {
+        if key.0 < self.start || key.0 >= self.end {
+            return RacyRead::NotOwned;
+        }
+        let idx = (key.0 - self.start) as usize;
+        // SAFETY: `idx < owned.len()` by the range check; the backing
+        // memory is stable (the Vec is never resized after `new`).
+        if !unsafe { std::ptr::read_volatile(self.owned.as_ptr().add(idx)) } {
+            return RacyRead::NotOwned;
+        }
+        let slot = self.slot(idx);
+        debug_assert_eq!(out.len(), slot.len(), "racy read length mismatch");
+        // SAFETY: the slot range is within the preallocated arena slab,
+        // whose backing memory never moves; concurrent writers may tear
+        // the floats, which the caller's sequence check rejects.
+        let src = unsafe { self.arena.data.as_ptr().add(slot.off as usize) };
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = unsafe { std::ptr::read_volatile(src.add(i)) };
+        }
+        RacyRead::Copied
     }
 }
 

@@ -319,13 +319,13 @@ mod tests {
         assert!(p.any_replication() && p.adaptive());
         assert!(p.may_replicate(Key(5)));
         {
-            let shard = node.shard_for(Key(5)).lock();
+            let shard = node.shard_for(Key(5)).read();
             assert_eq!(p.technique_in(Key(5), &shard), Technique::Relocation);
         }
         // A promotion rewrites the per-shard table, not the config.
-        node.shard_for(Key(5)).lock().techniques.promote(Key(5));
+        node.shard_for(Key(5)).write().techniques.promote(Key(5));
         {
-            let shard = node.shard_for(Key(5)).lock();
+            let shard = node.shard_for(Key(5)).read();
             assert_eq!(p.technique_in(Key(5), &shard), Technique::Replication);
             assert!(p.replicated_in(Key(5), &shard));
             assert_eq!(p.technique_in(Key(6), &shard), Technique::Relocation);

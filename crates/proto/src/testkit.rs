@@ -107,7 +107,7 @@ impl TestCluster {
         self.nodes[node.idx()]
             .shared
             .shard_for(key)
-            .lock()
+            .read()
             .techniques
             .replicated(key)
     }

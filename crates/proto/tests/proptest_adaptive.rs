@@ -205,7 +205,7 @@ fn run_storm(nodes: u16, workers: u16, actions: &[Action], seed: u64) -> HashMap
     for round in 0.. {
         let settled = (0..nodes).all(|n| {
             cluster.nodes[n as usize].shared.shards.iter().all(|s| {
-                let s = s.lock();
+                let s = s.read();
                 s.replica.pending.is_empty() && s.replica.in_flight.is_empty()
             })
         });

@@ -215,7 +215,7 @@ fn run_schedule(
             if !policy_cfg.policy().replicated(key) {
                 continue;
             }
-            let shard = node.shared.shard_for(key).lock();
+            let shard = node.shared.shard_for(key).read();
             assert!(
                 shard.replica.pending.is_empty() && shard.replica.in_flight.is_empty(),
                 "unpropagated replica deltas left on {} at quiescence",

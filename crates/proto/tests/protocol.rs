@@ -748,7 +748,7 @@ fn replica_reads_never_go_backwards_across_flush() {
     c.run_until_quiet();
     assert_eq!(read(&c), 1.0, "refresh retires the in-flight batch");
     // The in-flight set is empty again after the ack.
-    let shard = c.nodes[0].shared.shard_for(k).lock();
+    let shard = c.nodes[0].shared.shard_for(k).read();
     assert!(shard.replica.in_flight.is_empty());
     assert!(shard.replica.pending.is_empty());
 }

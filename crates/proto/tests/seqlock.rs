@@ -1,0 +1,137 @@
+//! Torn-read safety for the seqlock read fast path (DESIGN.md §7).
+//!
+//! The optimistic path reads shard memory without the latch and relies on
+//! sequence validation to reject torn observations. These tests pin the
+//! two halves of that contract: (1) under real concurrent writers, a
+//! validated snapshot is never torn; (2) when the fast path cannot
+//! validate (a write guard is live), it reports failure within its retry
+//! bound and the client falls back to the latched route, which blocks
+//! until the writer commits and then serves the committed value.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use lapse_net::{Key, NodeId};
+use lapse_proto::client::IssueHandle;
+use lapse_proto::shard::{NodeShared, OptRead};
+use lapse_proto::testkit::TestCluster;
+use lapse_proto::{Layout, ProtoConfig, Variant};
+
+const DIM: usize = 64;
+const KEYS: u64 = 8;
+
+fn cfg() -> ProtoConfig {
+    let mut c = ProtoConfig::new(1, KEYS, Layout::Uniform(DIM as u32));
+    c.variant = Variant::Lapse;
+    c.wait_free_reads = true;
+    c
+}
+
+/// A single latched node with every value initialized to `fill`.
+fn node(fill: f32) -> Arc<NodeShared> {
+    NodeShared::with_init(Arc::new(cfg()), NodeId(0), Arc::new(|| 0), &mut |_| {
+        Some(vec![fill; DIM])
+    })
+}
+
+#[test]
+fn optimistic_read_serves_owned_keys() {
+    let shared = node(7.0);
+    let mut buf = vec![0.0f32; DIM];
+    assert_eq!(
+        shared.try_optimistic_read(Key(3), false, &mut buf),
+        Some(OptRead::Owned)
+    );
+    assert_eq!(buf, vec![7.0; DIM]);
+    // Forced operations (ordered-async guard hits) must take the latched
+    // path: ordering is resolved under the latch.
+    assert_eq!(shared.try_optimistic_read(Key(3), true, &mut buf), None);
+}
+
+#[test]
+fn bounded_retries_give_up_while_a_write_guard_is_live() {
+    let shared = node(1.0);
+    let mut buf = vec![0.0f32; DIM];
+    let cell = shared.shard_for(Key(0));
+    // Live writer: sequence is odd for the guard's whole lifetime, so
+    // the optimistic read must exhaust its retries and return None
+    // (never spin unboundedly, never return unvalidated data).
+    let guard = cell.write();
+    assert_eq!(shared.try_optimistic_read(Key(0), false, &mut buf), None);
+    drop(guard);
+    assert_eq!(
+        shared.try_optimistic_read(Key(0), false, &mut buf),
+        Some(OptRead::Owned)
+    );
+}
+
+#[test]
+fn pull_falls_back_to_latched_path_under_a_writer() {
+    let c = TestCluster::with_init(cfg(), 1, |_| Some(vec![5.0; DIM]));
+    let mut c = c;
+    let shared = c.nodes[0].shared.clone();
+    let (tx, rx) = mpsc::channel();
+    let writer = std::thread::spawn(move || {
+        let mut g = shared.shard_for(Key(2)).write();
+        tx.send(()).unwrap();
+        // Hold the guard long enough that the puller's optimistic
+        // attempt definitely runs against an odd sequence.
+        std::thread::sleep(Duration::from_millis(50));
+        g.store.add(Key(2), &[4.0; DIM]);
+    });
+    rx.recv().unwrap();
+    let mut out = vec![0.0f32; DIM];
+    let mut sink = Vec::new();
+    // Optimistic read fails (writer live) -> latched route blocks on the
+    // latch until the guard drops -> serves the *committed* value.
+    let h = c.nodes[0].clients[0].pull(&[Key(2)], Some(&mut out), &mut sink);
+    writer.join().unwrap();
+    assert!(matches!(h, IssueHandle::Ready(None)));
+    assert!(sink.is_empty(), "single-node local pull sent messages");
+    assert_eq!(out, vec![9.0; DIM]);
+}
+
+#[test]
+fn concurrent_writers_never_yield_torn_snapshots() {
+    let shared = node(0.0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let shared = shared.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                // Every committed write adds the same constant to all
+                // elements of a key, so any *consistent* snapshot has all
+                // elements equal; a torn one mixes generations.
+                let delta = vec![1.0f32 + w as f32; DIM];
+                let mut i = w as u64;
+                while !stop.load(Relaxed) {
+                    let k = Key(i % KEYS);
+                    shared.shard_for(k).write().store.add(k, &delta);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    let mut buf = vec![0.0f32; DIM];
+    let mut validated = 0u64;
+    for i in 0..200_000u64 {
+        let k = Key(i % KEYS);
+        if shared.try_optimistic_read(k, false, &mut buf) == Some(OptRead::Owned) {
+            validated += 1;
+            let first = buf[0];
+            assert!(
+                buf.iter().all(|&x| x == first),
+                "torn snapshot for {k}: {buf:?}"
+            );
+        }
+    }
+    stop.store(true, Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    // The fast path must actually have served reads (hints allow it:
+    // no incoming queues, no dynamic techniques on this node).
+    assert!(validated > 0, "optimistic path never validated");
+}

@@ -216,6 +216,118 @@ impl LogHistogram {
     }
 }
 
+/// A histogram with fixed-width linear buckets over integer observations
+/// (per-operation latencies in nanoseconds). `record` is one division and
+/// two increments — cheap enough for the hot path of a contended
+/// benchmark, unlike [`LogHistogram`] (float log per record) or sample
+/// vectors (cache traffic proportional to the operation count).
+#[derive(Debug, Clone)]
+pub struct FixedHistogram {
+    /// Bucket width (observation units per bucket).
+    width: u64,
+    counts: Vec<u64>,
+    /// Observations at or above `width·buckets`.
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl FixedHistogram {
+    /// Creates a histogram of `buckets` buckets of `width` units each,
+    /// covering `[0, width·buckets)`; larger observations count as
+    /// overflow (quantiles in the overflow report the exact maximum).
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `buckets == 0`.
+    pub fn new(width: u64, buckets: usize) -> Self {
+        assert!(width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        FixedHistogram {
+            width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, x: u64) {
+        self.count += 1;
+        self.sum += x;
+        self.max = self.max.max(x);
+        let idx = (x / self.width) as usize;
+        match self.counts.get_mut(idx) {
+            Some(c) => *c += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum observation; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) estimated as the midpoint of the
+    /// bucket holding the rank-`⌈q·n⌉` observation (exact to ±width/2);
+    /// ranks in the overflow region report the exact maximum. 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return i as u64 * self.width + self.width / 2;
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram with identical geometry.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        assert_eq!(self.width, other.width, "bucket width mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +411,56 @@ mod tests {
             (approx / exact - 1.0).abs() < 0.12,
             "approx={approx} exact={exact}"
         );
+    }
+
+    #[test]
+    fn fixed_histogram_quantiles_are_bucket_accurate() {
+        let mut h = FixedHistogram::new(10, 100); // covers [0, 1000)
+        for x in 1..=500u64 {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 500);
+        assert_eq!(h.sum(), 500 * 501 / 2);
+        assert_eq!(h.max(), 500);
+        // Rank 250 lives in bucket [240, 250) or [250, 260): midpoint
+        // within one bucket width of the exact median.
+        let p50 = h.quantile(0.5) as i64;
+        assert!((p50 - 250).unsigned_abs() <= 10, "p50={p50}");
+        let p99 = h.quantile(0.99) as i64;
+        assert!((p99 - 495).unsigned_abs() <= 10, "p99={p99}");
+        assert_eq!(h.quantile(1.0), 505); // 500 lands in bucket [500, 510)
+    }
+
+    #[test]
+    fn fixed_histogram_overflow_reports_max() {
+        let mut h = FixedHistogram::new(10, 4); // covers [0, 40)
+        h.record(5);
+        h.record(1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.quantile(0.0), 5); // rank 1 in bucket [0, 10)
+    }
+
+    #[test]
+    fn fixed_histogram_merge_equals_sequential() {
+        let mut whole = FixedHistogram::new(5, 50);
+        let mut left = FixedHistogram::new(5, 50);
+        let mut right = FixedHistogram::new(5, 50);
+        for x in 0..200u64 {
+            let v = (x * 7) % 260; // exercises overflow too
+            whole.record(v);
+            if x % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.sum(), whole.sum());
+        assert_eq!(left.max(), whole.max());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), whole.quantile(q));
+        }
     }
 
     #[test]
