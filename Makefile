@@ -32,7 +32,11 @@ bench-check:
 ## may change timing only, never results. table1_consistency and
 ## table5_relocation double-run at a small scale for the same reason:
 ## their simulator tables must stay byte-identical with the read fast
-## path and vectorized kernels in the tree.
+## path and vectorized kernels in the tree. The comms-plane bench
+## (micro_comms in LAPSE_SMOKE mode: fixed-schedule threaded run with
+## per-link coalescing off and on) must print identical counters and
+## checksums in both modes — batching may change envelopes only, never
+## results.
 bench-smoke:
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-1.txt 2>/dev/null
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-2.txt 2>/dev/null
@@ -52,6 +56,9 @@ bench-smoke:
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table5_relocation > /tmp/lapse-bench-smoke-11.txt 2>/dev/null
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table5_relocation > /tmp/lapse-bench-smoke-12.txt 2>/dev/null
 	diff /tmp/lapse-bench-smoke-11.txt /tmp/lapse-bench-smoke-12.txt
+	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_comms > /tmp/lapse-bench-smoke-13.txt 2>/dev/null
+	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_comms > /tmp/lapse-bench-smoke-14.txt 2>/dev/null
+	diff /tmp/lapse-bench-smoke-13.txt /tmp/lapse-bench-smoke-14.txt
 	@echo "bench-smoke: output bit-identical across runs"
 
 fmt:

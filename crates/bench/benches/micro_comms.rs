@@ -1,0 +1,240 @@
+//! Comms-plane microbenchmark: per-link message coalescing and batched
+//! server ingest on the threaded backend.
+//!
+//! Two nodes, several workers per node, every operation targeting keys
+//! homed on the *other* node, several operations in flight per worker
+//! (async issue). The in-flight window is what gives the receiving
+//! server a burst to drain: it unpacks the queued requests, dispatches
+//! them as one round, and its responses to the same origin node leave as
+//! one batch envelope instead of one envelope per message. Reported per
+//! group size (1 / 8 / 64 keys per op) and mode (coalescing off / on):
+//! envelopes per op, wire bytes per op, aggregate throughput, and the
+//! batching counters.
+//!
+//! With `LAPSE_SMOKE` set, timing is skipped and a deterministic
+//! fixed-schedule run prints schedule-independent counters only (op and
+//! routed-key totals plus a value checksum) in both modes — identical
+//! output across runs for the double-run diff in `make bench-smoke`,
+//! and identical checksums across modes by construction.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use lapse_bench::banner;
+use lapse_core::{run_threaded, ClusterStats, PsConfig, Variant};
+use lapse_net::Key;
+use lapse_utils::rng::derive_rng;
+use lapse_utils::table::Table;
+use rand::RngCore;
+
+/// Value dimension (floats per key).
+const DIM: u32 = 16;
+/// Key space, range-partitioned over the two nodes.
+const KEYS: u64 = 2048;
+/// Worker threads per node.
+const WORKERS: usize = 4;
+/// Operations in flight per worker (async window; alternating pull/push).
+const DEPTH: usize = 8;
+
+struct ModeResult {
+    stats: ClusterStats,
+    ops: u64,
+    elapsed: f64,
+}
+
+impl ModeResult {
+    fn msgs_per_op(&self) -> f64 {
+        self.stats.messages as f64 / self.ops as f64
+    }
+
+    fn bytes_per_op(&self) -> f64 {
+        self.stats.bytes as f64 / self.ops as f64
+    }
+
+    fn kops(&self) -> f64 {
+        self.ops as f64 / self.elapsed / 1e3
+    }
+}
+
+/// Runs `rounds` windows of [`DEPTH`] async grouped ops per worker, all
+/// on remote keys, and returns the run's message accounting.
+fn run_mode(coalesce: bool, group: u64, rounds: u64) -> ModeResult {
+    let max_elapsed: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+    let e2 = max_elapsed.clone();
+    let (_, stats) = run_threaded(
+        PsConfig::new(2, KEYS, DIM)
+            .variant(Variant::Lapse)
+            .latches(64)
+            .coalesce(coalesce),
+        WORKERS,
+        |_| Some(vec![1.0; DIM as usize]),
+        move |w| {
+            // Keys homed (and owned) on the other node: range partition
+            // puts keys [0, KEYS/2) on node 0 and the rest on node 1.
+            let other_base = (1 - w.node().0 as u64) * (KEYS / 2);
+            let span = KEYS / 2 - group;
+            let mut rng = derive_rng(0xC0_33CE, w.global_id() as u64);
+            let vals = vec![0.5f32; (group * DIM as u64) as usize];
+            // Warm up one window, then time from a common barrier.
+            for _ in 0..DEPTH.min(4) {
+                let s = other_base + rng.next_u64() % span;
+                let keys: Vec<Key> = (s..s + group).map(Key).collect();
+                let t = w.pull_async(&keys);
+                std::hint::black_box(w.wait_pull(t));
+            }
+            w.barrier();
+            let start = Instant::now();
+            for _ in 0..rounds {
+                let mut tokens = Vec::with_capacity(DEPTH);
+                for d in 0..DEPTH {
+                    let s = other_base + rng.next_u64() % span;
+                    let keys: Vec<Key> = (s..s + group).map(Key).collect();
+                    if d % 2 == 0 {
+                        tokens.push((true, w.pull_async(&keys)));
+                    } else {
+                        tokens.push((false, w.push_async(&keys, &vals)));
+                    }
+                }
+                for (is_pull, t) in tokens {
+                    if is_pull {
+                        std::hint::black_box(w.wait_pull(t));
+                    } else {
+                        w.wait(t);
+                    }
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let mut m = e2.lock().unwrap();
+            if elapsed > *m {
+                *m = elapsed;
+            }
+        },
+    );
+    let elapsed = *max_elapsed.lock().unwrap();
+    ModeResult {
+        stats,
+        ops: 2 * WORKERS as u64 * rounds * DEPTH as u64,
+        elapsed,
+    }
+}
+
+/// Deterministic smoke run: fixed per-worker schedules in both modes,
+/// printing only schedule-independent counters. The checksum is taken
+/// after a full barrier, when every push has been applied, so it is
+/// identical across modes and runs.
+fn smoke() {
+    println!("micro_comms smoke (deterministic, LAPSE_SMOKE)");
+    let (workers, group, rounds) = (2usize, 8u64, 8u64);
+    let mut checksums = Vec::new();
+    for coalesce in [false, true] {
+        let checksum: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+        let c2 = checksum.clone();
+        let (_, stats) = run_threaded(
+            PsConfig::new(2, KEYS, DIM)
+                .variant(Variant::Lapse)
+                .latches(16)
+                .coalesce(coalesce),
+            workers,
+            |_| Some(vec![1.0; DIM as usize]),
+            move |w| {
+                let other_base = (1 - w.node().0 as u64) * (KEYS / 2);
+                let span = KEYS / 2 - group;
+                let mut rng = derive_rng(0xC0_33CE, w.global_id() as u64);
+                let vals = vec![0.5f32; (group * DIM as u64) as usize];
+                for _ in 0..rounds {
+                    let mut tokens = Vec::with_capacity(4);
+                    for d in 0..4 {
+                        let s = other_base + rng.next_u64() % span;
+                        let keys: Vec<Key> = (s..s + group).map(Key).collect();
+                        if d % 2 == 0 {
+                            tokens.push((true, w.pull_async(&keys)));
+                        } else {
+                            tokens.push((false, w.push_async(&keys, &vals)));
+                        }
+                    }
+                    for (is_pull, t) in tokens {
+                        if is_pull {
+                            std::hint::black_box(w.wait_pull(t));
+                        } else {
+                            w.wait(t);
+                        }
+                    }
+                }
+                // Every push is acknowledged above, so after the barrier
+                // the stores hold init + all deltas: deterministic.
+                w.barrier();
+                if w.global_id() == 0 {
+                    let keys: Vec<Key> = (0..KEYS).map(Key).collect();
+                    let mut out = vec![0.0f32; (KEYS * DIM as u64) as usize];
+                    w.pull(&keys, &mut out);
+                    *c2.lock().unwrap() = out.iter().map(|&x| x as f64).sum();
+                }
+            },
+        );
+        let mode = if coalesce { "coalesced" } else { "per-message" };
+        let sum = *checksum.lock().unwrap();
+        println!(
+            "{mode}: remote keys pulled {}, pushed {}, checksum {:.0}",
+            stats.pull_remote, stats.push_remote, sum
+        );
+        checksums.push(sum);
+    }
+    assert_eq!(
+        checksums[0], checksums[1],
+        "coalescing changed observable values"
+    );
+}
+
+fn main() {
+    if std::env::var("LAPSE_SMOKE").is_ok() {
+        smoke();
+        return;
+    }
+    banner(
+        "micro_comms",
+        "per-link coalescing + batched server ingest: envelopes and bytes per remote op",
+    );
+    println!(
+        "2 nodes x {WORKERS} workers, {DEPTH} grouped ops in flight per worker \
+         (pull/push alternating), all keys remote (dim {DIM})\n"
+    );
+    let mut table = Table::new(
+        "micro_comms — wire traffic per grouped remote op",
+        &[
+            "keys/op",
+            "mode",
+            "msgs/op",
+            "bytes/op",
+            "kops/s",
+            "batches",
+            "msgs/batch",
+        ],
+    );
+    let mut ratios = Vec::new();
+    for &group in &[1u64, 8, 64] {
+        let rounds = ((12_000 / (group + 4)) as f64 * lapse_bench::scale()) as u64;
+        let off = run_mode(false, group, rounds);
+        let on = run_mode(true, group, rounds);
+        for (name, r) in [("off", &off), ("on", &on)] {
+            let per_batch = if r.stats.net_batches > 0 {
+                r.stats.net_batched_msgs as f64 / r.stats.net_batches as f64
+            } else {
+                0.0
+            };
+            table.row(vec![
+                format!("{group}"),
+                name.to_string(),
+                format!("{:.2}", r.msgs_per_op()),
+                format!("{:.0}", r.bytes_per_op()),
+                format!("{:.1}", r.kops()),
+                format!("{}", r.stats.net_batches),
+                format!("{per_batch:.1}"),
+            ]);
+        }
+        ratios.push((group, off.msgs_per_op() / on.msgs_per_op()));
+    }
+    table.print();
+    for (group, ratio) in ratios {
+        println!("{group:>3} keys/op: coalescing cuts envelopes {ratio:.2}x");
+    }
+}

@@ -29,6 +29,12 @@ pub struct PsConfig {
     /// `LAPSE_NO_SEQLOCK` environment variable overrides both to off
     /// (ThreadSanitizer runs, latched baselines).
     pub wait_free_reads: Option<bool>,
+    /// Per-link message coalescing: `None` leaves the backend default
+    /// (sim: off — its cost model charges per message and its schedules
+    /// must stay bit-identical; threaded: on), `Some(v)` forces it. The
+    /// `LAPSE_NO_COALESCE` environment variable overrides both to off
+    /// (per-message baselines, bisecting batching bugs).
+    pub coalesce: Option<bool>,
 }
 
 impl PsConfig {
@@ -38,6 +44,7 @@ impl PsConfig {
         PsConfig {
             proto: ProtoConfig::new(nodes, keys, Layout::Uniform(value_len)),
             wait_free_reads: None,
+            coalesce: None,
         }
     }
 
@@ -108,6 +115,13 @@ impl PsConfig {
         self.wait_free_reads = Some(on);
         self
     }
+
+    /// Forces per-link message coalescing on or off (default: backend
+    /// decides — off for the simulator, on for the threaded backend).
+    pub fn coalesce(mut self, on: bool) -> Self {
+        self.coalesce = Some(on);
+        self
+    }
 }
 
 /// `LAPSE_NO_SEQLOCK=1` disables the wait-free read path everywhere:
@@ -115,6 +129,14 @@ impl PsConfig {
 /// races), and the contended benchmark uses it for a latched baseline.
 fn seqlock_disabled_by_env() -> bool {
     std::env::var_os("LAPSE_NO_SEQLOCK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// `LAPSE_NO_COALESCE=1` disables per-link message coalescing everywhere:
+/// every message travels in its own envelope, exactly as before the
+/// batching path existed — the kill switch for per-message baselines and
+/// for bisecting suspected batching bugs.
+fn coalesce_disabled_by_env() -> bool {
+    std::env::var_os("LAPSE_NO_COALESCE").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 fn build_shareds(
@@ -148,6 +170,9 @@ where
     // specified against latched serving, and a single-threaded run gains
     // nothing from optimistic reads.
     proto.wait_free_reads = false;
+    // Likewise no coalescing: the cost model charges per message and the
+    // deterministic experiment outputs are specified per-message.
+    proto.coalesce = false;
     let proto = Arc::new(proto);
     let clock_cell = Arc::new(AtomicU64::new(0));
     let clock: ClockFn = {
@@ -199,6 +224,7 @@ where
 {
     let mut proto = cfg.proto;
     proto.wait_free_reads = cfg.wait_free_reads.unwrap_or(true) && !seqlock_disabled_by_env();
+    proto.coalesce = cfg.coalesce.unwrap_or(true) && !coalesce_disabled_by_env();
     let proto = Arc::new(proto);
     // lint:allow(wall-clock, threaded backend timestamps real elapsed time; it never feeds message contents or ordering)
     let start = Instant::now();

@@ -35,6 +35,13 @@ impl SimProtocol for LapseProto {
             Msg::TechniqueDemoteAck(m) => (m.keys.len() as u64, 0),
             Msg::TechniqueDrained(m) => (m.keys.len() as u64, m.vals.len() as u64),
             Msg::Shutdown => (0, 0),
+            // The simulator never coalesces (`run_sim` clears the flag),
+            // but the load model stays total: a batch carries the sum of
+            // its constituents.
+            Msg::Batch(msgs) => msgs
+                .iter()
+                .map(Self::msg_load)
+                .fold((0, 0), |(k, v), (mk, mv)| (k + mk, v + mv)),
         }
     }
 }

@@ -72,12 +72,18 @@ pub struct ClusterStats {
     /// Distribution of relocation times (ns), the paper's Section 3.2
     /// definition.
     pub reloc_time: LogHistogram,
-    /// Messages sent (both backends).
+    /// Messages sent (both backends). With coalescing on, a batch
+    /// envelope counts as **one** message.
     pub messages: u64,
     /// Bytes sent (envelope included).
     pub bytes: u64,
     /// Node-local (IPC) messages.
     pub self_messages: u64,
+    /// Batch envelopes sent (threaded backend with coalescing; 0 on the
+    /// simulator, which never coalesces).
+    pub net_batches: u64,
+    /// Constituent messages carried inside those envelopes.
+    pub net_batched_msgs: u64,
     /// Virtual run time (simulator backend only).
     pub virtual_time_ns: Option<u64>,
 }
@@ -117,6 +123,8 @@ impl ClusterStats {
             messages: 0,
             bytes: 0,
             self_messages: 0,
+            net_batches: 0,
+            net_batched_msgs: 0,
             virtual_time_ns: None,
         };
         for n in nodes {
@@ -144,6 +152,8 @@ impl ClusterStats {
             s.tech_promotions += a.tech_promotions.load(Relaxed);
             s.tech_demotions += a.tech_demotions.load(Relaxed);
             s.tracker_in_flight += n.tracker.in_flight() as u64;
+            s.net_batches += a.net_batches.load(Relaxed);
+            s.net_batched_msgs += a.net_batched_msgs.load(Relaxed);
             s.value_bytes_moved += a.value_bytes_moved.load(Relaxed);
             let arena = n.store_alloc_stats();
             s.value_allocs_arena += arena.arena;
@@ -163,6 +173,8 @@ impl ClusterStats {
             messages: self.messages,
             bytes: self.bytes,
             self_messages: self.self_messages,
+            net_batches: self.net_batches,
+            net_batched_msgs: self.net_batched_msgs,
             value_bytes_moved: self.value_bytes_moved,
             value_allocs_arena: self.value_allocs_arena,
             value_allocs_heap: self.value_allocs_heap,

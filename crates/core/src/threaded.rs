@@ -7,11 +7,13 @@
 //! the worker on a per-worker condvar until the tracker completes them.
 
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use lapse_net::{Key, NodeId, ThreadedNet};
 use lapse_proto::client::{ClientCore, IssueHandle};
+use lapse_proto::coalesce::{Coalescer, PackStats};
 use lapse_proto::messages::Msg;
 use lapse_proto::server::ServerCore;
 use lapse_proto::shard::NodeShared;
@@ -58,6 +60,8 @@ pub struct ThreadedPsWorker {
     nodes: usize,
     workers_per_node: usize,
     start: std::time::Instant,
+    /// Per-link batching of flushed sinks (`None` when coalescing is off).
+    coalescer: Option<Coalescer>,
 }
 
 impl ThreadedPsWorker {
@@ -72,6 +76,8 @@ impl ThreadedPsWorker {
         workers_per_node: usize,
         start: std::time::Instant,
     ) -> Self {
+        let cfg = &client.shared().cfg;
+        let coalescer = cfg.coalesce.then(|| Coalescer::new(cfg));
         ThreadedPsWorker {
             client,
             net,
@@ -81,13 +87,28 @@ impl ThreadedPsWorker {
             nodes,
             workers_per_node,
             start,
+            coalescer,
         }
     }
 
-    fn send_sink(&self, sink: Vec<(NodeId, Msg)>) {
-        let src = self.client.node();
-        for (dst, msg) in sink {
-            self.net.send(src, dst, msg);
+    fn send_sink(&mut self, mut sink: Vec<(NodeId, Msg)>) {
+        let ThreadedPsWorker {
+            client,
+            net,
+            coalescer,
+            ..
+        } = self;
+        let src = client.node();
+        match coalescer.as_mut() {
+            None => {
+                for (dst, msg) in sink {
+                    net.send(src, dst, msg);
+                }
+            }
+            Some(c) => {
+                let packed = c.pack(&mut sink, &mut |dst, msg| net.send(src, dst, msg));
+                record_pack(client.shared(), packed);
+            }
         }
     }
 
@@ -246,6 +267,40 @@ impl PsWorker for ThreadedPsWorker {
     }
 }
 
+/// Accumulates one pack's batching counters into the node statistics.
+fn record_pack(shared: &NodeShared, packed: PackStats) {
+    if packed.batches > 0 {
+        shared.stats.net_batches.fetch_add(packed.batches, Relaxed);
+        shared
+            .stats
+            .net_batched_msgs
+            .fetch_add(packed.batched_msgs, Relaxed);
+    }
+}
+
+/// Upper bound on messages ingested per server dispatch round: bounds the
+/// latency a queued message can accrue behind an arbitrarily deep drain.
+const SERVER_DRAIN_CAP: usize = 256;
+
+/// Appends one received envelope to the ingest burst, unpacking batch
+/// envelopes into their constituents (per-link FIFO holds because the
+/// drain is serial). A bare `Shutdown` sets the stop flag instead;
+/// `run_threaded` sends it after every worker joined, so nothing of value
+/// can be queued behind it.
+fn push_flat(msg: Msg, burst: &mut Vec<Msg>, stop: &mut bool) {
+    match msg {
+        Msg::Shutdown => *stop = true,
+        Msg::Batch(msgs) => {
+            debug_assert!(
+                msgs.iter().all(|m| !matches!(m, Msg::Batch(_))),
+                "nested batch envelope delivered"
+            );
+            burst.extend(msgs);
+        }
+        other => burst.push(other),
+    }
+}
+
 /// Spawns the server thread of one node.
 pub(crate) fn spawn_server(shared: Arc<NodeShared>, net: Arc<ThreadedNet<Msg>>) -> JoinHandle<()> {
     let node = shared.node;
@@ -253,15 +308,45 @@ pub(crate) fn spawn_server(shared: Arc<NodeShared>, net: Arc<ThreadedNet<Msg>>) 
     std::thread::Builder::new()
         .name(format!("lapse-server-{node}"))
         .spawn(move || {
+            let coalesce = shared.cfg.coalesce;
+            let mut coalescer = coalesce.then(|| Coalescer::new(&shared.cfg));
+            let server_shared = shared.clone();
             let mut server = ServerCore::new(shared);
             let mut sink = Vec::new();
-            while let Some(incoming) = endpoint.recv() {
-                if matches!(incoming.msg, Msg::Shutdown) {
-                    return;
+            if !coalesce {
+                // Historical per-message loop (kill switch / sim parity).
+                while let Some(incoming) = endpoint.recv() {
+                    if matches!(incoming.msg, Msg::Shutdown) {
+                        return;
+                    }
+                    server.handle(incoming.msg, &mut sink);
+                    for (dst, msg) in sink.drain(..) {
+                        net.send(node, dst, msg);
+                    }
                 }
-                server.handle(incoming.msg, &mut sink);
-                for (dst, msg) in sink.drain(..) {
-                    net.send(node, dst, msg);
+                return;
+            }
+            // Batched ingest: block for the first message, then drain
+            // whatever else is already queued (bounded), dispatch the
+            // whole burst as one round, and coalesce the outgoing sink.
+            let mut burst: Vec<Msg> = Vec::new();
+            let mut stop = false;
+            while let Some(incoming) = endpoint.recv() {
+                push_flat(incoming.msg, &mut burst, &mut stop);
+                while !stop && burst.len() < SERVER_DRAIN_CAP {
+                    match endpoint.try_recv() {
+                        Some(next) => push_flat(next.msg, &mut burst, &mut stop),
+                        None => break,
+                    }
+                }
+                if !burst.is_empty() {
+                    server.handle_batch(std::mem::take(&mut burst), &mut sink);
+                    let c = coalescer.as_mut().expect("coalescing loop");
+                    let packed = c.pack(&mut sink, &mut |dst, msg| net.send(node, dst, msg));
+                    record_pack(&server_shared, packed);
+                }
+                if stop {
+                    return;
                 }
             }
         })

@@ -173,6 +173,121 @@ fn final_state_identical_across_backends_for_all_variants() {
     }
 }
 
+/// The same stress with per-link coalescing forced on and the batch caps
+/// turned adversarially small (3 messages / 256 bytes): every flush cuts
+/// mid-run, so batch boundaries land at arbitrary points of the message
+/// stream. Constituent order within and across envelopes must still be
+/// per-link FIFO, or pushes are lost/duplicated and the exact-sum check
+/// fails. Threaded only — the simulator never coalesces, and the
+/// per-message expected state is already pinned by the test above.
+#[test]
+fn coalescing_with_tiny_caps_preserves_final_state() {
+    let expect = expected_state();
+    for variant in [
+        Variant::Classic,
+        Variant::ClassicFastLocal,
+        Variant::Lapse,
+        Variant::Replication,
+        Variant::Hybrid,
+        Variant::Adaptive,
+    ] {
+        let adaptive = lapse_core::AdaptiveConfig {
+            sample_every: 1,
+            tick_every: 64,
+            sketch_capacity: 16,
+            promote_count: 8,
+            demote_count: 0,
+            ..Default::default()
+        };
+        let mut cfg = PsConfig::new(NODES, KEYS, DIM as u32)
+            .variant(variant)
+            .hot_set(HotSet::Prefix(8))
+            .adaptive(adaptive)
+            .latches(8)
+            .coalesce(true);
+        cfg.proto.coalesce_max_msgs = 3;
+        cfg.proto.coalesce_max_bytes = 256;
+        let (threaded, stats) = run_threaded(cfg, WORKERS_PER_NODE, |_| None, workload);
+        for (gid, state) in threaded.iter().enumerate() {
+            assert_eq!(state, &expect, "coalesced {variant:?} worker {gid}");
+        }
+        assert_eq!(
+            stats.unexpected_relocates, 0,
+            "{variant:?}: protocol invariant violated under coalescing"
+        );
+    }
+}
+
+/// Batch envelopes on a delay-injected link: the transport's delayed
+/// path delivers envelopes sequentially per link, so the constituents of
+/// consecutive batches must arrive in exactly the order they were
+/// packed, even when chunk cuts split a flush into several envelopes.
+#[test]
+fn delayed_link_preserves_constituent_order_under_coalescing() {
+    use lapse_net::transport::DelayPolicy;
+    use lapse_net::{NodeId, ThreadedNet};
+    use lapse_proto::coalesce::Coalescer;
+    use lapse_proto::messages::{Msg, OpId, OpKind, OpMsg};
+    use lapse_proto::{Layout, ProtoConfig};
+    use lapse_utils::metrics::Metrics;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let policy: DelayPolicy = Arc::new(|_, _| Duration::from_micros(150));
+    let net: Arc<ThreadedNet<Msg>> = ThreadedNet::with_delay(2, Metrics::new(), Some(policy));
+    let ep = net.take_endpoint(NodeId(1));
+
+    let mut cfg = ProtoConfig::new(2, 64, Layout::Uniform(1));
+    cfg.coalesce_max_msgs = 4;
+    let sender = net.clone();
+    let producer = std::thread::spawn(move || {
+        let mut c = Coalescer::new(&cfg);
+        let mut seq = 0u64;
+        let mut total = 0u64;
+        // Flush sinks of every size 1..=9: bare sends, single batches,
+        // and multi-envelope cap cuts all interleave on the same link.
+        for round in 0..200u64 {
+            let n = (round % 9) + 1;
+            let mut sink: Vec<(NodeId, Msg)> = (0..n)
+                .map(|_| {
+                    let m = Msg::Op(OpMsg {
+                        op: OpId::new(NodeId(0), seq),
+                        kind: OpKind::Pull,
+                        keys: vec![],
+                        vals: vec![],
+                        routed_by_home: false,
+                    });
+                    seq += 1;
+                    (NodeId(1), m)
+                })
+                .collect();
+            c.pack(&mut sink, &mut |dst, msg| {
+                sender.send(NodeId(0), dst, msg);
+            });
+            total += n;
+        }
+        total
+    });
+    let total = producer.join().expect("producer panicked");
+    let mut next = 0u64;
+    while next < total {
+        let incoming = ep.recv().expect("sender hung up early");
+        let constituents = match incoming.msg {
+            Msg::Batch(msgs) => msgs,
+            other => vec![other],
+        };
+        for m in constituents {
+            match m {
+                Msg::Op(op) => {
+                    assert_eq!(op.op.seq, next, "constituent out of order");
+                    next += 1;
+                }
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+    }
+}
+
 /// Allocation accounting over the full stress run (simulator backend,
 /// Lapse variant): every store insert is served by the arenas — the heap
 /// is touched at most for first-time arena growth, never proportionally

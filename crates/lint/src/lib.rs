@@ -1,6 +1,6 @@
 //! `lapse-lint` — the workspace invariant checker.
 //!
-//! Five static passes keep the protocol crates honest (see DESIGN.md
+//! Six static passes keep the protocol crates honest (see DESIGN.md
 //! "Static invariants"):
 //!
 //! 1. **wire-schema** — every `Msg` variant covered by codec
@@ -16,7 +16,10 @@
 //!    lists of their structs;
 //! 5. **seqlock-write** — no mutation of seqlock-protected shard state
 //!    through a `.read()` guard (read guards do not bump the shard
-//!    sequence, so such writes are invisible to optimistic readers).
+//!    sequence, so such writes are invisible to optimistic readers);
+//! 6. **batch-construct** — `Msg::Batch(..)` built only in the
+//!    coalescer and the codec, so the decoder's unconditional
+//!    nested-batch rejection stays sound by construction.
 //!
 //! Benign sites carry `// lint:allow(<rule>, <reason>)`; the reason is
 //! mandatory. The binary (`cargo run -p lapse-lint -- check`) exits
@@ -63,6 +66,7 @@ pub fn check_workspace(ws: &Workspace) -> Vec<Finding> {
     raw.extend(passes::locks::run(&lexed));
     raw.extend(passes::seqlock::run(&lexed));
     raw.extend(passes::wire_consts::run(&lexed));
+    raw.extend(passes::batch_nesting::run(&lexed));
 
     for f in raw {
         let allows = allows_by_file

@@ -1,5 +1,6 @@
-//! The five invariant passes.
+//! The six invariant passes.
 
+pub mod batch_nesting;
 pub mod determinism;
 pub mod locks;
 pub mod seqlock;

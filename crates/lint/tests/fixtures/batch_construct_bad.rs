@@ -1,0 +1,23 @@
+// Fixture: `Msg::Batch(..)` built in expression position — every
+// construction site outside the coalescer must be flagged (four here);
+// the arm-head pattern in `relabel` must not be.
+
+pub fn wrap(msgs: Vec<Msg>) -> Msg {
+    Msg::Batch(msgs)
+}
+
+pub fn send_all(dst: NodeId, chunk: Vec<Msg>, out: &mut Vec<(NodeId, Msg)>) {
+    out.push((dst, Msg::Batch(chunk)));
+}
+
+pub fn rebind(v: Vec<Msg>) -> Msg {
+    let b = Msg::Batch(v);
+    b
+}
+
+pub fn relabel(m: Msg) -> Msg {
+    match m {
+        Msg::Batch(msgs) => Msg::Batch(msgs),
+        other => other,
+    }
+}

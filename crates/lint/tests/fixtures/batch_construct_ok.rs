@@ -1,0 +1,38 @@
+// Fixture: `Msg::Batch(..)` in pattern positions only — match arms
+// (plain and guarded), `if let`, `while let`, and `matches!` all
+// destructure an existing envelope and must not be flagged anywhere.
+
+pub fn unpack(m: Msg) -> Vec<Msg> {
+    match m {
+        Msg::Batch(msgs) => msgs,
+        other => vec![other],
+    }
+}
+
+pub fn classify(m: &Msg) -> usize {
+    match m {
+        Msg::Batch(msgs) if msgs.is_empty() => 0,
+        Msg::Batch(msgs) => msgs.len(),
+        _ => 1,
+    }
+}
+
+pub fn is_batch(m: &Msg) -> bool {
+    matches!(m, Msg::Batch(_))
+}
+
+pub fn constituents(m: &Msg) -> usize {
+    if let Msg::Batch(msgs) = m {
+        msgs.len()
+    } else {
+        1
+    }
+}
+
+pub fn drain(it: &mut impl Iterator<Item = Msg>) -> usize {
+    let mut n = 0;
+    while let Some(Msg::Batch(msgs)) = it.next() {
+        n += msgs.len();
+    }
+    n
+}

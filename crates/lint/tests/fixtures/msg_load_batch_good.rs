@@ -1,0 +1,16 @@
+// Fixture: a backend `msg_load` covering the batch-extended schema —
+// paired with `wire_batch_good.rs` as the messages file. The envelope
+// arm sums its constituents, mirroring the real cost model.
+
+impl SimProtocol for LapseProto {
+    fn msg_load(&self, msg: &Msg) -> (u64, u64) {
+        match msg {
+            Msg::Ping => (1, 1),
+            Msg::Pong => (1, 1),
+            Msg::Batch(msgs) => msgs
+                .iter()
+                .map(|m| self.msg_load(m))
+                .fold((0, 0), |(k, v), (mk, mv)| (k + mk, v + mv)),
+        }
+    }
+}

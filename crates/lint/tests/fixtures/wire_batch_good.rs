@@ -1,0 +1,50 @@
+// Fixture: the synced mini protocol extended with a `Batch` envelope —
+// the recursive variant is covered by encode/decode, wire_bytes, and
+// label like any other. Zero findings expected (the construction in
+// `decode` is sanctioned: this fixture lands on the messages-file path).
+
+pub enum Msg {
+    Ping,
+    Pong,
+    Batch(Vec<Msg>),
+}
+
+impl Msg {
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Msg::Ping => 1,
+            Msg::Pong => 1,
+            Msg::Batch(msgs) => 5 + msgs.iter().map(Msg::wire_bytes).sum::<usize>(),
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Msg::Ping => "ping",
+            Msg::Pong => "pong",
+            Msg::Batch(_) => "batch",
+        }
+    }
+}
+
+impl WireCodec for Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Msg::Ping => put_u8(buf, 1),
+            Msg::Pong => put_u8(buf, 2),
+            Msg::Batch(msgs) => {
+                put_u8(buf, 3);
+                put_msgs(buf, msgs);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match get_u8(buf)? {
+            1 => Ok(Msg::Ping),
+            2 => Ok(Msg::Pong),
+            3 => Ok(Msg::Batch(get_msgs(buf)?)),
+            t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+}

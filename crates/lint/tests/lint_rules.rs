@@ -25,6 +25,10 @@ const CONST_GOOD: &str = include_str!("fixtures/const_good.rs");
 const CONST_DRIFT: &str = include_str!("fixtures/const_drift.rs");
 const SEQLOCK_GOOD: &str = include_str!("fixtures/seqlock_write_good.rs");
 const SEQLOCK_BAD: &str = include_str!("fixtures/seqlock_write_bad.rs");
+const WIRE_BATCH_GOOD: &str = include_str!("fixtures/wire_batch_good.rs");
+const MSG_LOAD_BATCH_GOOD: &str = include_str!("fixtures/msg_load_batch_good.rs");
+const BATCH_OK: &str = include_str!("fixtures/batch_construct_ok.rs");
+const BATCH_BAD: &str = include_str!("fixtures/batch_construct_bad.rs");
 
 /// Virtual path that makes a fixture the protocol messages file.
 const MESSAGES: &str = "crates/proto/src/messages.rs";
@@ -140,6 +144,110 @@ fn missing_unknown_tag_wildcard_detected() {
         has(&f, "wire-schema", "no wildcard arm rejecting unknown tags"),
         "got: {f:?}"
     );
+}
+
+// ---- wire-schema: batch envelope (tag 15 on the real schema) ----
+
+#[test]
+fn batch_extended_schema_is_clean() {
+    let f = check(vec![
+        (MESSAGES, WIRE_BATCH_GOOD),
+        (BACKEND, MSG_LOAD_BATCH_GOOD),
+    ]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+#[test]
+fn deleting_the_batch_msg_load_arm_is_detected() {
+    // The acceptance drill for the new wire arm: drop the `Msg::Batch`
+    // arm from an otherwise synced `msg_load` and the linter must go red
+    // — the cost model would silently undercount coalesced traffic.
+    let mutated = MSG_LOAD_BATCH_GOOD
+        .split("Msg::Batch(msgs)")
+        .next()
+        .map(|head| format!("{head}}}\n    }}\n}}\n"))
+        .expect("fixture contains the Batch arm");
+    let f = check(vec![(MESSAGES, WIRE_BATCH_GOOD), (BACKEND, &mutated)]);
+    assert!(
+        has(
+            &f,
+            "wire-schema",
+            "fn msg_load matches over `Msg` but has no arm for `Msg::Batch`"
+        ),
+        "got: {f:?}"
+    );
+}
+
+#[test]
+fn deleting_the_batch_wire_bytes_arm_is_detected() {
+    let mutated = WIRE_BATCH_GOOD.replacen(
+        "Msg::Batch(msgs) => 5 + msgs.iter().map(Msg::wire_bytes).sum::<usize>(),",
+        "",
+        1,
+    );
+    let f = check(vec![(MESSAGES, &mutated), (BACKEND, MSG_LOAD_BATCH_GOOD)]);
+    assert!(
+        has(
+            &f,
+            "wire-schema",
+            "fn wire_bytes matches over `Msg` but has no arm for `Msg::Batch`"
+        ),
+        "got: {f:?}"
+    );
+}
+
+// ---- batch-construct ----
+
+#[test]
+fn batch_patterns_are_clean_everywhere() {
+    let f = check(vec![
+        (PROTO_SRC, BATCH_OK),
+        ("crates/core/src/fx.rs", BATCH_OK),
+    ]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+#[test]
+fn batch_construction_outside_the_coalescer_detected() {
+    let f = check(vec![(PROTO_SRC, BATCH_BAD)]);
+    // `wrap`, the `out.push(..)` argument, the `let` binding's RHS, and
+    // the match-arm *body* in `relabel` — but not the arm-head pattern.
+    assert_eq!(count(&f, "batch-construct"), 4, "got: {f:?}");
+    assert!(
+        has(&f, "batch-construct", "emit through `Coalescer::pack`"),
+        "got: {f:?}"
+    );
+}
+
+#[test]
+fn coalescer_and_codec_may_construct_batches() {
+    // The same constructions under the sanctioned paths are clean.
+    let f = check(vec![("crates/proto/src/coalesce.rs", BATCH_BAD)]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+#[test]
+fn real_comms_plane_sources_pass_the_batch_pass() {
+    // The shipped coalescer, codec, server unpacker, and threaded drain
+    // loop — lexed verbatim — must stay clean: the only constructions
+    // live on the sanctioned paths, everything else only destructures.
+    let f = check(vec![
+        (
+            "crates/proto/src/coalesce.rs",
+            include_str!("../../proto/src/coalesce.rs"),
+        ),
+        (MESSAGES, include_str!("../../proto/src/messages.rs")),
+        (
+            "crates/proto/src/server.rs",
+            include_str!("../../proto/src/server.rs"),
+        ),
+        (
+            "crates/core/src/threaded.rs",
+            include_str!("../../core/src/threaded.rs"),
+        ),
+    ]);
+    let batch: Vec<_> = f.iter().filter(|x| x.rule == "batch-construct").collect();
+    assert!(batch.is_empty(), "got: {batch:?}");
 }
 
 // ---- determinism ----

@@ -23,6 +23,11 @@ pub enum CodecError {
     UnknownTag(u8),
     /// A length field exceeded a sanity bound.
     LengthOutOfRange(u64),
+    /// A batch envelope contained another batch envelope. Batches are a
+    /// transport-level framing layer, not a recursive structure; rejecting
+    /// the tag before recursing also bounds decode stack depth against
+    /// crafted `15,1,15,1,…` inputs.
+    NestedBatch,
 }
 
 impl std::fmt::Display for CodecError {
@@ -31,14 +36,17 @@ impl std::fmt::Display for CodecError {
             CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
             CodecError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             CodecError::LengthOutOfRange(n) => write!(f, "length {n} out of range"),
+            CodecError::NestedBatch => write!(f, "batch envelope nested inside a batch"),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
 
-/// Sanity bound on decoded collection lengths (1 Gi entries).
-const MAX_LEN: u64 = 1 << 30;
+/// Sanity bound on decoded collection lengths (1 Gi entries). Public so
+/// protocol crates can apply the same bound to their own length prefixes
+/// (e.g. the batch-envelope message count).
+pub const MAX_LEN: u64 = 1 << 30;
 
 /// Types encodable to / decodable from the wire format.
 pub trait WireCodec: Sized {

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use lapse_utils::metrics::Metrics;
+use lapse_utils::metrics::{Counter, Metrics};
 
 use crate::id::NodeId;
 use crate::wire::{message_bytes, WireSize};
@@ -58,7 +58,12 @@ pub struct ThreadedNet<M> {
     /// Helper senders used when a delay policy is active: one channel per
     /// link keeps FIFO despite the sleeping.
     delayed_links: Option<Vec<Vec<DelayedSender<M>>>>,
-    metrics: Metrics,
+    /// Cached handles into `metrics` for the per-send counters: `send` is
+    /// the transport's hottest path, and resolving a counter by name
+    /// locks the registry and hashes the key on every call.
+    msgs_counter: Counter,
+    bytes_counter: Counter,
+    self_msgs_counter: Counter,
 }
 
 impl<M: Send + WireSize + 'static> ThreadedNet<M> {
@@ -115,7 +120,9 @@ impl<M: Send + WireSize + 'static> ThreadedNet<M> {
             stats,
             delay,
             delayed_links,
-            metrics,
+            msgs_counter: metrics.counter("net.messages"),
+            bytes_counter: metrics.counter("net.bytes"),
+            self_msgs_counter: metrics.counter("net.self_messages"),
         })
     }
 
@@ -136,10 +143,10 @@ impl<M: Send + WireSize + 'static> ThreadedNet<M> {
         let link = &self.stats[src.idx()][dst.idx()];
         link.messages.fetch_add(1, Ordering::Relaxed);
         link.bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.metrics.add("net.messages", 1);
-        self.metrics.add("net.bytes", bytes);
+        self.msgs_counter.inc();
+        self.bytes_counter.add(bytes);
         if src == dst {
-            self.metrics.add("net.self_messages", 1);
+            self.self_msgs_counter.inc();
         }
 
         let incoming = Incoming { src, msg };

@@ -1,0 +1,251 @@
+//! Per-destination message coalescing.
+//!
+//! The emit phase of one client op or server message typically produces
+//! several messages for the *same* link (per-key responses grouped per
+//! origin, replica-refresh fan-out, technique broadcasts). The threaded
+//! backend hands each flushed sink to a [`Coalescer`], which groups the
+//! messages by destination — preserving first-appearance destination
+//! order and per-destination message order, so per-link FIFO is exactly
+//! what it was — and wraps runs of two or more into
+//! [`Msg::Batch`] envelopes, cut at the configured count/byte caps.
+//!
+//! This module is the **only** place that constructs `Msg::Batch`
+//! (enforced by lapse-lint's batch-nesting pass): with a single
+//! construction site that packs already-flat sink messages, a nested
+//! batch cannot be built by construction, which is what lets the decoder
+//! reject tag 15 inside a batch unconditionally.
+//!
+//! The simulator never coalesces: its cost model charges per message and
+//! its schedules must stay bit-identical (`run_sim` clears
+//! [`ProtoConfig::coalesce`](crate::config::ProtoConfig)).
+
+use lapse_net::{NodeId, WireSize};
+
+use crate::config::ProtoConfig;
+use crate::messages::Msg;
+
+/// Counters of one [`Coalescer::pack`] call, accumulated by the caller
+/// into the node's access statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PackStats {
+    /// Batch envelopes emitted.
+    pub batches: u64,
+    /// Constituent messages carried inside those envelopes.
+    pub batched_msgs: u64,
+}
+
+/// Groups an emit-phase sink into per-destination [`Msg::Batch`]
+/// envelopes. One instance per sending thread; the grouping scratch is
+/// reused across flushes.
+pub struct Coalescer {
+    max_msgs: usize,
+    max_bytes: usize,
+    /// Per-destination runs in first-appearance order. A `Vec` scan, not
+    /// a hash map: destinations per flush are bounded by the node count,
+    /// and protocol crates avoid hash iteration (determinism lint).
+    groups: Vec<(NodeId, Vec<Msg>)>,
+}
+
+impl Coalescer {
+    /// A coalescer with the configuration's caps.
+    pub fn new(cfg: &ProtoConfig) -> Self {
+        Coalescer {
+            max_msgs: cfg.coalesce_max_msgs.max(1),
+            max_bytes: cfg.coalesce_max_bytes.max(1),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Drains `sink`, emitting each destination's run as batch envelopes
+    /// (runs of one, and singleton chunks left over after cap cuts, are
+    /// emitted bare — a batch of one would pay 5 envelope bytes for
+    /// nothing). Returns what was batched, for stats accounting.
+    pub fn pack(
+        &mut self,
+        sink: &mut Vec<(NodeId, Msg)>,
+        emit: &mut dyn FnMut(NodeId, Msg),
+    ) -> PackStats {
+        let mut stats = PackStats::default();
+        if sink.len() <= 1 {
+            if let Some((dst, msg)) = sink.pop() {
+                emit(dst, msg);
+            }
+            return stats;
+        }
+        for (dst, msg) in sink.drain(..) {
+            debug_assert!(
+                !matches!(msg, Msg::Batch(_)),
+                "sink must hold flat messages"
+            );
+            match self.groups.iter_mut().find(|(d, _)| *d == dst) {
+                Some((_, run)) => run.push(msg),
+                None => self.groups.push((dst, vec![msg])),
+            }
+        }
+        for (dst, mut run) in self.groups.drain(..) {
+            if run.len() == 1 {
+                emit(dst, run.pop().expect("run of one"));
+                continue;
+            }
+            let mut chunk: Vec<Msg> = Vec::new();
+            let mut chunk_bytes = 0usize;
+            for msg in run {
+                let bytes = msg.wire_bytes();
+                let cut = !chunk.is_empty()
+                    && (chunk.len() >= self.max_msgs || chunk_bytes + bytes > self.max_bytes);
+                if cut {
+                    Self::emit_chunk(dst, std::mem::take(&mut chunk), &mut stats, emit);
+                    chunk_bytes = 0;
+                }
+                chunk_bytes += bytes;
+                chunk.push(msg);
+            }
+            Self::emit_chunk(dst, chunk, &mut stats, emit);
+        }
+        stats
+    }
+
+    fn emit_chunk(
+        dst: NodeId,
+        mut chunk: Vec<Msg>,
+        stats: &mut PackStats,
+        emit: &mut dyn FnMut(NodeId, Msg),
+    ) {
+        match chunk.len() {
+            0 => {}
+            1 => emit(dst, chunk.pop().expect("chunk of one")),
+            n => {
+                stats.batches += 1;
+                stats.batched_msgs += n as u64;
+                emit(dst, Msg::Batch(chunk));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use crate::messages::{OpId, OpKind, OpMsg};
+    use lapse_net::Key;
+
+    fn op(seq: u64, keys: usize) -> Msg {
+        Msg::Op(OpMsg {
+            op: OpId::new(NodeId(0), seq),
+            kind: OpKind::Pull,
+            keys: (0..keys as u64).map(Key).collect(),
+            vals: vec![],
+            routed_by_home: false,
+        })
+    }
+
+    fn coalescer(max_msgs: usize, max_bytes: usize) -> Coalescer {
+        let mut cfg = ProtoConfig::new(2, 8, Layout::Uniform(1));
+        cfg.coalesce_max_msgs = max_msgs;
+        cfg.coalesce_max_bytes = max_bytes;
+        Coalescer::new(&cfg)
+    }
+
+    fn pack(c: &mut Coalescer, sink: Vec<(NodeId, Msg)>) -> (Vec<(NodeId, Msg)>, PackStats) {
+        let mut sink = sink;
+        let mut out = Vec::new();
+        let stats = c.pack(&mut sink, &mut |dst, msg| out.push((dst, msg)));
+        assert!(sink.is_empty(), "pack must drain the sink");
+        (out, stats)
+    }
+
+    #[test]
+    fn single_message_travels_bare() {
+        let mut c = coalescer(64, 1 << 20);
+        let (out, stats) = pack(&mut c, vec![(NodeId(1), op(1, 1))]);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, Msg::Op(_)));
+        assert_eq!(stats, PackStats::default());
+    }
+
+    #[test]
+    fn same_destination_runs_merge_in_order() {
+        let mut c = coalescer(64, 1 << 20);
+        let sink = vec![
+            (NodeId(1), op(1, 1)),
+            (NodeId(2), op(2, 1)),
+            (NodeId(1), op(3, 1)),
+            (NodeId(1), op(4, 1)),
+        ];
+        let (out, stats) = pack(&mut c, sink);
+        // Destination order = first appearance; node 2's single message
+        // stays bare.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, NodeId(1));
+        match &out[0].1 {
+            Msg::Batch(msgs) => {
+                let seqs: Vec<u64> = msgs
+                    .iter()
+                    .map(|m| match m {
+                        Msg::Op(o) => o.op.seq,
+                        other => panic!("unexpected {other:?}"),
+                    })
+                    .collect();
+                assert_eq!(seqs, vec![1, 3, 4], "per-destination order preserved");
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(out[1].0, NodeId(2));
+        assert!(matches!(out[1].1, Msg::Op(_)));
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_msgs, 3);
+    }
+
+    #[test]
+    fn count_cap_cuts_batches() {
+        let mut c = coalescer(2, 1 << 20);
+        let sink = (0..5).map(|s| (NodeId(1), op(s, 1))).collect();
+        let (out, stats) = pack(&mut c, sink);
+        // 5 messages at cap 2: [0,1] [2,3] [4] — the trailing singleton
+        // travels bare.
+        assert_eq!(out.len(), 3);
+        assert!(matches!(&out[0].1, Msg::Batch(m) if m.len() == 2));
+        assert!(matches!(&out[1].1, Msg::Batch(m) if m.len() == 2));
+        assert!(matches!(out[2].1, Msg::Op(_)));
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.batched_msgs, 4);
+    }
+
+    #[test]
+    fn byte_cap_cuts_batches() {
+        let small = op(0, 1).wire_bytes();
+        let mut c = coalescer(64, 2 * small + 1);
+        let sink = (0..4).map(|s| (NodeId(1), op(s, 1))).collect();
+        let (out, stats) = pack(&mut c, sink);
+        assert_eq!(out.len(), 2, "got {out:?}");
+        assert!(matches!(&out[0].1, Msg::Batch(m) if m.len() == 2));
+        assert!(matches!(&out[1].1, Msg::Batch(m) if m.len() == 2));
+        assert_eq!(stats.batched_msgs, 4);
+    }
+
+    #[test]
+    fn oversized_message_still_travels() {
+        let mut c = coalescer(64, 8);
+        let sink = vec![(NodeId(1), op(0, 16)), (NodeId(1), op(1, 16))];
+        let (out, _) = pack(&mut c, sink);
+        // Each exceeds the byte cap alone; both must still be emitted,
+        // each in its own bare envelope.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(_, m)| matches!(m, Msg::Op(_))));
+    }
+
+    #[test]
+    fn scratch_reuse_across_flushes() {
+        let mut c = coalescer(64, 1 << 20);
+        for round in 0..3u64 {
+            let sink = vec![
+                (NodeId(1), op(round * 2, 1)),
+                (NodeId(1), op(round * 2 + 1, 1)),
+            ];
+            let (out, stats) = pack(&mut c, sink);
+            assert_eq!(out.len(), 1, "round {round}");
+            assert_eq!(stats.batched_msgs, 2, "round {round}");
+        }
+    }
+}

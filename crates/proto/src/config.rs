@@ -220,6 +220,19 @@ pub struct ProtoConfig {
     /// bit-identical, and the optimistic path only pays off with real
     /// concurrent threads. The threaded backend enables it.
     pub wait_free_reads: bool,
+    /// Coalesce outgoing messages bound for the same destination into
+    /// [`Msg::Batch`](crate::messages::Msg::Batch) envelopes at op/tick
+    /// flush boundaries. Off by default: the simulator backend must keep
+    /// per-message delivery so its schedules and outputs stay
+    /// bit-identical. The threaded backend enables it (kill switch:
+    /// `LAPSE_NO_COALESCE=1`).
+    pub coalesce: bool,
+    /// Maximum constituent messages per batch envelope.
+    pub coalesce_max_msgs: usize,
+    /// Soft byte cap per batch envelope: a batch is cut as soon as its
+    /// accumulated wire size reaches this bound (a single oversized
+    /// message still travels, alone).
+    pub coalesce_max_bytes: usize,
 }
 
 impl ProtoConfig {
@@ -239,6 +252,9 @@ impl ProtoConfig {
             replica_flush_every: 64,
             ordered_async_guard: true,
             wait_free_reads: false,
+            coalesce: false,
+            coalesce_max_msgs: 64,
+            coalesce_max_bytes: 1 << 20,
         }
     }
 

@@ -29,6 +29,8 @@
 //!   result assembly, wake callbacks).
 //! * [`client`] — operation issue paths (fast local access, routing,
 //!   grouping); shared by every backend worker handle.
+//! * [`coalesce`] — per-destination batching of emit-phase sinks into
+//!   [`Msg::Batch`](messages::Msg) envelopes (threaded backend only).
 //! * [`server`] — the per-node server logic: op routing and forwarding,
 //!   relocation handling, queue draining.
 //! * [`technique`] — the management-technique policy layer: per-key
@@ -44,6 +46,7 @@
 
 pub mod adaptive;
 pub mod client;
+pub mod coalesce;
 pub mod config;
 pub mod consistency;
 pub mod group;

@@ -1,6 +1,6 @@
 //! The wire protocol.
 //!
-//! Fourteen message kinds implement the full protocol of Section 3, the
+//! Fifteen message kinds implement the full protocol of Section 3, the
 //! NuPS-style replication technique, and the adaptive technique-transition
 //! protocol:
 //!
@@ -36,6 +36,11 @@
 //!   accumulated deltas for a demoted batch, closing the transition at
 //!   the home node.
 //! * [`Msg::Shutdown`] — terminates a server loop (threaded backend only).
+//! * [`Msg::Batch`] — a coalescing envelope: several messages bound for
+//!   the same link, sent as one. Pure framing — receivers unpack and
+//!   handle the constituents in order, so per-link FIFO is preserved —
+//!   and strictly one level deep: a batch inside a batch is rejected at
+//!   decode (guarding both protocol sanity and decode stack depth).
 //!
 //! Every message implements [`WireSize`] (used by the simulator's
 //! bandwidth accounting) and [`WireCodec`] (the actual byte encoding);
@@ -50,9 +55,9 @@
 use bytes::{Bytes, BytesMut};
 
 use lapse_net::codec::{
-    f32s_wire_bytes, get_f32s, get_keys, get_node, get_u64, get_u8, get_value_block,
-    keys_wire_bytes, put_f32s, put_keys, put_node, put_u64, put_u8, put_value_block,
-    value_block_wire_bytes, CodecError, WireCodec,
+    f32s_wire_bytes, get_f32s, get_keys, get_node, get_u32, get_u64, get_u8, get_value_block,
+    keys_wire_bytes, put_f32s, put_keys, put_node, put_u32, put_u64, put_u8, put_value_block,
+    value_block_wire_bytes, CodecError, WireCodec, MAX_LEN,
 };
 use lapse_net::{Key, NodeId, ValueBlock, WireSize};
 
@@ -304,6 +309,9 @@ pub enum Msg {
     TechniqueDrained(TechniqueDrainedMsg),
     /// Stop the receiving server loop.
     Shutdown,
+    /// Coalescing envelope: constituent messages for one link, delivered
+    /// as a unit and handled in order. Never nested.
+    Batch(Vec<Msg>),
 }
 
 impl Msg {
@@ -327,6 +335,7 @@ impl Msg {
             Msg::TechniqueDemoteAck(_) => "tech.demote_ack",
             Msg::TechniqueDrained(_) => "tech.drained",
             Msg::Shutdown => "shutdown",
+            Msg::Batch(_) => "batch",
         }
     }
 }
@@ -370,6 +379,7 @@ impl WireSize for Msg {
             Msg::TechniqueDemoteAck(m) => 2 + 8 + keys_wire_bytes(&m.keys),
             Msg::TechniqueDrained(m) => 2 + 8 + keys_wire_bytes(&m.keys) + f32s_wire_bytes(&m.vals),
             Msg::Shutdown => 0,
+            Msg::Batch(msgs) => 4 + msgs.iter().map(Msg::wire_bytes).sum::<usize>(),
         }
     }
 }
@@ -460,6 +470,14 @@ impl WireCodec for Msg {
                 put_f32s(buf, &m.vals);
             }
             Msg::Shutdown => put_u8(buf, 6),
+            Msg::Batch(msgs) => {
+                put_u8(buf, 15);
+                put_u32(buf, msgs.len() as u32);
+                for m in msgs {
+                    debug_assert!(!matches!(m, Msg::Batch(_)), "batch envelopes must not nest");
+                    m.encode(buf);
+                }
+            }
         }
     }
 
@@ -597,6 +615,24 @@ impl WireCodec for Msg {
                     vals,
                 }))
             }
+            15 => {
+                let n = get_u32(buf)? as u64;
+                if n > MAX_LEN {
+                    return Err(CodecError::LengthOutOfRange(n));
+                }
+                // Clamp the pre-allocation: `n` is attacker-controlled
+                // until the constituents actually decode.
+                let mut msgs = Vec::with_capacity(n.min(64) as usize);
+                for _ in 0..n {
+                    // Reject a nested batch *before* recursing: a crafted
+                    // `15,count,15,…` stream must not grow the stack.
+                    if buf.first() == Some(&15) {
+                        return Err(CodecError::NestedBatch);
+                    }
+                    msgs.push(Msg::decode(buf)?);
+                }
+                Ok(Msg::Batch(msgs))
+            }
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -683,6 +719,22 @@ mod tests {
                 vals: vec![0.75, 0.25],
             }),
             Msg::Shutdown,
+            Msg::Batch(vec![
+                Msg::Op(OpMsg {
+                    op: OpId::new(NodeId(1), 43),
+                    kind: OpKind::Pull,
+                    keys: vec![Key(4)],
+                    vals: vec![],
+                    routed_by_home: false,
+                }),
+                Msg::OpResp(OpRespMsg {
+                    op: OpId::new(NodeId(0), 2),
+                    kind: OpKind::Push,
+                    keys: vec![Key(6)],
+                    vals: ValueBlock::from_f32s(&[]),
+                    owner: NodeId(1),
+                }),
+            ]),
         ]
     }
 

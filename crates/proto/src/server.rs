@@ -217,6 +217,11 @@ struct ServerScratch {
     items: Vec<(u32, u32)>,
     /// Per-key replay decision (operation messages).
     actions: Vec<OpAction>,
+    /// Constituent-message index per flattened key of an operation run
+    /// (batched ingest; a run of one has all zeros).
+    flat_msg: Vec<u32>,
+    /// First flattened index of each constituent message of a run.
+    msg_starts: Vec<u32>,
     /// Flat replay actions of a hand-over's queue drains.
     ho_actions: Vec<HoAction>,
     /// Per-key `(start, end)` span into `ho_actions`.
@@ -277,6 +282,9 @@ pub struct ServerCore {
     deferred_localizes: Vec<(OpId, Key)>,
     /// Reusable dispatch buffers (amortized alloc-free).
     scratch: ServerScratch,
+    /// Reusable accumulator of consecutive [`Msg::Op`] constituents
+    /// during batched ingest.
+    op_run: Vec<OpMsg>,
 }
 
 impl ServerCore {
@@ -299,6 +307,7 @@ impl ServerCore {
             demote_pinned: HashMap::new(),
             deferred_localizes: Vec::new(),
             scratch: ServerScratch::default(),
+            op_run: Vec::new(),
         }
     }
 
@@ -336,9 +345,12 @@ impl ServerCore {
     /// Handles one incoming message, appending outgoing messages to
     /// `sink` in a deterministic order.
     pub fn handle(&mut self, msg: Msg, sink: &mut MsgSink) {
+        if let Msg::Batch(msgs) = msg {
+            return self.handle_batch(msgs, sink);
+        }
         let mut batches = Batches::default();
         match msg {
-            Msg::Op(m) => self.handle_op(m, &mut batches),
+            Msg::Op(m) => self.handle_op_run(std::slice::from_ref(&m), &mut batches),
             Msg::OpResp(m) => self.handle_resp(m),
             Msg::LocalizeReq(m) => self.handle_localize(m, &mut batches),
             Msg::Relocate(m) => self.handle_relocate(m, &mut batches),
@@ -352,58 +364,125 @@ impl ServerCore {
             Msg::TechniqueDemoteAck(m) => self.handle_technique_demote_ack(m, &mut batches),
             Msg::TechniqueDrained(m) => self.handle_technique_drained(m, &mut batches),
             Msg::Shutdown => {}
+            Msg::Batch(_) => unreachable!("batch envelopes are unpacked above"),
         }
         batches.flush(self.shared.node, sink);
     }
 
+    /// Handles one batch envelope: constituents are processed strictly in
+    /// arrival order (per-link FIFO is untouched), but runs of
+    /// **consecutive operation messages** dispatch together so each shard
+    /// latch is taken once per run instead of once per message. Every
+    /// non-operation constituent flushes its own [`Batches`] — the
+    /// category flush order (responses before relocates before refreshes
+    /// before technique traffic) is a per-message contract; merging it
+    /// across, say, a promotion ack and a replica push would reorder a
+    /// refresh ahead of the promotion broadcast it depends on.
+    pub fn handle_batch(&mut self, msgs: Vec<Msg>, sink: &mut MsgSink) {
+        let mut run = std::mem::take(&mut self.op_run);
+        debug_assert!(run.is_empty());
+        for msg in msgs {
+            match msg {
+                Msg::Op(m) => run.push(m),
+                other => {
+                    debug_assert!(
+                        !matches!(other, Msg::Batch(_)),
+                        "nested batch envelope delivered"
+                    );
+                    self.flush_op_run(&mut run, sink);
+                    self.handle(other, sink);
+                }
+            }
+        }
+        self.flush_op_run(&mut run, sink);
+        self.op_run = run;
+    }
+
+    /// Dispatches the accumulated operation run (if any) as one grouped
+    /// round and clears it.
+    fn flush_op_run(&mut self, run: &mut Vec<OpMsg>, sink: &mut MsgSink) {
+        if run.is_empty() {
+            return;
+        }
+        let mut batches = Batches::default();
+        self.handle_op_run(run, &mut batches);
+        batches.flush(self.shared.node, sink);
+        run.clear();
+    }
+
     // ---- operations ------------------------------------------------------
 
-    fn handle_op(&mut self, m: OpMsg, batches: &mut Batches) {
+    /// Dispatches a run of operation messages that arrived back-to-back
+    /// on this server's endpoint. A run of one is exactly the historical
+    /// per-message path (the simulator and the hand-driven test clusters
+    /// only ever pass runs of one, so their outputs are bit-identical);
+    /// longer runs — unpacked batch envelopes and ingest bursts — share
+    /// the plan/shard/emit phases so each shard latch is acquired once
+    /// per **run** instead of once per message. Within a shard, flattened
+    /// order preserves message arrival order and per-message key order,
+    /// so every per-key state transition happens exactly as it would have
+    /// one message at a time.
+    fn handle_op_run(&mut self, msgs: &[OpMsg], batches: &mut Batches) {
         let cfg = self.shared.cfg.clone();
         let policy = cfg.policy();
 
-        // Plan phase: group keys by shard, record payload spans.
+        // Plan phase: flatten the run's keys, group by shard, record
+        // payload spans (per-message value offsets).
         let ServerScratch {
             groups,
             items,
             actions,
+            flat_msg,
+            msg_starts,
             vals,
             ..
         } = &mut self.scratch;
         groups.clear();
         items.clear();
         actions.clear();
+        flat_msg.clear();
+        msg_starts.clear();
         vals.clear();
-        let mut val_off = 0u32;
-        for (i, &k) in m.keys.iter().enumerate() {
-            let len = match m.kind {
-                OpKind::Push => cfg.layout.len(k) as u32,
-                OpKind::Pull => 0,
-            };
-            items.push((val_off, len));
-            actions.push(OpAction::Done);
-            groups.push(cfg.shard_of(k), i as u32);
-            val_off += len;
+        let mut flat = 0u32;
+        for (mi, m) in msgs.iter().enumerate() {
+            msg_starts.push(flat);
+            let mut val_off = 0u32;
+            for &k in m.keys.iter() {
+                let len = match m.kind {
+                    OpKind::Push => cfg.layout.len(k) as u32,
+                    OpKind::Pull => 0,
+                };
+                flat_msg.push(mi as u32);
+                items.push((val_off, len));
+                actions.push(OpAction::Done);
+                groups.push(cfg.shard_of(k), flat);
+                val_off += len;
+                flat += 1;
+            }
+            debug_assert_eq!(
+                val_off as usize,
+                m.vals.len(),
+                "push payload length mismatch"
+            );
         }
-        debug_assert_eq!(
-            val_off as usize,
-            m.vals.len(),
-            "push payload length mismatch"
-        );
 
-        // Shard phase: one latch per shard; route every key (see module
-        // docs for the cases).
+        // Shard phase: one latch per shard per run; route every key (see
+        // module docs for the cases).
         let mut stale_forwards = 0u64;
         // Under adaptive management, ops routed before a promotion
         // broadcast reached their issuer legitimately arrive here for
         // now-replicated keys; the owning home serves them, and served
         // pushes are re-broadcast as refreshes so replicas converge.
-        let mut repl_fresh: Vec<(Key, u32)> = Vec::new();
+        // Tagged with the constituent index: refresh rounds stay
+        // per-message.
+        let mut repl_fresh: Vec<(u32, Key, u32)> = Vec::new();
         for (shard_idx, idxs) in groups.iter() {
             let mut shard = self.shared.shards[shard_idx].write();
-            for &i in idxs {
-                let k = m.keys[i as usize];
-                let (off, len) = items[i as usize];
+            for &f in idxs {
+                let mi = flat_msg[f as usize] as usize;
+                let m = &msgs[mi];
+                let k = m.keys[(f - msg_starts[mi]) as usize];
+                let (off, len) = items[f as usize];
                 let val = &m.vals[off as usize..(off + len) as usize];
                 debug_assert!(
                     policy.adaptive() || !policy.replicated(k),
@@ -422,12 +501,12 @@ impl ServerCore {
                                 let fresh = shard.store.get(k).expect("just updated");
                                 let soff = vals.len() as u32;
                                 vals.extend_from_slice(fresh);
-                                repl_fresh.push((k, soff));
+                                repl_fresh.push((mi as u32, k, soff));
                             }
                             if m.op.node == self.shared.node {
                                 self.shared.tracker.complete_key(m.op.seq, k, None);
                             } else {
-                                actions[i as usize] = OpAction::RespPush;
+                                actions[f as usize] = OpAction::RespPush;
                             }
                         }
                         OpKind::Pull => {
@@ -437,7 +516,7 @@ impl ServerCore {
                             } else {
                                 let soff = vals.len() as u32;
                                 vals.extend_from_slice(v);
-                                actions[i as usize] = OpAction::RespPull { soff };
+                                actions[f as usize] = OpAction::RespPull { soff };
                             }
                         }
                     }
@@ -456,7 +535,7 @@ impl ServerCore {
                         owner, self.shared.node,
                         "home believes it owns {k} but the store disagrees"
                     );
-                    actions[i as usize] = OpAction::FwdOwner(owner);
+                    actions[f as usize] = OpAction::FwdOwner(owner);
                 } else {
                     // Direct delivery based on a stale location cache:
                     // forward to the home node (double-forward, Figure 5d).
@@ -465,7 +544,7 @@ impl ServerCore {
                         "home-routed op for {k} reached a non-owner"
                     );
                     stale_forwards += 1;
-                    actions[i as usize] = OpAction::FwdHome(cfg.home(k));
+                    actions[f as usize] = OpAction::FwdHome(cfg.home(k));
                 }
             }
         }
@@ -476,39 +555,46 @@ impl ServerCore {
                 .fetch_add(stale_forwards, Relaxed);
         }
 
-        // Emit phase: replay decisions in original key order so grouped
-        // replies are identical to the per-key dispatch path.
+        // Emit phase: replay decisions per message, in original key
+        // order, so grouped replies are identical to the per-key dispatch
+        // path. Two constituents carrying the same (op, kind) merge into
+        // one response — the origin's tracker completes grouped keys
+        // regardless of how they were split across messages.
         let mut resp_bytes = 0u64;
-        for (i, &k) in m.keys.iter().enumerate() {
-            let (off, len) = items[i];
-            match actions[i] {
-                OpAction::Done => {}
-                OpAction::HandOver { .. } => unreachable!("hand-over action in op dispatch"),
-                OpAction::RespPush => {
-                    batches.resp.entry((m.op, m.kind)).keys.push(k);
-                }
-                OpAction::RespPull { soff } => {
-                    let vlen = cfg.layout.len(k);
-                    let entry = batches.resp.entry((m.op, OpKind::Pull));
-                    entry.keys.push(k);
-                    entry
-                        .vals
-                        .push_slice(&vals[soff as usize..soff as usize + vlen]);
-                    resp_bytes += 4 * vlen as u64;
-                }
-                OpAction::FwdOwner(owner) => {
-                    let entry = batches.fwd_owner.entry((owner, m.op, m.kind));
-                    entry.keys.push(k);
-                    entry
-                        .vals
-                        .extend_from_slice(&m.vals[off as usize..(off + len) as usize]);
-                }
-                OpAction::FwdHome(home) => {
-                    let entry = batches.fwd_home.entry((home, m.op, m.kind));
-                    entry.keys.push(k);
-                    entry
-                        .vals
-                        .extend_from_slice(&m.vals[off as usize..(off + len) as usize]);
+        for (mi, m) in msgs.iter().enumerate() {
+            let start = msg_starts[mi];
+            for (ki, &k) in m.keys.iter().enumerate() {
+                let f = (start + ki as u32) as usize;
+                let (off, len) = items[f];
+                match actions[f] {
+                    OpAction::Done => {}
+                    OpAction::HandOver { .. } => unreachable!("hand-over action in op dispatch"),
+                    OpAction::RespPush => {
+                        batches.resp.entry((m.op, m.kind)).keys.push(k);
+                    }
+                    OpAction::RespPull { soff } => {
+                        let vlen = cfg.layout.len(k);
+                        let entry = batches.resp.entry((m.op, OpKind::Pull));
+                        entry.keys.push(k);
+                        entry
+                            .vals
+                            .push_slice(&vals[soff as usize..soff as usize + vlen]);
+                        resp_bytes += 4 * vlen as u64;
+                    }
+                    OpAction::FwdOwner(owner) => {
+                        let entry = batches.fwd_owner.entry((owner, m.op, m.kind));
+                        entry.keys.push(k);
+                        entry
+                            .vals
+                            .extend_from_slice(&m.vals[off as usize..(off + len) as usize]);
+                    }
+                    OpAction::FwdHome(home) => {
+                        let entry = batches.fwd_home.entry((home, m.op, m.kind));
+                        entry.keys.push(k);
+                        entry
+                            .vals
+                            .extend_from_slice(&m.vals[off as usize..(off + len) as usize]);
+                    }
                 }
             }
         }
@@ -522,15 +608,24 @@ impl ServerCore {
         // Adaptive: broadcast refreshes for replicated keys that were
         // just pushed directly (drained in-flight traffic), so replica
         // holders see the update without waiting for an unrelated flush.
+        // One broadcast per constituent message that served such pushes:
+        // refresh rounds bump exactly as on the per-message path.
         if !repl_fresh.is_empty() {
-            let mut keys = Vec::with_capacity(repl_fresh.len());
-            let mut block = ValueBlockBuilder::default();
-            for &(k, soff) in &repl_fresh {
-                let vlen = cfg.layout.len(k);
-                keys.push(k);
-                block.push_slice(&self.scratch.vals[soff as usize..soff as usize + vlen]);
+            for mi in 0..msgs.len() as u32 {
+                let mut keys = Vec::new();
+                let mut block = ValueBlockBuilder::default();
+                for &(fmi, k, soff) in &repl_fresh {
+                    if fmi != mi {
+                        continue;
+                    }
+                    let vlen = cfg.layout.len(k);
+                    keys.push(k);
+                    block.push_slice(&self.scratch.vals[soff as usize..soff as usize + vlen]);
+                }
+                if !keys.is_empty() {
+                    self.broadcast_refresh(keys, block.finish(), None, batches);
+                }
             }
-            self.broadcast_refresh(keys, block.finish(), None, batches);
         }
     }
 

@@ -312,6 +312,11 @@ pub struct AccessStats {
     /// local serves contribute **zero** here — the property the
     /// value-plane stress test pins down.
     pub value_allocs_heap: AtomicU64,
+    /// Batch envelopes this node sent (sender-side coalescing; threaded
+    /// backend only — the simulator never coalesces).
+    pub net_batches: AtomicU64,
+    /// Constituent messages carried inside those envelopes.
+    pub net_batched_msgs: AtomicU64,
 }
 
 impl AccessStats {

@@ -1,7 +1,8 @@
 //! Adversarial codec tests: exhaustive tag coverage, the unknown-tag
 //! boundary, byte-by-byte truncation of the technique-transition frames
-//! (tags 10–14), and absurd length prefixes. Complements the proptest
-//! suite with deterministic, boundary-targeted cases.
+//! (tags 10–14), absurd length prefixes, and the batch envelope's
+//! nesting/recursion bounds (tag 15). Complements the proptest suite
+//! with deterministic, boundary-targeted cases.
 
 use bytes::{Bytes, BytesMut};
 
@@ -13,7 +14,7 @@ use lapse_proto::messages::{
     TechniqueDrainedMsg, TechniquePromoteAckMsg, TechniquePromoteMsg,
 };
 
-/// One sample per variant, ordered by wire tag (1..=14).
+/// One sample per variant, ordered by wire tag (1..=15).
 fn samples_by_tag() -> Vec<(u8, Msg)> {
     vec![
         (
@@ -120,6 +121,26 @@ fn samples_by_tag() -> Vec<(u8, Msg)> {
                 vals: vec![0.75, 0.25],
             }),
         ),
+        (
+            15,
+            Msg::Batch(vec![
+                Msg::Op(OpMsg {
+                    op: OpId::new(NodeId(0), 7),
+                    kind: OpKind::Pull,
+                    keys: vec![Key(11)],
+                    vals: vec![],
+                    routed_by_home: false,
+                }),
+                Msg::Shutdown,
+                Msg::OpResp(OpRespMsg {
+                    op: OpId::new(NodeId(2), 3),
+                    kind: OpKind::Push,
+                    keys: vec![Key(4), Key(6)],
+                    vals: ValueBlock::default(),
+                    owner: NodeId(1),
+                }),
+            ]),
+        ),
     ]
 }
 
@@ -134,7 +155,7 @@ fn every_tag_round_trips_with_its_tag_byte() {
     let samples = samples_by_tag();
     // The sample list itself must be exhaustive over the tag space.
     let tags: Vec<u8> = samples.iter().map(|(t, _)| *t).collect();
-    assert_eq!(tags, (1..=14).collect::<Vec<u8>>());
+    assert_eq!(tags, (1..=15).collect::<Vec<u8>>());
 
     for (tag, msg) in &samples {
         let bytes = encode(msg);
@@ -154,9 +175,9 @@ fn every_tag_round_trips_with_its_tag_byte() {
 
 #[test]
 fn unknown_tag_at_both_boundaries() {
-    // Tag 0 (below the dense range) and 15 (max assigned + 1): both must
+    // Tag 0 (below the dense range) and 16 (max assigned + 1): both must
     // fail with UnknownTag, not EOF or garbage decoding.
-    for bad in [0u8, 15, 16, 0xFF] {
+    for bad in [0u8, 16, 17, 0xFF] {
         let mut bytes = Bytes::from(vec![bad, 0, 0, 0, 0, 0, 0, 0]);
         match Msg::decode(&mut bytes) {
             Err(CodecError::UnknownTag(t)) => assert_eq!(t, bad),
@@ -245,6 +266,80 @@ fn plausible_length_with_missing_payload_is_eof() {
     let mut frame = vec![12u8, 1, 0]; // TechniqueDemote { node: 1, .. }
     frame.extend_from_slice(&2u32.to_le_bytes()); // claims 2 keys
     frame.extend_from_slice(&7u64.to_le_bytes()); // provides only 1
+    let mut bytes = Bytes::from(frame);
+    assert!(matches!(
+        Msg::decode(&mut bytes),
+        Err(CodecError::UnexpectedEof)
+    ));
+}
+
+#[test]
+fn empty_batch_round_trips() {
+    // An empty envelope is wasteful but well-formed: 1 tag byte + u32
+    // zero count.
+    let msg = Msg::Batch(vec![]);
+    let bytes = encode(&msg);
+    assert_eq!(bytes.len(), 5);
+    assert_eq!(msg.wire_bytes(), 5);
+    let mut rest = bytes;
+    assert_eq!(Msg::decode(&mut rest).expect("decode"), msg);
+    assert_eq!(rest.len(), 0);
+}
+
+#[test]
+fn nested_batch_is_rejected_without_recursing() {
+    // Tag 15 inside a batch: [15, count=1, 15, ...]. The decoder must
+    // refuse before recursing into the inner envelope.
+    let mut frame = vec![15u8];
+    frame.extend_from_slice(&1u32.to_le_bytes());
+    frame.push(15);
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    let mut bytes = Bytes::from(frame);
+    assert!(matches!(
+        Msg::decode(&mut bytes),
+        Err(CodecError::NestedBatch)
+    ));
+}
+
+#[test]
+fn deep_nesting_bomb_does_not_overflow_the_stack() {
+    // 10k levels of [15, count=1, ...]: the nesting check turns what
+    // would be unbounded recursion into an error at depth one.
+    let mut frame = Vec::new();
+    for _ in 0..10_000 {
+        frame.push(15u8);
+        frame.extend_from_slice(&1u32.to_le_bytes());
+    }
+    let mut bytes = Bytes::from(frame);
+    assert!(matches!(
+        Msg::decode(&mut bytes),
+        Err(CodecError::NestedBatch)
+    ));
+}
+
+#[test]
+fn absurd_batch_count_is_length_out_of_range() {
+    // Inner count of u32::MAX (> MAX_LEN = 1 << 30) must be rejected by
+    // range check, not by a 4-billion-element reservation.
+    let mut frame = vec![15u8];
+    frame.extend_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+    let mut bytes = Bytes::from(frame);
+    match Msg::decode(&mut bytes) {
+        Err(CodecError::LengthOutOfRange(n)) => assert_eq!(n, u32::MAX as u64),
+        other => panic!("expected LengthOutOfRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn plausible_batch_count_with_missing_constituents_is_eof() {
+    // A count that passes the range check but exceeds the remaining
+    // bytes must be EOF, and truncating a constituent mid-frame must
+    // never succeed (covered byte-by-byte by
+    // `truncated_frames_never_succeed_for_any_tag` via the tag-15
+    // sample).
+    let mut frame = vec![15u8];
+    frame.extend_from_slice(&3u32.to_le_bytes()); // claims 3 constituents
+    frame.push(6); // provides only one (Shutdown)
     let mut bytes = Bytes::from(frame);
     assert!(matches!(
         Msg::decode(&mut bytes),

@@ -16,6 +16,12 @@ pub struct SimReport {
     /// Messages whose source and destination coincide (the classic PS's
     /// local-access IPC path).
     pub self_messages: u64,
+    /// Batch envelopes sent by per-link coalescing. Always zero on the
+    /// simulator itself — it never coalesces — and filled in by the
+    /// threaded runner's statistics.
+    pub net_batches: u64,
+    /// Constituent messages carried inside those envelopes.
+    pub net_batched_msgs: u64,
     /// Value-plane accounting injected by the protocol layer after the
     /// run (the simulator itself only moves messages): bytes of parameter
     /// values copied through the value plane, and value-slot allocations
@@ -61,6 +67,15 @@ impl SimReport {
                 fmt::bytes(self.value_bytes_moved),
                 fmt::count(self.value_allocs_arena),
                 fmt::count(self.value_allocs_heap)
+            ));
+        }
+        // Only with coalescing active (threaded backend): simulator
+        // summaries stay byte-identical.
+        if self.net_batches > 0 {
+            s.push_str(&format!(
+                ", {} batches / {} coalesced msgs",
+                fmt::count(self.net_batches),
+                fmt::count(self.net_batched_msgs)
             ));
         }
         s

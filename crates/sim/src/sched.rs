@@ -344,6 +344,9 @@ impl<P: SimProtocol> SimCluster<P> {
             messages: self.shared.messages.load(Ordering::Relaxed),
             bytes: self.shared.bytes.load(Ordering::Relaxed),
             self_messages: self.shared.self_messages.load(Ordering::Relaxed),
+            // The simulator never coalesces.
+            net_batches: 0,
+            net_batched_msgs: 0,
             // Filled in by the protocol runner (the simulator itself has
             // no view of the value plane or the protocol counters).
             value_bytes_moved: 0,
