@@ -36,7 +36,10 @@ bench-check:
 ## (micro_comms in LAPSE_SMOKE mode: fixed-schedule threaded run with
 ## per-link coalescing off and on) must print identical counters and
 ## checksums in both modes — batching may change envelopes only, never
-## results.
+## results. The serving-plane bench (micro_serving in LAPSE_SMOKE mode:
+## fixed training schedules, then a quiesced snapshot sweep) must print
+## identical counters, pinned epochs, and checksums across runs — the
+## snapshot plane is read-only and may never perturb protocol results.
 bench-smoke:
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-1.txt 2>/dev/null
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-2.txt 2>/dev/null
@@ -59,6 +62,9 @@ bench-smoke:
 	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_comms > /tmp/lapse-bench-smoke-13.txt 2>/dev/null
 	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_comms > /tmp/lapse-bench-smoke-14.txt 2>/dev/null
 	diff /tmp/lapse-bench-smoke-13.txt /tmp/lapse-bench-smoke-14.txt
+	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_serving > /tmp/lapse-bench-smoke-15.txt 2>/dev/null
+	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_serving > /tmp/lapse-bench-smoke-16.txt 2>/dev/null
+	diff /tmp/lapse-bench-smoke-15.txt /tmp/lapse-bench-smoke-16.txt
 	@echo "bench-smoke: output bit-identical across runs"
 
 fmt:

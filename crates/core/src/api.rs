@@ -167,6 +167,16 @@ pub trait PsWorker {
     /// sampling (Appendix A of the paper).
     fn pull_if_local(&mut self, key: Key, out: &mut [f32]) -> bool;
 
+    /// A [`SnapshotReader`](lapse_proto::SnapshotReader) over this
+    /// worker's node — the latch-free, tracker-free, message-free read
+    /// plane for serving traffic. `None` on backends without one (the
+    /// simulator keeps every read latched; the SSP baseline has no
+    /// serving plane). The reader is independent of the worker: it can
+    /// be moved to a dedicated serving thread.
+    fn snapshot_reader(&self) -> Option<lapse_proto::SnapshotReader> {
+        None
+    }
+
     /// Global barrier across every worker of the cluster.
     fn barrier(&mut self);
 

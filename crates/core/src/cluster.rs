@@ -35,6 +35,12 @@ pub struct PsConfig {
     /// `LAPSE_NO_COALESCE` environment variable overrides both to off
     /// (per-message baselines, bisecting batching bugs).
     pub coalesce: Option<bool>,
+    /// Snapshot serving plane (wait-free epoch-pinned reads): `None`
+    /// leaves the backend default (sim: off — every read stays latched
+    /// so schedules and outputs stay bit-identical; threaded: on),
+    /// `Some(v)` forces it. The `LAPSE_NO_SNAPSHOT` environment variable
+    /// overrides both to off (latched serving baselines).
+    pub snapshot_reads: Option<bool>,
 }
 
 impl PsConfig {
@@ -45,6 +51,7 @@ impl PsConfig {
             proto: ProtoConfig::new(nodes, keys, Layout::Uniform(value_len)),
             wait_free_reads: None,
             coalesce: None,
+            snapshot_reads: None,
         }
     }
 
@@ -122,6 +129,20 @@ impl PsConfig {
         self.coalesce = Some(on);
         self
     }
+
+    /// Forces the snapshot serving plane on or off (default: backend
+    /// decides — off for the simulator, on for the threaded backend).
+    pub fn snapshot_reads(mut self, on: bool) -> Self {
+        self.snapshot_reads = Some(on);
+        self
+    }
+
+    /// Sets the staleness bound of the snapshot serving plane (epochs a
+    /// replica-tier read may lag before waiting for a refresh).
+    pub fn max_staleness_epochs(mut self, epochs: u64) -> Self {
+        self.proto.max_staleness_epochs = epochs;
+        self
+    }
 }
 
 /// `LAPSE_NO_SEQLOCK=1` disables the wait-free read path everywhere:
@@ -137,6 +158,14 @@ fn seqlock_disabled_by_env() -> bool {
 /// for bisecting suspected batching bugs.
 fn coalesce_disabled_by_env() -> bool {
     std::env::var_os("LAPSE_NO_COALESCE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// `LAPSE_NO_SNAPSHOT=1` disables the snapshot serving plane everywhere:
+/// `SnapshotReader` reads fall back to the latched path — the kill switch
+/// for latched serving baselines and for bisecting suspected
+/// snapshot-plane bugs.
+fn snapshot_disabled_by_env() -> bool {
+    std::env::var_os("LAPSE_NO_SNAPSHOT").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 fn build_shareds(
@@ -173,6 +202,8 @@ where
     // Likewise no coalescing: the cost model charges per message and the
     // deterministic experiment outputs are specified per-message.
     proto.coalesce = false;
+    // And no snapshot plane: simulated serving reads stay latched.
+    proto.snapshot_reads = false;
     let proto = Arc::new(proto);
     let clock_cell = Arc::new(AtomicU64::new(0));
     let clock: ClockFn = {
@@ -225,6 +256,7 @@ where
     let mut proto = cfg.proto;
     proto.wait_free_reads = cfg.wait_free_reads.unwrap_or(true) && !seqlock_disabled_by_env();
     proto.coalesce = cfg.coalesce.unwrap_or(true) && !coalesce_disabled_by_env();
+    proto.snapshot_reads = cfg.snapshot_reads.unwrap_or(true) && !snapshot_disabled_by_env();
     let proto = Arc::new(proto);
     // lint:allow(wall-clock, threaded backend timestamps real elapsed time; it never feeds message contents or ordering)
     let start = Instant::now();

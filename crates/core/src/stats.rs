@@ -84,6 +84,13 @@ pub struct ClusterStats {
     pub net_batches: u64,
     /// Constituent messages carried inside those envelopes.
     pub net_batched_msgs: u64,
+    /// Snapshot-plane reads served wait-free (threaded backend; 0 on the
+    /// simulator, whose serving reads stay latched).
+    pub snapshot_reads: u64,
+    /// Snapshot-plane reads that waited on the staleness bound.
+    pub snapshot_stale_waits: u64,
+    /// Snapshot-plane reads that fell back to the latched path.
+    pub snapshot_fallbacks: u64,
     /// Virtual run time (simulator backend only).
     pub virtual_time_ns: Option<u64>,
 }
@@ -125,6 +132,9 @@ impl ClusterStats {
             self_messages: 0,
             net_batches: 0,
             net_batched_msgs: 0,
+            snapshot_reads: 0,
+            snapshot_stale_waits: 0,
+            snapshot_fallbacks: 0,
             virtual_time_ns: None,
         };
         for n in nodes {
@@ -154,6 +164,9 @@ impl ClusterStats {
             s.tracker_in_flight += n.tracker.in_flight() as u64;
             s.net_batches += a.net_batches.load(Relaxed);
             s.net_batched_msgs += a.net_batched_msgs.load(Relaxed);
+            s.snapshot_reads += a.snapshot_reads.load(Relaxed);
+            s.snapshot_stale_waits += a.snapshot_stale_waits.load(Relaxed);
+            s.snapshot_fallbacks += a.snapshot_fallbacks.load(Relaxed);
             s.value_bytes_moved += a.value_bytes_moved.load(Relaxed);
             let arena = n.store_alloc_stats();
             s.value_allocs_arena += arena.arena;
@@ -175,6 +188,9 @@ impl ClusterStats {
             self_messages: self.self_messages,
             net_batches: self.net_batches,
             net_batched_msgs: self.net_batched_msgs,
+            snapshot_reads: self.snapshot_reads,
+            snapshot_stale_waits: self.snapshot_stale_waits,
+            snapshot_fallbacks: self.snapshot_fallbacks,
             value_bytes_moved: self.value_bytes_moved,
             value_allocs_arena: self.value_allocs_arena,
             value_allocs_heap: self.value_allocs_heap,

@@ -243,6 +243,12 @@ impl PsWorker for ThreadedPsWorker {
         self.client.pull_if_local(key, out)
     }
 
+    fn snapshot_reader(&self) -> Option<lapse_proto::SnapshotReader> {
+        Some(lapse_proto::SnapshotReader::new(
+            self.client.shared().clone(),
+        ))
+    }
+
     fn barrier(&mut self) {
         self.barrier.wait();
     }

@@ -12,7 +12,11 @@
 //!   names shared across files, and guard bindings produced by
 //!   `.lock()` on a hash-typed value inherit the classification;
 //! * `Instant::now` / `SystemTime` wall-clock reads (`wall-clock`);
-//! * entropy-seeded RNG construction (`entropy`).
+//! * entropy-seeded RNG construction (`entropy`);
+//! * `thread::sleep` / `thread::park_timeout` timed blocking
+//!   (`thread-sleep`) — waits on protocol state must be bounded spins
+//!   (the serving plane's stale-wait) or channel receives, never a
+//!   wall-clock stall that couples schedules to elapsed time.
 //!
 //! Point lookups (`get`, `entry`, `contains_key`, ...) are always fine —
 //! only order-revealing operations are flagged. Benign sites carry a
@@ -394,6 +398,28 @@ fn scan_clock_and_entropy(
                         ),
                     ));
                 }
+            }
+            Some(m @ ("sleep" | "park_timeout"))
+                if matches!(
+                    toks.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                    Some(Tok::Punct("::"))
+                ) && matches!(
+                    toks.get(i.wrapping_sub(2)).map(|t| t.ident()),
+                    Some(Some("thread"))
+                ) =>
+            {
+                // `thread::sleep` calls *and* imports: like `entropy`,
+                // flagging the `use` is the stronger guarantee.
+                out.push(Finding::new(
+                    "thread-sleep",
+                    &file.path,
+                    toks[i].line,
+                    format!(
+                        "`thread::{m}` in a protocol/scheduling crate — timed blocking \
+                         couples behavior to wall-clock; wait with a bounded spin or a \
+                         channel receive instead"
+                    ),
+                ));
             }
             Some("thread_rng") | Some("from_entropy") | Some("OsRng") => {
                 // Skip path *definitions* (`use rand::thread_rng` still

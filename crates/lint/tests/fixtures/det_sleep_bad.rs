@@ -1,0 +1,13 @@
+// Fixture: timed blocking in protocol code — both the import and the
+// call site are flagged.
+
+use std::thread::sleep;
+use std::time::Duration;
+
+pub fn wait_for_refresh() {
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+pub fn parked_wait(d: Duration) {
+    std::thread::park_timeout(d);
+}

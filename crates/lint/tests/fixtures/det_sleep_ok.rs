@@ -1,0 +1,17 @@
+// Fixture: the sanctioned wait — a bounded spin on protocol state, the
+// shape the serving plane's stale-wait uses. `spin_loop` hints never
+// block and never read the clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SPINS: usize = 64;
+
+pub fn bounded_wait(epoch: &AtomicU64, want: u64) -> bool {
+    for _ in 0..SPINS {
+        if epoch.load(Ordering::Acquire) >= want {
+            return true;
+        }
+        std::hint::spin_loop();
+    }
+    false
+}

@@ -18,6 +18,8 @@ const DET_BAD: &str = include_str!("fixtures/det_bad_iter.rs");
 const DET_ALLOW: &str = include_str!("fixtures/det_allow.rs");
 const DET_ALLOW_NO_REASON: &str = include_str!("fixtures/det_allow_no_reason.rs");
 const DET_CLOCK_ENTROPY: &str = include_str!("fixtures/det_clock_entropy.rs");
+const DET_SLEEP_BAD: &str = include_str!("fixtures/det_sleep_bad.rs");
+const DET_SLEEP_OK: &str = include_str!("fixtures/det_sleep_ok.rs");
 const LOCK_CYCLE: &str = include_str!("fixtures/lock_cycle.rs");
 const LOCK_NO_CYCLE: &str = include_str!("fixtures/lock_no_cycle.rs");
 const LOCK_IN_LOOP: &str = include_str!("fixtures/lock_in_loop.rs");
@@ -287,6 +289,37 @@ fn wall_clock_and_entropy_detected() {
     let f = check(vec![(PROTO_SRC, DET_CLOCK_ENTROPY)]);
     assert!(has(&f, "wall-clock", "Instant::now"), "got: {f:?}");
     assert!(has(&f, "entropy", "thread_rng"), "got: {f:?}");
+}
+
+#[test]
+fn thread_sleep_detected_at_import_and_call() {
+    let f = check(vec![(PROTO_SRC, DET_SLEEP_BAD)]);
+    // The `use std::thread::sleep` import, the `std::thread::sleep(..)`
+    // call, and the `park_timeout` call.
+    assert_eq!(count(&f, "thread-sleep"), 3, "got: {f:?}");
+    assert!(has(&f, "thread-sleep", "`thread::sleep`"), "got: {f:?}");
+    assert!(
+        has(&f, "thread-sleep", "`thread::park_timeout`"),
+        "got: {f:?}"
+    );
+}
+
+#[test]
+fn bounded_spin_wait_is_clean() {
+    let f = check(vec![(PROTO_SRC, DET_SLEEP_OK)]);
+    assert!(f.is_empty(), "expected no findings, got: {f:?}");
+}
+
+#[test]
+fn real_serving_plane_passes_the_determinism_pass() {
+    // The shipped snapshot serving plane, lexed verbatim: its stale-wait
+    // must stay a bounded spin — no sleeps, no clock reads, no hash
+    // iteration anywhere on the read path.
+    let f = check(vec![(
+        "crates/proto/src/serving.rs",
+        include_str!("../../proto/src/serving.rs"),
+    )]);
+    assert!(f.is_empty(), "got: {f:?}");
 }
 
 #[test]

@@ -353,7 +353,13 @@ impl ClientCore {
     /// in-flight set until the owners' refreshes acknowledge them. A
     /// no-op when nothing is pending or the variant replicates nothing.
     pub fn flush_replicas(&self, sink: &mut MsgSink) {
-        if !self.cfg().policy().any_replication() {
+        // Serving-epoch tick (snapshot read plane): every propagation
+        // tick advances the node's serving epoch, under all variants.
+        // With no replica tier at all the replica epoch trivially keeps
+        // up — nothing can be stale.
+        let any_replication = self.cfg().policy().any_replication();
+        self.shared.serving.tick(!any_replication);
+        if !any_replication {
             return;
         }
         let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();

@@ -42,8 +42,16 @@ pub struct Coalescer {
     max_bytes: usize,
     /// Per-destination runs in first-appearance order. A `Vec` scan, not
     /// a hash map: destinations per flush are bounded by the node count,
-    /// and protocol crates avoid hash iteration (determinism lint).
+    /// and protocol crates avoid hash iteration (determinism lint). The
+    /// run buffers are a pool: only the first [`Coalescer::active`]
+    /// entries belong to the current flush, and emptied runs keep their
+    /// capacity for the next one — after warm-up a flush allocates only
+    /// the chunk vectors that travel inside [`Msg::Batch`] envelopes.
     groups: Vec<(NodeId, Vec<Msg>)>,
+    /// Pool entries in use by the current flush.
+    active: usize,
+    /// Times the pool grew by a fresh run buffer (steady state: flat).
+    pool_allocs: u64,
 }
 
 impl Coalescer {
@@ -53,7 +61,15 @@ impl Coalescer {
             max_msgs: cfg.coalesce_max_msgs.max(1),
             max_bytes: cfg.coalesce_max_bytes.max(1),
             groups: Vec::new(),
+            active: 0,
+            pool_allocs: 0,
         }
+    }
+
+    /// Times the per-destination pool allocated a fresh run buffer.
+    /// Flat across steady-state flushes — asserted by the coalesce tests.
+    pub fn pool_allocs(&self) -> u64 {
+        self.pool_allocs
     }
 
     /// Drains `sink`, emitting each destination's run as batch envelopes
@@ -77,19 +93,35 @@ impl Coalescer {
                 !matches!(msg, Msg::Batch(_)),
                 "sink must hold flat messages"
             );
-            match self.groups.iter_mut().find(|(d, _)| *d == dst) {
+            match self.groups[..self.active]
+                .iter_mut()
+                .find(|(d, _)| *d == dst)
+            {
                 Some((_, run)) => run.push(msg),
-                None => self.groups.push((dst, vec![msg])),
+                None => {
+                    if self.active == self.groups.len() {
+                        self.groups.push((dst, Vec::new()));
+                        self.pool_allocs += 1;
+                    }
+                    let slot = &mut self.groups[self.active];
+                    slot.0 = dst;
+                    debug_assert!(slot.1.is_empty(), "pooled run not drained");
+                    slot.1.push(msg);
+                    self.active += 1;
+                }
             }
         }
-        for (dst, mut run) in self.groups.drain(..) {
+        for (dst, run) in &mut self.groups[..self.active] {
+            let dst = *dst;
             if run.len() == 1 {
                 emit(dst, run.pop().expect("run of one"));
                 continue;
             }
+            // Chunks move into `Msg::Batch` envelopes, so each is an
+            // owned allocation; only the run buffers are pooled.
             let mut chunk: Vec<Msg> = Vec::new();
             let mut chunk_bytes = 0usize;
-            for msg in run {
+            for msg in run.drain(..) {
                 let bytes = msg.wire_bytes();
                 let cut = !chunk.is_empty()
                     && (chunk.len() >= self.max_msgs || chunk_bytes + bytes > self.max_bytes);
@@ -102,6 +134,7 @@ impl Coalescer {
             }
             Self::emit_chunk(dst, chunk, &mut stats, emit);
         }
+        self.active = 0;
         stats
     }
 
@@ -238,6 +271,7 @@ mod tests {
     #[test]
     fn scratch_reuse_across_flushes() {
         let mut c = coalescer(64, 1 << 20);
+        let mut allocs_after_first = 0;
         for round in 0..3u64 {
             let sink = vec![
                 (NodeId(1), op(round * 2, 1)),
@@ -246,6 +280,38 @@ mod tests {
             let (out, stats) = pack(&mut c, sink);
             assert_eq!(out.len(), 1, "round {round}");
             assert_eq!(stats.batched_msgs, 2, "round {round}");
+            if round == 0 {
+                allocs_after_first = c.pool_allocs();
+            } else {
+                assert_eq!(
+                    c.pool_allocs(),
+                    allocs_after_first,
+                    "run buffers reallocated on round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_allocs_stay_flat_across_multi_destination_flushes() {
+        let mut c = coalescer(64, 1 << 20);
+        // First flush warms the pool with one run buffer per destination.
+        let warm: Vec<_> = (0..4u16)
+            .flat_map(|d| (0..3u64).map(move |s| (NodeId(d), op(s, 1))))
+            .collect();
+        let _ = pack(&mut c, warm);
+        let warmed = c.pool_allocs();
+        assert_eq!(warmed, 4, "one pool growth per first-seen destination");
+        // Steady state: same destinations (in any order) allocate nothing.
+        for round in 0..5u64 {
+            let sink: Vec<_> = (0..4u16)
+                .rev()
+                .flat_map(|d| (0..3u64).map(move |s| (NodeId(d), op(round * 3 + s, 1))))
+                .collect();
+            let (out, stats) = pack(&mut c, sink);
+            assert_eq!(out.len(), 4, "round {round}");
+            assert_eq!(stats.batched_msgs, 12, "round {round}");
+            assert_eq!(c.pool_allocs(), warmed, "pool grew on round {round}");
         }
     }
 }

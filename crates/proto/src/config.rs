@@ -220,6 +220,19 @@ pub struct ProtoConfig {
     /// bit-identical, and the optimistic path only pays off with real
     /// concurrent threads. The threaded backend enables it.
     pub wait_free_reads: bool,
+    /// Serve [`SnapshotReader`](crate::serving::SnapshotReader) reads as
+    /// wait-free seqlock copies pinned to the node's serving epoch. Off
+    /// by default: the simulator backend keeps every read latched so its
+    /// schedules and outputs stay bit-identical. The threaded backend
+    /// enables it (kill switch: `LAPSE_NO_SNAPSHOT=1`); when off, the
+    /// reader API still works but serves through the latched path.
+    pub snapshot_reads: bool,
+    /// Bounded-staleness knob of the snapshot serving plane (DSSP-style):
+    /// a replica-tier snapshot read is served wait-free only while the
+    /// node's replica epoch lags its serving epoch by at most this many
+    /// epochs; beyond it the reader waits for a refresh and then falls
+    /// back to the latched path. Owned-tier reads are never stale.
+    pub max_staleness_epochs: u64,
     /// Coalesce outgoing messages bound for the same destination into
     /// [`Msg::Batch`](crate::messages::Msg::Batch) envelopes at op/tick
     /// flush boundaries. Off by default: the simulator backend must keep
@@ -252,6 +265,8 @@ impl ProtoConfig {
             replica_flush_every: 64,
             ordered_async_guard: true,
             wait_free_reads: false,
+            snapshot_reads: false,
+            max_staleness_epochs: 64,
             coalesce: false,
             coalesce_max_msgs: 64,
             coalesce_max_bytes: 1 << 20,

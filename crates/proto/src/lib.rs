@@ -33,6 +33,9 @@
 //!   [`Msg::Batch`](messages::Msg) envelopes (threaded backend only).
 //! * [`server`] — the per-node server logic: op routing and forwarding,
 //!   relocation handling, queue draining.
+//! * [`serving`] — the snapshot serving plane: epoch-versioned,
+//!   wait-free local reads for inference traffic (threaded backend
+//!   only).
 //! * [`technique`] — the management-technique policy layer: per-key
 //!   choice of static allocation, relocation, or replication, and every
 //!   routing decision derived from it.
@@ -53,6 +56,7 @@ pub mod group;
 pub mod layout;
 pub mod messages;
 pub mod server;
+pub mod serving;
 pub mod shard;
 pub mod storage;
 pub mod strategies;
@@ -63,5 +67,6 @@ pub mod tracker;
 pub use config::{AdaptiveConfig, HomePartition, HotSet, ProtoConfig, Variant};
 pub use layout::Layout;
 pub use messages::{Msg, OpId, OpKind};
+pub use serving::{SnapshotRead, SnapshotReader, SnapshotTier};
 pub use shard::NodeShared;
 pub use technique::{IssueRoute, Policy, Technique};

@@ -1264,6 +1264,10 @@ impl ServerCore {
                 .stats
                 .replica_refreshes
                 .fetch_add(refreshed, Relaxed);
+            // Serving-epoch publication: the replica tier just caught up
+            // with owner state as of the current epoch (snapshot plane
+            // staleness bound, see `crate::serving`).
+            self.shared.serving.note_refresh();
         }
     }
 

@@ -1,0 +1,246 @@
+//! The snapshot serving plane: epoch-versioned wait-free local reads.
+//!
+//! The protocol path (plan → shard → emit, tracker, latches) is built
+//! for training operations; inference traffic is read-mostly and cares
+//! about tail latency, not update semantics. This module serves it from
+//! the state the node already holds — the owned store and the
+//! replication tier (NuPS, PAPERS.md) — with **no latch, no tracker
+//! entry, and no message**: a [`SnapshotReader`] copies values under the
+//! PR 7 seqlock protocol and pins every read to a **serving epoch**.
+//!
+//! ## Epoch publication
+//!
+//! The node's [`ServingState`] publishes two monotone counters:
+//!
+//! * the **serving epoch**, ticked at every `advance_clock` propagation
+//!   tick ([`ClientCore::flush_replicas`](crate::client::ClientCore));
+//!   per-shard write commits additionally advance the
+//!   [`ShardCell::generation`](crate::shard::ShardCell) counter at every
+//!   write-guard drop, which validates the copies themselves;
+//! * the **replica epoch**, stamped to the then-current serving epoch
+//!   whenever a [`ReplicaRefresh`](crate::messages::Msg) installs owner
+//!   state into the local replica tier (and kept current trivially when
+//!   the variant replicates nothing).
+//!
+//! ## Bounded staleness
+//!
+//! Replica-tier reads are allowed to lag the owners — that is the
+//! replication technique's design — but a serving plane needs a bound.
+//! `ProtoConfig::max_staleness_epochs` is that DSSP-style knob: when
+//! `serving_epoch - replica_epoch` exceeds it, the reader first waits
+//! (bounded, latch-free) for a refresh to land, then falls back to the
+//! latched read path, which always serves the freshest local view.
+//! Owned-tier reads are never stale: the owner's store *is* the truth.
+//!
+//! ## Determinism
+//!
+//! The snapshot plane is threaded-backend only: `run_sim` forces
+//! `ProtoConfig::snapshot_reads` off (like `wait_free_reads`), so
+//! simulator schedules and outputs stay bit-identical, and
+//! `LAPSE_NO_SNAPSHOT=1` kills the plane in the threaded backend for
+//! A/B runs. Reads are wait-free and side-effect free (counters aside),
+//! so enabling the plane never changes protocol state or results — the
+//! property the `micro_serving` smoke mode pins down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lapse_net::Key;
+
+use crate::shard::{NodeShared, OptRead};
+
+/// Spin iterations a stale replica-tier read waits for a refresh before
+/// falling back to the latched path. Latch-free and bounded: the wait
+/// must never turn a wait-free read into an unbounded stall.
+const STALE_WAIT_SPINS: usize = 64;
+
+/// Node-local serving-epoch publication (one per [`NodeShared`]).
+#[derive(Debug, Default)]
+pub struct ServingState {
+    /// Serving epoch: advances at every propagation tick.
+    epoch: AtomicU64,
+    /// Serving epoch as of the last replica-tier refresh.
+    replica_epoch: AtomicU64,
+}
+
+impl ServingState {
+    /// Current serving epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Serving epoch as of the last replica-tier refresh.
+    #[inline]
+    pub fn replica_epoch(&self) -> u64 {
+        self.replica_epoch.load(Ordering::Acquire)
+    }
+
+    /// Ticks the serving epoch (one `advance_clock` propagation tick).
+    /// `replica_current` marks the replica tier as up to date as of the
+    /// new epoch — set by variants that replicate nothing, whose replica
+    /// tier is vacuously fresh.
+    pub fn tick(&self, replica_current: bool) {
+        let e = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        if replica_current {
+            self.replica_epoch.fetch_max(e, Ordering::AcqRel);
+        }
+    }
+
+    /// Stamps the replica tier as refreshed at the current epoch (called
+    /// by the server when a `ReplicaRefresh` installs owner state).
+    pub fn note_refresh(&self) {
+        let e = self.epoch.load(Ordering::Acquire);
+        self.replica_epoch.fetch_max(e, Ordering::AcqRel);
+    }
+
+    /// How many epochs the replica tier lags the serving epoch.
+    #[inline]
+    pub fn replica_lag(&self) -> u64 {
+        self.epoch().saturating_sub(self.replica_epoch())
+    }
+}
+
+/// Which path served a snapshot read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotTier {
+    /// Wait-free copy out of the owned store.
+    Owned,
+    /// Wait-free copy out of the replica tier (within the staleness
+    /// bound).
+    Replica,
+    /// Latched fallback (stale replica view, seqlock contention, or a
+    /// shard state the racy path cannot serve).
+    Latched,
+}
+
+/// One completed snapshot read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotRead {
+    /// The serving epoch the read is pinned to — non-decreasing across
+    /// the reads of one [`SnapshotReader`].
+    pub epoch: u64,
+    /// The path that served it.
+    pub tier: SnapshotTier,
+}
+
+/// A latch-free, tracker-free, message-free reader of locally held keys.
+///
+/// One instance per serving thread (readers are independent; the epoch
+/// monotonicity guarantee is per reader). [`SnapshotReader::read`]
+/// serves owned keys and replica-tier keys; keys held on other nodes are
+/// reported as [`None`] — the serving plane never generates traffic, so
+/// remote keys belong to the protocol path (`pull`).
+pub struct SnapshotReader {
+    shared: Arc<NodeShared>,
+    last_epoch: u64,
+    max_staleness: u64,
+}
+
+impl SnapshotReader {
+    /// A reader over `shared`, with the configured staleness bound.
+    pub fn new(shared: Arc<NodeShared>) -> Self {
+        let max_staleness = shared.cfg.max_staleness_epochs;
+        SnapshotReader {
+            shared,
+            last_epoch: 0,
+            max_staleness,
+        }
+    }
+
+    /// The epoch of the latest read (0 before the first).
+    pub fn epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Reads `key`'s local value into `out` without latching, tracking,
+    /// or messaging; returns the pinned epoch and serving tier, or
+    /// [`None`] when the key is not locally readable (owned elsewhere
+    /// and not replicated here — protocol-path territory).
+    ///
+    /// The returned epoch never decreases across the reads of one
+    /// reader, and the copied floats are a seqlock-validated consistent
+    /// snapshot (never torn, never a partially applied refresh).
+    pub fn read(&mut self, key: Key, out: &mut [f32]) -> Option<SnapshotRead> {
+        let shared = &self.shared;
+        if !shared.cfg.snapshot_reads || !shared.cfg.policy().shared_memory() {
+            return self.read_latched(key, out);
+        }
+        match shared.optimistic_read_raw(key, out) {
+            Some(OptRead::Owned) => {
+                shared.stats.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+                return Some(self.pin(SnapshotTier::Owned));
+            }
+            Some(OptRead::Replica) => {
+                if shared.serving.replica_lag() <= self.max_staleness {
+                    shared.stats.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+                    return Some(self.pin(SnapshotTier::Replica));
+                }
+                // Too stale: wait (bounded, latch-free) for a refresh to
+                // land, re-serving wait-free if it does.
+                shared
+                    .stats
+                    .snapshot_stale_waits
+                    .fetch_add(1, Ordering::Relaxed);
+                for _ in 0..STALE_WAIT_SPINS {
+                    std::hint::spin_loop();
+                    if shared.serving.replica_lag() <= self.max_staleness {
+                        match shared.optimistic_read_raw(key, out) {
+                            Some(OptRead::Owned) => {
+                                shared.stats.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+                                return Some(self.pin(SnapshotTier::Owned));
+                            }
+                            Some(OptRead::Replica) => {
+                                shared.stats.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+                                return Some(self.pin(SnapshotTier::Replica));
+                            }
+                            _ => {}
+                        }
+                        break;
+                    }
+                }
+            }
+            Some(OptRead::Absent) => return None,
+            None => {}
+        }
+        self.read_latched(key, out)
+    }
+
+    /// The latched fallback: the freshest local view, under the shard
+    /// latch. Shares the route logic of `pull_if_local` — replica view
+    /// first (owned values included), owned store second.
+    fn read_latched(&mut self, key: Key, out: &mut [f32]) -> Option<SnapshotRead> {
+        let shared = Arc::clone(&self.shared);
+        shared
+            .stats
+            .snapshot_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        let policy = shared.cfg.policy();
+        let served = {
+            let shard = shared.shard_for(key).read();
+            if policy.replicated_in(key, &shard) {
+                let ok = shard.read_replicated(key, out);
+                debug_assert!(ok, "replicated key {key} without replica state");
+                ok
+            } else {
+                match shard.store.get(key) {
+                    Some(v) => {
+                        out.copy_from_slice(v);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        };
+        served.then(|| self.pin(SnapshotTier::Latched))
+    }
+
+    /// Pins the read to the current serving epoch, monotone per reader.
+    fn pin(&mut self, tier: SnapshotTier) -> SnapshotRead {
+        self.last_epoch = self.last_epoch.max(self.shared.serving.epoch());
+        SnapshotRead {
+            epoch: self.last_epoch,
+            tier,
+        }
+    }
+}

@@ -40,6 +40,7 @@ use lapse_net::{Key, NodeId};
 use crate::adaptive::AdaptiveShared;
 use crate::config::{ProtoConfig, Variant};
 use crate::messages::{OpId, OpKind};
+use crate::serving::ServingState;
 use crate::storage::{RacyRead, ShardStore};
 use crate::tracker::{ClockFn, OpTracker};
 
@@ -317,6 +318,14 @@ pub struct AccessStats {
     pub net_batches: AtomicU64,
     /// Constituent messages carried inside those envelopes.
     pub net_batched_msgs: AtomicU64,
+    /// Snapshot-plane reads served wait-free (owned or replica tier,
+    /// within the staleness bound; threaded backend only).
+    pub snapshot_reads: AtomicU64,
+    /// Snapshot-plane reads that waited on the staleness bound for a
+    /// replica refresh.
+    pub snapshot_stale_waits: AtomicU64,
+    /// Snapshot-plane reads that fell back to the latched path.
+    pub snapshot_fallbacks: AtomicU64,
 }
 
 impl AccessStats {
@@ -450,6 +459,14 @@ impl ShardCell {
         self.techniques_nonempty.load(Ordering::Relaxed)
     }
 
+    /// Committed write generation of this shard (`seq >> 1`): advances
+    /// once per write critical section — the write-guard-drop component
+    /// of the serving-epoch publication (see [`crate::serving`]).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.seq.load(Ordering::Acquire) >> 1
+    }
+
     /// Begins an optimistic read: the current sequence number (acquire).
     #[inline]
     fn seq_enter(&self) -> u64 {
@@ -552,6 +569,8 @@ pub struct NodeShared {
     /// Online access statistics + transition controller of the adaptive
     /// technique (`Some` only under [`Variant::Adaptive`]).
     pub adaptive: Option<AdaptiveShared>,
+    /// Serving-epoch publication of the snapshot read plane.
+    pub serving: ServingState,
 }
 
 impl NodeShared {
@@ -612,6 +631,7 @@ impl NodeShared {
             replica_unflushed: AtomicU64::new(0),
             replica_flush_seq: AtomicU64::new(0),
             adaptive,
+            serving: ServingState::default(),
         })
     }
 
@@ -688,10 +708,20 @@ impl NodeShared {
         if !self.cfg.wait_free_reads || forced {
             return None;
         }
-        let policy = self.cfg.policy();
-        if !policy.shared_memory() {
+        if !self.cfg.policy().shared_memory() {
             return None;
         }
+        self.optimistic_read_raw(key, out)
+    }
+
+    /// The gate-free seqlock read loop shared by
+    /// [`NodeShared::try_optimistic_read`] (protocol fast path, gated on
+    /// `ProtoConfig::wait_free_reads`) and the snapshot serving plane
+    /// ([`crate::serving::SnapshotReader`], gated on
+    /// `ProtoConfig::snapshot_reads`). Callers must have checked their
+    /// own enablement gates and `Policy::shared_memory`.
+    pub(crate) fn optimistic_read_raw(&self, key: Key, out: &mut [f32]) -> Option<OptRead> {
+        let policy = self.cfg.policy();
         // Statically replicated keys ([`Variant::Replication`]/`Hybrid`)
         // have a frozen replica-map structure (eagerly initialized, never
         // resized), so their replica view is racy-readable. Adaptive

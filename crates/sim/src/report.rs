@@ -22,6 +22,14 @@ pub struct SimReport {
     pub net_batches: u64,
     /// Constituent messages carried inside those envelopes.
     pub net_batched_msgs: u64,
+    /// Snapshot-plane reads served wait-free. Always zero on the
+    /// simulator itself — its serving reads stay latched — and filled in
+    /// by the threaded runner's statistics.
+    pub snapshot_reads: u64,
+    /// Snapshot-plane reads that waited on the staleness bound.
+    pub snapshot_stale_waits: u64,
+    /// Snapshot-plane reads that fell back to the latched path.
+    pub snapshot_fallbacks: u64,
     /// Value-plane accounting injected by the protocol layer after the
     /// run (the simulator itself only moves messages): bytes of parameter
     /// values copied through the value plane, and value-slot allocations
@@ -76,6 +84,16 @@ impl SimReport {
                 ", {} batches / {} coalesced msgs",
                 fmt::count(self.net_batches),
                 fmt::count(self.net_batched_msgs)
+            ));
+        }
+        // Only with the snapshot serving plane active (threaded backend):
+        // simulator summaries stay byte-identical.
+        if self.snapshot_reads > 0 {
+            s.push_str(&format!(
+                ", {} snapshot reads / {} stale waits / {} fallbacks",
+                fmt::count(self.snapshot_reads),
+                fmt::count(self.snapshot_stale_waits),
+                fmt::count(self.snapshot_fallbacks)
             ));
         }
         s

@@ -344,9 +344,12 @@ impl<P: SimProtocol> SimCluster<P> {
             messages: self.shared.messages.load(Ordering::Relaxed),
             bytes: self.shared.bytes.load(Ordering::Relaxed),
             self_messages: self.shared.self_messages.load(Ordering::Relaxed),
-            // The simulator never coalesces.
+            // The simulator never coalesces and keeps serving latched.
             net_batches: 0,
             net_batched_msgs: 0,
+            snapshot_reads: 0,
+            snapshot_stale_waits: 0,
+            snapshot_fallbacks: 0,
             // Filled in by the protocol runner (the simulator itself has
             // no view of the value plane or the protocol counters).
             value_bytes_moved: 0,

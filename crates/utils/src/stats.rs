@@ -299,7 +299,13 @@ impl FixedHistogram {
         if self.count == 0 {
             return 0;
         }
-        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        // `q·n` accumulates a few ulps of error; an exact-integer rank
+        // (e.g. 0.07·100) can land just above its integer and `ceil`
+        // into the next rank — at a bucket boundary, the next bucket.
+        // Back off by a relative tolerance before taking the ceiling.
+        let exact = q * self.count as f64;
+        let tol = 1e-9 * self.count as f64;
+        let target = (((exact - tol).ceil() as u64).max(1)).min(self.count);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -308,6 +314,21 @@ impl FixedHistogram {
             }
         }
         self.max
+    }
+
+    /// Median (the 0.5-quantile).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
     }
 
     /// Merges another histogram with identical geometry.
@@ -429,6 +450,35 @@ mod tests {
         let p99 = h.quantile(0.99) as i64;
         assert!((p99 - 495).unsigned_abs() <= 10, "p99={p99}");
         assert_eq!(h.quantile(1.0), 505); // 500 lands in bucket [500, 510)
+    }
+
+    #[test]
+    fn fixed_histogram_matches_sorted_reference_at_boundary_ranks() {
+        // One observation per bucket (width 1 → midpoint = the value
+        // itself): the histogram quantile must equal the sorted-array
+        // rank-⌈q·n⌉ selection exactly, including at ranks where q·n is
+        // an exact integer sitting on a bucket boundary (0.07·100 = 7
+        // computes as 7.000000000000001 in f64 and used to ceil into
+        // rank 8 — the next bucket).
+        let mut h = FixedHistogram::new(1, 100);
+        let sorted: Vec<u64> = (0..100u64).collect();
+        for &x in &sorted {
+            h.record(x);
+        }
+        for q in [
+            0.0f64, 0.01, 0.07, 0.1, 0.25, 0.29, 0.5, 0.57, 0.75, 0.9, 0.99, 0.999, 1.0,
+        ] {
+            // Exact rank ⌈q·n⌉ in integer arithmetic (q is a per-mille
+            // decimal here), immune to the very rounding under test.
+            let per_mille = (q * 1000.0).round() as usize;
+            let rank = ((per_mille * sorted.len()).div_ceil(1000)).clamp(1, sorted.len());
+            let reference = sorted[rank - 1];
+            assert_eq!(h.quantile(q), reference, "q={q} rank={rank}");
+        }
+        assert_eq!(h.p50(), 49);
+        assert_eq!(h.p99(), 98);
+        assert_eq!(h.p999(), 99);
+        assert_eq!(h.count(), 100);
     }
 
     #[test]
