@@ -40,6 +40,11 @@ bench-check:
 ## fixed training schedules, then a quiesced snapshot sweep) must print
 ## identical counters, pinned epochs, and checksums across runs — the
 ## snapshot plane is read-only and may never perturb protocol results.
+## micro_contended smoke additionally runs the flight-recorder overhead
+## guard (tracing must not change checksums; stderr-only report).
+## Finally, the simulator trace itself must be deterministic: two traced
+## table5_relocation runs (LAPSE_TRACE=1, virtual-time clock + global
+## event sequence) must export byte-identical Chrome-JSON traces.
 bench-smoke:
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-1.txt 2>/dev/null
 	LAPSE_SCALE=0.05 $(CARGO) bench --bench table_nups_techniques > /tmp/lapse-bench-smoke-2.txt 2>/dev/null
@@ -65,6 +70,11 @@ bench-smoke:
 	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_serving > /tmp/lapse-bench-smoke-15.txt 2>/dev/null
 	LAPSE_SMOKE=1 $(CARGO) bench --bench micro_serving > /tmp/lapse-bench-smoke-16.txt 2>/dev/null
 	diff /tmp/lapse-bench-smoke-15.txt /tmp/lapse-bench-smoke-16.txt
+	LAPSE_SCALE=0.05 LAPSE_TRACE=1 LAPSE_TRACE_OUT=/tmp/lapse-trace-1.json \
+		$(CARGO) bench --bench table5_relocation > /dev/null 2>&1
+	LAPSE_SCALE=0.05 LAPSE_TRACE=1 LAPSE_TRACE_OUT=/tmp/lapse-trace-2.json \
+		$(CARGO) bench --bench table5_relocation > /dev/null 2>&1
+	diff /tmp/lapse-trace-1.json /tmp/lapse-trace-2.json
 	@echo "bench-smoke: output bit-identical across runs"
 
 fmt:

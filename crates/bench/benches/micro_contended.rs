@@ -155,6 +155,84 @@ fn smoke() {
             *checksum.lock().unwrap()
         );
     }
+    trace_overhead_guard();
+}
+
+/// Runs the fixed smoke schedule with the flight recorder off or on and
+/// returns (value checksum, best-of-two wall seconds).
+fn guarded_run(trace: bool, workers: usize, ops: u64) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut sum = 0.0;
+    for _ in 0..2 {
+        let checksum: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+        let c2 = checksum.clone();
+        let start = Instant::now();
+        let (_, _stats) = run_threaded(
+            PsConfig::new(1, KEYS, DIM)
+                .variant(Variant::Lapse)
+                .latches(16)
+                .trace(trace),
+            workers,
+            |_| None,
+            move |w| {
+                let zipf = Zipf::new(KEYS, ALPHA);
+                let mut rng = derive_rng(0xC0_47E4D, w.global_id() as u64);
+                let mut buf = vec![0.0f32; DIM as usize];
+                let delta = vec![1.0f32; DIM as usize];
+                for i in 0..ops {
+                    let k = [Key(zipf.sample(&mut rng) - 1)]; // ranks are 1..=n
+                    if i % PUSH_EVERY == 0 {
+                        w.push(&k, &delta);
+                    } else {
+                        w.pull(&k, &mut buf);
+                    }
+                }
+                w.barrier();
+                if w.global_id() == 0 {
+                    let keys: Vec<Key> = (0..KEYS).map(Key).collect();
+                    let mut out = vec![0.0f32; KEYS as usize * DIM as usize];
+                    w.pull(&keys, &mut out);
+                    *c2.lock().unwrap() = out.iter().map(|&x| x as f64).sum();
+                }
+            },
+        );
+        let elapsed = start.elapsed().as_secs_f64();
+        best = best.min(elapsed);
+        sum = *checksum.lock().unwrap();
+    }
+    (sum, best)
+}
+
+/// CI tripwire for the flight recorder: tracing must never change
+/// results (checksums equal bit-for-bit) and recording must stay in
+/// the tens-to-hundreds-of-ns-per-op regime. The ops here are ~70 ns
+/// local accesses while tracing adds five ring events per op plus a
+/// fixed end-of-run JSON export, so a wall-time *ratio* is meaningless
+/// at this scale; the per-op overhead bound below is scale-independent
+/// and trips on gross regressions only — a lock or syscall on the
+/// record path costs microseconds per event. (The precise
+/// overhead-when-off measurement lives in EXPERIMENTS.md.) Reports on
+/// stderr so the deterministic stdout diff in `make bench-smoke` never
+/// sees timing noise.
+fn trace_overhead_guard() {
+    let (workers, ops) = (4usize, 8192u64);
+    let (sum_off, t_off) = guarded_run(false, workers, ops);
+    let (sum_on, t_on) = guarded_run(true, workers, ops);
+    assert_eq!(
+        sum_off.to_bits(),
+        sum_on.to_bits(),
+        "tracing perturbed results: checksum off {sum_off} vs on {sum_on}"
+    );
+    let total_ops = (workers as u64 * ops) as f64;
+    let per_op_ns = (t_on - t_off).max(0.0) * 1e9 / total_ops;
+    assert!(
+        per_op_ns < 5_000.0,
+        "tracing overhead out of bounds: off {t_off:.4}s, on {t_on:.4}s ({per_op_ns:.0} ns/op)"
+    );
+    eprintln!(
+        "trace overhead guard: off {t_off:.4}s, on {t_on:.4}s \
+         ({per_op_ns:.0} ns/op traced), checksum {sum_off:.0}"
+    );
 }
 
 fn main() {

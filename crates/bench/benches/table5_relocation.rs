@@ -26,6 +26,9 @@ fn main() {
             "non-local",
             "reloc/s",
             "mean RT (ms)",
+            "p50 (ms)",
+            "p99 (ms)",
+            "p999 (ms)",
         ],
     );
     for p in levels() {
@@ -41,6 +44,9 @@ fn main() {
         let secs = m.epoch_secs.max(1e-9);
         let reloc_rate = m.stats.relocations as f64 / secs / 1e6;
         let rt_ms = m.stats.reloc_time.stats().mean() / 1e6;
+        let rt_p50 = m.stats.reloc_quantile_ns(0.50) as f64 / 1e6;
+        let rt_p99 = m.stats.reloc_quantile_ns(0.99) as f64 / 1e6;
+        let rt_p999 = m.stats.reloc_quantile_ns(0.999) as f64 / 1e6;
         table.row(vec![
             p.to_string(),
             format!("{:.1} M", m.stats.pull_total() as f64 / 1e6),
@@ -48,6 +54,9 @@ fn main() {
             format!("{:.3} M", m.stats.pull_remote as f64 / 1e6),
             format!("{reloc_rate:.2} M"),
             format!("{rt_ms:.2}"),
+            format!("{rt_p50:.2}"),
+            format!("{rt_p99:.2}"),
+            format!("{rt_p999:.2}"),
         ]);
         println!(
             "  measured {p}: reads={} local={} non-local={} relocations={} meanRT={rt_ms:.2}ms",

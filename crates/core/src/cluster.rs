@@ -11,6 +11,7 @@ use lapse_proto::shard::NodeShared;
 use lapse_proto::tracker::ClockFn;
 use lapse_proto::{HomePartition, HotSet, Layout, ProtoConfig, Variant};
 use lapse_sim::{CostModel, SimCluster};
+use lapse_trace::Recorder;
 use lapse_utils::metrics::Metrics;
 
 use crate::api::PsWorker;
@@ -41,6 +42,12 @@ pub struct PsConfig {
     /// `Some(v)` forces it. The `LAPSE_NO_SNAPSHOT` environment variable
     /// overrides both to off (latched serving baselines).
     pub snapshot_reads: Option<bool>,
+    /// Flight recorder (always compiled in, off by default): `None`
+    /// leaves it off unless `LAPSE_TRACE=1` opts in, `Some(v)` forces
+    /// it. On the simulator the recorder stamps virtual time, so traces
+    /// are bit-deterministic across seeded runs; on the threaded backend
+    /// it reuses the run's wall-clock base.
+    pub trace: Option<bool>,
 }
 
 impl PsConfig {
@@ -52,6 +59,7 @@ impl PsConfig {
             wait_free_reads: None,
             coalesce: None,
             snapshot_reads: None,
+            trace: None,
         }
     }
 
@@ -143,6 +151,13 @@ impl PsConfig {
         self.proto.max_staleness_epochs = epochs;
         self
     }
+
+    /// Forces the flight recorder on or off (default: off unless
+    /// `LAPSE_TRACE=1` opts in).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = Some(on);
+        self
+    }
 }
 
 /// `LAPSE_NO_SEQLOCK=1` disables the wait-free read path everywhere:
@@ -168,13 +183,63 @@ fn snapshot_disabled_by_env() -> bool {
     std::env::var_os("LAPSE_NO_SNAPSHOT").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
+/// `LAPSE_TRACE=1` enables the flight recorder everywhere (opt-in, unlike
+/// the kill switches above): every node records protocol events into
+/// per-thread ring buffers, exported after the run.
+fn trace_enabled_by_env() -> bool {
+    std::env::var_os("LAPSE_TRACE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Per-lane flight-recorder ring capacity (events; power of two). Large
+/// enough to hold the tail of any smoke-scale run; overwrite-oldest keeps
+/// longer runs bounded.
+const TRACE_RING_CAPACITY: usize = 8192;
+
+/// Builds the run's recorder: enabled (stamping the backend's clock) when
+/// the config asks for tracing, the cheap disabled singleton otherwise.
+fn build_recorder(on: bool, clock: &ClockFn) -> Arc<Recorder> {
+    if on {
+        Recorder::new(clock.clone(), TRACE_RING_CAPACITY)
+    } else {
+        Recorder::disabled()
+    }
+}
+
+/// Exports the recorder after a run: stashes the Chrome trace-event JSON
+/// in the stats and, when `LAPSE_TRACE_OUT` names a path, writes it there
+/// (best effort — an unwritable path must not fail the run).
+fn export_trace(recorder: &Recorder, stats: &mut ClusterStats) {
+    if !recorder.on() {
+        return;
+    }
+    let json = recorder.export_chrome();
+    if let Some(path) = std::env::var_os("LAPSE_TRACE_OUT") {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!(
+                "lapse-trace: failed to write {}: {e}",
+                path.to_string_lossy()
+            );
+        }
+    }
+    stats.trace_json = Some(json);
+}
+
 fn build_shareds(
     cfg: &Arc<ProtoConfig>,
     clock: ClockFn,
+    trace: &Arc<Recorder>,
     mut init: impl FnMut(Key) -> Option<Vec<f32>>,
 ) -> Vec<Arc<NodeShared>> {
     (0..cfg.nodes)
-        .map(|n| NodeShared::with_init(cfg.clone(), NodeId(n), clock.clone(), &mut init))
+        .map(|n| {
+            NodeShared::with_init_traced(
+                cfg.clone(),
+                NodeId(n),
+                clock.clone(),
+                trace.clone(),
+                &mut init,
+            )
+        })
         .collect()
 }
 
@@ -204,13 +269,19 @@ where
     proto.coalesce = false;
     // And no snapshot plane: simulated serving reads stay latched.
     proto.snapshot_reads = false;
+    // Tracing *is* allowed on the simulator: the recorder stamps virtual
+    // time and a global sequence counter, both deterministic under the
+    // sim's one-runnable-task-at-a-time execution, so seeded runs export
+    // byte-identical traces.
+    proto.trace = cfg.trace.unwrap_or(false) || trace_enabled_by_env();
     let proto = Arc::new(proto);
     let clock_cell = Arc::new(AtomicU64::new(0));
     let clock: ClockFn = {
         let c = clock_cell.clone();
         Arc::new(move || c.load(Ordering::Relaxed))
     };
-    let shareds = build_shareds(&proto, clock, init);
+    let recorder = build_recorder(proto.trace, &clock);
+    let shareds = build_shareds(&proto, clock, &recorder, init);
     let servers: Vec<ServerCore> = shareds.iter().map(|s| ServerCore::new(s.clone())).collect();
     let sim: SimCluster<LapseProto> =
         SimCluster::with_clock(cost, servers, workers_per_node, clock_cell);
@@ -237,6 +308,7 @@ where
     stats.bytes = report.bytes;
     stats.self_messages = report.self_messages;
     stats.virtual_time_ns = Some(report.virtual_time_ns);
+    export_trace(&recorder, &mut stats);
     (results, stats)
 }
 
@@ -257,15 +329,21 @@ where
     proto.wait_free_reads = cfg.wait_free_reads.unwrap_or(true) && !seqlock_disabled_by_env();
     proto.coalesce = cfg.coalesce.unwrap_or(true) && !coalesce_disabled_by_env();
     proto.snapshot_reads = cfg.snapshot_reads.unwrap_or(true) && !snapshot_disabled_by_env();
+    proto.trace = cfg.trace.unwrap_or(false) || trace_enabled_by_env();
     let proto = Arc::new(proto);
     // lint:allow(wall-clock, threaded backend timestamps real elapsed time; it never feeds message contents or ordering)
     let start = Instant::now();
     let clock: ClockFn = Arc::new(move || start.elapsed().as_nanos() as u64);
-    let shareds = build_shareds(&proto, clock, init);
+    let recorder = build_recorder(proto.trace, &clock);
+    let shareds = build_shareds(&proto, clock, &recorder, init);
 
     let nodes = proto.nodes as usize;
     let metrics = Metrics::new();
-    let net = ThreadedNet::new(nodes, metrics.clone());
+    let net = if recorder.on() {
+        ThreadedNet::with_trace(nodes, metrics.clone(), recorder.clone())
+    } else {
+        ThreadedNet::new(nodes, metrics.clone())
+    };
 
     // Per-worker wake cells, wired into each node's tracker.
     let wakes: Vec<Vec<Arc<WakeCell>>> = (0..nodes)
@@ -340,5 +418,6 @@ where
     stats.messages = metrics.get("net.messages");
     stats.bytes = metrics.get("net.bytes");
     stats.self_messages = metrics.get("net.self_messages");
+    export_trace(&recorder, &mut stats);
     (results, stats)
 }

@@ -93,6 +93,10 @@ pub struct ClusterStats {
     pub snapshot_fallbacks: u64,
     /// Virtual run time (simulator backend only).
     pub virtual_time_ns: Option<u64>,
+    /// Chrome trace-event JSON exported by the flight recorder
+    /// (`PsConfig::trace` / `LAPSE_TRACE=1`); `None` when tracing was
+    /// off. Load it in Perfetto or `chrome://tracing`.
+    pub trace_json: Option<String>,
 }
 
 impl ClusterStats {
@@ -136,6 +140,7 @@ impl ClusterStats {
             snapshot_stale_waits: 0,
             snapshot_fallbacks: 0,
             virtual_time_ns: None,
+            trace_json: None,
         };
         for n in nodes {
             let a = &n.stats;
@@ -199,7 +204,22 @@ impl ClusterStats {
             sketch_samples: self.sketch_samples,
             tech_promotions: self.tech_promotions,
             tech_demotions: self.tech_demotions,
+            reloc_p50_ns: self.reloc_quantile_ns(0.50),
+            reloc_p99_ns: self.reloc_quantile_ns(0.99),
+            reloc_p999_ns: self.reloc_quantile_ns(0.999),
         })
+    }
+
+    /// Relocation-time quantile in nanoseconds (paper Section 3.2).
+    /// Zero when the run relocated nothing (the underlying histogram
+    /// reports `NaN` on an empty distribution).
+    pub fn reloc_quantile_ns(&self, q: f64) -> u64 {
+        let v = self.reloc_time.approx_quantile(q);
+        if v.is_nan() {
+            0
+        } else {
+            v as u64
+        }
     }
 
     /// Total pull keys.

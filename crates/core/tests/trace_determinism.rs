@@ -1,0 +1,96 @@
+//! Flight-recorder determinism and export-shape tests.
+//!
+//! On the simulator the recorder stamps virtual time and a global
+//! sequence counter, both fully determined by the seeded schedule, so
+//! two identical runs must export **byte-identical** Chrome trace JSON
+//! — the property the `bench-smoke` double-run diff also pins down.
+
+use lapse_core::{run_sim, run_threaded, CostModel, PsConfig, PsWorker, Variant};
+use lapse_net::Key;
+
+/// A workload that exercises every traced subsystem the simulator can
+/// reach: local and remote pulls/pushes plus explicit localizes
+/// (relocation traffic).
+fn relocating_workload(w: &mut dyn PsWorker) -> f32 {
+    let keys: Vec<Key> = (0..12).map(Key).collect();
+    let my = (w.global_id() + 1) as f32;
+    for &k in &keys {
+        w.push(&[k], &[my]);
+    }
+    w.barrier();
+    // Each worker localizes a disjoint slice, forcing relocations.
+    let gid = w.global_id();
+    let mine: Vec<Key> = keys
+        .iter()
+        .copied()
+        .filter(|k| k.0 as usize % w.num_workers() == gid)
+        .collect();
+    if !mine.is_empty() {
+        w.localize(&mine);
+    }
+    w.barrier();
+    let mut out = vec![0.0; keys.len()];
+    w.pull(&keys, &mut out);
+    out.iter().sum()
+}
+
+fn traced_sim_run() -> (Vec<f32>, Option<String>) {
+    let cfg = PsConfig::new(2, 12, 1)
+        .variant(Variant::Lapse)
+        .latches(4)
+        .trace(true);
+    let (results, stats) = run_sim(cfg, 2, CostModel::default(), |_| None, relocating_workload);
+    (results, stats.trace_json)
+}
+
+#[test]
+fn sim_trace_is_byte_identical_across_runs() {
+    let (r1, t1) = traced_sim_run();
+    let (r2, t2) = traced_sim_run();
+    assert_eq!(r1, r2, "seeded sim runs must agree on results");
+    let t1 = t1.expect("tracing was on");
+    let t2 = t2.expect("tracing was on");
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t2, "sim traces must be byte-identical across runs");
+}
+
+#[test]
+fn sim_trace_exports_chrome_json_shape() {
+    let (_, trace) = traced_sim_run();
+    let json = trace.expect("tracing was on");
+    // Perfetto-loadable Chrome trace-event JSON: an object with a
+    // traceEvents array of metadata, span, and instant records.
+    assert!(json.starts_with("{\"traceEvents\":["), "{json:.>60}");
+    assert!(json.trim_end().ends_with("]}"));
+    assert!(json.contains("\"ph\":\"M\""), "missing metadata records");
+    assert!(json.contains("\"ph\":\"X\""), "missing phase spans");
+    assert!(json.contains("\"ph\":\"i\""), "missing instant events");
+    assert!(json.contains("reloc.start"), "missing relocation events");
+    assert!(json.contains("pull.plan"), "missing op phase spans");
+}
+
+#[test]
+fn trace_off_exports_nothing() {
+    let (_, stats) = run_sim(
+        PsConfig::new(2, 12, 1).variant(Variant::Lapse).latches(4),
+        2,
+        CostModel::default(),
+        |_| None,
+        relocating_workload,
+    );
+    assert!(stats.trace_json.is_none(), "tracing must default to off");
+}
+
+#[test]
+fn threaded_trace_exports_net_lanes() {
+    let cfg = PsConfig::new(2, 12, 1)
+        .variant(Variant::Lapse)
+        .latches(4)
+        .trace(true);
+    let (_, stats) = run_threaded(cfg, 2, |_| None, relocating_workload);
+    let json = stats.trace_json.expect("tracing was on");
+    assert!(json.contains("\"ph\":\"M\""));
+    // The threaded transport records per-send events on per-node lanes.
+    assert!(json.contains("n0/net"), "missing transport lane");
+    assert!(json.contains("msg.send"), "missing transport send events");
+}

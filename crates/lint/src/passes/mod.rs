@@ -1,8 +1,9 @@
-//! The six invariant passes.
+//! The seven invariant passes.
 
 pub mod batch_nesting;
 pub mod determinism;
 pub mod locks;
 pub mod seqlock;
+pub mod stats_drift;
 pub mod wire_consts;
 pub mod wire_schema;

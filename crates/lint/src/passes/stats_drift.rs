@@ -1,0 +1,178 @@
+//! Pass 7: stats drift.
+//!
+//! `AccessStats` (crates/proto) declares one `AtomicU64` per protocol
+//! counter; `ClusterStats::collect` (crates/core) must aggregate every
+//! one of them across nodes. A counter added to the struct but not to
+//! the aggregation silently reports zero forever — exactly the drift
+//! that poisons the paper's Table 5 numbers, and invisible to tests
+//! that only assert on the counters they know about.
+//!
+//! The pass collects the `AtomicU64` field names of `AccessStats` and
+//! flags any that the body of `fn collect` never mentions. Mentioning is
+//! deliberately loose (any identifier use): the aggregation may sum,
+//! merge, or rename, but it must at least *read* the field. Silent when
+//! either side is absent, so partial trees and fixtures stay clean.
+
+use std::collections::HashSet;
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+use crate::scan::match_bracket;
+use crate::workspace::LexedFile;
+
+/// The per-node counter struct whose fields must all be aggregated.
+const STRUCT_NAME: &str = "AccessStats";
+/// The aggregating function (cluster-wide collection).
+const FN_NAME: &str = "collect";
+
+pub fn run(files: &[LexedFile]) -> Vec<Finding> {
+    let scanned: Vec<&LexedFile> = files.iter().filter(|f| f.path.contains("/src/")).collect();
+
+    // Union of every `fn collect` body in scope: the aggregation lives in
+    // one place today, but a future split must not create false drift.
+    let mut collected: HashSet<String> = HashSet::new();
+    let mut saw_collect = false;
+    for f in &scanned {
+        if let Some(idents) = fn_body_idents(&f.lexed.tokens, FN_NAME) {
+            saw_collect = true;
+            collected.extend(idents);
+        }
+    }
+    if !saw_collect {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    for f in &scanned {
+        for (field, line) in atomic_fields(&f.lexed.tokens, STRUCT_NAME) {
+            if !collected.contains(&field) {
+                out.push(Finding::new(
+                    "stats-drift",
+                    &f.path,
+                    line,
+                    format!(
+                        "{STRUCT_NAME}.{field} is an AtomicU64 counter but \
+                         ClusterStats::{FN_NAME} never reads it"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The `AtomicU64` field names (with lines) of `struct <name> { ... }`.
+fn atomic_fields(toks: &[Token], name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("struct") && toks[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") {
+                if toks[j].is_punct(";") || toks[j].is_punct("(") {
+                    return out; // tuple/unit struct: no named fields
+                }
+                j += 1;
+            }
+            let Some(close) = match_bracket(toks, j) else {
+                return out;
+            };
+            let mut k = j + 1;
+            while k < close {
+                match &toks[k].tok {
+                    Tok::Punct("#") if toks.get(k + 1).map(|t| t.is_punct("[")) == Some(true) => {
+                        k = match_bracket(toks, k + 1).map(|c| c + 1).unwrap_or(close);
+                    }
+                    Tok::Ident(f)
+                        if f != "pub" && toks.get(k + 1).map(|t| t.is_punct(":")) == Some(true) =>
+                    {
+                        // Field: scan its type up to the comma, flagging
+                        // if any type segment is AtomicU64.
+                        let field = f.clone();
+                        let line = toks[k].line;
+                        let mut atomic = false;
+                        let mut m = k + 2;
+                        let mut depth = 0i64;
+                        while m < close {
+                            match &toks[m].tok {
+                                Tok::Punct("(")
+                                | Tok::Punct("[")
+                                | Tok::Punct("{")
+                                | Tok::Punct("<") => depth += 1,
+                                Tok::Punct(")")
+                                | Tok::Punct("]")
+                                | Tok::Punct("}")
+                                | Tok::Punct(">") => depth -= 1,
+                                Tok::Punct(",") if depth == 0 => break,
+                                Tok::Ident(t) if t == "AtomicU64" => atomic = true,
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        if atomic {
+                            out.push((field, line));
+                        }
+                        k = m + 1;
+                    }
+                    _ => k += 1,
+                }
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// All identifiers in the body of `fn <name>(...) ... { ... }`, or
+/// `None` when no such function is declared in `toks`.
+fn fn_body_idents(toks: &[Token], name: &str) -> Option<HashSet<String>> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") && toks[i + 1].is_ident(name) {
+            // Skip the parameter list, then take the first brace group
+            // (the body; the return type carries no braces in this tree).
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("(") {
+                j += 1;
+            }
+            let after_params = match_bracket(toks, j)? + 1;
+            let mut b = after_params;
+            while b < toks.len() && !toks[b].is_punct("{") {
+                b += 1;
+            }
+            let close = match_bracket(toks, b)?;
+            let mut idents = HashSet::new();
+            for t in &toks[b + 1..close] {
+                if let Tok::Ident(s) = &t.tok {
+                    idents.insert(s.clone());
+                }
+            }
+            return Some(idents);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_atomic_fields_only() {
+        let l = lex("struct AccessStats { pub a: AtomicU64, pub b: u64, c: AtomicU64 }").unwrap();
+        let fields = atomic_fields(&l.tokens, "AccessStats");
+        let names: Vec<&str> = fields.iter().map(|(f, _)| f.as_str()).collect();
+        assert_eq!(names, ["a", "c"]);
+    }
+
+    #[test]
+    fn body_idents_skip_signature() {
+        let l = lex("fn collect(nodes: &[Node]) -> Self { s.x += a.x; }").unwrap();
+        let idents = fn_body_idents(&l.tokens, "collect").unwrap();
+        assert!(idents.contains("x"));
+        assert!(!idents.contains("nodes"), "params are not body mentions");
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: `pushes` was added to AccessStats but never wired into the
+// aggregation — the stats-drift pass must flag it (and only it).
+
+pub struct AccessStats {
+    pub pulls: AtomicU64,
+    pub pushes: AtomicU64,
+    pub label: String,
+}
+
+impl ClusterStats {
+    pub fn collect(nodes: &[Node]) -> Self {
+        let mut s = ClusterStats::default();
+        for n in nodes {
+            s.pulls += n.stats.pulls.load(Relaxed);
+        }
+        s
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: every AtomicU64 counter declared in AccessStats is read by
+// the aggregating `collect`, so the stats-drift pass stays silent.
+
+pub struct AccessStats {
+    pub pulls: AtomicU64,
+    pub pushes: AtomicU64,
+    pub label: String,
+}
+
+impl ClusterStats {
+    pub fn collect(nodes: &[Node]) -> Self {
+        let mut s = ClusterStats::default();
+        for n in nodes {
+            s.pulls += n.stats.pulls.load(Relaxed);
+            s.pushes += n.stats.pushes.load(Relaxed);
+        }
+        s
+    }
+}

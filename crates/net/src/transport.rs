@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use lapse_trace::{EventKind, Recorder, Ring, ACTOR_NET};
 use lapse_utils::metrics::{Counter, Metrics};
 
 use crate::id::NodeId;
@@ -64,18 +65,36 @@ pub struct ThreadedNet<M> {
     msgs_counter: Counter,
     bytes_counter: Counter,
     self_msgs_counter: Counter,
+    /// Flight-recorder lanes, one per sending node (`None` when tracing
+    /// is off, so the disabled send path costs one pointer test).
+    trace: Option<(Arc<Recorder>, Vec<Arc<Ring>>)>,
 }
 
 impl<M: Send + WireSize + 'static> ThreadedNet<M> {
     /// Creates a network of `n` nodes with no artificial delay.
     pub fn new(n: usize, metrics: Metrics) -> Arc<Self> {
-        Self::with_delay(n, metrics, None)
+        Self::build(n, metrics, None, Recorder::disabled())
+    }
+
+    /// Creates a network of `n` nodes with per-send flight-recorder
+    /// events (one `net` lane per sending node).
+    pub fn with_trace(n: usize, metrics: Metrics, trace: Arc<Recorder>) -> Arc<Self> {
+        Self::build(n, metrics, None, trace)
     }
 
     /// Creates a network of `n` nodes, optionally with injected per-link
     /// delays (fault-injection tests only; delays cost one helper thread
     /// per link).
     pub fn with_delay(n: usize, metrics: Metrics, delay: Option<DelayPolicy>) -> Arc<Self> {
+        Self::build(n, metrics, delay, Recorder::disabled())
+    }
+
+    fn build(
+        n: usize,
+        metrics: Metrics,
+        delay: Option<DelayPolicy>,
+        trace: Arc<Recorder>,
+    ) -> Arc<Self> {
         assert!(n > 0, "network needs at least one node");
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -115,6 +134,13 @@ impl<M: Send + WireSize + 'static> ThreadedNet<M> {
                 .collect()
         });
 
+        let trace = trace.on().then(|| {
+            let lanes = (0..n)
+                .map(|src| trace.lane(src as u16, ACTOR_NET, format!("n{src}/net")))
+                .collect();
+            (trace, lanes)
+        });
+
         Arc::new(ThreadedNet {
             senders,
             receivers: Mutex::new(receivers),
@@ -124,6 +150,7 @@ impl<M: Send + WireSize + 'static> ThreadedNet<M> {
             msgs_counter: metrics.counter("net.messages"),
             bytes_counter: metrics.counter("net.bytes"),
             self_msgs_counter: metrics.counter("net.self_messages"),
+            trace,
         })
     }
 
@@ -148,6 +175,9 @@ impl<M: Send + WireSize + 'static> ThreadedNet<M> {
         self.bytes_counter.add(bytes);
         if src == dst {
             self.self_msgs_counter.inc();
+        }
+        if let Some((rec, lanes)) = &self.trace {
+            rec.record(&lanes[src.idx()], EventKind::MsgSend, dst.0 as u64, bytes);
         }
 
         let incoming = Incoming { src, msg };

@@ -53,6 +53,10 @@ use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
 use lapse_net::{Key, NodeId};
+use lapse_trace::{
+    EventKind, Recorder, Ring, ACTOR_WORKER0, CLASS_LOCALIZE, CLASS_PULL, CLASS_PUSH, PHASE_EMIT,
+    PHASE_PLAN, PHASE_SHARD,
+};
 
 use crate::adaptive::controller_tick;
 use crate::config::ProtoConfig;
@@ -172,6 +176,54 @@ pub struct ClientCore {
     guard: GuardMap,
     /// Issue-phase scratch buffers (amortized alloc-free).
     scratch: IssueScratch,
+    /// Flight-recorder lane of this worker (`None` when tracing is off,
+    /// so untraced issue paths carry no instrumentation beyond this
+    /// option check).
+    tracer: Option<WorkerTracer>,
+}
+
+/// One worker's flight-recorder handle: the shared recorder plus the
+/// worker's own event lane.
+struct WorkerTracer {
+    rec: Arc<Recorder>,
+    ring: Arc<Ring>,
+}
+
+impl WorkerTracer {
+    /// Records one grouped op's lifecycle: an issue instant at `t0` and
+    /// the plan (`t0..t1`), shard (`t1..t2`), and emit (`t2..t3`) phase
+    /// spans, with the durations fed to the per-class phase histograms.
+    fn op(&self, class: u64, keys: u64, t0: u64, t1: u64, t2: u64, t3: u64) {
+        let (plan, shard, emit) = (
+            t1.saturating_sub(t0),
+            t2.saturating_sub(t1),
+            t3.saturating_sub(t2),
+        );
+        self.rec
+            .record_at(&self.ring, EventKind::OpIssue, t0, class, keys);
+        self.rec.record_at(
+            &self.ring,
+            EventKind::OpPhase,
+            t1,
+            class << 32 | PHASE_PLAN,
+            plan,
+        );
+        self.rec.record_at(
+            &self.ring,
+            EventKind::OpPhase,
+            t2,
+            class << 32 | PHASE_SHARD,
+            shard,
+        );
+        self.rec.record_at(
+            &self.ring,
+            EventKind::OpPhase,
+            t3,
+            class << 32 | PHASE_EMIT,
+            emit,
+        );
+        self.rec.record_op_phases(class, plan, shard, emit);
+    }
 }
 
 /// Subscribes the node to replica refreshes on its first replicated
@@ -194,11 +246,20 @@ fn ensure_registered(shared: &NodeShared, sink: &mut MsgSink) {
 impl ClientCore {
     /// Creates the client core for worker `slot` of the node.
     pub fn new(shared: Arc<NodeShared>, slot: u16) -> Self {
+        let tracer = shared.trace.on().then(|| WorkerTracer {
+            ring: shared.trace.lane(
+                shared.node.0,
+                ACTOR_WORKER0 + slot,
+                format!("n{}/w{}", shared.node.0, slot),
+            ),
+            rec: Arc::clone(&shared.trace),
+        });
         ClientCore {
             shared,
             slot,
             guard: Arc::new(Mutex::new(HashMap::new())),
             scratch: IssueScratch::default(),
+            tracer,
         }
     }
 
@@ -431,12 +492,14 @@ impl ClientCore {
         if keys.len() == 1 {
             return self.pull1(keys[0], out, sink);
         }
+        let t0 = self.tracer.as_ref().map(|t| t.rec.now());
         let is_async = out.is_none();
         let (total, any_replicated) = self.plan(keys);
         if any_replicated {
             ensure_registered(&self.shared, sink);
         }
         self.tick_adaptive(sink);
+        let t1 = t0.map(|_| self.tracer.as_ref().expect("t0 set with tracer").rec.now());
         // Async pulls register every key so the result buffer is in key
         // order (reserved up front, offsets fixed by the plan); sync pulls
         // register lazily (a fully-local sync pull never touches the
@@ -455,6 +518,7 @@ impl ClientCore {
             slot,
             guard,
             scratch,
+            tracer,
         } = &mut *self;
         let policy = shared.cfg.policy();
         let tracker = &shared.tracker;
@@ -553,6 +617,7 @@ impl ClientCore {
         if bytes_moved > 0 {
             stats.value_bytes_moved.fetch_add(bytes_moved, Relaxed);
         }
+        let t2 = t0.map(|_| tracer.as_ref().expect("t0 set with tracer").rec.now());
 
         // Emit phase: remote keys in original key order, so grouped
         // message contents and emission order match the per-key path.
@@ -577,7 +642,11 @@ impl ClientCore {
             stats.pull_remote.fetch_add(n_remote, Relaxed);
             self.guard_remotes();
         }
-        self.flush(seq, OpKind::Pull, groups, sink)
+        let handle = self.flush(seq, OpKind::Pull, groups, sink);
+        if let (Some(t), Some(t0), Some(t1), Some(t2)) = (self.tracer.as_ref(), t0, t1, t2) {
+            t.op(CLASS_PULL, keys.len() as u64, t0, t1, t2, t.rec.now());
+        }
+        handle
     }
 
     /// Issues a push of `keys` with concatenated update terms `vals`.
@@ -592,11 +661,13 @@ impl ClientCore {
         if keys.len() == 1 {
             return self.push1(keys[0], vals, sink);
         }
+        let t0 = self.tracer.as_ref().map(|t| t.rec.now());
         let (_, any_replicated) = self.plan(keys);
         if any_replicated {
             ensure_registered(&self.shared, sink);
         }
         self.tick_adaptive(sink);
+        let t1 = t0.map(|_| self.tracer.as_ref().expect("t0 set with tracer").rec.now());
         let mut seq: Option<u64> = None;
 
         let ClientCore {
@@ -604,6 +675,7 @@ impl ClientCore {
             slot,
             guard,
             scratch,
+            tracer,
         } = &mut *self;
         let policy = shared.cfg.policy();
         let tracker = &shared.tracker;
@@ -656,6 +728,7 @@ impl ClientCore {
         if park_allocs > 0 {
             stats.value_allocs_heap.fetch_add(park_allocs, Relaxed);
         }
+        let t2 = t0.map(|_| tracer.as_ref().expect("t0 set with tracer").rec.now());
 
         let mut groups: OrderedGroups<NodeId, RemoteGroup> = OrderedGroups::new();
         let mut n_remote = 0u64;
@@ -693,7 +766,11 @@ impl ClientCore {
                 self.flush_replicas(sink);
             }
         }
-        self.flush(seq, OpKind::Push, groups, sink)
+        let handle = self.flush(seq, OpKind::Push, groups, sink);
+        if let (Some(t), Some(t0), Some(t1), Some(t2)) = (self.tracer.as_ref(), t0, t1, t2) {
+            t.op(CLASS_PUSH, keys.len() as u64, t0, t1, t2, t.rec.now());
+        }
+        handle
     }
 
     /// Single-key pull fast path: bypasses the plan-phase scratch
@@ -703,6 +780,9 @@ impl ClientCore {
     /// statistics, and emitted messages — is identical to the general
     /// path for a one-key operation.
     fn pull1(&mut self, key: Key, mut out: Option<&mut [f32]>, sink: &mut MsgSink) -> IssueHandle {
+        if let Some(t) = self.tracer.as_ref() {
+            t.rec.record(&t.ring, EventKind::OpIssue, CLASS_PULL, 1);
+        }
         let is_async = out.is_none();
         let len = self.cfg().layout.len(key) as u32;
         let forced =
@@ -749,6 +829,7 @@ impl ClientCore {
             slot,
             guard,
             scratch,
+            ..
         } = &mut *self;
         let policy = shared.cfg.policy();
         let tracker = &shared.tracker;
@@ -823,6 +904,9 @@ impl ClientCore {
 
     /// Single-key push fast path; see [`ClientCore::pull1`].
     fn push1(&mut self, key: Key, val: &[f32], sink: &mut MsgSink) -> IssueHandle {
+        if let Some(t) = self.tracer.as_ref() {
+            t.rec.record(&t.ring, EventKind::OpIssue, CLASS_PUSH, 1);
+        }
         let forced =
             self.cfg().ordered_async_guard && self.guard.lock().get(&key).is_some_and(|&n| n > 0);
         if let Some(ad) = &self.shared.adaptive {
@@ -901,11 +985,13 @@ impl ClientCore {
     /// all of them under the classic variants, replicated keys under the
     /// replication/hybrid variants — are skipped.
     pub fn localize(&mut self, keys: &[Key], sink: &mut MsgSink) -> IssueHandle {
+        let t0 = self.tracer.as_ref().map(|t| t.rec.now());
         let ClientCore {
             shared,
             slot,
             guard,
             scratch,
+            tracer,
         } = &mut *self;
         let cfg = &shared.cfg;
         let policy = cfg.policy();
@@ -925,6 +1011,7 @@ impl ClientCore {
             });
             scratch.groups.push(cfg.shard_of(k), idx as u32);
         }
+        let t1 = t0.map(|_| tracer.as_ref().expect("t0 set with tracer").rec.now());
 
         let tracker = &shared.tracker;
         let mut seq: Option<u64> = None;
@@ -966,6 +1053,7 @@ impl ClientCore {
         if n_sent > 0 {
             shared.stats.localize_sent.fetch_add(n_sent, Relaxed);
         }
+        let t2 = t0.map(|_| tracer.as_ref().expect("t0 set with tracer").rec.now());
         // Emit phase: requests per home node, in original key order.
         let mut groups: OrderedGroups<NodeId, Vec<Key>> = OrderedGroups::new();
         for p in &scratch.plan {
@@ -973,7 +1061,7 @@ impl ClientCore {
                 groups.entry(home).push(p.key);
             }
         }
-        match seq {
+        let handle = match seq {
             None => IssueHandle::Ready(None),
             Some(s) => {
                 for (home, keys) in groups.into_iter() {
@@ -992,7 +1080,11 @@ impl ClientCore {
                     IssueHandle::Pending(s)
                 }
             }
+        };
+        if let (Some(t), Some(t0), Some(t1), Some(t2)) = (self.tracer.as_ref(), t0, t1, t2) {
+            t.op(CLASS_LOCALIZE, keys.len() as u64, t0, t1, t2, t.rec.now());
         }
+        handle
     }
 
     /// Reads `key` only if it is currently stored on this node (owned, or
@@ -1038,6 +1130,10 @@ impl ClientCore {
     /// Assembles a completed sync pull into the caller's buffer and
     /// releases the tracker entry.
     pub fn finish_pull(&self, seq: u64, out: &mut [f32]) {
+        if let Some(t) = self.tracer.as_ref() {
+            t.rec
+                .record(&t.ring, EventKind::OpComplete, CLASS_PULL, seq);
+        }
         let res = self.shared.tracker.take(seq);
         for (out_off, res_off, len) in res.assembly {
             out[out_off as usize..(out_off + len) as usize]
@@ -1047,11 +1143,21 @@ impl ClientCore {
 
     /// Takes the values of a completed async pull (in key order).
     pub fn take_pull(&self, seq: u64) -> Vec<f32> {
+        if let Some(t) = self.tracer.as_ref() {
+            t.rec
+                .record(&t.ring, EventKind::OpComplete, CLASS_PULL, seq);
+        }
         self.shared.tracker.take(seq).result
     }
 
     /// Releases the tracker entry of a completed push/localize.
     pub fn finish_ack(&self, seq: u64) {
+        if let Some(t) = self.tracer.as_ref() {
+            // Push and localize acks share a release path; the class
+            // payload records the push class for both.
+            t.rec
+                .record(&t.ring, EventKind::OpComplete, CLASS_PUSH, seq);
+        }
         self.shared.tracker.discard(seq);
     }
 

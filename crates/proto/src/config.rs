@@ -246,6 +246,15 @@ pub struct ProtoConfig {
     /// accumulated wire size reaches this bound (a single oversized
     /// message still travels, alone).
     pub coalesce_max_bytes: usize,
+    /// Enable the flight recorder (`lapse-trace`): protocol cores and
+    /// backends record op-lifecycle, message, relocation, technique,
+    /// snapshot-tier, and latch-wait events into per-lane ring buffers.
+    /// Off by default; when off the only residue is a `None` tracer /
+    /// one relaxed atomic load per instrumented site. Deterministic on
+    /// the sim backend (virtual-time stamps + a single-running-thread
+    /// sequence order), so traces diff byte-for-byte across seeded
+    /// runs.
+    pub trace: bool,
 }
 
 impl ProtoConfig {
@@ -270,6 +279,7 @@ impl ProtoConfig {
             coalesce: false,
             coalesce_max_msgs: 64,
             coalesce_max_bytes: 1 << 20,
+            trace: false,
         }
     }
 

@@ -39,6 +39,7 @@ use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
 use lapse_net::{Key, NodeId, ValueBlock, ValueBlockBuilder};
+use lapse_trace::{EventKind, Recorder, Ring, ACTOR_SERVER};
 
 use crate::client::MsgSink;
 use crate::group::{OrderedGroups, ShardGroups};
@@ -285,6 +286,64 @@ pub struct ServerCore {
     /// Reusable accumulator of consecutive [`Msg::Op`] constituents
     /// during batched ingest.
     op_run: Vec<OpMsg>,
+    /// Flight-recorder lane for this server thread (`None` when tracing
+    /// is off, so the disabled path costs one pointer test).
+    tracer: Option<ServerTracer>,
+}
+
+/// The server's flight-recorder lane plus the recorder it belongs to.
+struct ServerTracer {
+    rec: Arc<Recorder>,
+    ring: Arc<Ring>,
+}
+
+impl ServerTracer {
+    #[inline]
+    fn event(&self, kind: EventKind, a: u64, b: u64) {
+        self.rec.record(&self.ring, kind, a, b);
+    }
+}
+
+/// Numeric wire tag of a message for trace payloads; mirrors the codec
+/// tags in `messages.rs` (`Msg::label` is for metrics strings, not
+/// numeric trace fields).
+fn msg_tag(msg: &Msg) -> u64 {
+    match msg {
+        Msg::Op(_) => 1,
+        Msg::OpResp(_) => 2,
+        Msg::LocalizeReq(_) => 3,
+        Msg::Relocate(_) => 4,
+        Msg::HandOver(_) => 5,
+        Msg::Shutdown => 6,
+        Msg::ReplicaReg(_) => 7,
+        Msg::ReplicaPush(_) => 8,
+        Msg::ReplicaRefresh(_) => 9,
+        Msg::TechniquePromote(_) => 10,
+        Msg::TechniquePromoteAck(_) => 11,
+        Msg::TechniqueDemote(_) => 12,
+        Msg::TechniqueDemoteAck(_) => 13,
+        Msg::TechniqueDrained(_) => 14,
+        Msg::Batch(_) => 15,
+    }
+}
+
+/// Key count carried by a message (trace payload).
+fn msg_keys(msg: &Msg) -> u64 {
+    match msg {
+        Msg::Op(m) => m.keys.len() as u64,
+        Msg::OpResp(m) => m.keys.len() as u64,
+        Msg::LocalizeReq(m) => m.keys.len() as u64,
+        Msg::Relocate(m) => m.keys.len() as u64,
+        Msg::HandOver(m) => m.keys.len() as u64,
+        Msg::ReplicaPush(m) => m.keys.len() as u64,
+        Msg::ReplicaRefresh(m) => m.keys.len() as u64,
+        Msg::TechniquePromote(m) => m.keys.len() as u64,
+        Msg::TechniquePromoteAck(m) => m.keys.len() as u64,
+        Msg::TechniqueDemote(m) => m.keys.len() as u64,
+        Msg::TechniqueDemoteAck(m) => m.keys.len() as u64,
+        Msg::TechniqueDrained(m) => m.keys.len() as u64,
+        Msg::ReplicaReg(_) | Msg::Shutdown | Msg::Batch(_) => 0,
+    }
 }
 
 impl ServerCore {
@@ -293,6 +352,14 @@ impl ServerCore {
     pub fn new(shared: Arc<NodeShared>) -> Self {
         let slots = shared.cfg.home_slots(shared.node);
         let owner = vec![shared.node; slots];
+        let tracer = shared.trace.on().then(|| ServerTracer {
+            rec: Arc::clone(&shared.trace),
+            ring: shared.trace.lane(
+                shared.node.0,
+                ACTOR_SERVER,
+                format!("n{}/server", shared.node.0),
+            ),
+        });
         ServerCore {
             shared,
             owner,
@@ -308,6 +375,7 @@ impl ServerCore {
             deferred_localizes: Vec::new(),
             scratch: ServerScratch::default(),
             op_run: Vec::new(),
+            tracer,
         }
     }
 
@@ -348,6 +416,13 @@ impl ServerCore {
         if let Msg::Batch(msgs) = msg {
             return self.handle_batch(msgs, sink);
         }
+        if let Some(t) = &self.tracer {
+            // Op messages are recorded per constituent in `handle_op_run`
+            // (batched runs bypass this entry point).
+            if !matches!(msg, Msg::Op(_)) {
+                t.event(EventKind::MsgRecv, msg_tag(&msg), msg_keys(&msg));
+            }
+        }
         let mut batches = Batches::default();
         match msg {
             Msg::Op(m) => self.handle_op_run(std::slice::from_ref(&m), &mut batches),
@@ -379,6 +454,9 @@ impl ServerCore {
     /// across, say, a promotion ack and a replica push would reorder a
     /// refresh ahead of the promotion broadcast it depends on.
     pub fn handle_batch(&mut self, msgs: Vec<Msg>, sink: &mut MsgSink) {
+        if let Some(t) = &self.tracer {
+            t.event(EventKind::MsgBatch, 0, msgs.len() as u64);
+        }
         let mut run = std::mem::take(&mut self.op_run);
         debug_assert!(run.is_empty());
         for msg in msgs {
@@ -425,6 +503,11 @@ impl ServerCore {
     fn handle_op_run(&mut self, msgs: &[OpMsg], batches: &mut Batches) {
         let cfg = self.shared.cfg.clone();
         let policy = cfg.policy();
+        if let Some(t) = &self.tracer {
+            for m in msgs {
+                t.event(EventKind::MsgRecv, 1, m.keys.len() as u64);
+            }
+        }
 
         // Plan phase: flatten the run's keys, group by shard, record
         // payload spans (per-message value offsets).
@@ -690,6 +773,9 @@ impl ServerCore {
             let old = self.owner[slot];
             self.owner[slot] = requester;
             self.shared.stats.relocations.fetch_add(1, Relaxed);
+            if let Some(t) = &self.tracer {
+                t.event(EventKind::RelocStart, k.0, old.0 as u64);
+            }
             per_old.entry(old).push(k);
         }
         for (old, keys) in per_old.into_iter() {
@@ -755,6 +841,13 @@ impl ServerCore {
                         new_owner: m.new_owner,
                     });
                 } else {
+                    if let Some(t) = &self.tracer {
+                        // Flush the recorder before the debug assertion so
+                        // the events leading up to the violation survive
+                        // the panic in debug builds.
+                        t.event(EventKind::RelocUnexpected, k.0, m.new_owner.0 as u64);
+                        t.rec.dump("unexpected relocate");
+                    }
                     debug_assert!(
                         false,
                         "relocate for {k} which is neither owned nor expected"
@@ -775,6 +868,9 @@ impl ServerCore {
         for (i, &k) in m.keys.iter().enumerate() {
             if let OpAction::HandOver { soff } = actions[i] {
                 let (_, len) = items[i];
+                if let Some(t) = &self.tracer {
+                    t.event(EventKind::RelocHandOver, k.0, m.new_owner.0 as u64);
+                }
                 let entry = batches.handover.entry((m.new_owner, m.op));
                 entry.keys.push(k);
                 entry
@@ -835,6 +931,9 @@ impl ServerCore {
                     .store
                     .insert_with(k, |dst| m.vals.copy_to(off as usize, dst));
                 installed += 1;
+                if let Some(t) = &self.tracer {
+                    t.event(EventKind::RelocInstall, k.0, items[i as usize].1 as u64);
+                }
                 let Some(entry) = shard.incoming.remove(&k) else {
                     debug_assert!(false, "hand-over for {k} without incoming entry");
                     continue;
@@ -1287,6 +1386,9 @@ impl ServerCore {
             cfg.policy().adaptive(),
             "technique transition without adaptive variant"
         );
+        if let Some(t) = &self.tracer {
+            t.event(EventKind::TechPromote, m.node.0 as u64, m.keys.len() as u64);
+        }
         let mut finish: Vec<Key> = Vec::new();
         let mut per_old: OrderedGroups<NodeId, Vec<Key>> = OrderedGroups::new();
         let mut started = 0u64;
@@ -1376,6 +1478,13 @@ impl ServerCore {
             .tech_promotions
             .fetch_add(keys.len() as u64, Relaxed);
         self.tech_epoch += 1;
+        if let Some(t) = &self.tracer {
+            t.event(
+                EventKind::TechPromoteAck,
+                self.tech_epoch,
+                keys.len() as u64,
+            );
+        }
         let vals = block.finish();
         self.shared
             .stats
@@ -1581,6 +1690,9 @@ impl ServerCore {
         let cfg = self.shared.cfg.clone();
         self.tech_epoch += 1;
         let epoch = self.tech_epoch;
+        if let Some(t) = &self.tracer {
+            t.event(EventKind::TechDemote, epoch, keys.len() as u64);
+        }
         let mut self_flushes = 0u64;
         for &k in &keys {
             self.demote_votes.remove(&k);
@@ -1722,6 +1834,9 @@ impl ServerCore {
         if let Some(drain) = self.demote_draining.get_mut(&m.epoch) {
             let removed = drain.awaiting.remove(&m.node);
             debug_assert!(removed, "duplicate drain confirmation from {}", m.node);
+            if let Some(t) = &self.tracer {
+                t.event(EventKind::TechDrained, m.epoch, m.node.0 as u64);
+            }
             self.maybe_complete_demotion(m.epoch, batches);
         } else {
             debug_assert!(false, "drain confirmation for unknown epoch {}", m.epoch);

@@ -46,6 +46,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lapse_net::Key;
+use lapse_trace::{EventKind, Recorder, Ring, ACTOR_SERVING};
 
 use crate::shard::{NodeShared, OptRead};
 
@@ -135,16 +136,27 @@ pub struct SnapshotReader {
     shared: Arc<NodeShared>,
     last_epoch: u64,
     max_staleness: u64,
+    /// Flight-recorder lane for this reader (`None` when tracing is off).
+    trace: Option<(Arc<Recorder>, Arc<Ring>)>,
 }
 
 impl SnapshotReader {
     /// A reader over `shared`, with the configured staleness bound.
     pub fn new(shared: Arc<NodeShared>) -> Self {
         let max_staleness = shared.cfg.max_staleness_epochs;
+        let trace = shared.trace.on().then(|| {
+            let ring = shared.trace.lane(
+                shared.node.0,
+                ACTOR_SERVING,
+                format!("n{}/serving", shared.node.0),
+            );
+            (Arc::clone(&shared.trace), ring)
+        });
         SnapshotReader {
             shared,
             last_epoch: 0,
             max_staleness,
+            trace,
         }
     }
 
@@ -169,12 +181,12 @@ impl SnapshotReader {
         match shared.optimistic_read_raw(key, out) {
             Some(OptRead::Owned) => {
                 shared.stats.snapshot_reads.fetch_add(1, Ordering::Relaxed);
-                return Some(self.pin(SnapshotTier::Owned));
+                return Some(self.pin(SnapshotTier::Owned, key));
             }
             Some(OptRead::Replica) => {
                 if shared.serving.replica_lag() <= self.max_staleness {
                     shared.stats.snapshot_reads.fetch_add(1, Ordering::Relaxed);
-                    return Some(self.pin(SnapshotTier::Replica));
+                    return Some(self.pin(SnapshotTier::Replica, key));
                 }
                 // Too stale: wait (bounded, latch-free) for a refresh to
                 // land, re-serving wait-free if it does.
@@ -188,11 +200,11 @@ impl SnapshotReader {
                         match shared.optimistic_read_raw(key, out) {
                             Some(OptRead::Owned) => {
                                 shared.stats.snapshot_reads.fetch_add(1, Ordering::Relaxed);
-                                return Some(self.pin(SnapshotTier::Owned));
+                                return Some(self.pin(SnapshotTier::Owned, key));
                             }
                             Some(OptRead::Replica) => {
                                 shared.stats.snapshot_reads.fetch_add(1, Ordering::Relaxed);
-                                return Some(self.pin(SnapshotTier::Replica));
+                                return Some(self.pin(SnapshotTier::Replica, key));
                             }
                             _ => {}
                         }
@@ -232,12 +244,20 @@ impl SnapshotReader {
                 }
             }
         };
-        served.then(|| self.pin(SnapshotTier::Latched))
+        served.then(|| self.pin(SnapshotTier::Latched, key))
     }
 
     /// Pins the read to the current serving epoch, monotone per reader.
-    fn pin(&mut self, tier: SnapshotTier) -> SnapshotRead {
+    fn pin(&mut self, tier: SnapshotTier, key: Key) -> SnapshotRead {
         self.last_epoch = self.last_epoch.max(self.shared.serving.epoch());
+        if let Some((rec, ring)) = &self.trace {
+            let t = match tier {
+                SnapshotTier::Owned => 0,
+                SnapshotTier::Replica => 1,
+                SnapshotTier::Latched => 2,
+            };
+            rec.record(ring, EventKind::SnapshotRead, t, key.0);
+        }
         SnapshotRead {
             epoch: self.last_epoch,
             tier,

@@ -36,6 +36,7 @@ use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lapse_net::{Key, NodeId};
+use lapse_trace::{EventKind, Recorder, Ring, ACTOR_LATCH};
 
 use crate::adaptive::AdaptiveShared;
 use crate::config::{ProtoConfig, Variant};
@@ -375,7 +376,18 @@ pub struct ShardCell {
     /// Whether the dynamic technique table was non-empty at the last commit.
     techniques_nonempty: AtomicBool,
     latch: Mutex<()>,
+    /// Flight-recorder hookup for latch-wait spans (`None` when tracing
+    /// is off: acquisitions skip instrumentation entirely).
+    trace: Option<LatchTrace>,
     shard: UnsafeCell<Shard>,
+}
+
+/// Per-cell flight-recorder handle: the node's shared latch lane plus
+/// this cell's shard index.
+struct LatchTrace {
+    rec: Arc<Recorder>,
+    ring: Arc<Ring>,
+    shard_idx: u64,
 }
 
 // SAFETY: every `&mut Shard` is created under the latch (write guards);
@@ -393,10 +405,48 @@ impl ShardCell {
             replica_deltas: AtomicBool::new(false),
             techniques_nonempty: AtomicBool::new(false),
             latch: Mutex::new(()),
+            trace: None,
             shard: UnsafeCell::new(shard),
         };
         cell.store_hints();
         cell
+    }
+
+    /// Attaches the node's latch-wait lane (called once at node
+    /// construction, before the cell is shared).
+    fn set_trace(&mut self, rec: Arc<Recorder>, ring: Arc<Ring>, shard_idx: u64) {
+        self.trace = Some(LatchTrace {
+            rec,
+            ring,
+            shard_idx,
+        });
+    }
+
+    /// Acquires the latch, recording a latch-wait span when the
+    /// acquisition had to block and tracing is on. On the sim backend at
+    /// most one thread runs at a time, so the uncontended `try_lock`
+    /// always succeeds and no event is recorded — traces stay
+    /// bit-deterministic.
+    fn lock_latch(&self) -> MutexGuard<'_, ()> {
+        if let Some(t) = &self.trace {
+            if t.rec.on() {
+                if let Some(guard) = self.latch.try_lock() {
+                    return guard;
+                }
+                let t0 = t.rec.now();
+                let guard = self.latch.lock();
+                let t1 = t.rec.now();
+                t.rec.record_at(
+                    &t.ring,
+                    EventKind::LatchWait,
+                    t1,
+                    t.shard_idx,
+                    t1.saturating_sub(t0),
+                );
+                return guard;
+            }
+        }
+        self.latch.lock()
     }
 
     fn store_hints(&self) {
@@ -416,7 +466,7 @@ impl ShardCell {
     /// Takes the latch for read-only access. Does **not** bump the
     /// sequence counter, so concurrent optimistic readers stay valid.
     pub fn read(&self) -> ShardReadGuard<'_> {
-        let latch = self.latch.lock();
+        let latch = self.lock_latch();
         // SAFETY: the latch excludes all writers (they hold it for their
         // whole critical section), so a shared borrow is safe.
         ShardReadGuard {
@@ -428,7 +478,7 @@ impl ShardCell {
     /// Takes the latch for mutation, entering a seqlock write critical
     /// section (sequence bumped to odd now, back to even on drop).
     pub fn write(&self) -> ShardWriteGuard<'_> {
-        let latch = self.latch.lock();
+        let latch = self.lock_latch();
         let s = self.seq.load(Ordering::Relaxed);
         self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
         fence(Ordering::Release);
@@ -571,6 +621,10 @@ pub struct NodeShared {
     pub adaptive: Option<AdaptiveShared>,
     /// Serving-epoch publication of the snapshot read plane.
     pub serving: ServingState,
+    /// Flight recorder shared by every core and lane of this node's
+    /// run (the disabled recorder when tracing is off — see
+    /// `ProtoConfig::trace`).
+    pub trace: Arc<Recorder>,
 }
 
 impl NodeShared {
@@ -586,6 +640,19 @@ impl NodeShared {
         cfg: Arc<ProtoConfig>,
         node: NodeId,
         clock: ClockFn,
+        init: impl FnMut(Key) -> Option<Vec<f32>>,
+    ) -> Arc<Self> {
+        Self::with_init_traced(cfg, node, clock, Recorder::disabled(), init)
+    }
+
+    /// [`NodeShared::with_init`] plus an explicit flight recorder: when
+    /// it is enabled, every shard cell gets the node's latch-wait lane
+    /// and the cores built over this state record protocol events.
+    pub fn with_init_traced(
+        cfg: Arc<ProtoConfig>,
+        node: NodeId,
+        clock: ClockFn,
+        trace: Arc<Recorder>,
         mut init: impl FnMut(Key) -> Option<Vec<f32>>,
     ) -> Arc<Self> {
         let shard_count = cfg.shard_count();
@@ -619,6 +686,12 @@ impl NodeShared {
             }
             shards.push(ShardCell::new(shard));
         }
+        if trace.on() {
+            let ring = trace.lane(node.0, ACTOR_LATCH, format!("n{}/latch", node.0));
+            for (idx, cell) in shards.iter_mut().enumerate() {
+                cell.set_trace(Arc::clone(&trace), Arc::clone(&ring), idx as u64);
+            }
+        }
         let adaptive =
             matches!(cfg.variant, Variant::Adaptive).then(|| AdaptiveShared::new(&cfg.adaptive));
         Arc::new(NodeShared {
@@ -632,6 +705,7 @@ impl NodeShared {
             replica_flush_seq: AtomicU64::new(0),
             adaptive,
             serving: ServingState::default(),
+            trace,
         })
     }
 

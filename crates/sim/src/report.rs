@@ -52,6 +52,14 @@ pub struct SimReport {
     pub tech_promotions: u64,
     /// Runtime technique demotions (replication → relocation).
     pub tech_demotions: u64,
+    /// Relocation-time median (ns; the paper's Section 3.2 definition),
+    /// injected by the protocol layer after the run. Zero until a runner
+    /// fills it in, and zero when the run relocated nothing.
+    pub reloc_p50_ns: u64,
+    /// Relocation-time 99th percentile (ns).
+    pub reloc_p99_ns: u64,
+    /// Relocation-time 99.9th percentile (ns).
+    pub reloc_p999_ns: u64,
 }
 
 impl SimReport {

@@ -360,6 +360,9 @@ impl<P: SimProtocol> SimCluster<P> {
             sketch_samples: 0,
             tech_promotions: 0,
             tech_demotions: 0,
+            reloc_p50_ns: 0,
+            reloc_p99_ns: 0,
+            reloc_p999_ns: 0,
         };
         let results = Arc::try_unwrap(results)
             .unwrap_or_else(|_| panic!("worker result references leaked"))

@@ -1,0 +1,234 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto) and text dump.
+//!
+//! Both exporters are deterministic functions of the recorded events:
+//! lanes are emitted in sorted `(node, actor, name)` order, events in
+//! global-sequence order, and microsecond timestamps are formatted with
+//! integer math (`ns / 1000` + a fixed 3-digit fraction) so no float
+//! formatting can perturb a byte-for-byte diff.
+
+use crate::{Event, EventKind, Recorder, CLASS_NAMES, PHASE_NAMES};
+
+/// Nanoseconds → trace-event microseconds, as an exact decimal string
+/// (a valid JSON number).
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Minimal JSON string escape for the names we emit (ASCII labels).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Display name for an event: phase spans get their `class.phase` name
+/// (`pull.plan`), everything else the kind's dotted name.
+fn event_name(e: &Event) -> &'static str {
+    if e.kind == EventKind::OpPhase {
+        let class = (e.a >> 32) as usize;
+        let phase = (e.a & 0xffff_ffff) as usize;
+        if class < CLASS_NAMES.len() && phase < PHASE_NAMES.len() {
+            const SPAN_NAMES: [[&str; 3]; 3] = [
+                ["pull.plan", "pull.shard", "pull.emit"],
+                ["push.plan", "push.shard", "push.emit"],
+                ["localize.plan", "localize.shard", "localize.emit"],
+            ];
+            return SPAN_NAMES[class][phase];
+        }
+    }
+    e.kind.name()
+}
+
+pub(crate) fn chrome(rec: &Recorder) -> String {
+    let lanes = rec.lanes_sorted();
+    let events = rec.take_events();
+    let mut entries: Vec<String> = Vec::with_capacity(events.len() + 2 * lanes.len());
+    // Process (node) and thread (lane) name metadata, sorted order.
+    let mut last_node = None;
+    for lane in &lanes {
+        if last_node != Some(lane.node()) {
+            entries.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"node {}\"}}}}",
+                lane.node(),
+                lane.node()
+            ));
+            last_node = Some(lane.node());
+        }
+        entries.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            lane.node(),
+            lane.actor(),
+            escape(lane.name())
+        ));
+    }
+    for e in &events {
+        let name = event_name(e);
+        if e.kind.is_span() {
+            entries.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\"cat\":\"lapse\",\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"seq\":{},\"a\":{},\"b\":{}}}}}",
+                e.node,
+                e.actor,
+                name,
+                fmt_us(e.ts.saturating_sub(e.b)),
+                fmt_us(e.b),
+                e.seq,
+                e.a,
+                e.b
+            ));
+        } else {
+            entries.push(format!(
+                "{{\"ph\":\"i\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\"cat\":\"lapse\",\
+                 \"ts\":{},\"s\":\"t\",\"args\":{{\"seq\":{},\"a\":{},\"b\":{}}}}}",
+                e.node,
+                e.actor,
+                name,
+                fmt_us(e.ts),
+                e.seq,
+                e.a,
+                e.b
+            ));
+        }
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+pub(crate) fn text(rec: &Recorder) -> String {
+    let lanes = rec.lanes_sorted();
+    let events = rec.take_events();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "lanes: {}, events: {}, dropped: {}\n",
+        lanes.len(),
+        events.len(),
+        rec.dropped()
+    ));
+    for lane in &lanes {
+        out.push_str(&format!(
+            "  lane n{}/a{} {:12} dropped={}\n",
+            lane.node(),
+            lane.actor(),
+            lane.name(),
+            lane.dropped()
+        ));
+    }
+    for e in &events {
+        out.push_str(&format!(
+            "  [{:>8}] {:>14}ns n{}/a{:<4} {:<18} a={} b={}\n",
+            e.seq,
+            e.ts,
+            e.node,
+            e.actor,
+            event_name(e),
+            e.a,
+            e.b
+        ));
+    }
+    out.push_str("phase percentiles (ns):\n");
+    rec.with_phases(|p| {
+        for (c, class) in CLASS_NAMES.iter().enumerate() {
+            for (ph, phase) in PHASE_NAMES.iter().enumerate() {
+                let h = p.get(c, ph);
+                if h.count() == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {class}.{phase}: count={} p50={} p99={} p999={} max={}\n",
+                    h.count(),
+                    h.p50(),
+                    h.p99(),
+                    h.p999(),
+                    h.max()
+                ));
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TimeFn, ACTOR_SERVER, ACTOR_WORKER0};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn counting_time() -> TimeFn {
+        let t = AtomicU64::new(0);
+        Arc::new(move || t.fetch_add(1_500, Ordering::Relaxed))
+    }
+
+    fn sample_recorder() -> Arc<Recorder> {
+        let rec = Recorder::new(counting_time(), 16);
+        let w = rec.lane(0, ACTOR_WORKER0, "n0/w0");
+        let s = rec.lane(1, ACTOR_SERVER, "n1/server");
+        rec.record(&w, EventKind::OpIssue, crate::CLASS_PULL, 4);
+        rec.record_at(
+            &w,
+            EventKind::OpPhase,
+            5_000,
+            crate::CLASS_PULL << 32 | crate::PHASE_PLAN,
+            2_000,
+        );
+        rec.record(&s, EventKind::MsgRecv, 3, 4);
+        rec.record_op_phases(crate::CLASS_PULL, 2_000, 10, 20);
+        rec
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let json = sample_recorder().export_chrome();
+        assert!(json.starts_with("{\"traceEvents\":[\n"));
+        assert!(json.ends_with("\n]}\n"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"node 0\""));
+        assert!(json.contains("\"name\":\"n1/server\""));
+        // The phase span renders as a complete event starting at
+        // end − dur = 5000 − 2000 = 3000 ns = 3.000 µs.
+        assert!(json.contains("\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"pull.plan\""));
+        assert!(json.contains("\"ts\":3.000,\"dur\":2.000"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"msg.recv\""));
+    }
+
+    #[test]
+    fn chrome_export_deterministic() {
+        let a = sample_recorder().export_chrome();
+        let b = sample_recorder().export_chrome();
+        assert_eq!(a, b, "identical event streams export byte-identically");
+    }
+
+    #[test]
+    fn text_export_mentions_phases() {
+        let text = sample_recorder().export_text();
+        assert!(text.contains("lanes: 2"));
+        assert!(text.contains("pull.plan: count=1"));
+        assert!(text.contains("op.issue"));
+    }
+
+    #[test]
+    fn fmt_us_integer_math() {
+        assert_eq!(fmt_us(0), "0.000");
+        assert_eq!(fmt_us(999), "0.999");
+        assert_eq!(fmt_us(1_000), "1.000");
+        assert_eq!(fmt_us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -90,15 +90,27 @@ impl Metrics {
         }
     }
 
-    /// Difference `after - before` for all counters present in `after`.
+    /// Difference `after - before` over the union of both snapshots.
+    /// Counters only in `before` (e.g. dropped by a re-registration
+    /// between snapshots) report 0 rather than vanishing; saturating, so
+    /// a counter that shrank (reset between snapshots) also reports 0.
     pub fn delta(
         before: &BTreeMap<String, u64>,
         after: &BTreeMap<String, u64>,
     ) -> BTreeMap<String, u64> {
-        after
+        let mut out: BTreeMap<String, u64> = after
             .iter()
-            .map(|(k, &v)| (k.clone(), v - before.get(k).copied().unwrap_or(0)))
-            .collect()
+            .map(|(k, &v)| {
+                (
+                    k.clone(),
+                    v.saturating_sub(before.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        for k in before.keys() {
+            out.entry(k.clone()).or_insert(0);
+        }
+        out
     }
 }
 
@@ -155,6 +167,21 @@ mod tests {
         let d = Metrics::delta(&before, &after);
         assert_eq!(d["x"], 2);
         assert_eq!(d["y"], 7);
+    }
+
+    #[test]
+    fn delta_keeps_before_only_counters() {
+        let mut before = BTreeMap::new();
+        before.insert("gone".to_string(), 5u64);
+        before.insert("shrunk".to_string(), 9u64);
+        let mut after = BTreeMap::new();
+        after.insert("shrunk".to_string(), 3u64);
+        after.insert("new".to_string(), 2u64);
+        let d = Metrics::delta(&before, &after);
+        assert_eq!(d["gone"], 0, "before-only counters must not vanish");
+        assert_eq!(d["shrunk"], 0, "shrinking counters saturate at zero");
+        assert_eq!(d["new"], 2);
+        assert_eq!(d.len(), 3);
     }
 
     #[test]
